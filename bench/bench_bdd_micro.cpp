@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks for the BDD substrate: the primitive
+// operations that dominate symbolic traversal time.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace {
+
+using pnenc::bdd::Bdd;
+using pnenc::bdd::BddManager;
+
+/// Builds a pseudo-random function as a disjunction of random cubes.
+Bdd random_function(BddManager& mgr, int nvars, int ncubes, std::mt19937& rng) {
+  Bdd f = mgr.bdd_false();
+  for (int c = 0; c < ncubes; ++c) {
+    Bdd cube = mgr.bdd_true();
+    for (int v = 0; v < nvars; ++v) {
+      switch (rng() % 3) {
+        case 0: cube &= mgr.var(v); break;
+        case 1: cube &= mgr.nvar(v); break;
+        default: break;  // don't-care
+      }
+    }
+    f |= cube;
+  }
+  return f;
+}
+
+void BM_BddApplyAnd(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  BddManager mgr(nvars);
+  std::mt19937 rng(7);
+  Bdd f = random_function(mgr, nvars, 32, rng);
+  Bdd g = random_function(mgr, nvars, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.bdd_and(f, g));
+  }
+  state.counters["live_nodes"] = static_cast<double>(mgr.live_node_count());
+}
+BENCHMARK(BM_BddApplyAnd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BddIte(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  BddManager mgr(nvars);
+  std::mt19937 rng(11);
+  Bdd f = random_function(mgr, nvars, 24, rng);
+  Bdd g = random_function(mgr, nvars, 24, rng);
+  Bdd h = random_function(mgr, nvars, 24, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.ite(f, g, h));
+  }
+}
+BENCHMARK(BM_BddIte)->Arg(16)->Arg(32);
+
+void BM_BddAndExists(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  BddManager mgr(nvars);
+  std::mt19937 rng(13);
+  Bdd f = random_function(mgr, nvars, 32, rng);
+  Bdd g = random_function(mgr, nvars, 32, rng);
+  std::vector<int> qvars;
+  for (int v = 0; v < nvars; v += 2) qvars.push_back(v);
+  Bdd cube = mgr.cube(qvars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.and_exists(f, g, cube));
+  }
+}
+BENCHMARK(BM_BddAndExists)->Arg(16)->Arg(32);
+
+void BM_BddSatcount(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  BddManager mgr(nvars);
+  std::mt19937 rng(17);
+  Bdd f = random_function(mgr, nvars, 48, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.satcount(f, nvars));
+  }
+}
+BENCHMARK(BM_BddSatcount)->Arg(32)->Arg(64);
+
+void BM_BddSifting(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddManager mgr(2 * pairs);
+    Bdd f = mgr.bdd_false();
+    for (int i = 0; i < pairs; ++i) f |= mgr.var(i) & mgr.var(pairs + i);
+    state.ResumeTiming();
+    mgr.reorder_sift();
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_BddSifting)->Arg(8)->Arg(10);
+
+void BM_SymbolicImage(benchmark::State& state) {
+  using namespace pnenc;
+  petri::Net net = petri::gen::muller_pipeline(static_cast<int>(state.range(0)));
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "dense");
+  symbolic::SymbolicContext ctx(net, enc);
+  auto r = ctx.reachability();
+  benchmark::DoNotOptimize(r.num_markings);
+  Bdd reached = ctx.reached_set();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.image_all(reached));
+  }
+}
+BENCHMARK(BM_SymbolicImage)->Arg(8)->Arg(16);
+
+void BM_FullTraversal(benchmark::State& state) {
+  using namespace pnenc;
+  petri::Net net = petri::gen::muller_pipeline(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, "dense");
+    symbolic::SymbolicContext ctx(net, enc);
+    benchmark::DoNotOptimize(ctx.reachability().num_markings);
+  }
+}
+BENCHMARK(BM_FullTraversal)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared helpers for the paper-table benchmark harnesses.
+
+#include <cstdio>
+#include <string>
+
+#include "encoding/encoding.hpp"
+#include "petri/net.hpp"
+#include "symbolic/symbolic.hpp"
+#include "util/timer.hpp"
+
+namespace pnenc::bench {
+
+struct RunStats {
+  double markings = 0.0;
+  int vars = 0;
+  std::size_t bdd_nodes = 0;
+  std::size_t peak_nodes = 0;
+  double cpu_ms = 0.0;
+  int iterations = 0;
+};
+
+/// Builds the encoding (its cost is part of the reported CPU, as in the
+/// paper: "including the encoding time itself") and runs the BFS traversal.
+inline RunStats run_scheme(const petri::Net& net, const std::string& scheme,
+                           symbolic::ImageMethod method =
+                               symbolic::ImageMethod::kDirect,
+                           std::size_t reorder_threshold = 200000) {
+  // The paper applies dynamic reordering during traversal; we approximate
+  // that with threshold-triggered sifting. 200k live nodes keeps the sift
+  // out of the way on nets whose natural order is already good (muller)
+  // while rescuing the orders that genuinely blow up (phil/slot improved —
+  // the same pathology §6.1 reports for phil). Ablation C quantifies the
+  // trade-off; pass 0 to disable.
+  util::Timer timer;
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = method != symbolic::ImageMethod::kDirect;
+  opts.auto_reorder_threshold = reorder_threshold;
+  symbolic::SymbolicContext ctx(net, enc, opts);
+  symbolic::TraversalResult r = ctx.reachability(method);
+  // The paper reorders dynamically during traversal; a final sifting pass
+  // puts the reported reachability-set size on the same footing for every
+  // scheme regardless of the (arbitrary) initial order.
+  ctx.manager().reorder_sift();
+  RunStats stats;
+  stats.markings = r.num_markings;
+  stats.vars = enc.num_vars();
+  stats.bdd_nodes = ctx.reached_set().size();
+  stats.peak_nodes = r.peak_live_nodes;
+  stats.cpu_ms = timer.elapsed_ms();
+  stats.iterations = r.iterations;
+  return stats;
+}
+
+inline std::string fmt_count(double v) {
+  char buf[32];
+  if (v >= 1e7) {
+    std::snprintf(buf, sizeof buf, "%.1e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+inline std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", ms);
+  return buf;
+}
+
+}  // namespace pnenc::bench

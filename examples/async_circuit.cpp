@@ -1,0 +1,67 @@
+// Asynchronous-circuit verification in the style the paper targets [17, 10]:
+// a Muller C-element pipeline is modeled as a Petri net and verified
+// symbolically — handshake safety, absence of deadlock, and per-stage
+// liveness — under the dense SMC encoding.
+//
+// Usage: async_circuit [stages]   (default 8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/ctl.hpp"
+#include "symbolic/symbolic.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pnenc;
+  int stages = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (stages < 1) stages = 8;
+
+  petri::Net net = petri::gen::muller_pipeline(stages);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "dense");
+  std::printf("muller pipeline, %d stages: %zu places -> %d variables\n",
+              stages, net.num_places(), enc.num_vars());
+
+  util::Timer timer;
+  symbolic::SymbolicContext ctx(net, enc);
+  symbolic::CtlChecker ctl(ctx);
+  std::printf("reachable states: %.4g  (%.1f ms, %zu BDD nodes)\n",
+              ctx.count_markings(ctl.reached()), timer.elapsed_ms(),
+              ctl.reached().size());
+
+  // Property 1: the circuit never deadlocks.
+  bool no_deadlock = ctx.deadlocks(ctl.reached()).is_false();
+  std::printf("no deadlock (AG enabled):              %s\n",
+              no_deadlock ? "PASS" : "FAIL");
+
+  // Property 2: 4-phase handshake safety — on every link, request-pending
+  // (A marked) and acknowledge-pending (C marked) are mutually exclusive.
+  bool handshake_safe = true;
+  for (int i = 1; i <= stages; ++i) {
+    bdd::Bdd a = ctx.place_char(net.place_index("A_" + std::to_string(i)));
+    bdd::Bdd c = ctx.place_char(net.place_index("C_" + std::to_string(i)));
+    handshake_safe &= ctl.holds_initially(ctl.ag(ctl.reached().diff(a & c)));
+  }
+  std::printf("handshake phases exclusive (AG):       %s\n",
+              handshake_safe ? "PASS" : "FAIL");
+
+  // Property 3: liveness — from every reachable state, every stage can fire
+  // its rising transition again: AG(EF enabled(r_i)).
+  bool live = true;
+  for (int i = 0; i <= stages; ++i) {
+    bdd::Bdd en = ctx.enabling(net.transition_index("r_" + std::to_string(i)));
+    live &= ctl.holds_initially(ctl.ag(ctl.ef(en)));
+  }
+  std::printf("every stage re-enabled forever (AGEF): %s\n",
+              live ? "PASS" : "FAIL");
+
+  // Property 4: the oscillation is genuinely infinite (EG true everywhere).
+  bool oscillates = ctl.eg(ctx.manager().bdd_true()) == ctl.reached();
+  std::printf("infinite behaviour from all states:    %s\n",
+              oscillates ? "PASS" : "FAIL");
+
+  return (no_deadlock && handshake_safe && live && oscillates) ? 0 : 1;
+}

@@ -1,0 +1,186 @@
+// pnanalyze: command-line symbolic analyzer for Petri nets in the library's
+// text format — the "downstream user" entry point.
+//
+//   pnanalyze <net-file|builtin:NAME> [--scheme sparse|dense|improved]
+//             [--method direct|tr|mono] [--deadlocks] [--smcs] [--zdd]
+//             [--health]
+//
+// builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
+// --health runs the sanity analyses: structural class, dead transitions,
+// dead places, reversibility.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "encoding/encoding.hpp"
+#include "petri/classify.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "petri/parser.hpp"
+#include "smc/smc.hpp"
+#include "symbolic/analysis.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_reach.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pnenc;
+
+petri::Net load_net(const std::string& spec) {
+  if (spec.rfind("builtin:", 0) == 0) {
+    std::string name = spec.substr(8);
+    auto dash = name.find('-');
+    std::string family = name.substr(0, dash);
+    int n = dash == std::string::npos ? 0 : std::atoi(name.c_str() + dash + 1);
+    if (family == "fig1") return petri::gen::fig1_net();
+    if (family == "phil") return petri::gen::philosophers(n);
+    if (family == "muller") return petri::gen::muller_pipeline(n);
+    if (family == "slot") return petri::gen::slotted_ring(n);
+    if (family == "dme") return petri::gen::dme_ring(n);
+    if (family == "dmecir") return petri::gen::dme_ring_circuit(n);
+    if (family == "reg") return petri::gen::register_net(n, 'a');
+    throw std::runtime_error("unknown builtin net: " + name);
+  }
+  std::ifstream in(spec);
+  if (!in) throw std::runtime_error("cannot open " + spec);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return petri::parse_net(text.str());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pnanalyze <net-file|builtin:NAME> "
+               "[--scheme sparse|dense|improved] [--method direct|tr|mono] "
+               "[--deadlocks] [--smcs] [--zdd] [--health]\n"
+               "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
+               "reg-N\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string scheme = "improved";
+  symbolic::ImageMethod method = symbolic::ImageMethod::kDirect;
+  bool want_deadlocks = false, want_smcs = false, want_zdd = false;
+  bool want_health = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
+      scheme = argv[++i];
+    } else if (!std::strcmp(argv[i], "--method") && i + 1 < argc) {
+      std::string m = argv[++i];
+      method = m == "tr"     ? symbolic::ImageMethod::kPartitionedTr
+               : m == "mono" ? symbolic::ImageMethod::kMonolithicTr
+                             : symbolic::ImageMethod::kDirect;
+    } else if (!std::strcmp(argv[i], "--deadlocks")) {
+      want_deadlocks = true;
+    } else if (!std::strcmp(argv[i], "--smcs")) {
+      want_smcs = true;
+    } else if (!std::strcmp(argv[i], "--zdd")) {
+      want_zdd = true;
+    } else if (!std::strcmp(argv[i], "--health")) {
+      want_health = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    petri::Net net = load_net(argv[1]);
+    std::string problem = net.validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "invalid net: %s\n", problem.c_str());
+      return 1;
+    }
+    std::printf("net: %zu places, %zu transitions\n", net.num_places(),
+                net.num_transitions());
+
+    if (want_smcs) {
+      auto smcs = smc::find_smcs(net);
+      std::printf("SMCs: %zu\n", smcs.size());
+      for (std::size_t i = 0; i < smcs.size(); ++i) {
+        std::printf("  SM%zu (%zu places, %d vars):", i + 1, smcs[i].size(),
+                    smcs[i].encoding_cost());
+        for (int p : smcs[i].places) {
+          std::printf(" %s", net.place_name(p).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+
+    util::Timer timer;
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
+    std::printf("encoding '%s': %d variables (density vs sparse: %.2f)\n",
+                scheme.c_str(), enc.num_vars(),
+                static_cast<double>(net.num_places()) / enc.num_vars());
+
+    symbolic::SymbolicOptions opts;
+    opts.with_next_vars = method != symbolic::ImageMethod::kDirect;
+    opts.auto_reorder_threshold = 200000;
+    symbolic::SymbolicContext ctx(net, enc, opts);
+    auto r = ctx.reachability(method);
+    std::printf(
+        "reachable markings: %.6g  (%d BFS iterations, %zu BDD nodes, "
+        "%.1f ms total)\n",
+        r.num_markings, r.iterations, r.reached_nodes, timer.elapsed_ms());
+
+    if (want_deadlocks) {
+      bdd::Bdd dead = ctx.deadlocks(ctx.reached_set());
+      double n = ctx.count_markings(dead);
+      std::printf("deadlocked markings: %.6g\n", n);
+      if (n > 0) {
+        std::vector<int> pvars;
+        for (int i = 0; i < enc.num_vars(); ++i) pvars.push_back(ctx.pvar(i));
+        std::vector<bool> pick;
+        if (ctx.manager().pick_one(dead, pvars, pick)) {
+          petri::Marking m = enc.decode(pick);
+          std::printf("  witness:");
+          for (int p : m.marked_places()) {
+            std::printf(" %s", net.place_name(p).c_str());
+          }
+          std::printf("\n");
+        }
+        symbolic::Analyzer an(ctx);
+        if (auto trace = an.deadlock_trace()) {
+          std::printf("  shortest firing sequence (%zu steps):",
+                      trace->size());
+          for (int t : *trace) {
+            std::printf(" %s", net.transition_name(t).c_str());
+          }
+          std::printf("\n");
+        }
+      }
+    }
+
+    if (want_health) {
+      std::printf("structural class: %s\n",
+                  petri::classify(net).to_string().c_str());
+      symbolic::Analyzer an(ctx);
+      auto dead_t = an.dead_transitions();
+      auto dead_p = an.dead_places();
+      std::printf("dead transitions: %zu", dead_t.size());
+      for (int t : dead_t) std::printf(" %s", net.transition_name(t).c_str());
+      std::printf("\ndead places: %zu", dead_p.size());
+      for (int p : dead_p) std::printf(" %s", net.place_name(p).c_str());
+      std::printf("\nreversible (M0 is a home state): %s\n",
+                  an.is_reversible() ? "yes" : "no");
+    }
+
+    if (want_zdd) {
+      auto z = symbolic::zdd_reachability(net);
+      std::printf("ZDD (sparse) cross-check: %.6g markings, %zu ZDD nodes, "
+                  "%.1f ms\n",
+                  z.num_markings, z.reached_nodes, z.cpu_ms);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

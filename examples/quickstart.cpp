@@ -1,0 +1,55 @@
+// Quickstart: build a Petri net through the public API, derive the paper's
+// dense SMC encoding, and run BDD-based symbolic reachability.
+//
+// The net is the running example of the paper (Fig. 1): a fork into two
+// concurrent branches with a nondeterministic choice, joined back by t7.
+
+#include <cstdio>
+
+#include "encoding/encoding.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "petri/parser.hpp"
+#include "symbolic/symbolic.hpp"
+
+int main() {
+  using namespace pnenc;
+
+  // 1. Build a net. You can construct programmatically (petri::Net::add_*),
+  //    use a generator, or parse the plain-text format:
+  petri::Net net = petri::parse_net(
+      "place p1 1\n"
+      "trans t1 : p1 -> p2 p3\n"
+      "trans t2 : p1 -> p4 p5\n"
+      "trans t3 : p2 -> p6\n"
+      "trans t4 : p3 -> p7\n"
+      "trans t5 : p4 -> p6\n"
+      "trans t6 : p5 -> p7\n"
+      "trans t7 : p6 p7 -> p1\n");
+  std::printf("net: %zu places, %zu transitions\n", net.num_places(),
+              net.num_transitions());
+
+  // 2. Derive encodings. "sparse" = one variable per place; "dense" and
+  //    "improved" use State Machine Components found by P-invariant
+  //    analysis (paper §4).
+  for (const char* scheme : {"sparse", "dense", "improved"}) {
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
+
+    // 3. Symbolic reachability: BFS fixpoint over BDD images.
+    symbolic::SymbolicContext ctx(net, enc);
+    symbolic::TraversalResult r = ctx.reachability();
+
+    std::printf(
+        "%-9s V=%2d  markings=%.0f  reached-BDD=%3zu nodes  "
+        "avg-toggle=%.2f bits/firing\n",
+        scheme, enc.num_vars(), r.num_markings, r.reached_nodes,
+        enc.avg_toggle_cost(net));
+  }
+
+  // 4. Cross-check against the explicit-state oracle.
+  auto oracle = petri::explicit_reachability(net);
+  std::printf("explicit oracle: %zu markings (safe=%s, deadlocks=%zu)\n",
+              oracle.num_markings, oracle.safe ? "yes" : "no",
+              oracle.deadlocks.size());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Slotted-ring protocol analysis: protocol invariants checked symbolically,
+// plus a small scaling table comparing the sparse and dense encodings —
+// a miniature of the paper's Table 3 slot-n rows.
+//
+// Usage: slotted_ring [max_nodes]   (default 5)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/ctl.hpp"
+#include "symbolic/symbolic.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pnenc;
+  int max_nodes = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (max_nodes < 2) max_nodes = 5;
+
+  // --- protocol invariants on a 3-node ring -------------------------------
+  {
+    petri::Net net = petri::gen::slotted_ring(3);
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+    symbolic::SymbolicContext ctx(net, enc);
+    symbolic::CtlChecker ctl(ctx);
+
+    // Exactly one slot in the ring: the s1/s2/s3 places across nodes are
+    // mutually exclusive (the slot is at one node in one phase).
+    bool one_slot = true;
+    std::vector<bdd::Bdd> slot_here;
+    for (int i = 0; i < 3; ++i) {
+      bdd::Bdd here = ctx.place_char(net.place_index("s1_" + std::to_string(i))) |
+                      ctx.place_char(net.place_index("s2_" + std::to_string(i))) |
+                      ctx.place_char(net.place_index("s3_" + std::to_string(i)));
+      slot_here.push_back(here);
+    }
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        one_slot &= ctl.holds_initially(
+            ctl.ag(ctl.reached().diff(slot_here[i] & slot_here[j])));
+      }
+    }
+    std::printf("single circulating slot (AG):    %s\n",
+                one_slot ? "PASS" : "FAIL");
+
+    // Every node's buffered message is eventually loadable: AG(m1 -> EF m0).
+    bool drains = true;
+    for (int i = 0; i < 3; ++i) {
+      bdd::Bdd m1 = ctx.place_char(net.place_index("m1_" + std::to_string(i)));
+      bdd::Bdd m0 = ctx.place_char(net.place_index("m0_" + std::to_string(i)));
+      bdd::Bdd prop = ctl.reached().diff(m1) | ctl.ef(m0);
+      drains &= ctl.holds_initially(ctl.ag(prop));
+    }
+    std::printf("buffers always drain (AG m1->EF m0): %s\n",
+                drains ? "PASS" : "FAIL");
+    std::printf("deadlock-free:                   %s\n\n",
+                ctx.deadlocks(ctl.reached()).is_false() ? "PASS" : "FAIL");
+  }
+
+  // --- scaling table -------------------------------------------------------
+  util::TablePrinter table(
+      {"nodes", "markings", "V sparse", "BDD", "ms", "V dense", "BDD", "ms"});
+  for (int n = 2; n <= max_nodes; ++n) {
+    petri::Net net = petri::gen::slotted_ring(n);
+    std::vector<std::string> row{std::to_string(n)};
+    double markings = 0;
+    for (const char* scheme : {"sparse", "dense"}) {
+      encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
+      util::Timer t;
+      symbolic::SymbolicOptions opts;
+      opts.auto_reorder_threshold = 200000;
+      symbolic::SymbolicContext ctx(net, enc, opts);
+      auto r = ctx.reachability();
+      markings = r.num_markings;
+      if (row.size() == 1) row.push_back(fmt(markings));
+      row.push_back(std::to_string(enc.num_vars()));
+      row.push_back(std::to_string(r.reached_nodes));
+      row.push_back(fmt(t.elapsed_ms()));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render("slotted ring: sparse vs dense").c_str());
+  return 0;
+}

@@ -1,0 +1,307 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnenc::bdd {
+
+class BddManager;
+
+/// Reference-counted handle to a BDD node.
+///
+/// A `Bdd` keeps its root node (and therefore the whole DAG under it) alive
+/// across garbage collections and dynamic reorderings. Reordering mutates
+/// nodes in place and preserves node identity, so handles remain valid and
+/// keep denoting the same boolean function.
+///
+/// Handles are cheap to copy (refcount bump). All boolean operators are
+/// forwarded to the owning manager; combining handles from different
+/// managers is undefined (asserted in debug builds).
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(BddManager* mgr, std::uint32_t id);
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool is_valid() const { return mgr_ != nullptr; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] BddManager* manager() const { return mgr_; }
+
+  [[nodiscard]] bool is_false() const;
+  [[nodiscard]] bool is_true() const;
+  [[nodiscard]] bool is_terminal() const { return is_false() || is_true(); }
+
+  /// Top variable id of the root node; undefined on terminals.
+  [[nodiscard]] int top_var() const;
+  [[nodiscard]] Bdd low() const;
+  [[nodiscard]] Bdd high() const;
+
+  // Boolean connectives (delegated to the manager, memoized).
+  Bdd operator&(const Bdd& g) const;
+  Bdd operator|(const Bdd& g) const;
+  Bdd operator^(const Bdd& g) const;
+  Bdd operator!() const;
+  /// f ∧ ¬g (set difference when BDDs denote characteristic functions).
+  [[nodiscard]] Bdd diff(const Bdd& g) const;
+  /// Logical equivalence f ≡ g (XNOR).
+  [[nodiscard]] Bdd xnor(const Bdd& g) const;
+
+  Bdd& operator&=(const Bdd& g) { return *this = *this & g; }
+  Bdd& operator|=(const Bdd& g) { return *this = *this | g; }
+  Bdd& operator^=(const Bdd& g) { return *this = *this ^ g; }
+
+  bool operator==(const Bdd& g) const { return mgr_ == g.mgr_ && id_ == g.id_; }
+  bool operator!=(const Bdd& g) const { return !(*this == g); }
+
+  /// Number of DAG nodes reachable from this root (excluding terminals).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Evaluates the function on a total assignment indexed by variable id.
+  [[nodiscard]] bool eval(const std::vector<bool>& assignment) const;
+
+ private:
+  void release();
+
+  BddManager* mgr_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Shared-node ROBDD manager: unique subtables per variable, a lossy
+/// computed-op cache, reference-counted garbage collection, and dynamic
+/// variable reordering by sifting.
+///
+/// Design notes (see DESIGN.md §5):
+///  * Nodes live in a flat arena indexed by 32-bit ids; ids are stable for
+///    the lifetime of a (referenced) node, across GC and reordering.
+///  * Garbage collection and reordering only run from public entry points
+///    when no recursive operation is in flight, so raw ids held inside an
+///    operation are never invalidated.
+///  * Reordering swaps adjacent levels in place (Rudell's sifting), which
+///    preserves the function denoted by every live node.
+class BddManager {
+ public:
+  static constexpr std::uint32_t kFalse = 0;
+  static constexpr std::uint32_t kTrue = 1;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// @param num_vars  initial number of variables (more can be added).
+  explicit BddManager(int num_vars = 0);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // ---- variables -------------------------------------------------------
+  /// Adds a fresh variable at the bottom of the order; returns its id.
+  int new_var();
+  [[nodiscard]] int num_vars() const { return static_cast<int>(var2level_.size()); }
+  [[nodiscard]] int level_of_var(int var) const { return var2level_[var]; }
+  [[nodiscard]] int var_at_level(int level) const { return level2var_[level]; }
+
+  // ---- constants and literals ------------------------------------------
+  [[nodiscard]] Bdd bdd_true() { return Bdd(this, kTrue); }
+  [[nodiscard]] Bdd bdd_false() { return Bdd(this, kFalse); }
+  /// Positive literal for variable `var`.
+  [[nodiscard]] Bdd var(int v);
+  /// Negative literal for variable `var`.
+  [[nodiscard]] Bdd nvar(int v);
+
+  // ---- core operations ---------------------------------------------------
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+  Bdd bdd_and(const Bdd& f, const Bdd& g);
+  Bdd bdd_or(const Bdd& f, const Bdd& g);
+  Bdd bdd_xor(const Bdd& f, const Bdd& g);
+  Bdd bdd_not(const Bdd& f);
+
+  /// Conjunction of positive literals over `vars` (a quantification cube).
+  Bdd cube(const std::vector<int>& vars);
+  /// ∃ vars . f, with the variable set given as a positive cube.
+  Bdd exists(const Bdd& f, const Bdd& cube);
+  /// ∀ vars . f.
+  Bdd forall(const Bdd& f, const Bdd& cube);
+  /// ∃ vars . (f ∧ g) computed in one pass (relational product).
+  Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Cofactor f|_{var=value}.
+  Bdd cofactor(const Bdd& f, int var, bool value);
+  /// Cofactor by a cube of literal assignments (var, value) pairs.
+  Bdd cofactor(const Bdd& f, const std::vector<std::pair<int, bool>>& lits);
+
+  /// Renames variables: every occurrence of variable v becomes map[v]
+  /// (map[v] == v for untouched variables). Implemented via ITE so it is
+  /// correct for arbitrary maps and orderings.
+  Bdd permute(const Bdd& f, const std::vector<int>& map);
+
+  /// The paper's §5.2 toggle: swaps the then/else arcs of every node
+  /// labelled `var`, i.e. computes f with variable `var` complemented.
+  Bdd toggle(const Bdd& f, int v);
+
+  // ---- inspection --------------------------------------------------------
+  /// Number of satisfying assignments of f over variables 0..nvars-1
+  /// (requires support(f) ⊆ {0..nvars-1}).
+  [[nodiscard]] double satcount(const Bdd& f, int nvars);
+  /// Number of satisfying assignments of f over an explicit variable set
+  /// (requires support(f) ⊆ vars). Robust to interleaved orderings where
+  /// unrelated variables sit between the counted ones.
+  [[nodiscard]] double satcount(const Bdd& f, const std::vector<int>& vars);
+  /// Set of variable ids the function structurally depends on.
+  [[nodiscard]] std::vector<int> support(const Bdd& f);
+  /// Picks one satisfying assignment (minterm) over the given variables;
+  /// returns false if f is unsatisfiable.
+  bool pick_one(const Bdd& f, const std::vector<int>& vars,
+                std::vector<bool>& out);
+  /// Enumerates all satisfying assignments over `vars` (test-sized BDDs
+  /// only). Each assignment is indexed by position in `vars`.
+  [[nodiscard]] std::vector<std::vector<bool>> all_sat(
+      const Bdd& f, const std::vector<int>& vars);
+
+  [[nodiscard]] std::size_t dag_size(const Bdd& f);
+  /// Combined DAG size of several roots (shared nodes counted once).
+  [[nodiscard]] std::size_t dag_size(const std::vector<Bdd>& roots);
+  [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
+  [[nodiscard]] std::size_t peak_node_count() const { return peak_nodes_; }
+
+  [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& assignment);
+
+  /// Graphviz dump of the DAG rooted at f (debugging aid).
+  [[nodiscard]] std::string to_dot(const Bdd& f,
+                                   const std::vector<std::string>& var_names);
+
+  // ---- memory management -------------------------------------------------
+  /// Collects all unreferenced nodes. Must not be called while an operation
+  /// is in flight (asserted).
+  void gc();
+  /// Runs one full sifting pass over all variables. Preserves the function
+  /// of every live handle. Returns the node count after reordering.
+  std::size_t reorder_sift();
+  /// Enables reorder-on-growth: reorder_sift() runs inside maybe_reorder()
+  /// whenever live nodes exceed the threshold (which then doubles).
+  void set_auto_reorder(std::size_t first_threshold);
+  /// Hook for long-running clients (the traversal loop): triggers GC and/or
+  /// sifting according to the configured thresholds.
+  void maybe_reorder();
+
+  [[nodiscard]] std::uint64_t cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
+  [[nodiscard]] std::uint64_t reorder_runs() const { return reorder_runs_; }
+
+  // ---- raw node access (used by Bdd and tests) ---------------------------
+  [[nodiscard]] int node_var(std::uint32_t id) const { return nodes_[id].var; }
+  [[nodiscard]] std::uint32_t node_low(std::uint32_t id) const {
+    return nodes_[id].low;
+  }
+  [[nodiscard]] std::uint32_t node_high(std::uint32_t id) const {
+    return nodes_[id].high;
+  }
+  void ref(std::uint32_t id);
+  void deref(std::uint32_t id);
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    std::uint32_t var;   // variable id; kVarTerminal on terminals
+    std::uint32_t low;   // else child
+    std::uint32_t high;  // then child
+    std::uint32_t next;  // unique-table chain / free list link
+    std::uint32_t ref;   // external + internal reference count
+  };
+  static constexpr std::uint32_t kVarTerminal = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+
+  struct Subtable {
+    std::vector<std::uint32_t> buckets;  // heads of chains, kNil-terminated
+    std::size_t count = 0;
+  };
+
+  struct CacheEntry {
+    std::uint32_t op = 0xFFFFFFFFu;
+    std::uint32_t a = 0, b = 0, c = 0;
+    std::uint32_t result = 0;
+  };
+
+  enum Op : std::uint32_t {
+    kOpIte = 1,
+    kOpAnd,
+    kOpOr,
+    kOpXor,
+    kOpNot,
+    kOpExists,
+    kOpForall,
+    kOpAndExists,
+    kOpPermute,
+    kOpToggle,
+  };
+
+  // node construction
+  std::uint32_t mk(std::uint32_t var, std::uint32_t low, std::uint32_t high);
+  std::uint32_t alloc_node(std::uint32_t var, std::uint32_t low,
+                           std::uint32_t high);
+  void subtable_insert(std::uint32_t var, std::uint32_t id);
+  void subtable_remove(std::uint32_t var, std::uint32_t id);
+  void subtable_maybe_grow(std::uint32_t var);
+  static std::size_t hash_pair(std::uint32_t low, std::uint32_t high,
+                               std::size_t nbuckets);
+
+  // recursive workers (raw ids; no GC may run while these are active)
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t apply_rec(Op op, std::uint32_t f, std::uint32_t g);
+  std::uint32_t not_rec(std::uint32_t f);
+  std::uint32_t exists_rec(std::uint32_t f, std::uint32_t cube, bool universal);
+  std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t cube);
+  std::uint32_t cofactor_rec(std::uint32_t f,
+                             const std::vector<int>& val_by_var);
+  std::uint32_t permute_rec(std::uint32_t f, const std::vector<int>& map,
+                            std::uint32_t tag);
+  std::uint32_t toggle_rec(std::uint32_t f, int v);
+  double satcount_rec(std::uint32_t f, const std::vector<double>& suffix,
+                      std::vector<double>& memo);
+
+  // computed cache
+  void cache_put(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                 std::uint32_t result);
+  bool cache_get(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                 std::uint32_t& result);
+  void cache_clear();
+
+  // GC helpers
+  void deref_recursive(std::uint32_t id);
+  void free_node(std::uint32_t id);
+
+  // reordering helpers
+  std::size_t swap_levels(int level);  // swaps level and level+1
+  void sift_var(int var);
+
+  [[nodiscard]] int level_of_node(std::uint32_t id) const {
+    return var2level_[nodes_[id].var];
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_nodes_ = 0;
+
+  std::vector<Subtable> subtables_;  // indexed by variable id
+  std::vector<int> var2level_;
+  std::vector<int> level2var_;
+
+  std::vector<CacheEntry> cache_;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
+  int op_depth_ = 0;  // asserts GC/reorder never runs mid-operation
+  std::size_t gc_threshold_ = 1u << 20;
+  std::size_t reorder_threshold_ = 0;  // 0 = auto reorder disabled
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t reorder_runs_ = 0;
+  std::uint32_t permute_tag_ = 0;  // distinguishes cached permute calls
+};
+
+}  // namespace pnenc::bdd

@@ -1,0 +1,202 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::bdd {
+
+// ---------------------------------------------------------------------------
+// Satisfying-assignment counting
+// ---------------------------------------------------------------------------
+
+// suffix[l] = number of counted variables at levels >= l (size num_vars+1).
+// satcount_rec(f) = assignments of the counted variables at levels >= level(f)
+// that satisfy f.
+double BddManager::satcount_rec(std::uint32_t f,
+                                const std::vector<double>& suffix,
+                                std::vector<double>& memo) {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (memo[f] >= 0.0) return memo[f];
+  const Node& n = nodes_[f];
+  int lf = level_of_node(f);
+  int ll = (n.low <= kTrue) ? num_vars() : level_of_node(n.low);
+  int lh = (n.high <= kTrue) ? num_vars() : level_of_node(n.high);
+  double cl = satcount_rec(n.low, suffix, memo) *
+              std::exp2(suffix[lf + 1] - suffix[ll]);
+  double ch = satcount_rec(n.high, suffix, memo) *
+              std::exp2(suffix[lf + 1] - suffix[lh]);
+  memo[f] = cl + ch;
+  return memo[f];
+}
+
+double BddManager::satcount(const Bdd& f, const std::vector<int>& vars) {
+  std::vector<char> in_set(num_vars(), 0);
+  for (int v : vars) in_set[v] = 1;
+  std::vector<double> suffix(num_vars() + 1, 0.0);
+  for (int l = num_vars() - 1; l >= 0; --l) {
+    suffix[l] = suffix[l + 1] + (in_set[level2var_[l]] ? 1.0 : 0.0);
+  }
+  std::vector<double> memo(nodes_.size(), -1.0);
+  double c = satcount_rec(f.id(), suffix, memo);
+  int lf = (f.id() <= kTrue) ? num_vars() : level_of_node(f.id());
+  return c * std::exp2(suffix[0] - suffix[lf]);
+}
+
+double BddManager::satcount(const Bdd& f, int nvars) {
+  std::vector<int> vars(nvars);
+  std::iota(vars.begin(), vars.end(), 0);
+  return satcount(f, vars);
+}
+
+// ---------------------------------------------------------------------------
+// Support, evaluation, enumeration
+// ---------------------------------------------------------------------------
+
+std::vector<int> BddManager::support(const Bdd& f) {
+  std::vector<char> seen_node;
+  seen_node.assign(nodes_.size(), 0);
+  std::vector<char> seen_var(num_vars(), 0);
+  std::vector<std::uint32_t> stack{f.id()};
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kTrue || seen_node[id]) continue;
+    seen_node[id] = 1;
+    seen_var[nodes_[id].var] = 1;
+    stack.push_back(nodes_[id].low);
+    stack.push_back(nodes_[id].high);
+  }
+  std::vector<int> result;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (seen_var[v]) result.push_back(v);
+  }
+  return result;
+}
+
+bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
+  std::uint32_t id = f.id();
+  while (id > kTrue) {
+    const Node& n = nodes_[id];
+    assert(n.var < assignment.size());
+    id = assignment[n.var] ? n.high : n.low;
+  }
+  return id == kTrue;
+}
+
+bool BddManager::pick_one(const Bdd& f, const std::vector<int>& vars,
+                          std::vector<bool>& out) {
+  if (f.id() == kFalse) return false;
+  out.assign(vars.size(), false);
+  std::vector<int> pos_of_var(num_vars(), -1);
+  for (std::size_t i = 0; i < vars.size(); ++i) pos_of_var[vars[i]] = static_cast<int>(i);
+  std::uint32_t id = f.id();
+  while (id > kTrue) {
+    const Node& n = nodes_[id];
+    bool take_high = (n.low == kFalse);
+    if (pos_of_var[n.var] >= 0) out[pos_of_var[n.var]] = take_high;
+    id = take_high ? n.high : n.low;
+  }
+  return true;
+}
+
+std::vector<std::vector<bool>> BddManager::all_sat(
+    const Bdd& f, const std::vector<int>& vars) {
+  // Order the requested variables by their current level so the walk visits
+  // them in BDD order.
+  std::vector<int> order(vars.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return var2level_[vars[a]] < var2level_[vars[b]];
+  });
+
+  std::vector<std::vector<bool>> result;
+  std::vector<bool> current(vars.size(), false);
+
+  // Recursive enumeration over positions in `order`.
+  auto rec = [&](auto&& self, std::uint32_t id, std::size_t i) -> void {
+    if (i == order.size()) {
+      if (id == kTrue) result.push_back(current);
+      assert(id <= kTrue && "all_sat vars must cover the support");
+      return;
+    }
+    int v = vars[order[i]];
+    int lv = var2level_[v];
+    int lid = (id <= kTrue) ? num_vars() : level_of_node(id);
+    assert(lid >= lv && "all_sat vars must cover the support");
+    if (lid > lv) {
+      // id does not test v: both branches keep the same node.
+      current[order[i]] = false;
+      self(self, id, i + 1);
+      current[order[i]] = true;
+      self(self, id, i + 1);
+    } else {
+      const Node& n = nodes_[id];
+      current[order[i]] = false;
+      self(self, n.low, i + 1);
+      current[order[i]] = true;
+      self(self, n.high, i + 1);
+    }
+  };
+  rec(rec, f.id(), 0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Size and DOT export
+// ---------------------------------------------------------------------------
+
+std::size_t BddManager::dag_size(const Bdd& f) {
+  return dag_size(std::vector<Bdd>{f});
+}
+
+std::size_t BddManager::dag_size(const std::vector<Bdd>& roots) {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack;
+  for (const Bdd& r : roots) {
+    if (r.is_valid()) stack.push_back(r.id());
+  }
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kTrue || seen[id]) continue;
+    seen[id] = 1;
+    count++;
+    stack.push_back(nodes_[id].low);
+    stack.push_back(nodes_[id].high);
+  }
+  return count;
+}
+
+std::string BddManager::to_dot(const Bdd& f,
+                               const std::vector<std::string>& var_names) {
+  std::ostringstream os;
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{f.id()};
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kTrue || seen.count(id)) continue;
+    seen.insert(id);
+    const Node& n = nodes_[id];
+    std::string label = (n.var < var_names.size())
+                            ? var_names[n.var]
+                            : "x" + std::to_string(n.var);
+    os << "  n" << id << " [label=\"" << label << "\"];\n";
+    os << "  n" << id << " -> n" << n.low << " [style=dashed];\n";
+    os << "  n" << id << " -> n" << n.high << ";\n";
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pnenc::bdd

@@ -1,0 +1,339 @@
+#include <cassert>
+#include <cstring>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::bdd {
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, std::uint32_t id) : mgr_(mgr), id_(id) {
+  if (mgr_ != nullptr) mgr_->ref(id_);
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_ != nullptr) mgr_->ref(id_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref(other.id_);
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() { release(); }
+
+void Bdd::release() {
+  if (mgr_ != nullptr) {
+    mgr_->deref(id_);
+    mgr_ = nullptr;
+    id_ = 0;
+  }
+}
+
+bool Bdd::is_false() const {
+  return mgr_ != nullptr && id_ == BddManager::kFalse;
+}
+bool Bdd::is_true() const {
+  return mgr_ != nullptr && id_ == BddManager::kTrue;
+}
+
+int Bdd::top_var() const { return mgr_->node_var(id_); }
+Bdd Bdd::low() const { return Bdd(mgr_, mgr_->node_low(id_)); }
+Bdd Bdd::high() const { return Bdd(mgr_, mgr_->node_high(id_)); }
+
+Bdd Bdd::operator&(const Bdd& g) const { return mgr_->bdd_and(*this, g); }
+Bdd Bdd::operator|(const Bdd& g) const { return mgr_->bdd_or(*this, g); }
+Bdd Bdd::operator^(const Bdd& g) const { return mgr_->bdd_xor(*this, g); }
+Bdd Bdd::operator!() const { return mgr_->bdd_not(*this); }
+Bdd Bdd::diff(const Bdd& g) const {
+  return mgr_->bdd_and(*this, mgr_->bdd_not(g));
+}
+Bdd Bdd::xnor(const Bdd& g) const {
+  return mgr_->bdd_not(mgr_->bdd_xor(*this, g));
+}
+
+std::size_t Bdd::size() const { return mgr_->dag_size(*this); }
+
+bool Bdd::eval(const std::vector<bool>& assignment) const {
+  return mgr_->eval(*this, assignment);
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction, variables
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(int num_vars) {
+  nodes_.reserve(1u << 14);
+  // Terminal nodes occupy ids 0 and 1 and are permanently referenced.
+  nodes_.push_back(Node{kVarTerminal, kFalse, kFalse, kNil, kRefSaturated});
+  nodes_.push_back(Node{kVarTerminal, kTrue, kTrue, kNil, kRefSaturated});
+  cache_.resize(1u << 16);
+  for (int i = 0; i < num_vars; ++i) new_var();
+}
+
+BddManager::~BddManager() = default;
+
+int BddManager::new_var() {
+  int v = static_cast<int>(var2level_.size());
+  var2level_.push_back(v);
+  level2var_.push_back(v);
+  subtables_.emplace_back();
+  subtables_.back().buckets.assign(16, kNil);
+  return v;
+}
+
+Bdd BddManager::var(int v) {
+  assert(v >= 0 && v < num_vars());
+  return Bdd(this, mk(static_cast<std::uint32_t>(v), kFalse, kTrue));
+}
+
+Bdd BddManager::nvar(int v) {
+  assert(v >= 0 && v < num_vars());
+  return Bdd(this, mk(static_cast<std::uint32_t>(v), kTrue, kFalse));
+}
+
+// ---------------------------------------------------------------------------
+// Unique table
+// ---------------------------------------------------------------------------
+
+std::size_t BddManager::hash_pair(std::uint32_t low, std::uint32_t high,
+                                  std::size_t nbuckets) {
+  std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & (nbuckets - 1);
+}
+
+std::uint32_t BddManager::mk(std::uint32_t var, std::uint32_t low,
+                             std::uint32_t high) {
+  if (low == high) return low;
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(low, high, st.buckets.size());
+  for (std::uint32_t id = st.buckets[b]; id != kNil; id = nodes_[id].next) {
+    const Node& n = nodes_[id];
+    if (n.low == low && n.high == high) return id;
+  }
+  std::uint32_t id = alloc_node(var, low, high);
+  // Re-hash: alloc may not change buckets, but growth below might; insert
+  // first, grow afterwards (grow rehashes everything).
+  Node& n = nodes_[id];
+  n.next = st.buckets[b];
+  st.buckets[b] = id;
+  st.count++;
+  subtable_maybe_grow(var);
+  return id;
+}
+
+std::uint32_t BddManager::alloc_node(std::uint32_t var, std::uint32_t low,
+                                     std::uint32_t high) {
+  std::uint32_t id;
+  if (free_head_ != kNil) {
+    id = free_head_;
+    free_head_ = nodes_[id].next;
+  } else {
+    id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[id];
+  n.var = var;
+  n.low = low;
+  n.high = high;
+  n.next = kNil;
+  n.ref = 0;
+  ref(low);
+  ref(high);
+  live_nodes_++;
+  if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
+  return id;
+}
+
+void BddManager::subtable_insert(std::uint32_t var, std::uint32_t id) {
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+  nodes_[id].next = st.buckets[b];
+  st.buckets[b] = id;
+  st.count++;
+  subtable_maybe_grow(var);
+}
+
+void BddManager::subtable_remove(std::uint32_t var, std::uint32_t id) {
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+  std::uint32_t* link = &st.buckets[b];
+  while (*link != kNil) {
+    if (*link == id) {
+      *link = nodes_[id].next;
+      st.count--;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  assert(false && "node not found in its subtable");
+}
+
+void BddManager::subtable_maybe_grow(std::uint32_t var) {
+  Subtable& st = subtables_[var];
+  if (st.count <= st.buckets.size() * 2) return;
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 4, kNil);
+  for (std::uint32_t head : old) {
+    for (std::uint32_t id = head; id != kNil;) {
+      std::uint32_t next = nodes_[id].next;
+      std::size_t b =
+          hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+      nodes_[id].next = st.buckets[b];
+      st.buckets[b] = id;
+      id = next;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting and garbage collection
+// ---------------------------------------------------------------------------
+
+void BddManager::ref(std::uint32_t id) {
+  Node& n = nodes_[id];
+  if (n.ref != kRefSaturated) n.ref++;
+}
+
+void BddManager::deref(std::uint32_t id) {
+  Node& n = nodes_[id];
+  if (n.ref != kRefSaturated) {
+    assert(n.ref > 0);
+    n.ref--;
+  }
+}
+
+void BddManager::deref_recursive(std::uint32_t id) {
+  // Iterative cascade: decrement, and free nodes whose count reaches zero.
+  std::vector<std::uint32_t> stack{id};
+  while (!stack.empty()) {
+    std::uint32_t cur = stack.back();
+    stack.pop_back();
+    Node& n = nodes_[cur];
+    if (n.ref == kRefSaturated) continue;
+    assert(n.ref > 0);
+    if (--n.ref == 0) {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+      subtable_remove(n.var, cur);
+      free_node(cur);
+    }
+  }
+}
+
+void BddManager::free_node(std::uint32_t id) {
+  Node& n = nodes_[id];
+  n.var = kVarTerminal;
+  n.low = kNil;
+  n.high = kNil;
+  n.next = free_head_;
+  free_head_ = id;
+  assert(live_nodes_ > 0);
+  live_nodes_--;
+}
+
+void BddManager::gc() {
+  assert(op_depth_ == 0 && "GC must not run during an operation");
+  gc_runs_++;
+  // Sweep: nodes with zero references are dead; removing one may kill its
+  // children, so iterate with a worklist seeded by every currently-dead node.
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var != kVarTerminal && n.ref == 0) dead.push_back(id);
+  }
+  for (std::uint32_t id : dead) {
+    // May already have been freed as a child cascade; detect via var field.
+    if (nodes_[id].var == kVarTerminal) continue;
+    if (nodes_[id].ref != 0) continue;
+    Node& n = nodes_[id];
+    std::uint32_t low = n.low, high = n.high;
+    subtable_remove(n.var, id);
+    free_node(id);
+    deref_recursive(low);
+    deref_recursive(high);
+  }
+  cache_clear();
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+void BddManager::cache_put(Op op, std::uint32_t a, std::uint32_t b,
+                           std::uint32_t c, std::uint32_t result) {
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + c;
+  h = h * 0x9e3779b97f4a7c15ULL + op;
+  h ^= h >> 29;
+  CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  e.op = op;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.result = result;
+}
+
+bool BddManager::cache_get(Op op, std::uint32_t a, std::uint32_t b,
+                           std::uint32_t c, std::uint32_t& result) {
+  cache_lookups_++;
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + c;
+  h = h * 0x9e3779b97f4a7c15ULL + op;
+  h ^= h >> 29;
+  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+    cache_hits_++;
+    result = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cache_clear() {
+  for (auto& e : cache_) e.op = 0xFFFFFFFFu;
+}
+
+void BddManager::set_auto_reorder(std::size_t first_threshold) {
+  reorder_threshold_ = first_threshold;
+}
+
+void BddManager::maybe_reorder() {
+  assert(op_depth_ == 0);
+  if (live_nodes_ > gc_threshold_) {
+    gc();
+    gc_threshold_ = std::max(gc_threshold_, live_nodes_ * 2);
+  }
+  if (reorder_threshold_ != 0 && live_nodes_ > reorder_threshold_) {
+    reorder_sift();
+    reorder_threshold_ = std::max(reorder_threshold_, live_nodes_ * 2);
+  }
+}
+
+}  // namespace pnenc::bdd

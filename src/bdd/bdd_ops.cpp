@@ -1,0 +1,332 @@
+#include <algorithm>
+#include <cassert>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::bdd {
+
+namespace {
+/// RAII guard asserting that GC/reordering cannot interleave with an
+/// in-flight recursive operation.
+class OpGuard {
+ public:
+  explicit OpGuard(int& depth) : depth_(depth) { ++depth_; }
+  ~OpGuard() { --depth_; }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ITE
+// ---------------------------------------------------------------------------
+
+std::uint32_t BddManager::ite_rec(std::uint32_t f, std::uint32_t g,
+                                  std::uint32_t h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  std::uint32_t cached;
+  if (cache_get(kOpIte, f, g, h, cached)) return cached;
+
+  int lf = level_of_node(f);
+  int lg = (g <= kTrue) ? num_vars() : level_of_node(g);
+  int lh = (h <= kTrue) ? num_vars() : level_of_node(h);
+  int top = std::min(lf, std::min(lg, lh));
+  std::uint32_t v = static_cast<std::uint32_t>(level2var_[top]);
+
+  auto cof = [&](std::uint32_t x, int lx, bool hi) -> std::uint32_t {
+    if (lx != top) return x;
+    return hi ? nodes_[x].high : nodes_[x].low;
+  };
+  std::uint32_t t = ite_rec(cof(f, lf, true), cof(g, lg, true), cof(h, lh, true));
+  std::uint32_t e =
+      ite_rec(cof(f, lf, false), cof(g, lg, false), cof(h, lh, false));
+  std::uint32_t r = (t == e) ? t : mk(v, e, t);
+  cache_put(kOpIte, f, g, h, r);
+  return r;
+}
+
+Bdd BddManager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, ite_rec(f.id(), g.id(), h.id()));
+}
+
+// ---------------------------------------------------------------------------
+// Binary apply (AND / OR / XOR) and NOT
+// ---------------------------------------------------------------------------
+
+std::uint32_t BddManager::apply_rec(Op op, std::uint32_t f, std::uint32_t g) {
+  switch (op) {
+    case kOpAnd:
+      if (f == kFalse || g == kFalse) return kFalse;
+      if (f == kTrue) return g;
+      if (g == kTrue) return f;
+      if (f == g) return f;
+      break;
+    case kOpOr:
+      if (f == kTrue || g == kTrue) return kTrue;
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == g) return f;
+      break;
+    case kOpXor:
+      if (f == g) return kFalse;
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == kTrue) return not_rec(g);
+      if (g == kTrue) return not_rec(f);
+      break;
+    default:
+      assert(false);
+  }
+  // Commutative: canonicalize operand order for better cache reuse.
+  std::uint32_t a = std::min(f, g), b = std::max(f, g);
+  std::uint32_t cached;
+  if (cache_get(op, a, b, 0, cached)) return cached;
+
+  int la = level_of_node(a);
+  int lb = level_of_node(b);
+  int top = std::min(la, lb);
+  std::uint32_t v = static_cast<std::uint32_t>(level2var_[top]);
+  std::uint32_t a0 = (la == top) ? nodes_[a].low : a;
+  std::uint32_t a1 = (la == top) ? nodes_[a].high : a;
+  std::uint32_t b0 = (lb == top) ? nodes_[b].low : b;
+  std::uint32_t b1 = (lb == top) ? nodes_[b].high : b;
+
+  std::uint32_t e = apply_rec(op, a0, b0);
+  std::uint32_t t = apply_rec(op, a1, b1);
+  std::uint32_t r = (t == e) ? t : mk(v, e, t);
+  cache_put(op, a, b, 0, r);
+  return r;
+}
+
+std::uint32_t BddManager::not_rec(std::uint32_t f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+  std::uint32_t cached;
+  if (cache_get(kOpNot, f, 0, 0, cached)) return cached;
+  // Copy fields before recursing: mk() may grow the node arena and would
+  // dangle a held reference.
+  std::uint32_t v = nodes_[f].var;
+  std::uint32_t low = nodes_[f].low, high = nodes_[f].high;
+  std::uint32_t e = not_rec(low);
+  std::uint32_t t = not_rec(high);
+  std::uint32_t r = mk(v, e, t);
+  cache_put(kOpNot, f, 0, 0, r);
+  return r;
+}
+
+Bdd BddManager::bdd_and(const Bdd& f, const Bdd& g) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, apply_rec(kOpAnd, f.id(), g.id()));
+}
+Bdd BddManager::bdd_or(const Bdd& f, const Bdd& g) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, apply_rec(kOpOr, f.id(), g.id()));
+}
+Bdd BddManager::bdd_xor(const Bdd& f, const Bdd& g) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, apply_rec(kOpXor, f.id(), g.id()));
+}
+Bdd BddManager::bdd_not(const Bdd& f) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, not_rec(f.id()));
+}
+
+// ---------------------------------------------------------------------------
+// Quantification
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::cube(const std::vector<int>& vars) {
+  OpGuard guard(op_depth_);
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](int x, int y) { return var2level_[x] > var2level_[y]; });
+  std::uint32_t c = kTrue;
+  for (int v : sorted) c = mk(static_cast<std::uint32_t>(v), kFalse, c);
+  return Bdd(this, c);
+}
+
+std::uint32_t BddManager::exists_rec(std::uint32_t f, std::uint32_t cube,
+                                     bool universal) {
+  if (f <= kTrue) return f;
+  // Skip quantified variables above f's top level: they do not occur in f.
+  while (cube != kTrue && level_of_node(cube) < level_of_node(f)) {
+    cube = nodes_[cube].high;
+  }
+  if (cube == kTrue) return f;
+
+  Op op = universal ? kOpForall : kOpExists;
+  std::uint32_t cached;
+  if (cache_get(op, f, cube, 0, cached)) return cached;
+
+  std::uint32_t v = nodes_[f].var;
+  std::uint32_t low = nodes_[f].low, high = nodes_[f].high;
+  std::uint32_t cube_rest = nodes_[cube].high;
+  std::uint32_t r;
+  if (level_of_node(f) == level_of_node(cube)) {
+    std::uint32_t e = exists_rec(low, cube_rest, universal);
+    // Short-circuit: x OR true = true; x AND false = false.
+    if (!universal && e == kTrue) {
+      r = kTrue;
+    } else if (universal && e == kFalse) {
+      r = kFalse;
+    } else {
+      std::uint32_t t = exists_rec(high, cube_rest, universal);
+      r = universal ? apply_rec(kOpAnd, e, t) : apply_rec(kOpOr, e, t);
+    }
+  } else {
+    std::uint32_t e = exists_rec(low, cube, universal);
+    std::uint32_t t = exists_rec(high, cube, universal);
+    r = (t == e) ? t : mk(v, e, t);
+  }
+  cache_put(op, f, cube, 0, r);
+  return r;
+}
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, exists_rec(f.id(), cube.id(), /*universal=*/false));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, exists_rec(f.id(), cube.id(), /*universal=*/true));
+}
+
+std::uint32_t BddManager::and_exists_rec(std::uint32_t f, std::uint32_t g,
+                                         std::uint32_t cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (cube == kTrue) return apply_rec(kOpAnd, f, g);
+
+  int lf = (f <= kTrue) ? num_vars() : level_of_node(f);
+  int lg = (g <= kTrue) ? num_vars() : level_of_node(g);
+  int top = std::min(lf, lg);
+  while (cube != kTrue && level_of_node(cube) < top) cube = nodes_[cube].high;
+  if (cube == kTrue) return apply_rec(kOpAnd, f, g);
+
+  std::uint32_t a = std::min(f, g), b = std::max(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpAndExists, a, b, cube, cached)) return cached;
+
+  std::uint32_t v = static_cast<std::uint32_t>(level2var_[top]);
+  std::uint32_t f0 = (lf == top) ? nodes_[f].low : f;
+  std::uint32_t f1 = (lf == top) ? nodes_[f].high : f;
+  std::uint32_t g0 = (lg == top) ? nodes_[g].low : g;
+  std::uint32_t g1 = (lg == top) ? nodes_[g].high : g;
+
+  std::uint32_t r;
+  if (level_of_node(cube) == top) {
+    std::uint32_t e = and_exists_rec(f0, g0, nodes_[cube].high);
+    if (e == kTrue) {
+      r = kTrue;
+    } else {
+      std::uint32_t t = and_exists_rec(f1, g1, nodes_[cube].high);
+      r = apply_rec(kOpOr, e, t);
+    }
+  } else {
+    std::uint32_t e = and_exists_rec(f0, g0, cube);
+    std::uint32_t t = and_exists_rec(f1, g1, cube);
+    r = (t == e) ? t : mk(v, e, t);
+  }
+  cache_put(kOpAndExists, a, b, cube, r);
+  return r;
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, and_exists_rec(f.id(), g.id(), cube.id()));
+}
+
+// ---------------------------------------------------------------------------
+// Cofactor, permutation, toggle
+// ---------------------------------------------------------------------------
+
+std::uint32_t BddManager::cofactor_rec(std::uint32_t f,
+                                       const std::vector<int>& val_by_var) {
+  if (f <= kTrue) return f;
+  std::uint32_t v = nodes_[f].var;
+  std::uint32_t low = nodes_[f].low, high = nodes_[f].high;
+  int val = val_by_var[v];
+  if (val >= 0) return cofactor_rec(val != 0 ? high : low, val_by_var);
+  std::uint32_t e = cofactor_rec(low, val_by_var);
+  std::uint32_t t = cofactor_rec(high, val_by_var);
+  return (t == e) ? t : mk(v, e, t);
+}
+
+Bdd BddManager::cofactor(const Bdd& f, int var, bool value) {
+  return cofactor(f, {{var, value}});
+}
+
+Bdd BddManager::cofactor(const Bdd& f,
+                         const std::vector<std::pair<int, bool>>& lits) {
+  OpGuard guard(op_depth_);
+  std::vector<int> val_by_var(num_vars(), -1);
+  for (const auto& [v, b] : lits) val_by_var[v] = b ? 1 : 0;
+  return Bdd(this, cofactor_rec(f.id(), val_by_var));
+}
+
+std::uint32_t BddManager::permute_rec(std::uint32_t f,
+                                      const std::vector<int>& map,
+                                      std::uint32_t tag) {
+  if (f <= kTrue) return f;
+  std::uint32_t cached;
+  if (cache_get(kOpPermute, f, tag, 0, cached)) return cached;
+  std::uint32_t v = nodes_[f].var;
+  std::uint32_t low = nodes_[f].low, high = nodes_[f].high;
+  std::uint32_t e = permute_rec(low, map, tag);
+  std::uint32_t t = permute_rec(high, map, tag);
+  std::uint32_t lit = mk(static_cast<std::uint32_t>(map[v]), kFalse, kTrue);
+  std::uint32_t r = ite_rec(lit, t, e);
+  cache_put(kOpPermute, f, tag, 0, r);
+  return r;
+}
+
+Bdd BddManager::permute(const Bdd& f, const std::vector<int>& map) {
+  OpGuard guard(op_depth_);
+  // Distinct maps must not share cache entries; tag each call with a hash of
+  // the map (collisions across different maps are vanishingly unlikely and
+  // would only cost correctness if two maps hashed equal — mix thoroughly).
+  std::uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (int m : map) {
+    h ^= static_cast<std::uint64_t>(m) + 0x9e3779b97f4a7c15ULL + (h << 6);
+    h *= 0xff51afd7ed558ccdULL;
+  }
+  std::uint32_t tag = static_cast<std::uint32_t>(h ^ (h >> 32)) | 1u;
+  return Bdd(this, permute_rec(f.id(), map, tag));
+}
+
+std::uint32_t BddManager::toggle_rec(std::uint32_t f, int v) {
+  if (f <= kTrue) return f;
+  if (level_of_node(f) > var2level_[v]) return f;
+  std::uint32_t cached;
+  if (cache_get(kOpToggle, f, static_cast<std::uint32_t>(v), 0, cached)) {
+    return cached;
+  }
+  std::uint32_t var = nodes_[f].var;
+  std::uint32_t low = nodes_[f].low, high = nodes_[f].high;
+  std::uint32_t r;
+  if (var == static_cast<std::uint32_t>(v)) {
+    r = mk(var, high, low);  // interchange then/else arcs (§5.2)
+  } else {
+    std::uint32_t e = toggle_rec(low, v);
+    std::uint32_t t = toggle_rec(high, v);
+    r = (t == e) ? t : mk(var, e, t);
+  }
+  cache_put(kOpToggle, f, static_cast<std::uint32_t>(v), 0, r);
+  return r;
+}
+
+Bdd BddManager::toggle(const Bdd& f, int v) {
+  OpGuard guard(op_depth_);
+  return Bdd(this, toggle_rec(f.id(), v));
+}
+
+}  // namespace pnenc::bdd

@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::bdd {
+
+// ---------------------------------------------------------------------------
+// Adjacent-level swap (the primitive underlying sifting)
+// ---------------------------------------------------------------------------
+//
+// Swapping levels j and j+1 mutates, in place, every node of the upper
+// variable u that depends on the lower variable w:
+//
+//   f = u'·f0 + u·f1   expands on w into
+//   f = w'·(u'·f0|w=0 + u·f1|w=0) + w·(u'·f0|w=1 + u·f1|w=1)
+//
+// so the node is relabelled to w with freshly built u-children. Node identity
+// (and hence the function denoted by every live id) is preserved.
+std::size_t BddManager::swap_levels(int level) {
+  assert(op_depth_ == 0 && "reordering must not run during an operation");
+  assert(level >= 0 && level + 1 < num_vars());
+  const std::uint32_t u = static_cast<std::uint32_t>(level2var_[level]);
+  const std::uint32_t w = static_cast<std::uint32_t>(level2var_[level + 1]);
+
+  // Collect the u-nodes that test w before mutating anything.
+  std::vector<std::uint32_t> affected;
+  for (std::uint32_t head : subtables_[u].buckets) {
+    for (std::uint32_t id = head; id != kNil; id = nodes_[id].next) {
+      const Node& n = nodes_[id];
+      if (nodes_[n.low].var == w || nodes_[n.high].var == w) {
+        affected.push_back(id);
+      }
+    }
+  }
+
+  for (std::uint32_t id : affected) subtable_remove(u, id);
+
+  for (std::uint32_t id : affected) {
+    std::uint32_t f0 = nodes_[id].low, f1 = nodes_[id].high;
+    std::uint32_t f00 = (nodes_[f0].var == w) ? nodes_[f0].low : f0;
+    std::uint32_t f01 = (nodes_[f0].var == w) ? nodes_[f0].high : f0;
+    std::uint32_t f10 = (nodes_[f1].var == w) ? nodes_[f1].low : f1;
+    std::uint32_t f11 = (nodes_[f1].var == w) ? nodes_[f1].high : f1;
+
+    // mk() may grow the node arena; re-index nodes_[id] only afterwards
+    // (a Node reference held across mk() would dangle on reallocation).
+    std::uint32_t e = mk(u, f00, f10);  // f|w=0
+    std::uint32_t t = mk(u, f01, f11);  // f|w=1
+    assert(e != t && "swapped node must still depend on the lower variable");
+
+    ref(e);
+    ref(t);
+    Node& n = nodes_[id];
+    n.var = w;
+    n.low = e;
+    n.high = t;
+    subtable_insert(w, id);
+    deref_recursive(f0);
+    deref_recursive(f1);
+  }
+
+  std::swap(level2var_[level], level2var_[level + 1]);
+  var2level_[u] = level + 1;
+  var2level_[w] = level;
+  return live_nodes_;
+}
+
+// ---------------------------------------------------------------------------
+// Sifting (Rudell): move each variable through the whole order, keep the
+// position with the fewest live nodes.
+// ---------------------------------------------------------------------------
+
+void BddManager::sift_var(int v) {
+  const int n = num_vars();
+  std::size_t best = live_nodes_;
+  int best_pos = var2level_[v];
+  const std::size_t limit = live_nodes_ * 2 + 64;
+
+  int p = var2level_[v];
+  // Down phase: toward the bottom of the order.
+  while (p < n - 1) {
+    swap_levels(p);
+    ++p;
+    if (live_nodes_ < best) {
+      best = live_nodes_;
+      best_pos = p;
+    }
+    if (live_nodes_ > limit) break;
+  }
+  // Up phase: all the way to the top (abort only once past the best spot).
+  while (p > 0) {
+    --p;
+    swap_levels(p);
+    if (live_nodes_ <= best) {
+      best = live_nodes_;
+      best_pos = p;
+    }
+    if (live_nodes_ > limit && p <= best_pos) break;
+  }
+  // Settle at the best position.
+  while (p < best_pos) {
+    swap_levels(p);
+    ++p;
+  }
+  while (p > best_pos) {
+    --p;
+    swap_levels(p);
+  }
+}
+
+std::size_t BddManager::reorder_sift() {
+  assert(op_depth_ == 0);
+  reorder_runs_++;
+  // Dead nodes distort the size signal sifting optimizes; collect them first.
+  gc();
+
+  // Sift variables in decreasing order of subtable population — the standard
+  // heuristic: fat levels first.
+  std::vector<int> order(num_vars());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return subtables_[a].count > subtables_[b].count;
+  });
+  for (int v : order) {
+    if (subtables_[v].count > 0) sift_var(v);
+  }
+  // Node ids were freed/reallocated during the swaps; drop the op cache so no
+  // stale entry can alias a recycled id.
+  cache_clear();
+  return live_nodes_;
+}
+
+}  // namespace pnenc::bdd

@@ -1,0 +1,386 @@
+#include "encoding/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "encoding/gray.hpp"
+#include "smc/covering.hpp"
+
+namespace pnenc::encoding {
+
+using petri::Marking;
+using petri::Net;
+
+// ---------------------------------------------------------------------------
+// SmcCode
+// ---------------------------------------------------------------------------
+
+std::uint32_t SmcCode::code_of(int place) const {
+  auto it = std::lower_bound(smc.places.begin(), smc.places.end(), place);
+  if (it == smc.places.end() || *it != place) {
+    throw std::logic_error("SmcCode::code_of: place not in SMC");
+  }
+  return codes[static_cast<std::size_t>(it - smc.places.begin())];
+}
+
+bool SmcCode::covers(int place) const {
+  return std::binary_search(smc.places.begin(), smc.places.end(), place);
+}
+
+// ---------------------------------------------------------------------------
+// MarkingEncoding queries
+// ---------------------------------------------------------------------------
+
+std::vector<bool> MarkingEncoding::encode(const Marking& m) const {
+  std::vector<bool> bits(num_vars_, false);
+  for (const SmcCode& sc : smcs) {
+    int token_place = -1;
+    for (int p : sc.smc.places) {
+      if (m.test(p)) {
+        if (token_place >= 0) {
+          throw std::runtime_error(
+              "MarkingEncoding::encode: SMC holds two tokens");
+        }
+        token_place = p;
+      }
+    }
+    if (token_place < 0) {
+      throw std::runtime_error("MarkingEncoding::encode: SMC holds no token");
+    }
+    std::uint32_t code = sc.code_of(token_place);
+    for (std::size_t b = 0; b < sc.vars.size(); ++b) {
+      bits[sc.vars[b]] = (code >> (sc.vars.size() - 1 - b)) & 1;
+    }
+  }
+  for (std::size_t p = 0; p < places.size(); ++p) {
+    if (places[p].kind == PlaceEncoding::Kind::kDirect) {
+      bits[places[p].direct_var] = m.test(p);
+    }
+  }
+  return bits;
+}
+
+std::vector<int> MarkingEncoding::aliases(int p) const {
+  const PlaceEncoding& pe = places[p];
+  if (pe.kind != PlaceEncoding::Kind::kSmc) return {};
+  const SmcCode& owner = smcs[pe.owner];
+  std::uint32_t code = owner.code_of(p);
+  std::vector<int> out;
+  for (std::size_t i = 0; i < owner.smc.places.size(); ++i) {
+    int q = owner.smc.places[i];
+    if (q != p && owner.codes[i] == code) out.push_back(q);
+  }
+  return out;
+}
+
+bool MarkingEncoding::place_marked(const std::vector<bool>& bits,
+                                   int p) const {
+  const PlaceEncoding& pe = places[p];
+  if (pe.kind == PlaceEncoding::Kind::kDirect) {
+    return bits[pe.direct_var];
+  }
+  const SmcCode& owner = smcs[pe.owner];
+  std::uint32_t code = owner.code_of(p);
+  for (std::size_t b = 0; b < owner.vars.size(); ++b) {
+    bool bit = (code >> (owner.vars.size() - 1 - b)) & 1;
+    if (bits[owner.vars[b]] != bit) return false;
+  }
+  // Improved scheme: the code may be shared; p is marked only if none of the
+  // aliasing places (owned by earlier SMCs) is marked (eq. 4, applied
+  // recursively).
+  for (int q : aliases(p)) {
+    if (place_marked(bits, q)) return false;
+  }
+  return true;
+}
+
+Marking MarkingEncoding::decode(const std::vector<bool>& bits) const {
+  Marking m(places.size());
+  for (std::size_t p = 0; p < places.size(); ++p) {
+    m.set(p, place_marked(bits, static_cast<int>(p)));
+  }
+  return m;
+}
+
+int MarkingEncoding::toggle_cost(const Net& net, int t) const {
+  int cost = 0;
+  for (const SmcCode& sc : smcs) {
+    auto it = std::lower_bound(sc.smc.transitions.begin(),
+                               sc.smc.transitions.end(), t);
+    if (it == sc.smc.transitions.end() || *it != t) continue;
+    std::size_t i = static_cast<std::size_t>(it - sc.smc.transitions.begin());
+    cost += __builtin_popcount(sc.code_of(sc.smc.in_place[i]) ^
+                               sc.code_of(sc.smc.out_place[i]));
+  }
+  const auto& pre = net.preset(t);
+  const auto& post = net.postset(t);
+  for (int p : pre) {
+    if (places[p].kind != PlaceEncoding::Kind::kDirect) continue;
+    if (std::find(post.begin(), post.end(), p) == post.end()) ++cost;
+  }
+  for (int p : post) {
+    if (places[p].kind != PlaceEncoding::Kind::kDirect) continue;
+    if (std::find(pre.begin(), pre.end(), p) == pre.end()) ++cost;
+  }
+  return cost;
+}
+
+double MarkingEncoding::avg_toggle_cost(const Net& net) const {
+  if (net.num_transitions() == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    total += toggle_cost(net, static_cast<int>(t));
+  }
+  return total / static_cast<double>(net.num_transitions());
+}
+
+double MarkingEncoding::density(double num_markings) const {
+  if (num_vars_ == 0) return 1.0;
+  return std::ceil(std::log2(num_markings)) / static_cast<double>(num_vars_);
+}
+
+std::vector<std::string> MarkingEncoding::var_names(const Net& net) const {
+  std::vector<std::string> names(num_vars_);
+  for (std::size_t s = 0; s < smcs.size(); ++s) {
+    for (std::size_t b = 0; b < smcs[s].vars.size(); ++b) {
+      names[smcs[s].vars[b]] =
+          "smc" + std::to_string(s) + "_b" + std::to_string(b);
+    }
+  }
+  for (std::size_t p = 0; p < places.size(); ++p) {
+    if (places[p].kind == PlaceEncoding::Kind::kDirect) {
+      names[places[p].direct_var] = net.place_name(static_cast<int>(p));
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+MarkingEncoding sparse_encoding(const Net& net) {
+  MarkingEncoding enc;
+  enc.scheme = "sparse";
+  enc.places.resize(net.num_places());
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    enc.places[p].kind = PlaceEncoding::Kind::kDirect;
+    enc.places[p].direct_var = static_cast<int>(p);
+  }
+  enc.set_num_vars(static_cast<int>(net.num_places()));
+  return enc;
+}
+
+namespace {
+
+/// Materializes an SmcCode with freshly allocated variables and a Gray-like
+/// code assignment; `owned` selects the injectively coded places.
+SmcCode materialize(const smc::Smc& s, std::vector<char> owned,
+                    int* next_var) {
+  int n_owned = static_cast<int>(
+      std::count(owned.begin(), owned.end(), static_cast<char>(1)));
+  int bits = 0;
+  while ((1 << bits) < n_owned) ++bits;
+  if (bits == 0) bits = 1;  // a 1-place-new SMC still needs a variable
+  SmcCode sc;
+  sc.smc = s;
+  sc.owned = std::move(owned);
+  sc.codes = assign_codes(s, sc.owned, bits);
+  sc.vars.resize(bits);
+  for (int b = 0; b < bits; ++b) sc.vars[b] = (*next_var)++;
+  return sc;
+}
+
+void attach_places(MarkingEncoding& enc) {
+  for (std::size_t s = 0; s < enc.smcs.size(); ++s) {
+    const SmcCode& sc = enc.smcs[s];
+    for (std::size_t i = 0; i < sc.smc.places.size(); ++i) {
+      int p = sc.smc.places[i];
+      enc.places[p].covering.push_back(static_cast<int>(s));
+      if (sc.owned[i] && enc.places[p].owner < 0) {
+        enc.places[p].kind = PlaceEncoding::Kind::kSmc;
+        enc.places[p].owner = static_cast<int>(s);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MarkingEncoding dense_encoding(const Net& net,
+                               const std::vector<smc::Smc>& smcs) {
+  // Unate covering (§4.2): objects = places, covers = SMCs and singletons.
+  std::vector<smc::CoverColumn> cols;
+  for (const auto& s : smcs) {
+    smc::CoverColumn col;
+    col.rows = s.places;
+    col.cost = s.encoding_cost();
+    cols.push_back(std::move(col));
+  }
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    smc::CoverColumn col;
+    col.rows = {static_cast<int>(p)};
+    col.cost = 1;
+    cols.push_back(std::move(col));
+  }
+  smc::CoverResult cover =
+      solve_covering(static_cast<int>(net.num_places()), cols);
+
+  MarkingEncoding enc;
+  enc.scheme = "dense";
+  enc.places.resize(net.num_places());
+  int next_var = 0;
+  for (int c : cover.chosen) {
+    if (c >= static_cast<int>(smcs.size())) continue;  // singleton column
+    const smc::Smc& s = smcs[c];
+    // Basic scheme: every place of a selected SMC is owned (distinct codes).
+    enc.smcs.push_back(
+        materialize(s, std::vector<char>(s.places.size(), 1), &next_var));
+  }
+  attach_places(enc);
+  // In the basic scheme a place covered by two selected SMCs is encoded in
+  // both; the first is its owner. Anything never covered goes sparse.
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    if (enc.places[p].owner < 0) {
+      enc.places[p].kind = PlaceEncoding::Kind::kDirect;
+      enc.places[p].direct_var = next_var++;
+    }
+  }
+  enc.set_num_vars(next_var);
+  return enc;
+}
+
+namespace {
+
+/// Improved-scheme greedy over a candidate subset of SMCs (nullptr = all).
+MarkingEncoding improved_from(const Net& net, const std::vector<smc::Smc>& smcs,
+                              const std::vector<char>* allowed) {
+  MarkingEncoding enc;
+  enc.scheme = "improved";
+  enc.places.resize(net.num_places());
+  std::vector<char> covered(net.num_places(), 0);
+  std::vector<char> used(smcs.size(), 0);
+  if (allowed != nullptr) {
+    for (std::size_t i = 0; i < smcs.size(); ++i) {
+      if (!(*allowed)[i]) used[i] = 1;
+    }
+  }
+  int next_var = 0;
+
+  // Greedy SMC selection (§4.4): each step adds the SMC with the largest
+  // variable saving |P_new| - ceil(log2 |P_new|) over leaving P_new sparse.
+  for (;;) {
+    int best = -1;
+    int best_saving = 0, best_cost = 0;
+    std::size_t best_new = 0;
+    for (std::size_t i = 0; i < smcs.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t fresh = 0;
+      for (int p : smcs[i].places) fresh += covered[p] ? 0 : 1;
+      if (fresh < 2) continue;
+      int bits = 0;
+      while ((std::size_t{1} << bits) < fresh) ++bits;
+      int saving = static_cast<int>(fresh) - bits;
+      if (saving <= 0) continue;
+      bool better = saving > best_saving ||
+                    (saving == best_saving &&
+                     (bits < best_cost ||
+                      (bits == best_cost && fresh > best_new)));
+      if (best < 0 || better) {
+        best = static_cast<int>(i);
+        best_saving = saving;
+        best_cost = bits;
+        best_new = fresh;
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    const smc::Smc& s = smcs[best];
+    std::vector<char> owned(s.places.size(), 0);
+    for (std::size_t i = 0; i < s.places.size(); ++i) {
+      owned[i] = covered[s.places[i]] ? 0 : 1;
+    }
+    enc.smcs.push_back(materialize(s, std::move(owned), &next_var));
+    for (int p : s.places) covered[p] = 1;
+  }
+
+  attach_places(enc);
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    if (enc.places[p].owner < 0) {
+      enc.places[p].kind = PlaceEncoding::Kind::kDirect;
+      enc.places[p].direct_var = next_var++;
+    }
+  }
+  enc.set_num_vars(next_var);
+  return enc;
+}
+
+}  // namespace
+
+MarkingEncoding improved_encoding(const Net& net,
+                                  const std::vector<smc::Smc>& smcs) {
+  // Unrestricted greedy can lose to the exact covering on overlapping
+  // structures (a large SMC with big immediate savings can strand the places
+  // it leaves behind). Run the improved ordering both over all SMCs and
+  // restricted to the exact covering's selection, and keep the denser one;
+  // the restricted variant never costs more than the basic dense scheme.
+  MarkingEncoding greedy = improved_from(net, smcs, nullptr);
+
+  std::vector<smc::CoverColumn> cols;
+  for (const auto& s : smcs) {
+    cols.push_back(smc::CoverColumn{s.places, s.encoding_cost()});
+  }
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    cols.push_back(smc::CoverColumn{{static_cast<int>(p)}, 1});
+  }
+  smc::CoverResult cover =
+      solve_covering(static_cast<int>(net.num_places()), cols);
+  std::vector<char> allowed(smcs.size(), 0);
+  for (int c : cover.chosen) {
+    if (c < static_cast<int>(smcs.size())) allowed[c] = 1;
+  }
+  MarkingEncoding from_cover = improved_from(net, smcs, &allowed);
+
+  return from_cover.num_vars() < greedy.num_vars() ? from_cover : greedy;
+}
+
+void assign_sequential_codes(MarkingEncoding& enc) {
+  for (SmcCode& sc : enc.smcs) {
+    std::vector<int> order = cycle_order(sc.smc);
+    std::vector<std::size_t> index_of_place(
+        sc.smc.places.empty() ? 0 : sc.smc.places.back() + 1, 0);
+    for (std::size_t i = 0; i < sc.smc.places.size(); ++i) {
+      index_of_place[sc.smc.places[i]] = i;
+    }
+    // Start at an owned place, then: owned -> next binary value, alias ->
+    // predecessor's code (same walk as assign_codes, minus the Gray map).
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (sc.owned[index_of_place[order[i]]]) {
+        start = i;
+        break;
+      }
+    }
+    std::uint32_t next = 0, prev = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      std::size_t i = index_of_place[order[(start + k) % order.size()]];
+      if (sc.owned[i]) {
+        sc.codes[i] = next++;
+        prev = sc.codes[i];
+      } else {
+        sc.codes[i] = prev;
+      }
+    }
+  }
+}
+
+MarkingEncoding build_encoding(const Net& net, const std::string& scheme) {
+  if (scheme == "sparse") return sparse_encoding(net);
+  std::vector<smc::Smc> smcs = smc::find_smcs(net);
+  if (scheme == "dense") return dense_encoding(net, smcs);
+  if (scheme == "improved") return improved_encoding(net, smcs);
+  throw std::invalid_argument("build_encoding: unknown scheme " + scheme);
+}
+
+}  // namespace pnenc::encoding

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "petri/marking.hpp"
+#include "petri/net.hpp"
+#include "smc/smc.hpp"
+
+namespace pnenc::encoding {
+
+/// One encoded State Machine Component: which boolean variables it uses and
+/// which code each of its places gets.
+struct SmcCode {
+  smc::Smc smc;
+  std::vector<int> vars;             // global variable ids, MSB first
+  std::vector<std::uint32_t> codes;  // parallel to smc.places
+  /// owned[i]: this SMC is the encoder of smc.places[i] (always true in the
+  /// basic dense scheme; in the improved scheme only the P_new places are
+  /// owned and the others alias codes, §4.4).
+  std::vector<char> owned;
+
+  [[nodiscard]] std::uint32_t code_of(int place) const;
+  [[nodiscard]] bool covers(int place) const;
+};
+
+/// How a single place is represented.
+struct PlaceEncoding {
+  enum class Kind { kDirect, kSmc };
+  Kind kind = Kind::kDirect;
+  int direct_var = -1;        // kDirect: the one-variable-per-place bit
+  int owner = -1;             // kSmc: index of the owning SmcCode
+  std::vector<int> covering;  // every SmcCode index covering this place
+};
+
+/// A complete marking encoding: the mapping from safe markings to boolean
+/// vectors that the symbolic engine operates on. Produced by one of the
+/// three builders below (paper §3's scheme gallery).
+class MarkingEncoding {
+ public:
+  std::string scheme;  // "sparse", "dense" or "improved"
+  std::vector<SmcCode> smcs;
+  std::vector<PlaceEncoding> places;  // indexed by place id
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_places() const { return places.size(); }
+
+  /// Encodes a marking into one bit per variable. Requires every SMC to
+  /// contain exactly one marked place (throws otherwise — that would mean
+  /// the marking violates the invariant the encoding is built on).
+  [[nodiscard]] std::vector<bool> encode(const petri::Marking& m) const;
+
+  /// Evaluates the characteristic function of place p on encoded bits,
+  /// resolving improved-scheme code aliases recursively (eq. 4).
+  [[nodiscard]] bool place_marked(const std::vector<bool>& bits, int p) const;
+
+  /// Inverse of encode() (well-defined on encodings of real markings).
+  [[nodiscard]] petri::Marking decode(const std::vector<bool>& bits) const;
+
+  /// Places sharing p's code within p's owner SMC (the "ambiguous" places of
+  /// §4.4); empty in the sparse/basic schemes.
+  [[nodiscard]] std::vector<int> aliases(int p) const;
+
+  /// Bits flipped by firing t — marking-independent under SMC encodings:
+  /// each SMC containing t jumps from the code of t's input place to the
+  /// code of its output place, and affected direct places flip one bit each.
+  [[nodiscard]] int toggle_cost(const petri::Net& net, int t) const;
+  /// Mean toggle cost over all transitions (§5.2's objective).
+  [[nodiscard]] double avg_toggle_cost(const petri::Net& net) const;
+
+  /// Encoding density: ⌈log₂ markings⌉ / num_vars (paper §3 and §4.3 quote
+  /// D = 5/10 = 0.5 for the basic dense philosophers encoding).
+  [[nodiscard]] double density(double num_markings) const;
+
+  /// Debug names, one per variable.
+  [[nodiscard]] std::vector<std::string> var_names(const petri::Net& net) const;
+
+  void set_num_vars(int n) { num_vars_ = n; }
+
+ private:
+  int num_vars_ = 0;
+};
+
+/// One boolean variable per place (the baseline of [16, 18]).
+MarkingEncoding sparse_encoding(const petri::Net& net);
+
+/// Basic dense scheme (§4.2–4.3): selects a min-cost subset of SMCs by unate
+/// covering (cost ⌈log₂|Pᵢ|⌉ per SMC, 1 per leftover place), encodes every
+/// selected SMC injectively with a Gray-like assignment, leftover places get
+/// one variable each.
+MarkingEncoding dense_encoding(const petri::Net& net,
+                               const std::vector<smc::Smc>& smcs);
+
+/// Improved dense scheme (§4.4): SMCs are added greedily; an SMC whose
+/// places are partially covered already only pays ⌈log₂|P_new|⌉ variables,
+/// and covered places alias codes (disambiguated by eq. 4).
+MarkingEncoding improved_encoding(const petri::Net& net,
+                                  const std::vector<smc::Smc>& smcs);
+
+/// Convenience: find SMCs and build the requested scheme.
+MarkingEncoding build_encoding(const petri::Net& net,
+                               const std::string& scheme);
+
+/// Ablation helper (§5.2 evaluation): replaces every SMC's Gray-like code
+/// assignment with plain binary counting along the same cycle order, keeping
+/// ownership and injectivity intact. Used to quantify what the Gray strategy
+/// buys in toggle activity and traversal cost.
+void assign_sequential_codes(MarkingEncoding& enc);
+
+}  // namespace pnenc::encoding

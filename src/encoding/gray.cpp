@@ -1,0 +1,129 @@
+#include "encoding/gray.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pnenc::encoding {
+
+std::vector<int> cycle_order(const smc::Smc& smc) {
+  // Adjacency over SMC places: edge in_place -> out_place per transition.
+  std::unordered_map<int, std::vector<int>> adj;
+  for (std::size_t i = 0; i < smc.transitions.size(); ++i) {
+    if (smc.in_place[i] != smc.out_place[i]) {
+      adj[smc.in_place[i]].push_back(smc.out_place[i]);
+    }
+  }
+  // Greedy walk preferring unvisited successors; this follows the token
+  // around the component. Falls back to any remaining place when stuck
+  // (possible in SMCs with choice).
+  std::vector<int> order;
+  std::vector<char> visited_lookup;
+  int max_place = 0;
+  for (int p : smc.places) max_place = std::max(max_place, p);
+  visited_lookup.assign(max_place + 1, 0);
+
+  int current = smc.places.front();
+  order.push_back(current);
+  visited_lookup[current] = 1;
+  while (order.size() < smc.places.size()) {
+    int next = -1;
+    auto it = adj.find(current);
+    if (it != adj.end()) {
+      for (int cand : it->second) {
+        if (!visited_lookup[cand]) {
+          next = cand;
+          break;
+        }
+      }
+    }
+    if (next < 0) {
+      // Stuck: restart from the first unvisited place.
+      for (int p : smc.places) {
+        if (!visited_lookup[p]) {
+          next = p;
+          break;
+        }
+      }
+    }
+    order.push_back(next);
+    visited_lookup[next] = 1;
+    current = next;
+  }
+  return order;
+}
+
+int assignment_toggle_cost(const smc::Smc& smc,
+                           const std::vector<std::uint32_t>& codes) {
+  std::unordered_map<int, std::uint32_t> code_of;
+  for (std::size_t i = 0; i < smc.places.size(); ++i) {
+    code_of[smc.places[i]] = codes[i];
+  }
+  int total = 0;
+  for (std::size_t i = 0; i < smc.transitions.size(); ++i) {
+    total += __builtin_popcount(code_of[smc.in_place[i]] ^
+                                code_of[smc.out_place[i]]);
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> assign_codes(const smc::Smc& smc,
+                                        const std::vector<char>& owned,
+                                        int nbits) {
+  const std::size_t n = smc.places.size();
+  std::vector<int> order = cycle_order(smc);
+
+  std::unordered_map<int, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) index_of[smc.places[i]] = i;
+
+  std::vector<std::uint32_t> codes(n, 0);
+  // Walk the cycle: owned places consume fresh Gray codes, covered places
+  // inherit their predecessor's code (legal alias, zero extra toggling).
+  std::uint32_t next_gray = 0;
+  std::uint32_t prev_code = 0;
+  bool have_prev = false;
+  // Start the walk at an owned place so aliases always have a predecessor.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (owned[index_of[order[i]]]) {
+      start = i;
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    std::size_t i = index_of[order[(start + k) % order.size()]];
+    if (owned[i]) {
+      codes[i] = gray(next_gray++);
+      prev_code = codes[i];
+      have_prev = true;
+    } else {
+      codes[i] = have_prev ? prev_code : 0;
+    }
+  }
+
+  // Hill-climb: swapping the codes of two owned places sometimes reduces the
+  // toggle count when the cycle walk was interrupted by choice places.
+  int best = assignment_toggle_cost(smc, codes);
+  bool improved = true;
+  int passes = 0;
+  while (improved && passes++ < 16) {
+    improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!owned[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!owned[j]) continue;
+        std::swap(codes[i], codes[j]);
+        int cost = assignment_toggle_cost(smc, codes);
+        if (cost < best) {
+          best = cost;
+          improved = true;
+        } else {
+          std::swap(codes[i], codes[j]);
+        }
+      }
+    }
+  }
+  (void)nbits;
+  return codes;
+}
+
+}  // namespace pnenc::encoding

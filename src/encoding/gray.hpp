@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/smc.hpp"
+
+namespace pnenc::encoding {
+
+/// Reflected binary Gray code: consecutive values differ in one bit.
+[[nodiscard]] constexpr std::uint32_t gray(std::uint32_t k) {
+  return k ^ (k >> 1);
+}
+
+/// Orders the places of an SMC along its token-flow cycle (DFS over the
+/// place graph induced by in→out transition pairs). The token moves between
+/// cycle-adjacent places, so assigning consecutive Gray codes along this
+/// order makes most firings toggle a single variable (§5.2).
+std::vector<int> cycle_order(const smc::Smc& smc);
+
+/// Assigns a code to every place of the SMC over `nbits` variables.
+///
+/// `owned[i]` marks the places that must receive pairwise-distinct codes
+/// (P_new in the improved scheme; all places in the basic scheme). Owned
+/// places get Gray codes along the cycle order; non-owned places inherit
+/// the code of their cycle predecessor (zero toggling into them, and a legal
+/// alias per §4.4). A hill-climbing pass then swaps owned codes while it
+/// reduces the total toggle count Σ_t H(code(•t), code(t•)).
+std::vector<std::uint32_t> assign_codes(const smc::Smc& smc,
+                                        const std::vector<char>& owned,
+                                        int nbits);
+
+/// Total toggle count of a code assignment: Σ over the SMC's transitions of
+/// the Hamming distance between input and output place codes.
+int assignment_toggle_cost(const smc::Smc& smc,
+                           const std::vector<std::uint32_t>& codes);
+
+}  // namespace pnenc::encoding

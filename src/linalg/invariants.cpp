@@ -1,0 +1,161 @@
+#include "linalg/invariants.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pnenc::linalg {
+
+std::vector<int> Invariant::support() const {
+  std::vector<int> s;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0) s.push_back(static_cast<int>(i));
+  }
+  return s;
+}
+
+namespace {
+
+struct Row {
+  std::vector<std::int64_t> c;    // remaining incidence part
+  std::vector<std::int64_t> inv;  // invariant part (starts as identity)
+  std::vector<std::uint64_t> mask;  // bitmask of inv support
+
+  void rebuild_mask() {
+    std::fill(mask.begin(), mask.end(), 0);
+    for (std::size_t i = 0; i < inv.size(); ++i) {
+      if (inv[i] != 0) mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
+};
+
+bool mask_subset(const std::vector<std::uint64_t>& a,
+                 const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+void divide_by_gcd(Row& r) {
+  std::int64_t g = 0;
+  for (std::int64_t v : r.c) g = std::gcd(g, v < 0 ? -v : v);
+  for (std::int64_t v : r.inv) g = std::gcd(g, v < 0 ? -v : v);
+  if (g > 1) {
+    for (auto& v : r.c) v /= g;
+    for (auto& v : r.inv) v /= g;
+  }
+}
+
+/// Removes rows whose support strictly contains another row's support, and
+/// duplicate rows. Quadratic, adequate at the row counts our nets produce.
+void prune_non_minimal(std::vector<Row>& rows) {
+  std::vector<char> dead(rows.size(), 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      bool i_in_j = mask_subset(rows[i].mask, rows[j].mask);
+      bool j_in_i = mask_subset(rows[j].mask, rows[i].mask);
+      if (i_in_j && j_in_i) {
+        // Equal support: keep one copy (identical rows are common).
+        if (rows[i].inv == rows[j].inv && rows[i].c == rows[j].c) {
+          dead[j] = 1;
+        }
+      } else if (i_in_j) {
+        dead[j] = 1;
+      } else if (j_in_i) {
+        dead[i] = 1;
+      }
+    }
+  }
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(rows[i]));
+  }
+  rows = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<Invariant> minimal_semipositive_invariants(
+    const std::vector<std::vector<std::int64_t>>& incidence,
+    std::size_t max_rows, std::size_t max_support) {
+  const std::size_t nplaces = incidence.size();
+  if (nplaces == 0) return {};
+  const std::size_t ntrans = incidence[0].size();
+  const std::size_t nwords = (nplaces + 63) / 64;
+
+  std::vector<Row> rows(nplaces);
+  for (std::size_t p = 0; p < nplaces; ++p) {
+    rows[p].c = incidence[p];
+    rows[p].inv.assign(nplaces, 0);
+    rows[p].inv[p] = 1;
+    rows[p].mask.assign(nwords, 0);
+    rows[p].rebuild_mask();
+  }
+
+  for (std::size_t t = 0; t < ntrans; ++t) {
+    std::vector<Row> next;
+    std::vector<const Row*> pos, neg;
+    for (const Row& r : rows) {
+      if (r.c[t] == 0) {
+        next.push_back(r);
+      } else if (r.c[t] > 0) {
+        pos.push_back(&r);
+      } else {
+        neg.push_back(&r);
+      }
+    }
+    for (const Row* rp : pos) {
+      for (const Row* rn : neg) {
+        Row combo;
+        std::int64_t a = rp->c[t];   // > 0
+        std::int64_t b = -rn->c[t];  // > 0
+        std::int64_t g = std::gcd(a, b);
+        std::int64_t fa = b / g, fb = a / g;
+        combo.c.resize(ntrans);
+        for (std::size_t k = 0; k < ntrans; ++k) {
+          combo.c[k] = fa * rp->c[k] + fb * rn->c[k];
+        }
+        combo.inv.resize(nplaces);
+        for (std::size_t k = 0; k < nplaces; ++k) {
+          combo.inv[k] = fa * rp->inv[k] + fb * rn->inv[k];
+        }
+        divide_by_gcd(combo);
+        combo.mask.assign(nwords, 0);
+        combo.rebuild_mask();
+        if (max_support != 0) {
+          std::size_t popcount = 0;
+          for (std::uint64_t w : combo.mask) {
+            popcount += static_cast<std::size_t>(__builtin_popcountll(w));
+          }
+          if (popcount > max_support) continue;  // sound: supports only grow
+        }
+        next.push_back(std::move(combo));
+        if (next.size() > max_rows) {
+          throw std::runtime_error(
+              "minimal_semipositive_invariants: row explosion");
+        }
+      }
+    }
+    prune_non_minimal(next);
+    rows = std::move(next);
+  }
+
+  std::vector<Invariant> result;
+  result.reserve(rows.size());
+  for (Row& r : rows) {
+    // All incidence entries are zero now; the inv part is a semi-positive
+    // invariant (non-negative by construction: only positive combinations).
+    bool nonzero = false;
+    for (std::int64_t v : r.inv) {
+      if (v != 0) nonzero = true;
+    }
+    if (nonzero) result.push_back(Invariant{std::move(r.inv)});
+  }
+  return result;
+}
+
+}  // namespace pnenc::linalg

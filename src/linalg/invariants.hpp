@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pnenc::linalg {
+
+/// A semi-positive P-invariant: integer weights, one per place, such that
+/// weightsᵀ · C = 0, weights ≥ 0, weights ≠ 0 (paper §2.2).
+struct Invariant {
+  std::vector<std::int64_t> weights;
+
+  /// Support ⟨I⟩: indices of places with positive weight.
+  [[nodiscard]] std::vector<int> support() const;
+};
+
+/// Computes all *minimal* semi-positive P-invariants of an incidence matrix
+/// (rows = places, columns = transitions) with the Farkas/Martínez-Silva
+/// elimination: carry [C | I], cancel one transition column at a time by
+/// combining rows of opposite sign, and prune rows whose support strictly
+/// contains another row's support (which both enforces minimality and keeps
+/// the intermediate row count from exploding).
+///
+/// Throws std::runtime_error if the intermediate row count exceeds
+/// `max_rows` (a guard against the worst-case exponential behaviour; the
+/// nets in this repository stay linear).
+///
+/// `max_support` (0 = unlimited) drops intermediate rows whose invariant
+/// support exceeds the bound. This pruning is *sound* for the invariants it
+/// keeps: supports only grow under Farkas combination (the invariant parts
+/// are non-negative, so nothing cancels), hence every minimal invariant with
+/// support ≤ max_support is still produced. Use it on nets whose full
+/// minimal-invariant basis is exponential (e.g. rings of handshake cells)
+/// when only small structural components are of interest.
+std::vector<Invariant> minimal_semipositive_invariants(
+    const std::vector<std::vector<std::int64_t>>& incidence,
+    std::size_t max_rows = 200000, std::size_t max_support = 0);
+
+}  // namespace pnenc::linalg

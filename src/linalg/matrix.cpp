@@ -1,0 +1,92 @@
+#include "linalg/matrix.hpp"
+
+namespace pnenc::linalg {
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix m = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    // Find a pivot in this column at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < rows_ && m.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == rows_) continue;
+    std::swap_ranges(&m.at(pivot, 0), &m.at(pivot, 0) + cols_, &m.at(rank, 0));
+    Rational inv = Rational(1) / m.at(rank, col);
+    for (std::size_t c = col; c < cols_; ++c) m.at(rank, c) *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == rank || m.at(r, col).is_zero()) continue;
+      Rational factor = m.at(r, col);
+      for (std::size_t c = col; c < cols_; ++c) {
+        m.at(r, c) -= factor * m.at(rank, c);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix Matrix::left_null_space() const {
+  // Solve xᵀ·A = 0, i.e. Aᵀ·x = 0: compute the (right) null space of Aᵀ.
+  Matrix at = transposed();  // (cols_ x rows_), unknowns are rows_ entries
+  std::size_t n = rows_;     // number of unknowns
+  std::size_t m = cols_;     // number of equations
+
+  // Reduced row echelon form of Aᵀ.
+  std::vector<std::size_t> pivot_col;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < n && rank < m; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m && at.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == m) continue;
+    std::swap_ranges(&at.at(pivot, 0), &at.at(pivot, 0) + n, &at.at(rank, 0));
+    Rational inv = Rational(1) / at.at(rank, col);
+    for (std::size_t c = 0; c < n; ++c) at.at(rank, c) *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == rank || at.at(r, col).is_zero()) continue;
+      Rational factor = at.at(r, col);
+      for (std::size_t c = 0; c < n; ++c) {
+        at.at(r, c) -= factor * at.at(rank, c);
+      }
+    }
+    pivot_col.push_back(col);
+    ++rank;
+  }
+
+  // Free variables generate the basis.
+  std::vector<char> is_pivot(n, 0);
+  for (std::size_t c : pivot_col) is_pivot[c] = 1;
+  std::size_t nfree = n - rank;
+  Matrix basis(nfree, n);
+  std::size_t bi = 0;
+  for (std::size_t freec = 0; freec < n; ++freec) {
+    if (is_pivot[freec]) continue;
+    basis.at(bi, freec) = Rational(1);
+    for (std::size_t r = 0; r < rank; ++r) {
+      basis.at(bi, pivot_col[r]) = -at.at(r, freec);
+    }
+    ++bi;
+  }
+  return basis;
+}
+
+std::vector<Rational> Matrix::row_times(
+    const std::vector<Rational>& row) const {
+  assert(row.size() == rows_);
+  std::vector<Rational> out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    Rational acc;
+    for (std::size_t r = 0; r < rows_; ++r) acc += row[r] * at(r, c);
+    out[c] = acc;
+  }
+  return out;
+}
+
+}  // namespace pnenc::linalg

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "linalg/rational.hpp"
+
+namespace pnenc::linalg {
+
+/// Dense rational matrix with just the operations the structural Petri-net
+/// theory needs: Gaussian elimination, rank, left null space.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  Rational& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const Rational& at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Rank via fraction-exact Gaussian elimination (input left unchanged).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Basis of the left null space {x : xᵀ·A = 0}, one basis vector per row
+  /// of the returned matrix.
+  [[nodiscard]] Matrix left_null_space() const;
+
+  /// Row vector (1×cols) times this matrix; used to verify invariants.
+  [[nodiscard]] std::vector<Rational> row_times(
+      const std::vector<Rational>& row) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Rational> data_;
+};
+
+}  // namespace pnenc::linalg

@@ -1,0 +1,75 @@
+#include "linalg/rational.hpp"
+
+#include <ostream>
+
+namespace pnenc::linalg {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+std::int64_t Rational::checked(__int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN) {
+    throw std::overflow_error("Rational: 64-bit overflow");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  __int128 n = static_cast<__int128>(num_) * o.den_ +
+               static_cast<__int128>(o.num_) * den_;
+  __int128 d = static_cast<__int128>(den_) * o.den_;
+  return Rational(checked(n), checked(d));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  __int128 n = static_cast<__int128>(num_) * o.num_;
+  __int128 d = static_cast<__int128>(den_) * o.den_;
+  return Rational(checked(n), checked(d));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  __int128 n = static_cast<__int128>(num_) * o.den_;
+  __int128 d = static_cast<__int128>(den_) * o.num_;
+  return Rational(checked(n), checked(d));
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace pnenc::linalg

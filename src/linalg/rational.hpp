@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace pnenc::linalg {
+
+/// Exact rational arithmetic on 64-bit numerator/denominator with overflow
+/// detection (128-bit intermediates). Always kept normalized: gcd(num,den)=1,
+/// den > 0, and 0 is represented as 0/1.
+///
+/// The invariant computations on Petri-net incidence matrices involve tiny
+/// coefficients, so 64 bits is ample — but the overflow check turns a silent
+/// wrap into a loud error if a pathological net ever violates that.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num) : num_(num) {}  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_positive() const { return num_ > 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::int64_t checked(__int128 v);
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace pnenc::linalg

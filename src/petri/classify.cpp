@@ -1,0 +1,72 @@
+#include "petri/classify.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pnenc::petri {
+
+std::string NetClass::to_string() const {
+  std::string s;
+  auto add = [&](bool flag, const char* name) {
+    if (flag) {
+      if (!s.empty()) s += ", ";
+      s += name;
+    }
+  };
+  add(state_machine, "state machine");
+  add(marked_graph, "marked graph");
+  add(free_choice, "free choice");
+  add(extended_free_choice && !free_choice, "extended free choice");
+  if (s.empty()) s = "general";
+  return s;
+}
+
+NetClass classify(const Net& net) {
+  NetClass c;
+
+  c.state_machine = true;
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    if (net.preset(static_cast<int>(t)).size() != 1 ||
+        net.postset(static_cast<int>(t)).size() != 1) {
+      c.state_machine = false;
+      break;
+    }
+  }
+
+  c.marked_graph = true;
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    if (net.place_preset(static_cast<int>(p)).size() != 1 ||
+        net.place_postset(static_cast<int>(p)).size() != 1) {
+      c.marked_graph = false;
+      break;
+    }
+  }
+
+  // Free choice: if two transitions share an input place, each has that
+  // place as its only input (equivalently: |p•| > 1 implies •t = {p} for
+  // every t in p•). Extended free choice: transitions sharing any input
+  // place have identical presets.
+  c.free_choice = true;
+  c.extended_free_choice = true;
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    const auto& outs = net.place_postset(static_cast<int>(p));
+    if (outs.size() <= 1) continue;
+    for (int t : outs) {
+      if (net.preset(t).size() != 1) c.free_choice = false;
+    }
+    std::set<std::vector<int>> presets;
+    for (int t : outs) {
+      std::vector<int> pre = net.preset(t);
+      std::sort(pre.begin(), pre.end());
+      presets.insert(std::move(pre));
+    }
+    if (presets.size() > 1) c.extended_free_choice = false;
+  }
+  // FC nets are EFC by definition; keep the flags consistent even when the
+  // shared-place scan disproved EFC via differing presets but every shared
+  // place had singleton presets (then both are false together or FC holds).
+  if (c.free_choice) c.extended_free_choice = true;
+  return c;
+}
+
+}  // namespace pnenc::petri

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace pnenc::petri {
+
+/// Structural subclass flags of an ordinary Petri net (Murata's taxonomy,
+/// the paper's [15]). These drive expectations about SMC decomposability:
+/// state machines are trivially one SMC; marked graphs decompose into their
+/// simple cycles; free-choice nets are covered by SMCs when live and safe
+/// (Hack's theorem, the paper's [7]).
+struct NetClass {
+  bool state_machine = false;  // every transition: 1 input, 1 output place
+  bool marked_graph = false;   // every place: 1 input, 1 output transition
+  bool free_choice = false;    // shared places imply singleton postsets
+  bool extended_free_choice = false;  // shared places imply equal postsets
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Classifies the net structurally (ignores the marking).
+NetClass classify(const Net& net);
+
+}  // namespace pnenc::petri

@@ -1,0 +1,71 @@
+#include "petri/explicit_reach.hpp"
+
+#include <deque>
+
+namespace pnenc::petri {
+
+ExplicitResult explicit_reachability(const Net& net,
+                                     const ExplicitOptions& opts) {
+  ExplicitResult result;
+  std::unordered_set<Marking, MarkingHash> seen;
+  std::deque<Marking> frontier;
+
+  seen.insert(net.initial_marking());
+  frontier.push_back(net.initial_marking());
+
+  while (!frontier.empty()) {
+    Marking m = std::move(frontier.front());
+    frontier.pop_front();
+
+    bool any_enabled = false;
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      if (!net.is_enabled(m, static_cast<int>(t))) continue;
+      any_enabled = true;
+      // Safeness check: an output place that is already marked and is not
+      // also consumed would receive a second token in the unsafe reading.
+      for (int p : net.postset(static_cast<int>(t))) {
+        if (m.test(p)) {
+          const auto& pre = net.preset(static_cast<int>(t));
+          if (std::find(pre.begin(), pre.end(), p) == pre.end()) {
+            result.safe = false;
+          }
+        }
+      }
+      Marking next = net.fire(m, static_cast<int>(t));
+      result.num_edges++;
+      if (seen.insert(next).second) {
+        if (seen.size() > opts.max_markings) {
+          result.complete = false;
+          result.num_markings = seen.size();
+          return result;
+        }
+        frontier.push_back(std::move(next));
+      }
+    }
+    if (!any_enabled && opts.collect_deadlocks) {
+      result.deadlocks.push_back(m);
+    }
+  }
+
+  result.num_markings = seen.size();
+  if (opts.keep_markings) {
+    result.markings.assign(seen.begin(), seen.end());
+  }
+  return result;
+}
+
+std::vector<std::size_t> place_marking_counts(const Net& net,
+                                              const ExplicitOptions& opts) {
+  ExplicitOptions o = opts;
+  o.keep_markings = true;
+  ExplicitResult r = explicit_reachability(net, o);
+  std::vector<std::size_t> counts(net.num_places(), 0);
+  for (const Marking& m : r.markings) {
+    for (std::size_t p = 0; p < net.num_places(); ++p) {
+      if (m.test(p)) counts[p]++;
+    }
+  }
+  return counts;
+}
+
+}  // namespace pnenc::petri

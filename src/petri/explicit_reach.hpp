@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace pnenc::petri {
+
+/// Result of an explicit-state exploration.
+struct ExplicitResult {
+  std::size_t num_markings = 0;
+  std::size_t num_edges = 0;   // fired (marking, transition) pairs
+  bool complete = true;        // false if the state cap was hit
+  bool safe = true;            // false if a transition put a token on a
+                               // marked non-input place
+  std::vector<Marking> deadlocks;
+  /// The full reachability set (only retained when `keep_markings`).
+  std::vector<Marking> markings;
+};
+
+/// Options for the explicit oracle.
+struct ExplicitOptions {
+  std::size_t max_markings = 10'000'000;
+  bool keep_markings = false;
+  bool collect_deadlocks = true;
+};
+
+/// Explicit hash-set BFS over the reachability graph [M0⟩. This is the
+/// ground-truth oracle the symbolic engines are validated against; it also
+/// checks safeness on the fly (the paper's encoding theory assumes safe
+/// nets).
+ExplicitResult explicit_reachability(const Net& net,
+                                     const ExplicitOptions& opts = {});
+
+/// Per-place marked-count statistics: how many reachable markings mark each
+/// place. Used to validate characteristic functions place by place.
+std::vector<std::size_t> place_marking_counts(const Net& net,
+                                              const ExplicitOptions& opts = {});
+
+}  // namespace pnenc::petri

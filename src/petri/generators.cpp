@@ -1,0 +1,408 @@
+#include "petri/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace pnenc::petri::gen {
+
+namespace {
+std::string idx(const std::string& base, int i) {
+  return base + "_" + std::to_string(i);
+}
+}  // namespace
+
+Net fig1_net() {
+  Net net;
+  // Places p1..p7 (0-based ids 0..6), p1 initially marked.
+  int p[8];
+  for (int i = 1; i <= 7; ++i) p[i] = net.add_place("p" + std::to_string(i), i == 1);
+  int t[8];
+  for (int i = 1; i <= 7; ++i) t[i] = net.add_transition("t" + std::to_string(i));
+
+  auto arc = [&](int place, int trans, bool input) {
+    if (input) {
+      net.add_input_arc(place, trans);
+    } else {
+      net.add_output_arc(trans, place);
+    }
+  };
+  // t1: p1 -> p2, p3
+  arc(p[1], t[1], true);
+  arc(p[2], t[1], false);
+  arc(p[3], t[1], false);
+  // t2: p1 -> p4, p5
+  arc(p[1], t[2], true);
+  arc(p[4], t[2], false);
+  arc(p[5], t[2], false);
+  // t3: p2 -> p6 ; t4: p3 -> p7 ; t5: p4 -> p6 ; t6: p5 -> p7
+  arc(p[2], t[3], true);
+  arc(p[6], t[3], false);
+  arc(p[3], t[4], true);
+  arc(p[7], t[4], false);
+  arc(p[4], t[5], true);
+  arc(p[6], t[5], false);
+  arc(p[5], t[6], true);
+  arc(p[7], t[6], false);
+  // t7: p6, p7 -> p1
+  arc(p[6], t[7], true);
+  arc(p[7], t[7], true);
+  arc(p[1], t[7], false);
+  return net;
+}
+
+Net philosophers(int n) {
+  if (n < 2) throw std::invalid_argument("philosophers: need n >= 2");
+  Net net;
+  std::vector<int> idle(n), wait_r(n), wait_l(n), has_r(n), has_l(n), eat(n),
+      fork(n);
+  for (int i = 0; i < n; ++i) {
+    idle[i] = net.add_place(idx("idle", i), true);
+    wait_r[i] = net.add_place(idx("waitR", i));
+    wait_l[i] = net.add_place(idx("waitL", i));
+    has_r[i] = net.add_place(idx("hasR", i));
+    has_l[i] = net.add_place(idx("hasL", i));
+    eat[i] = net.add_place(idx("eat", i), false);
+    fork[i] = net.add_place(idx("fork", i), true);
+  }
+  for (int i = 0; i < n; ++i) {
+    int fr = fork[i];                // right fork of philosopher i
+    int fl = fork[(i + 1) % n];      // left fork (shared with neighbor)
+    int go = net.add_transition(idx("go", i));
+    net.add_input_arc(idle[i], go);
+    net.add_output_arc(go, wait_r[i]);
+    net.add_output_arc(go, wait_l[i]);
+
+    int take_r = net.add_transition(idx("takeR", i));
+    net.add_input_arc(wait_r[i], take_r);
+    net.add_input_arc(fr, take_r);
+    net.add_output_arc(take_r, has_r[i]);
+
+    int take_l = net.add_transition(idx("takeL", i));
+    net.add_input_arc(wait_l[i], take_l);
+    net.add_input_arc(fl, take_l);
+    net.add_output_arc(take_l, has_l[i]);
+
+    int start = net.add_transition(idx("eatStart", i));
+    net.add_input_arc(has_r[i], start);
+    net.add_input_arc(has_l[i], start);
+    net.add_output_arc(start, eat[i]);
+
+    int leave = net.add_transition(idx("leave", i));
+    net.add_input_arc(eat[i], leave);
+    net.add_output_arc(leave, idle[i]);
+    net.add_output_arc(leave, fr);
+    net.add_output_arc(leave, fl);
+  }
+  return net;
+}
+
+Net muller_pipeline(int n) {
+  if (n < 1) throw std::invalid_argument("muller_pipeline: need n >= 1");
+  Net net;
+  // Transitions: rise/fall of signals x0..xn.
+  std::vector<int> rise(n + 1), fall(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    rise[i] = net.add_transition(idx("r", i));
+    fall[i] = net.add_transition(idx("f", i));
+  }
+  // Links i = 1..n between x_{i-1} and x_i.
+  for (int i = 1; i <= n; ++i) {
+    int a = net.add_place(idx("A", i));        // x_{i-1}+ -> x_i+
+    int b = net.add_place(idx("B", i));        // x_i+ -> x_{i-1}-
+    int c = net.add_place(idx("C", i));        // x_{i-1}- -> x_i-
+    int d = net.add_place(idx("D", i), true);  // x_i- -> x_{i-1}+
+    net.add_output_arc(rise[i - 1], a);
+    net.add_input_arc(a, rise[i]);
+    net.add_output_arc(rise[i], b);
+    net.add_input_arc(b, fall[i - 1]);
+    net.add_output_arc(fall[i - 1], c);
+    net.add_input_arc(c, fall[i]);
+    net.add_output_arc(fall[i], d);
+    net.add_input_arc(d, rise[i - 1]);
+  }
+  return net;
+}
+
+Net slotted_ring(int n) {
+  if (n < 2) throw std::invalid_argument("slotted_ring: need n >= 2");
+  Net net;
+  std::vector<int> u0(n), u1(n), u2(n), u3(n);  // user cycle
+  std::vector<int> s0(n), s1(n), s2(n), s3(n);  // slot engine cycle
+  std::vector<int> m0(n), m1(n);                // message buffer
+  for (int i = 0; i < n; ++i) {
+    u0[i] = net.add_place(idx("u0", i), true);
+    u1[i] = net.add_place(idx("u1", i));
+    u2[i] = net.add_place(idx("u2", i));
+    u3[i] = net.add_place(idx("u3", i));
+    s0[i] = net.add_place(idx("s0", i), i != 0);  // slot starts at node 0
+    s1[i] = net.add_place(idx("s1", i), i == 0);
+    s2[i] = net.add_place(idx("s2", i));
+    s3[i] = net.add_place(idx("s3", i));
+    m0[i] = net.add_place(idx("m0", i), true);
+    m1[i] = net.add_place(idx("m1", i));
+  }
+  for (int i = 0; i < n; ++i) {
+    int req = net.add_transition(idx("req", i));  // user decides to send
+    net.add_input_arc(u0[i], req);
+    net.add_output_arc(req, u1[i]);
+
+    int put = net.add_transition(idx("put", i));  // write into the buffer
+    net.add_input_arc(u1[i], put);
+    net.add_input_arc(m0[i], put);
+    net.add_output_arc(put, u2[i]);
+    net.add_output_arc(put, m1[i]);
+
+    int obs = net.add_transition(idx("obs", i));  // user moves on
+    net.add_input_arc(u2[i], obs);
+    net.add_output_arc(obs, u3[i]);
+
+    int rest = net.add_transition(idx("rest", i));
+    net.add_input_arc(u3[i], rest);
+    net.add_output_arc(rest, u0[i]);
+
+    int load = net.add_transition(idx("load", i));  // buffer -> slot
+    net.add_input_arc(s1[i], load);
+    net.add_input_arc(m1[i], load);
+    net.add_output_arc(load, s2[i]);
+    net.add_output_arc(load, m0[i]);
+
+    int use = net.add_transition(idx("use", i));  // deliver loaded slot
+    net.add_input_arc(s2[i], use);
+    net.add_output_arc(use, s3[i]);
+
+    int skip = net.add_transition(idx("skip", i));  // pass the slot empty
+    net.add_input_arc(s1[i], skip);
+    net.add_output_arc(skip, s3[i]);
+
+    int pass = net.add_transition(idx("pass", i));  // slot to next node
+    int j = (i + 1) % n;
+    net.add_input_arc(s3[i], pass);
+    net.add_input_arc(s0[j], pass);
+    net.add_output_arc(pass, s0[i]);
+    net.add_output_arc(pass, s1[j]);
+  }
+  return net;
+}
+
+Net dme_ring(int n) {
+  if (n < 2) throw std::invalid_argument("dme_ring: need n >= 2");
+  Net net;
+  std::vector<int> c_idle(n), c_req(n), c_cs(n), c_rel(n), a1(n), a2(n),
+      priv(n);
+  for (int i = 0; i < n; ++i) {
+    c_idle[i] = net.add_place(idx("idle", i), true);
+    c_req[i] = net.add_place(idx("req", i));
+    c_cs[i] = net.add_place(idx("cs", i));
+    c_rel[i] = net.add_place(idx("rel", i));
+    a1[i] = net.add_place(idx("a1", i));
+    a2[i] = net.add_place(idx("a2", i));
+    priv[i] = net.add_place(idx("priv", i), i == 0);  // privilege at cell 0
+  }
+  for (int i = 0; i < n; ++i) {
+    int request = net.add_transition(idx("request", i));
+    net.add_input_arc(c_idle[i], request);
+    net.add_output_arc(request, c_req[i]);
+
+    int grant = net.add_transition(idx("grant", i));
+    net.add_input_arc(c_req[i], grant);
+    net.add_input_arc(priv[i], grant);
+    net.add_output_arc(grant, c_cs[i]);
+    net.add_output_arc(grant, a1[i]);
+
+    int exit_cs = net.add_transition(idx("exit", i));
+    net.add_input_arc(c_cs[i], exit_cs);
+    net.add_output_arc(exit_cs, c_rel[i]);
+
+    int done = net.add_transition(idx("done", i));
+    net.add_input_arc(c_rel[i], done);
+    net.add_input_arc(a1[i], done);
+    net.add_output_arc(done, c_idle[i]);
+    net.add_output_arc(done, a2[i]);
+
+    int ret = net.add_transition(idx("return", i));
+    net.add_input_arc(a2[i], ret);
+    net.add_output_arc(ret, priv[i]);
+
+    int fwd = net.add_transition(idx("forward", i));
+    net.add_input_arc(priv[i], fwd);
+    net.add_output_arc(fwd, priv[(i + 1) % n]);
+  }
+  return net;
+}
+
+Net dme_ring_circuit(int n) {
+  if (n < 2) throw std::invalid_argument("dme_ring_circuit: need n >= 2");
+  Net net;
+  std::vector<int> c_idle(n), c_req(n), c_req2(n), c_cs(n), c_rel(n);
+  std::vector<int> l0(n), l1(n), l2(n), l3(n), a1(n), a2(n), priv(n);
+  for (int i = 0; i < n; ++i) {
+    c_idle[i] = net.add_place(idx("idle", i), true);
+    c_req[i] = net.add_place(idx("req", i));
+    c_req2[i] = net.add_place(idx("req2", i));
+    c_cs[i] = net.add_place(idx("cs", i));
+    c_rel[i] = net.add_place(idx("rel", i));
+    l0[i] = net.add_place(idx("l0", i), true);  // handshake cycle
+    l1[i] = net.add_place(idx("l1", i));
+    l2[i] = net.add_place(idx("l2", i));
+    l3[i] = net.add_place(idx("l3", i));
+    a1[i] = net.add_place(idx("a1", i));
+    a2[i] = net.add_place(idx("a2", i));
+    priv[i] = net.add_place(idx("priv", i), i == 0);
+  }
+  for (int i = 0; i < n; ++i) {
+    int request = net.add_transition(idx("request", i));
+    net.add_input_arc(c_idle[i], request);
+    net.add_output_arc(request, c_req[i]);
+
+    int hreq = net.add_transition(idx("hreq", i));  // raise handshake
+    net.add_input_arc(c_req[i], hreq);
+    net.add_input_arc(l0[i], hreq);
+    net.add_output_arc(hreq, c_req2[i]);
+    net.add_output_arc(hreq, l1[i]);
+
+    int grant = net.add_transition(idx("grant", i));
+    net.add_input_arc(c_req2[i], grant);
+    net.add_input_arc(l1[i], grant);
+    net.add_input_arc(priv[i], grant);
+    net.add_output_arc(grant, c_cs[i]);
+    net.add_output_arc(grant, l2[i]);
+    net.add_output_arc(grant, a1[i]);
+
+    int exit_cs = net.add_transition(idx("exit", i));
+    net.add_input_arc(c_cs[i], exit_cs);
+    net.add_input_arc(l2[i], exit_cs);
+    net.add_output_arc(exit_cs, c_rel[i]);
+    net.add_output_arc(exit_cs, l3[i]);
+
+    int done = net.add_transition(idx("done", i));
+    net.add_input_arc(c_rel[i], done);
+    net.add_input_arc(l3[i], done);
+    net.add_input_arc(a1[i], done);
+    net.add_output_arc(done, c_idle[i]);
+    net.add_output_arc(done, l0[i]);
+    net.add_output_arc(done, a2[i]);
+
+    int ret = net.add_transition(idx("return", i));
+    net.add_input_arc(a2[i], ret);
+    net.add_output_arc(ret, priv[i]);
+
+    int fwd = net.add_transition(idx("forward", i));
+    net.add_input_arc(priv[i], fwd);
+    net.add_output_arc(fwd, priv[(i + 1) % n]);
+  }
+  return net;
+}
+
+Net register_net(int k, char variant) {
+  if (k < 1) throw std::invalid_argument("register_net: need k >= 1");
+  if (variant != 'a' && variant != 'b') {
+    throw std::invalid_argument("register_net: variant must be 'a' or 'b'");
+  }
+  Net net;
+  std::vector<int> q(k), v0(k), v1(k);
+  for (int i = 0; i < k; ++i) q[i] = net.add_place(idx("q", i), i == 0);
+  for (int i = 0; i < k; ++i) {
+    v0[i] = net.add_place(idx("v0", i), true);
+    v1[i] = net.add_place(idx("v1", i));
+  }
+  for (int i = 0; i < k; ++i) {
+    int j = (i + 1) % k;
+    int set = net.add_transition(idx("set", i));
+    net.add_input_arc(q[i], set);
+    net.add_input_arc(v0[i], set);
+    net.add_output_arc(set, q[j]);
+    net.add_output_arc(set, v1[i]);
+
+    int keep0 = net.add_transition(idx("keep0", i));
+    net.add_input_arc(q[i], keep0);
+    net.add_input_arc(v0[i], keep0);
+    net.add_output_arc(keep0, q[j]);
+    net.add_output_arc(keep0, v0[i]);
+
+    int keep1 = net.add_transition(idx("keep1", i));
+    net.add_input_arc(q[i], keep1);
+    net.add_input_arc(v1[i], keep1);
+    net.add_output_arc(keep1, q[j]);
+    net.add_output_arc(keep1, v1[i]);
+
+    if (variant == 'a') {
+      int reset = net.add_transition(idx("reset", i));
+      net.add_input_arc(q[i], reset);
+      net.add_input_arc(v1[i], reset);
+      net.add_output_arc(reset, q[j]);
+      net.add_output_arc(reset, v0[i]);
+    }
+  }
+  return net;
+}
+
+Net random_sm_product(int machines, int places_each, double sync_fraction,
+                      unsigned seed) {
+  if (machines < 1 || places_each < 2) {
+    throw std::invalid_argument("random_sm_product: need >=1 machines of >=2 places");
+  }
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution fuse(std::clamp(sync_fraction, 0.0, 1.0));
+
+  Net net;
+  // Places: machine i is a cycle p_{i,0} -> p_{i,1} -> ... -> p_{i,0},
+  // token initially at p_{i,0}.
+  std::vector<std::vector<int>> place(machines,
+                                      std::vector<int>(places_each));
+  for (int i = 0; i < machines; ++i) {
+    for (int j = 0; j < places_each; ++j) {
+      place[i][j] =
+          net.add_place("m" + std::to_string(i) + "_p" + std::to_string(j),
+                        j == 0);
+    }
+  }
+
+  // Fusion plan: step j of machine i can rendezvous with one step of
+  // machine i+1 (each step fused at most once).
+  std::vector<std::vector<int>> fused_with(machines,
+                                           std::vector<int>(places_each, -1));
+  std::vector<std::vector<char>> taken(machines,
+                                       std::vector<char>(places_each, 0));
+  for (int i = 0; i + 1 < machines; ++i) {
+    for (int j = 0; j < places_each; ++j) {
+      if (taken[i][j] || !fuse(rng)) continue;
+      std::vector<int> free_steps;
+      for (int j2 = 0; j2 < places_each; ++j2) {
+        if (!taken[i + 1][j2]) free_steps.push_back(j2);
+      }
+      if (free_steps.empty()) continue;
+      int j2 = free_steps[rng() % free_steps.size()];
+      fused_with[i][j] = j2;
+      taken[i][j] = 1;
+      taken[i + 1][j2] = 1;
+    }
+  }
+
+  for (int i = 0; i < machines; ++i) {
+    for (int j = 0; j < places_each; ++j) {
+      int jn = (j + 1) % places_each;
+      if (fused_with[i][j] >= 0) {
+        int j2 = fused_with[i][j];
+        int t = net.add_transition("sync" + std::to_string(i) + "_" +
+                                   std::to_string(j));
+        net.add_input_arc(place[i][j], t);
+        net.add_input_arc(place[i + 1][j2], t);
+        net.add_output_arc(t, place[i][jn]);
+        net.add_output_arc(t, place[i + 1][(j2 + 1) % places_each]);
+      } else if (!taken[i][j]) {
+        int t = net.add_transition("t" + std::to_string(i) + "_" +
+                                   std::to_string(j));
+        net.add_input_arc(place[i][j], t);
+        net.add_output_arc(t, place[i][jn]);
+      }
+      // Steps taken as the *right* partner of a fusion are emitted by the
+      // left machine's branch above.
+    }
+  }
+  return net;
+}
+
+}  // namespace pnenc::petri::gen

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "petri/net.hpp"
+
+namespace pnenc::petri::gen {
+
+/// The running example of the paper's Fig. 1: 7 places, 7 transitions,
+/// 8 reachable markings, decomposable into two 4-place SMCs.
+Net fig1_net();
+
+/// Dining philosophers, the exact cell of the paper's Fig. 4 replicated n
+/// times (n ≥ 2): per philosopher 6 places (idle, waitR, waitL, hasR, hasL,
+/// eating) plus one fork, 5 transitions. phil(2) has 14 places and 22
+/// reachable markings (verified against §4.3). The net can deadlock (all
+/// philosophers holding their right fork).
+Net philosophers(int n);
+
+/// Muller C-element pipeline with n stages, modeled as the standard
+/// marked-graph STG expansion: signals x0..xn (x0 = environment), and for
+/// each adjacent pair a 4-place cycle A→B→C→D carrying one token:
+///   A_i: x_{i-1}+ → x_i+      B_i: x_i+ → x_{i-1}-
+///   C_i: x_{i-1}- → x_i-      D_i: x_i- → x_{i-1}+   (initially marked)
+/// 4n places, 2(n+1) transitions; each link is a 4-place SMC, so the dense
+/// encoding uses 2n variables versus 4n sparse — the paper's muller-n ratio.
+Net muller_pipeline(int n);
+
+/// Slotted-ring protocol with n nodes, 10 places per node (the paper's
+/// slot-n place count): a 4-place user cycle, a 4-place slot-engine cycle
+/// (one slot token circulating the ring) and a 2-place message buffer.
+Net slotted_ring(int n);
+
+/// Distributed mutual-exclusion ring (DME), specification level: n cells,
+/// each with a 4-place client cycle plus grant bookkeeping; one privilege
+/// token circulates. Substitute for the paper's DMEspec benchmarks (see
+/// DESIGN.md §4).
+Net dme_ring(int n);
+
+/// DME ring, "circuit" level: each cell additionally expands the grant into
+/// a 4-phase handshake cycle (12 places/cell). Substitute for DMEcir.
+Net dme_ring_circuit(int n);
+
+/// k-cell register pipeline with a circulating write sequencer; variant 'a'
+/// allows set/reset/keep at each cell (k·2^k reachable markings), variant
+/// 'b' is the monotone set/keep version. Substitute for JJreg (see
+/// DESIGN.md §4).
+Net register_net(int k, char variant);
+
+/// Random product of synchronized state machines: `machines` circular SMs
+/// of `places_each` places; a fraction of transitions are fused pairwise
+/// across adjacent machines (rendezvous synchronization). Safe and
+/// SMC-decomposable by construction — each component machine is an SMC —
+/// which makes the family ideal for randomized property testing of the
+/// encoding pipeline. Deterministic in `seed`.
+Net random_sm_product(int machines, int places_each, double sync_fraction,
+                      unsigned seed);
+
+}  // namespace pnenc::petri::gen

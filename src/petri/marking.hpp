@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pnenc::petri {
+
+/// A marking of a safe Petri net: one bit per place.
+///
+/// Packed into 64-bit words so markings can be hashed and compared quickly
+/// by the explicit-state oracle (which visits millions of them).
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t nplaces)
+      : nplaces_(nplaces), words_((nplaces + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t num_places() const { return nplaces_; }
+
+  [[nodiscard]] bool test(std::size_t p) const {
+    return (words_[p >> 6] >> (p & 63)) & 1;
+  }
+  void set(std::size_t p, bool value = true) {
+    if (value) {
+      words_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    } else {
+      words_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+    }
+  }
+
+  [[nodiscard]] std::size_t token_count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Places currently marked, in ascending order.
+  [[nodiscard]] std::vector<int> marked_places() const {
+    std::vector<int> out;
+    for (std::size_t p = 0; p < nplaces_; ++p) {
+      if (test(p)) out.push_back(static_cast<int>(p));
+    }
+    return out;
+  }
+
+  bool operator==(const Marking& o) const { return words_ == o.words_; }
+  bool operator!=(const Marking& o) const { return !(*this == o); }
+  bool operator<(const Marking& o) const { return words_ < o.words_; }
+
+  [[nodiscard]] std::size_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 31;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::size_t nplaces_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const { return m.hash(); }
+};
+
+}  // namespace pnenc::petri

@@ -1,0 +1,107 @@
+#include "petri/net.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnenc::petri {
+
+int Net::add_place(const std::string& name, bool initially_marked) {
+  int p = static_cast<int>(place_names_.size());
+  place_names_.push_back(name);
+  pre_p_.emplace_back();
+  post_p_.emplace_back();
+  // Rebuild the marking with one more place, preserving bits.
+  Marking grown(place_names_.size());
+  for (std::size_t i = 0; i + 1 < place_names_.size(); ++i) {
+    grown.set(i, initial_.test(i));
+  }
+  grown.set(p, initially_marked);
+  initial_ = grown;
+  return p;
+}
+
+int Net::add_transition(const std::string& name) {
+  int t = static_cast<int>(transition_names_.size());
+  transition_names_.push_back(name);
+  pre_t_.emplace_back();
+  post_t_.emplace_back();
+  return t;
+}
+
+void Net::add_input_arc(int place, int transition) {
+  pre_t_[transition].push_back(place);
+  post_p_[place].push_back(transition);
+}
+
+void Net::add_output_arc(int transition, int place) {
+  post_t_[transition].push_back(place);
+  pre_p_[place].push_back(transition);
+}
+
+int Net::place_index(const std::string& name) const {
+  auto it = std::find(place_names_.begin(), place_names_.end(), name);
+  return it == place_names_.end()
+             ? -1
+             : static_cast<int>(it - place_names_.begin());
+}
+
+int Net::transition_index(const std::string& name) const {
+  auto it =
+      std::find(transition_names_.begin(), transition_names_.end(), name);
+  return it == transition_names_.end()
+             ? -1
+             : static_cast<int>(it - transition_names_.begin());
+}
+
+std::vector<std::vector<std::int64_t>> Net::incidence() const {
+  std::vector<std::vector<std::int64_t>> c(
+      num_places(), std::vector<std::int64_t>(num_transitions(), 0));
+  for (std::size_t t = 0; t < num_transitions(); ++t) {
+    for (int p : post_t_[t]) c[p][t] += 1;
+    for (int p : pre_t_[t]) c[p][t] -= 1;
+  }
+  return c;
+}
+
+bool Net::is_enabled(const Marking& m, int t) const {
+  for (int p : pre_t_[t]) {
+    if (!m.test(p)) return false;
+  }
+  return true;
+}
+
+Marking Net::fire(const Marking& m, int t) const {
+  Marking next = m;
+  for (int p : pre_t_[t]) next.set(p, false);
+  for (int p : post_t_[t]) next.set(p, true);
+  return next;
+}
+
+std::vector<int> Net::enabled_transitions(const Marking& m) const {
+  std::vector<int> out;
+  for (std::size_t t = 0; t < num_transitions(); ++t) {
+    if (is_enabled(m, static_cast<int>(t))) out.push_back(static_cast<int>(t));
+  }
+  return out;
+}
+
+bool Net::is_deadlock(const Marking& m) const {
+  for (std::size_t t = 0; t < num_transitions(); ++t) {
+    if (is_enabled(m, static_cast<int>(t))) return false;
+  }
+  return true;
+}
+
+std::string Net::validate() const {
+  for (std::size_t t = 0; t < num_transitions(); ++t) {
+    if (pre_t_[t].empty()) {
+      return "transition " + transition_names_[t] + " has no input place";
+    }
+    if (post_t_[t].empty()) {
+      return "transition " + transition_names_[t] + " has no output place";
+    }
+  }
+  return "";
+}
+
+}  // namespace pnenc::petri

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "petri/marking.hpp"
+
+namespace pnenc::petri {
+
+/// An ordinary Petri net N = ⟨P, T, F, M0⟩ (paper §2).
+///
+/// Places and transitions are dense integer ids; the flow relation is stored
+/// as pre/post adjacency in both directions. Only safe nets are analyzed,
+/// but the structure itself poses no bound.
+class Net {
+ public:
+  Net() = default;
+
+  // ---- construction ------------------------------------------------------
+  int add_place(const std::string& name, bool initially_marked = false);
+  int add_transition(const std::string& name);
+  /// Arc place → transition.
+  void add_input_arc(int place, int transition);
+  /// Arc transition → place.
+  void add_output_arc(int transition, int place);
+
+  // ---- structure ---------------------------------------------------------
+  [[nodiscard]] std::size_t num_places() const { return place_names_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const {
+    return transition_names_.size();
+  }
+  [[nodiscard]] const std::string& place_name(int p) const {
+    return place_names_[p];
+  }
+  [[nodiscard]] const std::string& transition_name(int t) const {
+    return transition_names_[t];
+  }
+  [[nodiscard]] int place_index(const std::string& name) const;
+  [[nodiscard]] int transition_index(const std::string& name) const;
+
+  /// •t — input places of transition t.
+  [[nodiscard]] const std::vector<int>& preset(int t) const { return pre_t_[t]; }
+  /// t• — output places of transition t.
+  [[nodiscard]] const std::vector<int>& postset(int t) const {
+    return post_t_[t];
+  }
+  /// •p — input transitions of place p.
+  [[nodiscard]] const std::vector<int>& place_preset(int p) const {
+    return pre_p_[p];
+  }
+  /// p• — output transitions of place p.
+  [[nodiscard]] const std::vector<int>& place_postset(int p) const {
+    return post_p_[p];
+  }
+
+  [[nodiscard]] const Marking& initial_marking() const { return initial_; }
+
+  /// Incidence matrix C : P × T → {-1, 0, 1} (paper §2.1). Self-loop
+  /// place/transition pairs contribute 0, as in the paper's definition
+  /// C(·,t) = [t•] − [•t].
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> incidence() const;
+
+  // ---- token game --------------------------------------------------------
+  [[nodiscard]] bool is_enabled(const Marking& m, int t) const;
+  /// Fires t (must be enabled): M' = M − •t + t• (eq. 2 semantics: an output
+  /// place ends marked, an input-only place ends unmarked).
+  [[nodiscard]] Marking fire(const Marking& m, int t) const;
+  /// All transitions enabled in m.
+  [[nodiscard]] std::vector<int> enabled_transitions(const Marking& m) const;
+  [[nodiscard]] bool is_deadlock(const Marking& m) const;
+
+  /// Checks structural sanity: every transition has at least one input and
+  /// one output place. Returns a description of the first violation, or "".
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::vector<std::vector<int>> pre_t_, post_t_;  // by transition
+  std::vector<std::vector<int>> pre_p_, post_p_;  // by place
+  Marking initial_;
+};
+
+}  // namespace pnenc::petri

@@ -1,0 +1,100 @@
+#include "petri/parser.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pnenc::petri {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(int lineno, const std::string& message) {
+  throw std::runtime_error("net parse error at line " +
+                           std::to_string(lineno) + ": " + message);
+}
+
+}  // namespace
+
+Net parse_net(const std::string& text) {
+  Net net;
+  std::unordered_map<std::string, int> place_ids;
+  auto place_of = [&](const std::string& name) {
+    auto it = place_ids.find(name);
+    if (it != place_ids.end()) return it->second;
+    int p = net.add_place(name);
+    place_ids.emplace(name, p);
+    return p;
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "place") {
+      if (tok.size() < 2 || tok.size() > 3) fail(lineno, "place <name> [1]");
+      if (place_ids.count(tok[1])) fail(lineno, "duplicate place " + tok[1]);
+      bool marked = tok.size() == 3 && tok[2] == "1";
+      place_ids.emplace(tok[1], net.add_place(tok[1], marked));
+    } else if (tok[0] == "trans") {
+      // trans <name> : in... -> out...
+      if (tok.size() < 4 || tok[2] != ":") {
+        fail(lineno, "trans <name> : in... -> out...");
+      }
+      int t = net.add_transition(tok[1]);
+      std::size_t i = 3;
+      bool saw_arrow = false;
+      for (; i < tok.size(); ++i) {
+        if (tok[i] == "->") {
+          saw_arrow = true;
+          ++i;
+          break;
+        }
+        net.add_input_arc(place_of(tok[i]), t);
+      }
+      if (!saw_arrow) fail(lineno, "missing -> in trans line");
+      for (; i < tok.size(); ++i) {
+        net.add_output_arc(t, place_of(tok[i]));
+      }
+    } else {
+      fail(lineno, "unknown directive " + tok[0]);
+    }
+  }
+  return net;
+}
+
+std::string write_net(const Net& net) {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < net.num_places(); ++p) {
+    os << "place " << net.place_name(static_cast<int>(p));
+    if (net.initial_marking().test(p)) os << " 1";
+    os << "\n";
+  }
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    os << "trans " << net.transition_name(static_cast<int>(t)) << " :";
+    for (int p : net.preset(static_cast<int>(t))) {
+      os << " " << net.place_name(p);
+    }
+    os << " ->";
+    for (int p : net.postset(static_cast<int>(t))) {
+      os << " " << net.place_name(p);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pnenc::petri

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace pnenc::petri {
+
+/// Parses the library's plain-text net format:
+///
+///     # comment
+///     place <name> [1]          — trailing 1 marks the place initially
+///     trans <name> : p1 p2 -> p3 p4
+///
+/// Places may also be declared implicitly by first use in a `trans` line
+/// (initially unmarked). Throws std::runtime_error with a line number on
+/// malformed input.
+Net parse_net(const std::string& text);
+
+/// Serializes a net in the same format (round-trips through parse_net).
+std::string write_net(const Net& net);
+
+}  // namespace pnenc::petri

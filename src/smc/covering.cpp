@@ -1,0 +1,170 @@
+#include "smc/covering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pnenc::smc {
+
+namespace {
+
+/// Branch-and-bound state over the (row, column) incidence.
+class Solver {
+ public:
+  Solver(int num_rows, const std::vector<CoverColumn>& cols,
+         std::size_t max_nodes)
+      : num_rows_(num_rows), cols_(cols), max_nodes_(max_nodes) {
+    cols_of_row_.resize(num_rows);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      for (int r : cols[c].rows) cols_of_row_[r].push_back(static_cast<int>(c));
+    }
+  }
+
+  CoverResult run() {
+    best_cost_ = greedy_cost();  // upper bound (also the fallback solution)
+    best_ = greedy_solution_;
+    std::vector<char> row_covered(num_rows_, 0);
+    std::vector<char> col_banned(cols_.size(), 0);
+    std::vector<int> chosen;
+    aborted_ = false;
+    branch(row_covered, col_banned, chosen, 0);
+    CoverResult result;
+    result.chosen = best_;
+    result.total_cost = best_cost_;
+    result.optimal = !aborted_;
+    std::sort(result.chosen.begin(), result.chosen.end());
+    return result;
+  }
+
+ private:
+  int greedy_cost() {
+    std::vector<char> covered(num_rows_, 0);
+    int remaining = num_rows_;
+    int cost = 0;
+    greedy_solution_.clear();
+    while (remaining > 0) {
+      // Pick the column with the best newly-covered-per-cost ratio.
+      int best_col = -1;
+      double best_ratio = -1.0;
+      for (std::size_t c = 0; c < cols_.size(); ++c) {
+        int fresh = 0;
+        for (int r : cols_[c].rows) fresh += covered[r] ? 0 : 1;
+        if (fresh == 0) continue;
+        double ratio = static_cast<double>(fresh) / cols_[c].cost;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_col = static_cast<int>(c);
+        }
+      }
+      assert(best_col >= 0 && "uncoverable row");
+      greedy_solution_.push_back(best_col);
+      cost += cols_[best_col].cost;
+      for (int r : cols_[best_col].rows) {
+        if (!covered[r]) {
+          covered[r] = 1;
+          --remaining;
+        }
+      }
+    }
+    return cost;
+  }
+
+  /// Lower bound: greedily pick pairwise column-disjoint uncovered rows; any
+  /// cover pays at least the cheapest column of each independent row.
+  int lower_bound(const std::vector<char>& row_covered,
+                  const std::vector<char>& col_banned) {
+    int bound = 0;
+    std::vector<char> col_used(cols_.size(), 0);
+    for (int r = 0; r < num_rows_; ++r) {
+      if (row_covered[r]) continue;
+      bool independent = true;
+      int cheapest = std::numeric_limits<int>::max();
+      for (int c : cols_of_row_[r]) {
+        if (col_banned[c]) continue;
+        if (col_used[c]) independent = false;
+        cheapest = std::min(cheapest, cols_[c].cost);
+      }
+      if (!independent) continue;
+      for (int c : cols_of_row_[r]) {
+        if (!col_banned[c]) col_used[c] = 1;
+      }
+      bound += cheapest;
+    }
+    return bound;
+  }
+
+  void branch(std::vector<char>& row_covered, std::vector<char>& col_banned,
+              std::vector<int>& chosen, int cost) {
+    if (aborted_) return;
+    if (++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    if (cost >= best_cost_) return;
+    // Find the uncovered row with the fewest available columns.
+    int pick = -1;
+    std::size_t fewest = std::numeric_limits<std::size_t>::max();
+    for (int r = 0; r < num_rows_; ++r) {
+      if (row_covered[r]) continue;
+      std::size_t avail = 0;
+      for (int c : cols_of_row_[r]) avail += col_banned[c] ? 0 : 1;
+      if (avail < fewest) {
+        fewest = avail;
+        pick = r;
+      }
+    }
+    if (pick < 0) {  // everything covered
+      best_cost_ = cost;
+      best_ = chosen;
+      return;
+    }
+    if (fewest == 0) return;  // dead end
+    if (cost + lower_bound(row_covered, col_banned) >= best_cost_) return;
+
+    // Try each column covering `pick`, cheapest-per-row first.
+    std::vector<int> candidates;
+    for (int c : cols_of_row_[pick]) {
+      if (!col_banned[c]) candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+      return cols_[a].cost * static_cast<int>(cols_[b].rows.size()) <
+             cols_[b].cost * static_cast<int>(cols_[a].rows.size());
+    });
+    for (int c : candidates) {
+      std::vector<int> newly;
+      for (int r : cols_[c].rows) {
+        if (!row_covered[r]) {
+          row_covered[r] = 1;
+          newly.push_back(r);
+        }
+      }
+      chosen.push_back(c);
+      branch(row_covered, col_banned, chosen, cost + cols_[c].cost);
+      chosen.pop_back();
+      for (int r : newly) row_covered[r] = 0;
+      // Exhaustive split on this row: once c is fully explored, exclude it.
+      col_banned[c] = 1;
+    }
+    for (int c : candidates) col_banned[c] = 0;
+  }
+
+  int num_rows_;
+  const std::vector<CoverColumn>& cols_;
+  std::size_t max_nodes_;
+  std::vector<std::vector<int>> cols_of_row_;
+  std::vector<int> best_, greedy_solution_;
+  int best_cost_ = 0;
+  std::size_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+CoverResult solve_covering(int num_rows, const std::vector<CoverColumn>& cols,
+                           std::size_t max_nodes) {
+  if (num_rows == 0) return CoverResult{};
+  Solver solver(num_rows, cols, max_nodes);
+  return solver.run();
+}
+
+}  // namespace pnenc::smc

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pnenc::smc {
+
+/// A column of a unate covering problem: a candidate that covers a set of
+/// rows at a cost.
+struct CoverColumn {
+  std::vector<int> rows;  // covered row indices, ascending
+  int cost = 1;
+};
+
+/// Result of a covering run.
+struct CoverResult {
+  std::vector<int> chosen;  // indices into the column array
+  int total_cost = 0;
+  bool optimal = true;  // false if the greedy fallback was used
+};
+
+/// Minimum-cost unate covering (paper §4.2 formulates SMC selection this
+/// way, citing McCluskey). Exact branch-and-bound with essential-column and
+/// dominance reductions; falls back to a greedy heuristic if the search
+/// exceeds `max_nodes` decision nodes. Every row must be coverable.
+CoverResult solve_covering(int num_rows, const std::vector<CoverColumn>& cols,
+                           std::size_t max_nodes = 200000);
+
+}  // namespace pnenc::smc

@@ -1,0 +1,119 @@
+#include "smc/smc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/invariants.hpp"
+
+namespace pnenc::smc {
+
+int Smc::encoding_cost() const {
+  int bits = 0;
+  while ((std::size_t{1} << bits) < places.size()) ++bits;
+  return bits;
+}
+
+bool make_smc(const petri::Net& net, const std::vector<int>& places,
+              Smc* out) {
+  if (places.size() < 2) return false;
+  std::vector<char> in_set(net.num_places(), 0);
+  for (int p : places) in_set[p] = 1;
+
+  // One token in the initial marking.
+  int tokens = 0;
+  for (int p : places) {
+    if (net.initial_marking().test(p)) ++tokens;
+  }
+  if (tokens != 1) return false;
+
+  // T' = transitions adjacent to P'; each must have exactly one input and
+  // one output place inside P' (state-machine condition).
+  std::vector<char> t_seen(net.num_transitions(), 0);
+  std::vector<int> transitions;
+  for (int p : places) {
+    for (int t : net.place_preset(p)) {
+      if (!t_seen[t]) {
+        t_seen[t] = 1;
+        transitions.push_back(t);
+      }
+    }
+    for (int t : net.place_postset(p)) {
+      if (!t_seen[t]) {
+        t_seen[t] = 1;
+        transitions.push_back(t);
+      }
+    }
+  }
+  std::sort(transitions.begin(), transitions.end());
+
+  std::vector<int> t_in, t_out;
+  for (int t : transitions) {
+    int in = -1, out = -1, nin = 0, nout = 0;
+    for (int p : net.preset(t)) {
+      if (in_set[p]) {
+        in = p;
+        ++nin;
+      }
+    }
+    for (int p : net.postset(t)) {
+      if (in_set[p]) {
+        out = p;
+        ++nout;
+      }
+    }
+    if (nin != 1 || nout != 1) return false;
+    t_in.push_back(in);
+    t_out.push_back(out);
+  }
+
+  // Strong connectivity of the place graph (edge in_place -> out_place per
+  // transition): forward and backward reachability from places[0].
+  auto reaches_all = [&](bool forward) {
+    std::vector<char> visited(net.num_places(), 0);
+    std::vector<int> stack{places[0]};
+    visited[places[0]] = 1;
+    while (!stack.empty()) {
+      int p = stack.back();
+      stack.pop_back();
+      for (std::size_t i = 0; i < transitions.size(); ++i) {
+        int from = forward ? t_in[i] : t_out[i];
+        int to = forward ? t_out[i] : t_in[i];
+        if (from == p && !visited[to]) {
+          visited[to] = 1;
+          stack.push_back(to);
+        }
+      }
+    }
+    return std::all_of(places.begin(), places.end(),
+                       [&](int p) { return visited[p]; });
+  };
+  if (!reaches_all(true) || !reaches_all(false)) return false;
+
+  if (out != nullptr) {
+    out->places = places;
+    std::sort(out->places.begin(), out->places.end());
+    out->transitions = std::move(transitions);
+    out->in_place = std::move(t_in);
+    out->out_place = std::move(t_out);
+  }
+  return true;
+}
+
+std::vector<Smc> find_smcs(const petri::Net& net,
+                           std::size_t max_invariant_rows,
+                           std::size_t max_support) {
+  auto invariants = linalg::minimal_semipositive_invariants(
+      net.incidence(), max_invariant_rows, max_support);
+  std::vector<Smc> smcs;
+  for (const auto& inv : invariants) {
+    // SMC candidates have 0/1 weights (paper §2.2: [P'] is the invariant).
+    bool zero_one = std::all_of(inv.weights.begin(), inv.weights.end(),
+                                [](std::int64_t w) { return w == 0 || w == 1; });
+    if (!zero_one) continue;
+    Smc smc;
+    if (make_smc(net, inv.support(), &smc)) smcs.push_back(std::move(smc));
+  }
+  return smcs;
+}
+
+}  // namespace pnenc::smc

@@ -1,0 +1,117 @@
+#include "symbolic/analysis.hpp"
+
+#include <algorithm>
+
+namespace pnenc::symbolic {
+
+using bdd::Bdd;
+
+Analyzer::Analyzer(SymbolicContext& ctx) : ctx_(ctx) {
+  Bdd reached = ctx.initial();
+  Bdd frontier = reached;
+  while (!frontier.is_false()) {
+    frontier = ctx.image_all(frontier).diff(reached);
+    reached |= frontier;
+  }
+  reached_ = reached;
+}
+
+double Analyzer::num_markings() { return ctx_.count_markings(reached_); }
+
+std::vector<int> Analyzer::dead_transitions() {
+  std::vector<int> dead;
+  for (std::size_t t = 0; t < ctx_.net().num_transitions(); ++t) {
+    if ((reached_ & ctx_.enabling(static_cast<int>(t))).is_false()) {
+      dead.push_back(static_cast<int>(t));
+    }
+  }
+  return dead;
+}
+
+std::vector<int> Analyzer::dead_places() {
+  std::vector<int> dead;
+  for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
+    if ((reached_ & ctx_.place_char(static_cast<int>(p))).is_false()) {
+      dead.push_back(static_cast<int>(p));
+    }
+  }
+  return dead;
+}
+
+std::vector<int> Analyzer::always_marked_places() {
+  std::vector<int> always;
+  for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
+    if (reached_.diff(ctx_.place_char(static_cast<int>(p))).is_false()) {
+      always.push_back(static_cast<int>(p));
+    }
+  }
+  return always;
+}
+
+Bdd Analyzer::can_reach(const Bdd& target) {
+  Bdd acc = reached_ & target;
+  for (;;) {
+    Bdd next = acc | (reached_ & ctx_.preimage_all(acc));
+    if (next == acc) return acc;
+    acc = next;
+  }
+}
+
+bool Analyzer::is_reversible() {
+  return reached_.diff(can_reach(ctx_.initial())).is_false();
+}
+
+std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) {
+  Bdd goal = reached_ & target;
+  if (goal.is_false()) return std::nullopt;
+
+  // Forward onion rings: layers[i] = markings first reached at depth i.
+  std::vector<Bdd> layers;
+  Bdd reached = ctx_.initial();
+  layers.push_back(reached);
+  std::size_t hit_layer = 0;
+  bool found = !(reached & goal).is_false();
+  while (!found) {
+    Bdd next = ctx_.image_all(layers.back()).diff(reached);
+    if (next.is_false()) return std::nullopt;  // unreachable (can't happen)
+    reached |= next;
+    layers.push_back(next);
+    hit_layer = layers.size() - 1;
+    found = !(next & goal).is_false();
+  }
+
+  // Pick a concrete goal marking in the hit layer and walk back.
+  const auto& enc = ctx_.enc();
+  std::vector<int> pvars;
+  for (int i = 0; i < enc.num_vars(); ++i) pvars.push_back(ctx_.pvar(i));
+  auto pick_minterm = [&](const Bdd& set) {
+    std::vector<bool> bits;
+    ctx_.manager().pick_one(set, pvars, bits);
+    return ctx_.marking_minterm(enc.decode(bits));
+  };
+
+  Bdd current = pick_minterm(layers[hit_layer] & goal);
+  std::vector<int> trace;
+  for (std::size_t layer = hit_layer; layer > 0; --layer) {
+    bool stepped = false;
+    for (std::size_t t = 0; t < ctx_.net().num_transitions() && !stepped;
+         ++t) {
+      Bdd preds =
+          ctx_.preimage(current, static_cast<int>(t)) & layers[layer - 1];
+      if (!preds.is_false()) {
+        trace.push_back(static_cast<int>(t));
+        current = pick_minterm(preds);
+        stepped = true;
+      }
+    }
+    if (!stepped) return std::nullopt;  // should be impossible
+  }
+  std::reverse(trace.begin(), trace.end());
+  return trace;
+}
+
+std::optional<std::vector<int>> Analyzer::deadlock_trace() {
+  return trace_to(ctx_.deadlocks(reached_));
+}
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc::symbolic {
+
+/// Higher-level symbolic analyses built on the SymbolicContext machinery:
+/// the queries a verification user actually asks (the paper's target
+/// applications [10, 17] are asynchronous-circuit checks of this kind).
+class Analyzer {
+ public:
+  /// Computes the reachability set once at construction.
+  explicit Analyzer(SymbolicContext& ctx);
+
+  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+  [[nodiscard]] double num_markings();
+
+  /// Transitions never enabled in any reachable marking (dead transitions —
+  /// usually a modeling bug, always worth reporting).
+  std::vector<int> dead_transitions();
+
+  /// Places never marked (dead places) and places marked in every reachable
+  /// marking (invariant places).
+  std::vector<int> dead_places();
+  std::vector<int> always_marked_places();
+
+  /// Backward reachability: all markings (within reach) that can reach a
+  /// target set. Equivalent to CTL EF restricted to [M0⟩.
+  bdd::Bdd can_reach(const bdd::Bdd& target);
+
+  /// Home-state check: can every reachable marking reach M0 again?
+  /// (Reversibility — standard PN property.)
+  bool is_reversible();
+
+  /// Extracts a firing sequence M0 → some marking in `target`, or nullopt
+  /// if unreachable. Uses onion-ring backward pre-images so the trace is
+  /// BFS-shortest. Cost: one forward fixpoint is already available; this
+  /// adds one backward sweep plus |trace| image computations.
+  std::optional<std::vector<int>> trace_to(const bdd::Bdd& target);
+
+  /// Convenience: a trace to a reachable deadlock, if any exists.
+  std::optional<std::vector<int>> deadlock_trace();
+
+ private:
+  SymbolicContext& ctx_;
+  bdd::Bdd reached_;
+};
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,62 @@
+#include "symbolic/ctl.hpp"
+
+namespace pnenc::symbolic {
+
+using bdd::Bdd;
+
+CtlChecker::CtlChecker(SymbolicContext& ctx) : ctx_(ctx) {
+  Bdd reached = ctx.initial();
+  Bdd frontier = reached;
+  while (!frontier.is_false()) {
+    frontier = ctx.image_all(frontier).diff(reached);
+    reached |= frontier;
+  }
+  reached_ = reached;
+  deadlocked_ = ctx.deadlocks(reached_);
+}
+
+Bdd CtlChecker::states(const Bdd& f) { return reached_ & f; }
+
+Bdd CtlChecker::ex(const Bdd& f) {
+  return reached_ & ctx_.preimage_all(f & reached_);
+}
+
+Bdd CtlChecker::ef(const Bdd& f) {
+  Bdd acc = states(f);
+  for (;;) {
+    Bdd next = acc | ex(acc);
+    if (next == acc) return acc;
+    acc = next;
+  }
+}
+
+Bdd CtlChecker::eg(const Bdd& f) {
+  Bdd ff = states(f);
+  // Deadlocked f-states satisfy EG f (maximal paths that end there).
+  Bdd acc = ff;
+  for (;;) {
+    Bdd next = ff & (ex(acc) | deadlocked_);
+    if (next == acc) return acc;
+    acc = next;
+  }
+}
+
+Bdd CtlChecker::ag(const Bdd& f) { return reached_.diff(ef(reached_.diff(f))); }
+
+Bdd CtlChecker::af(const Bdd& f) { return reached_.diff(eg(reached_.diff(f))); }
+
+Bdd CtlChecker::eu(const Bdd& f, const Bdd& g) {
+  Bdd ff = states(f);
+  Bdd acc = states(g);
+  for (;;) {
+    Bdd next = acc | (ff & ex(acc));
+    if (next == acc) return acc;
+    acc = next;
+  }
+}
+
+bool CtlChecker::holds_initially(const Bdd& f) {
+  return !(ctx_.initial() & f).is_false();
+}
+
+}  // namespace pnenc::symbolic

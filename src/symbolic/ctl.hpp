@@ -1,0 +1,45 @@
+#pragma once
+
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc::symbolic {
+
+/// Minimal CTL model checker over a SymbolicContext, in the style the paper's
+/// framework is used for asynchronous-circuit verification [17]: properties
+/// are boolean combinations of place characteristic functions; temporal
+/// operators are fixpoints over the (pre-)image machinery.
+///
+/// All operators work relative to the reachable set computed once at
+/// construction (states outside [M0⟩ are ignored).
+class CtlChecker {
+ public:
+  explicit CtlChecker(SymbolicContext& ctx);
+
+  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+
+  /// States (within reach) satisfying f.
+  bdd::Bdd states(const bdd::Bdd& f);
+  /// EX f: states with a successor in f.
+  bdd::Bdd ex(const bdd::Bdd& f);
+  /// EF f: least fixpoint — states that can reach f.
+  bdd::Bdd ef(const bdd::Bdd& f);
+  /// EG f: greatest fixpoint — states with an infinite (or deadlocked)
+  /// f-path; deadlocked f-states count as EG f holds (no successor escapes).
+  bdd::Bdd eg(const bdd::Bdd& f);
+  /// AG f = ¬EF ¬f.
+  bdd::Bdd ag(const bdd::Bdd& f);
+  /// AF f = ¬EG ¬f.
+  bdd::Bdd af(const bdd::Bdd& f);
+  /// E[f U g].
+  bdd::Bdd eu(const bdd::Bdd& f, const bdd::Bdd& g);
+
+  /// True iff the initial marking satisfies f.
+  bool holds_initially(const bdd::Bdd& f);
+
+ private:
+  SymbolicContext& ctx_;
+  bdd::Bdd reached_;
+  bdd::Bdd deadlocked_;
+};
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,283 @@
+#include "symbolic/symbolic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace pnenc::symbolic {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using encoding::MarkingEncoding;
+using encoding::PlaceEncoding;
+using encoding::SmcCode;
+using petri::Net;
+
+SymbolicContext::SymbolicContext(const Net& net, const MarkingEncoding& enc,
+                                 const SymbolicOptions& opts)
+    : net_(net), enc_(enc), opts_(opts) {
+  int nvars = enc.num_vars() * (opts.with_next_vars ? 2 : 1);
+  mgr_ = std::make_unique<BddManager>(nvars);
+  if (opts.auto_reorder_threshold > 0) {
+    mgr_->set_auto_reorder(opts.auto_reorder_threshold);
+  }
+  place_char_.resize(net.num_places());
+  place_char_ready_.assign(net.num_places(), 0);
+  trans_.resize(net.num_transitions());
+  trans_rel_.resize(net.num_transitions());
+  trans_rel_ready_.assign(net.num_transitions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Characteristic and enabling functions
+// ---------------------------------------------------------------------------
+
+Bdd SymbolicContext::code_equals(const SmcCode& sc, std::uint32_t code) {
+  Bdd eq = mgr_->bdd_true();
+  for (std::size_t b = 0; b < sc.vars.size(); ++b) {
+    bool bit = (code >> (sc.vars.size() - 1 - b)) & 1;
+    int v = pvar(sc.vars[b]);
+    eq &= bit ? mgr_->var(v) : mgr_->nvar(v);
+  }
+  return eq;
+}
+
+Bdd SymbolicContext::place_char(int p) {
+  if (place_char_ready_[p]) return place_char_[p];
+  const PlaceEncoding& pe = enc_.places[p];
+  Bdd result;
+  if (pe.kind == PlaceEncoding::Kind::kDirect) {
+    result = mgr_->var(pvar(pe.direct_var));
+  } else {
+    const SmcCode& owner = enc_.smcs[pe.owner];
+    result = code_equals(owner, owner.code_of(p));
+    // Improved scheme (eq. 4): p is marked only if no alias with the same
+    // code in the owner SMC is marked; aliases are owned by earlier SMCs,
+    // so the recursion is well-founded.
+    for (int q : enc_.aliases(p)) {
+      result = result.diff(place_char(q));
+    }
+  }
+  place_char_[p] = result;
+  place_char_ready_[p] = 1;
+  return result;
+}
+
+Bdd SymbolicContext::enabling(int t) {
+  const TransInfo& info = trans_info(t);
+  return info.enabling;
+}
+
+Bdd SymbolicContext::marking_minterm(const petri::Marking& m) {
+  std::vector<bool> bits = enc_.encode(m);
+  Bdd f = mgr_->bdd_true();
+  for (int i = 0; i < enc_.num_vars(); ++i) {
+    f &= bits[i] ? mgr_->var(pvar(i)) : mgr_->nvar(pvar(i));
+  }
+  return f;
+}
+
+Bdd SymbolicContext::initial() { return marking_minterm(net_.initial_marking()); }
+
+// ---------------------------------------------------------------------------
+// Transition info (the δ machinery of §5.3, eq. 6)
+// ---------------------------------------------------------------------------
+
+const SymbolicContext::TransInfo& SymbolicContext::trans_info(int t) {
+  TransInfo& info = trans_[t];
+  if (info.ready) return info;
+
+  // Enabling function E_t (eq. 5).
+  Bdd en = mgr_->bdd_true();
+  for (int p : net_.preset(t)) en &= place_char(p);
+  info.enabling = en;
+
+  // Changed variables and their post-firing constants:
+  //  * every SMC containing t lands on the code of t's output place (eq. 6);
+  //  * direct places follow eq. 2.
+  std::vector<char> changed(enc_.num_vars(), 0);
+  auto fix = [&](int var, bool val) {
+    if (!changed[var]) {
+      changed[var] = 1;
+      info.fixed.emplace_back(var, val);
+    }
+  };
+  for (const SmcCode& sc : enc_.smcs) {
+    auto it = std::lower_bound(sc.smc.transitions.begin(),
+                               sc.smc.transitions.end(), t);
+    if (it == sc.smc.transitions.end() || *it != t) continue;
+    std::size_t i = static_cast<std::size_t>(it - sc.smc.transitions.begin());
+    std::uint32_t code = sc.code_of(sc.smc.out_place[i]);
+    for (std::size_t b = 0; b < sc.vars.size(); ++b) {
+      fix(sc.vars[b], (code >> (sc.vars.size() - 1 - b)) & 1);
+    }
+  }
+  const auto& pre = net_.preset(t);
+  const auto& post = net_.postset(t);
+  for (int p : post) {
+    if (enc_.places[p].kind == PlaceEncoding::Kind::kDirect) {
+      fix(enc_.places[p].direct_var, true);
+    }
+  }
+  for (int p : pre) {
+    if (enc_.places[p].kind == PlaceEncoding::Kind::kDirect &&
+        std::find(post.begin(), post.end(), p) == post.end()) {
+      fix(enc_.places[p].direct_var, false);
+    }
+  }
+
+  for (const auto& [v, val] : info.fixed) info.changed_vars.push_back(v);
+  std::vector<int> pvars;
+  pvars.reserve(info.changed_vars.size());
+  for (int v : info.changed_vars) pvars.push_back(pvar(v));
+  info.changed_cube = mgr_->cube(pvars);
+  Bdd lits = mgr_->bdd_true();
+  for (const auto& [v, val] : info.fixed) {
+    lits &= val ? mgr_->var(pvar(v)) : mgr_->nvar(pvar(v));
+  }
+  info.result_lits = lits;
+  info.ready = true;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Images
+// ---------------------------------------------------------------------------
+
+Bdd SymbolicContext::image(const Bdd& from, int t) {
+  const TransInfo& info = trans_info(t);
+  // Img_t(F) = ∃changed (F ∧ E_t) ∧ consts.
+  Bdd projected = mgr_->and_exists(from, info.enabling, info.changed_cube);
+  return projected & info.result_lits;
+}
+
+Bdd SymbolicContext::preimage(const Bdd& of, int t) {
+  const TransInfo& info = trans_info(t);
+  // Pre_t(F) = E_t ∧ F|_{changed := consts} (the cofactor computed as a
+  // relational product with the constant cube).
+  Bdd cof = mgr_->and_exists(of, info.result_lits, info.changed_cube);
+  return info.enabling & cof;
+}
+
+Bdd SymbolicContext::image_all(const Bdd& from) {
+  Bdd out = mgr_->bdd_false();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    out |= image(from, static_cast<int>(t));
+  }
+  return out;
+}
+
+Bdd SymbolicContext::preimage_all(const Bdd& of) {
+  Bdd out = mgr_->bdd_false();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    out |= preimage(of, static_cast<int>(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transition relations (§2.3)
+// ---------------------------------------------------------------------------
+
+Bdd SymbolicContext::transition_relation(int t) {
+  if (!opts_.with_next_vars) {
+    throw std::logic_error(
+        "transition_relation requires SymbolicOptions.with_next_vars");
+  }
+  if (trans_rel_ready_[t]) return trans_rel_[t];
+  const TransInfo& info = trans_info(t);
+  std::vector<char> changed(enc_.num_vars(), 0);
+  for (int v : info.changed_vars) changed[v] = 1;
+
+  Bdd rel = info.enabling;
+  for (const auto& [v, val] : info.fixed) {
+    rel &= val ? mgr_->var(qvar(v)) : mgr_->nvar(qvar(v));
+  }
+  for (int v = 0; v < enc_.num_vars(); ++v) {
+    if (changed[v]) continue;
+    rel &= mgr_->var(qvar(v)).xnor(mgr_->var(pvar(v)));
+  }
+  trans_rel_[t] = rel;
+  trans_rel_ready_[t] = 1;
+  return rel;
+}
+
+Bdd SymbolicContext::monolithic_relation() {
+  Bdd r = mgr_->bdd_false();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    r |= transition_relation(static_cast<int>(t));
+  }
+  return r;
+}
+
+Bdd SymbolicContext::image_tr(const Bdd& from, bool monolithic) {
+  std::vector<int> pvars, qmap(mgr_->num_vars());
+  for (int i = 0; i < mgr_->num_vars(); ++i) qmap[i] = i;
+  for (int i = 0; i < enc_.num_vars(); ++i) {
+    pvars.push_back(pvar(i));
+    qmap[qvar(i)] = pvar(i);
+  }
+  Bdd pcube = mgr_->cube(pvars);
+  Bdd img_q = mgr_->bdd_false();
+  if (monolithic) {
+    img_q = mgr_->and_exists(from, monolithic_relation(), pcube);
+  } else {
+    for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+      img_q |= mgr_->and_exists(from, transition_relation(static_cast<int>(t)),
+                                pcube);
+    }
+  }
+  return mgr_->permute(img_q, qmap);
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+TraversalResult SymbolicContext::reachability(ImageMethod method) {
+  util::Timer timer;
+  Bdd reached = initial();
+  Bdd frontier = reached;
+  TraversalResult result;
+  while (!frontier.is_false()) {
+    result.iterations++;
+    Bdd next;
+    switch (method) {
+      case ImageMethod::kDirect:
+        next = image_all(frontier);
+        break;
+      case ImageMethod::kPartitionedTr:
+        next = image_tr(frontier, /*monolithic=*/false);
+        break;
+      case ImageMethod::kMonolithicTr:
+        next = image_tr(frontier, /*monolithic=*/true);
+        break;
+    }
+    frontier = next.diff(reached);
+    reached |= frontier;
+    mgr_->maybe_reorder();
+  }
+  result.num_markings = count_markings(reached);
+  result.reached_nodes = reached.size();
+  result.peak_live_nodes = mgr_->peak_node_count();
+  result.cpu_ms = timer.elapsed_ms();
+  last_reached_ = reached;
+  return result;
+}
+
+double SymbolicContext::count_markings(const Bdd& set) {
+  std::vector<int> pvars;
+  for (int i = 0; i < enc_.num_vars(); ++i) pvars.push_back(pvar(i));
+  return mgr_->satcount(set, pvars);
+}
+
+Bdd SymbolicContext::deadlocks(const Bdd& reached) {
+  Bdd some_enabled = mgr_->bdd_false();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    some_enabled |= enabling(static_cast<int>(t));
+  }
+  return reached.diff(some_enabled);
+}
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "encoding/encoding.hpp"
+#include "petri/net.hpp"
+
+namespace pnenc::symbolic {
+
+/// Image computation strategy for the traversal.
+enum class ImageMethod {
+  /// The paper's fast path: firing t drives every affected variable to a
+  /// constant (an SMC containing t always lands on the code of t's output
+  /// place), so Img_t(F) = ∃changed(F ∧ E_t) ∧ consts — no next-state
+  /// variables and no renaming.
+  kDirect,
+  /// Classic disjunctively partitioned transition relations R_t(P,Q) (§2.3,
+  /// eq. 3) with relational-product image and Q→P renaming.
+  kPartitionedTr,
+  /// Single monolithic R(P,Q) = ∨_t R_t.
+  kMonolithicTr,
+};
+
+struct SymbolicOptions {
+  /// Allocate next-state variables (interleaved with present-state ones) and
+  /// allow the TR-based methods. The direct method never needs them.
+  bool with_next_vars = false;
+  /// If nonzero, the manager sifts automatically once live nodes pass this
+  /// threshold (checked between images, as the paper reorders per iteration).
+  std::size_t auto_reorder_threshold = 0;
+};
+
+struct TraversalResult {
+  double num_markings = 0.0;
+  std::size_t reached_nodes = 0;  // BDD size of the final reachability set
+  std::size_t peak_live_nodes = 0;
+  int iterations = 0;
+  double cpu_ms = 0.0;
+};
+
+/// Binds a Petri net + marking encoding to a BDD manager and exposes the
+/// boolean machinery of §5: characteristic functions of places, enabling
+/// functions, transition functions/relations, images and traversal.
+class SymbolicContext {
+ public:
+  SymbolicContext(const petri::Net& net, const encoding::MarkingEncoding& enc,
+                  const SymbolicOptions& opts = {});
+
+  [[nodiscard]] bdd::BddManager& manager() { return *mgr_; }
+  [[nodiscard]] const petri::Net& net() const { return net_; }
+  [[nodiscard]] const encoding::MarkingEncoding& enc() const { return enc_; }
+
+  /// Present-state variable id for encoding variable i.
+  [[nodiscard]] int pvar(int i) const {
+    return opts_.with_next_vars ? 2 * i : i;
+  }
+  /// Next-state variable id (requires with_next_vars).
+  [[nodiscard]] int qvar(int i) const { return 2 * i + 1; }
+
+  /// Characteristic function [p] of a place (§5.1, eq. 4), memoized.
+  bdd::Bdd place_char(int p);
+  /// Enabling function E_t = ∧_{p∈•t} [p] (eq. 5), memoized.
+  bdd::Bdd enabling(int t);
+  /// Encoded initial marking (a single minterm over the encoding variables).
+  bdd::Bdd initial();
+  /// Encodes an arbitrary marking as a minterm.
+  bdd::Bdd marking_minterm(const petri::Marking& m);
+
+  /// One-transition image / preimage with the direct constant-assignment
+  /// method.
+  bdd::Bdd image(const bdd::Bdd& from, int t);
+  bdd::Bdd preimage(const bdd::Bdd& of, int t);
+  /// Union over all transitions.
+  bdd::Bdd image_all(const bdd::Bdd& from);
+  bdd::Bdd preimage_all(const bdd::Bdd& of);
+
+  /// Transition relation R_t(P,Q) (§2.3); requires with_next_vars.
+  bdd::Bdd transition_relation(int t);
+  /// R(P,Q) = ∨_t R_t(P,Q) (eq. 3).
+  bdd::Bdd monolithic_relation();
+  /// Image via the requested TR flavor.
+  bdd::Bdd image_tr(const bdd::Bdd& from, bool monolithic);
+
+  /// BFS fixpoint over [M0⟩. Populates TraversalResult with the marking
+  /// count (sat-count over the encoding variables), final/peak node sizes.
+  TraversalResult reachability(ImageMethod method = ImageMethod::kDirect);
+
+  /// Number of markings in an encoded set (sat-count over present vars).
+  double count_markings(const bdd::Bdd& set);
+
+  /// The reachability set computed by the last reachability() call.
+  [[nodiscard]] const bdd::Bdd& reached_set() const { return last_reached_; }
+
+  /// Set of reachable deadlocked markings: Reached ∧ ¬∨_t E_t.
+  bdd::Bdd deadlocks(const bdd::Bdd& reached);
+
+ private:
+  struct TransInfo {
+    bool ready = false;
+    bdd::Bdd enabling;
+    std::vector<int> changed_vars;            // encoding-variable indices
+    std::vector<std::pair<int, bool>> fixed;  // (encoding var, new value)
+    bdd::Bdd changed_cube;                    // over pvars
+    bdd::Bdd result_lits;                     // conjunction of fixed literals
+  };
+
+  const TransInfo& trans_info(int t);
+  bdd::Bdd code_equals(const encoding::SmcCode& sc, std::uint32_t code);
+
+  const petri::Net& net_;
+  const encoding::MarkingEncoding& enc_;
+  SymbolicOptions opts_;
+  std::unique_ptr<bdd::BddManager> mgr_;
+  std::vector<bdd::Bdd> place_char_;
+  std::vector<char> place_char_ready_;
+  std::vector<TransInfo> trans_;
+  std::vector<bdd::Bdd> trans_rel_;
+  std::vector<char> trans_rel_ready_;
+  bdd::Bdd last_reached_;
+};
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "petri/net.hpp"
+#include "zdd/zdd.hpp"
+
+namespace pnenc::symbolic {
+
+struct ZddTraversalResult {
+  double num_markings = 0.0;
+  std::size_t reached_nodes = 0;  // ZDD size of the reachability family
+  std::size_t peak_live_nodes = 0;
+  int iterations = 0;
+  double cpu_ms = 0.0;
+};
+
+/// Zero-suppressed-BDD reachability with the sparse one-variable-per-place
+/// encoding, following Yoneda et al. [18] (the comparison side of the
+/// paper's Table 4): a marking is the set of its marked places, the
+/// reachability set is a family of sets, and firing is a subset/change
+/// pipeline:
+///   enabled  = sets containing •t          (subset1 chain)
+///   successor = enabled − (•t \ t•) + t•    (change/assign chain)
+ZddTraversalResult zdd_reachability(const petri::Net& net);
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,25 @@
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace pnenc::util {
+
+StatsRegistry& StatsRegistry::global() {
+  static StatsRegistry instance;
+  return instance;
+}
+
+std::uint64_t StatsRegistry::get(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void StatsRegistry::reset() { counters_.clear(); }
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << " = " << v << "\n";
+  return os.str();
+}
+
+}  // namespace pnenc::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pnenc::util {
+
+/// Named monotonic counters used across the library for instrumentation
+/// (cache hits, GC runs, image computations, ...).
+///
+/// The counters are deliberately simple — a map of named uint64s — so any
+/// module can bump a counter without declaring it anywhere. Benchmarks read
+/// them to report secondary columns.
+class StatsRegistry {
+ public:
+  /// Process-wide registry. Not thread-safe by design: the library's
+  /// managers are single-threaded (one manager per analysis).
+  static StatsRegistry& global();
+
+  void add(const std::string& key, std::uint64_t delta = 1) {
+    counters_[key] += delta;
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    counters_[key] = value;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& key) const;
+  void reset();
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Renders all counters as "key = value" lines.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace pnenc::util

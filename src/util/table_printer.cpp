@@ -1,0 +1,72 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace pnenc::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::add_separator() { pending_separator_ = true; }
+
+bool TablePrinter::looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TablePrinter::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        os << ' ' << std::string(pad, ' ') << cell << " |";
+      } else {
+        os << ' ' << cell << std::string(pad, ' ') << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  hline();
+  emit(header_);
+  hline();
+  for (const auto& row : rows_) {
+    if (row.separator_before) hline();
+    emit(row.cells);
+  }
+  hline();
+  return os.str();
+}
+
+}  // namespace pnenc::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnenc::util {
+
+/// Fixed-width ASCII table renderer used by the bench binaries to emit the
+/// paper-style tables (Table 3, Table 4, ...). Column widths auto-fit to the
+/// widest cell; numeric cells are right-aligned, text cells left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  /// Renders the table, including a title line when non-empty.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  static bool looks_numeric(const std::string& s);
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace pnenc::util

@@ -1,0 +1,17 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace pnenc::util {
+
+std::string format_duration_ms(double ms) {
+  char buf[64];
+  if (ms < 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", ms / 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace pnenc::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pnenc::util {
+
+/// Wall-clock stopwatch with millisecond/microsecond readouts.
+///
+/// Used by the benchmark harnesses to report the CPU columns of the paper's
+/// tables. Starts running on construction; `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last restart().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in milliseconds as a human-friendly string
+/// ("532 ms", "12.4 s").
+std::string format_duration_ms(double ms);
+
+}  // namespace pnenc::util

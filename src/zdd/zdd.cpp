@@ -1,0 +1,447 @@
+#include "zdd/zdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pnenc::zdd {
+
+// ---------------------------------------------------------------------------
+// Zdd handle
+// ---------------------------------------------------------------------------
+
+Zdd::Zdd(ZddManager* mgr, std::uint32_t id) : mgr_(mgr), id_(id) {
+  if (mgr_ != nullptr) mgr_->ref(id_);
+}
+Zdd::Zdd(const Zdd& other) : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_ != nullptr) mgr_->ref(id_);
+}
+Zdd::Zdd(Zdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+}
+Zdd& Zdd::operator=(const Zdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref(other.id_);
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+Zdd& Zdd::operator=(Zdd&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+  return *this;
+}
+Zdd::~Zdd() { release(); }
+
+void Zdd::release() {
+  if (mgr_ != nullptr) {
+    mgr_->deref(id_);
+    mgr_ = nullptr;
+    id_ = 0;
+  }
+}
+
+bool Zdd::is_empty() const {
+  return mgr_ != nullptr && id_ == ZddManager::kEmpty;
+}
+bool Zdd::is_base() const {
+  return mgr_ != nullptr && id_ == ZddManager::kBase;
+}
+
+Zdd Zdd::operator|(const Zdd& g) const { return mgr_->zdd_union(*this, g); }
+Zdd Zdd::operator&(const Zdd& g) const { return mgr_->zdd_intersect(*this, g); }
+Zdd Zdd::operator-(const Zdd& g) const { return mgr_->zdd_diff(*this, g); }
+
+double Zdd::count() const { return mgr_->count(*this); }
+std::size_t Zdd::size() const { return mgr_->dag_size(*this); }
+
+// ---------------------------------------------------------------------------
+// Manager core
+// ---------------------------------------------------------------------------
+
+ZddManager::ZddManager(int num_vars) {
+  nodes_.reserve(1u << 14);
+  nodes_.push_back(Node{kVarTerminal, kEmpty, kEmpty, kNil, kRefSaturated});
+  nodes_.push_back(Node{kVarTerminal, kBase, kBase, kNil, kRefSaturated});
+  cache_.resize(1u << 16);
+  for (int i = 0; i < num_vars; ++i) new_var();
+}
+
+int ZddManager::new_var() {
+  int v = num_vars();
+  subtables_.emplace_back();
+  subtables_.back().buckets.assign(16, kNil);
+  return v;
+}
+
+std::size_t ZddManager::hash_pair(std::uint32_t low, std::uint32_t high,
+                                  std::size_t nbuckets) {
+  std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & (nbuckets - 1);
+}
+
+std::uint32_t ZddManager::mk(std::uint32_t var, std::uint32_t low,
+                             std::uint32_t high) {
+  if (high == kEmpty) return low;  // zero-suppression rule
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(low, high, st.buckets.size());
+  for (std::uint32_t id = st.buckets[b]; id != kNil; id = nodes_[id].next) {
+    const Node& n = nodes_[id];
+    if (n.low == low && n.high == high) return id;
+  }
+  std::uint32_t id;
+  if (free_head_ != kNil) {
+    id = free_head_;
+    free_head_ = nodes_[id].next;
+  } else {
+    id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[id];
+  n.var = var;
+  n.low = low;
+  n.high = high;
+  n.ref = 0;
+  ref(low);
+  ref(high);
+  live_nodes_++;
+  if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
+  n.next = st.buckets[b];
+  st.buckets[b] = id;
+  st.count++;
+  subtable_maybe_grow(var);
+  return id;
+}
+
+void ZddManager::subtable_insert(std::uint32_t var, std::uint32_t id) {
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+  nodes_[id].next = st.buckets[b];
+  st.buckets[b] = id;
+  st.count++;
+}
+
+void ZddManager::subtable_remove(std::uint32_t var, std::uint32_t id) {
+  Subtable& st = subtables_[var];
+  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+  std::uint32_t* link = &st.buckets[b];
+  while (*link != kNil) {
+    if (*link == id) {
+      *link = nodes_[id].next;
+      st.count--;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  assert(false && "zdd node not in its subtable");
+}
+
+void ZddManager::subtable_maybe_grow(std::uint32_t var) {
+  Subtable& st = subtables_[var];
+  if (st.count <= st.buckets.size() * 2) return;
+  std::vector<std::uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 4, kNil);
+  for (std::uint32_t head : old) {
+    for (std::uint32_t id = head; id != kNil;) {
+      std::uint32_t next = nodes_[id].next;
+      std::size_t b =
+          hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+      nodes_[id].next = st.buckets[b];
+      st.buckets[b] = id;
+      id = next;
+    }
+  }
+}
+
+void ZddManager::ref(std::uint32_t id) {
+  Node& n = nodes_[id];
+  if (n.ref != kRefSaturated) n.ref++;
+}
+
+void ZddManager::deref(std::uint32_t id) {
+  Node& n = nodes_[id];
+  if (n.ref != kRefSaturated) {
+    assert(n.ref > 0);
+    n.ref--;
+  }
+}
+
+void ZddManager::deref_recursive(std::uint32_t id) {
+  std::vector<std::uint32_t> stack{id};
+  while (!stack.empty()) {
+    std::uint32_t cur = stack.back();
+    stack.pop_back();
+    Node& n = nodes_[cur];
+    if (n.ref == kRefSaturated) continue;
+    assert(n.ref > 0);
+    if (--n.ref == 0) {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+      subtable_remove(n.var, cur);
+      free_node(cur);
+    }
+  }
+}
+
+void ZddManager::free_node(std::uint32_t id) {
+  Node& n = nodes_[id];
+  n.var = kVarTerminal;
+  n.low = kNil;
+  n.high = kNil;
+  n.next = free_head_;
+  free_head_ = id;
+  live_nodes_--;
+}
+
+void ZddManager::gc() {
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var != kVarTerminal && n.ref == 0) dead.push_back(id);
+  }
+  for (std::uint32_t id : dead) {
+    if (nodes_[id].var == kVarTerminal || nodes_[id].ref != 0) continue;
+    Node& n = nodes_[id];
+    std::uint32_t low = n.low, high = n.high;
+    subtable_remove(n.var, id);
+    free_node(id);
+    deref_recursive(low);
+    deref_recursive(high);
+  }
+  cache_clear();
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+void ZddManager::cache_put(Op op, std::uint32_t a, std::uint32_t b,
+                           std::uint32_t result) {
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + op;
+  h ^= h >> 29;
+  CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  e.op = op;
+  e.a = a;
+  e.b = b;
+  e.result = result;
+}
+
+bool ZddManager::cache_get(Op op, std::uint32_t a, std::uint32_t b,
+                           std::uint32_t& result) {
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + op;
+  h ^= h >> 29;
+  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
+  if (e.op == op && e.a == a && e.b == b) {
+    result = e.result;
+    return true;
+  }
+  return false;
+}
+
+void ZddManager::cache_clear() {
+  for (auto& e : cache_) e.op = 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Set algebra
+// ---------------------------------------------------------------------------
+
+std::uint32_t ZddManager::union_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kEmpty) return g;
+  if (g == kEmpty) return f;
+  if (f == g) return f;
+  std::uint32_t a = std::min(f, g), b = std::max(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpUnion, a, b, cached)) return cached;
+  std::uint32_t tf = top(f), tg = top(g);
+  std::uint32_t r;
+  if (tf < tg) {
+    r = mk(tf, union_rec(nodes_[f].low, g), nodes_[f].high);
+  } else if (tg < tf) {
+    r = mk(tg, union_rec(f, nodes_[g].low), nodes_[g].high);
+  } else {
+    r = mk(tf, union_rec(nodes_[f].low, nodes_[g].low),
+           union_rec(nodes_[f].high, nodes_[g].high));
+  }
+  cache_put(kOpUnion, a, b, r);
+  return r;
+}
+
+std::uint32_t ZddManager::intersect_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kEmpty || g == kEmpty) return kEmpty;
+  if (f == g) return f;
+  std::uint32_t a = std::min(f, g), b = std::max(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpIntersect, a, b, cached)) return cached;
+  std::uint32_t tf = top(f), tg = top(g);
+  std::uint32_t r;
+  if (tf < tg) {
+    r = intersect_rec(nodes_[f].low, g);
+  } else if (tg < tf) {
+    r = intersect_rec(f, nodes_[g].low);
+  } else {
+    r = mk(tf, intersect_rec(nodes_[f].low, nodes_[g].low),
+           intersect_rec(nodes_[f].high, nodes_[g].high));
+  }
+  cache_put(kOpIntersect, a, b, r);
+  return r;
+}
+
+std::uint32_t ZddManager::diff_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kEmpty || f == g) return kEmpty;
+  if (g == kEmpty) return f;
+  std::uint32_t cached;
+  if (cache_get(kOpDiff, f, g, cached)) return cached;
+  std::uint32_t tf = top(f), tg = top(g);
+  std::uint32_t r;
+  if (tf < tg) {
+    r = mk(tf, diff_rec(nodes_[f].low, g), nodes_[f].high);
+  } else if (tg < tf) {
+    r = diff_rec(f, nodes_[g].low);
+  } else {
+    r = mk(tf, diff_rec(nodes_[f].low, nodes_[g].low),
+           diff_rec(nodes_[f].high, nodes_[g].high));
+  }
+  cache_put(kOpDiff, f, g, r);
+  return r;
+}
+
+std::uint32_t ZddManager::subset_rec(std::uint32_t f, std::uint32_t v,
+                                     bool keep_one) {
+  std::uint32_t tf = top(f);
+  if (tf > v) return keep_one ? kEmpty : f;  // v occurs in no set of f
+  Op op = keep_one ? kOpSubset1 : kOpSubset0;
+  std::uint32_t cached;
+  if (cache_get(op, f, v, cached)) return cached;
+  std::uint32_t r;
+  if (tf == v) {
+    r = keep_one ? nodes_[f].high : nodes_[f].low;
+  } else {
+    r = mk(tf, subset_rec(nodes_[f].low, v, keep_one),
+           subset_rec(nodes_[f].high, v, keep_one));
+  }
+  cache_put(op, f, v, r);
+  return r;
+}
+
+std::uint32_t ZddManager::change_rec(std::uint32_t f, std::uint32_t v) {
+  std::uint32_t tf = top(f);
+  if (f == kEmpty) return kEmpty;
+  std::uint32_t cached;
+  if (cache_get(kOpChange, f, v, cached)) return cached;
+  std::uint32_t r;
+  if (tf > v) {
+    r = mk(v, kEmpty, f);
+  } else if (tf == v) {
+    r = mk(v, nodes_[f].high, nodes_[f].low);
+  } else {
+    r = mk(tf, change_rec(nodes_[f].low, v), change_rec(nodes_[f].high, v));
+  }
+  cache_put(kOpChange, f, v, r);
+  return r;
+}
+
+Zdd ZddManager::zdd_union(const Zdd& f, const Zdd& g) {
+  return Zdd(this, union_rec(f.id(), g.id()));
+}
+Zdd ZddManager::zdd_intersect(const Zdd& f, const Zdd& g) {
+  return Zdd(this, intersect_rec(f.id(), g.id()));
+}
+Zdd ZddManager::zdd_diff(const Zdd& f, const Zdd& g) {
+  return Zdd(this, diff_rec(f.id(), g.id()));
+}
+Zdd ZddManager::subset1(const Zdd& f, int v) {
+  return Zdd(this, subset_rec(f.id(), static_cast<std::uint32_t>(v), true));
+}
+Zdd ZddManager::subset0(const Zdd& f, int v) {
+  return Zdd(this, subset_rec(f.id(), static_cast<std::uint32_t>(v), false));
+}
+Zdd ZddManager::change(const Zdd& f, int v) {
+  return Zdd(this, change_rec(f.id(), static_cast<std::uint32_t>(v)));
+}
+
+Zdd ZddManager::onset(const Zdd& f, int v) { return change(subset1(f, v), v); }
+
+Zdd ZddManager::assign1(const Zdd& f, int v) {
+  return change(zdd_union(subset0(f, v), subset1(f, v)), v);
+}
+
+Zdd ZddManager::assign0(const Zdd& f, int v) {
+  return zdd_union(subset0(f, v), subset1(f, v));
+}
+
+Zdd ZddManager::singleton(const std::vector<int>& elems) {
+  std::vector<int> sorted = elems;
+  std::sort(sorted.begin(), sorted.end(), std::greater<int>());
+  std::uint32_t f = kBase;
+  for (int v : sorted) f = mk(static_cast<std::uint32_t>(v), kEmpty, f);
+  return Zdd(this, f);
+}
+
+// ---------------------------------------------------------------------------
+// Counting, enumeration, size
+// ---------------------------------------------------------------------------
+
+double ZddManager::count_rec(std::uint32_t f, std::vector<double>& memo) {
+  if (f == kEmpty) return 0.0;
+  if (f == kBase) return 1.0;
+  if (memo[f] >= 0.0) return memo[f];
+  memo[f] = count_rec(nodes_[f].low, memo) + count_rec(nodes_[f].high, memo);
+  return memo[f];
+}
+
+double ZddManager::count(const Zdd& f) {
+  std::vector<double> memo(nodes_.size(), -1.0);
+  return count_rec(f.id(), memo);
+}
+
+std::size_t ZddManager::dag_size(const Zdd& f) {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack{f.id()};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id <= kBase || seen[id]) continue;
+    seen[id] = 1;
+    count++;
+    stack.push_back(nodes_[id].low);
+    stack.push_back(nodes_[id].high);
+  }
+  return count;
+}
+
+std::vector<std::vector<int>> ZddManager::all_sets(const Zdd& f) {
+  std::vector<std::vector<int>> result;
+  std::vector<int> current;
+  auto rec = [&](auto&& self, std::uint32_t id) -> void {
+    if (id == kEmpty) return;
+    if (id == kBase) {
+      result.push_back(current);
+      return;
+    }
+    const Node& n = nodes_[id];
+    self(self, n.low);
+    current.push_back(static_cast<int>(n.var));
+    self(self, n.high);
+    current.pop_back();
+  };
+  rec(rec, f.id());
+  for (auto& s : result) std::sort(s.begin(), s.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace pnenc::zdd

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnenc::zdd {
+
+class ZddManager;
+
+/// Reference-counted handle to a ZDD node (a family of sets).
+///
+/// Zero-suppressed decision diagrams (Minato) represent families of sparse
+/// sets compactly: a variable that is absent from every set on a path costs
+/// no node. This is the representation Yoneda et al. [18] advocate for
+/// one-variable-per-place Petri-net reachability sets, reproduced here for
+/// the paper's Table 4 comparison.
+class Zdd {
+ public:
+  Zdd() = default;
+  Zdd(ZddManager* mgr, std::uint32_t id);
+  Zdd(const Zdd& other);
+  Zdd(Zdd&& other) noexcept;
+  Zdd& operator=(const Zdd& other);
+  Zdd& operator=(Zdd&& other) noexcept;
+  ~Zdd();
+
+  [[nodiscard]] bool is_valid() const { return mgr_ != nullptr; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] ZddManager* manager() const { return mgr_; }
+
+  [[nodiscard]] bool is_empty() const;  // the empty family ∅
+  [[nodiscard]] bool is_base() const;   // the family {∅}
+
+  // Set-algebra operators.
+  Zdd operator|(const Zdd& g) const;  // union
+  Zdd operator&(const Zdd& g) const;  // intersection
+  Zdd operator-(const Zdd& g) const;  // difference
+  Zdd& operator|=(const Zdd& g) { return *this = *this | g; }
+  Zdd& operator&=(const Zdd& g) { return *this = *this & g; }
+  Zdd& operator-=(const Zdd& g) { return *this = *this - g; }
+
+  bool operator==(const Zdd& g) const { return mgr_ == g.mgr_ && id_ == g.id_; }
+  bool operator!=(const Zdd& g) const { return !(*this == g); }
+
+  /// Number of sets in the family.
+  [[nodiscard]] double count() const;
+  /// Number of DAG nodes (excluding terminals).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void release();
+
+  ZddManager* mgr_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Shared-node ZDD manager with a fixed variable order (var id == level),
+/// unique subtables, computed cache and reference-counted GC.
+class ZddManager {
+ public:
+  static constexpr std::uint32_t kEmpty = 0;  // ∅ — no sets
+  static constexpr std::uint32_t kBase = 1;   // {∅} — just the empty set
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  explicit ZddManager(int num_vars = 0);
+
+  ZddManager(const ZddManager&) = delete;
+  ZddManager& operator=(const ZddManager&) = delete;
+
+  int new_var();
+  [[nodiscard]] int num_vars() const { return static_cast<int>(subtables_.size()); }
+
+  [[nodiscard]] Zdd empty() { return Zdd(this, kEmpty); }
+  [[nodiscard]] Zdd base() { return Zdd(this, kBase); }
+  /// The family containing exactly the single set `elems`.
+  Zdd singleton(const std::vector<int>& elems);
+
+  Zdd zdd_union(const Zdd& f, const Zdd& g);
+  Zdd zdd_intersect(const Zdd& f, const Zdd& g);
+  Zdd zdd_diff(const Zdd& f, const Zdd& g);
+
+  /// {S \ {v} : S ∈ f, v ∈ S}
+  Zdd subset1(const Zdd& f, int v);
+  /// {S ∈ f : v ∉ S}
+  Zdd subset0(const Zdd& f, int v);
+  /// Toggles membership of v in every set of f.
+  Zdd change(const Zdd& f, int v);
+
+  /// {S ∈ f : v ∈ S} (membership filter, keeps v).
+  Zdd onset(const Zdd& f, int v);
+  /// Forces v into every set of f.
+  Zdd assign1(const Zdd& f, int v);
+  /// Removes v from every set of f.
+  Zdd assign0(const Zdd& f, int v);
+
+  [[nodiscard]] double count(const Zdd& f);
+  [[nodiscard]] std::size_t dag_size(const Zdd& f);
+  [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
+  [[nodiscard]] std::size_t peak_node_count() const { return peak_nodes_; }
+
+  /// Explicit enumeration of all sets (test-sized families only).
+  [[nodiscard]] std::vector<std::vector<int>> all_sets(const Zdd& f);
+
+  void gc();
+
+  void ref(std::uint32_t id);
+  void deref(std::uint32_t id);
+  [[nodiscard]] int node_var(std::uint32_t id) const { return static_cast<int>(nodes_[id].var); }
+  [[nodiscard]] std::uint32_t node_low(std::uint32_t id) const { return nodes_[id].low; }
+  [[nodiscard]] std::uint32_t node_high(std::uint32_t id) const { return nodes_[id].high; }
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    std::uint32_t low;   // sets without var
+    std::uint32_t high;  // sets with var (var removed)
+    std::uint32_t next;
+    std::uint32_t ref;
+  };
+  static constexpr std::uint32_t kVarTerminal = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+
+  struct Subtable {
+    std::vector<std::uint32_t> buckets;
+    std::size_t count = 0;
+  };
+
+  struct CacheEntry {
+    std::uint32_t op = 0xFFFFFFFFu;
+    std::uint32_t a = 0, b = 0;
+    std::uint32_t result = 0;
+  };
+
+  enum Op : std::uint32_t {
+    kOpUnion = 1,
+    kOpIntersect,
+    kOpDiff,
+    kOpSubset0,
+    kOpSubset1,
+    kOpChange,
+  };
+
+  std::uint32_t mk(std::uint32_t var, std::uint32_t low, std::uint32_t high);
+  void subtable_insert(std::uint32_t var, std::uint32_t id);
+  void subtable_remove(std::uint32_t var, std::uint32_t id);
+  void subtable_maybe_grow(std::uint32_t var);
+  static std::size_t hash_pair(std::uint32_t low, std::uint32_t high,
+                               std::size_t nbuckets);
+
+  std::uint32_t union_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t intersect_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t diff_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t subset_rec(std::uint32_t f, std::uint32_t v, bool keep_one);
+  std::uint32_t change_rec(std::uint32_t f, std::uint32_t v);
+  double count_rec(std::uint32_t f, std::vector<double>& memo);
+
+  void cache_put(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t result);
+  bool cache_get(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t& result);
+  void cache_clear();
+  void deref_recursive(std::uint32_t id);
+  void free_node(std::uint32_t id);
+
+  [[nodiscard]] std::uint32_t top(std::uint32_t f) const {
+    return (f <= kBase) ? kVarTerminal : nodes_[f].var;
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_nodes_ = 0;
+  std::vector<Subtable> subtables_;
+  std::vector<CacheEntry> cache_;
+};
+
+}  // namespace pnenc::zdd

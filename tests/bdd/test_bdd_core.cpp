@@ -1,0 +1,209 @@
+// Core BDD operation tests: reduction rules, connectives against a
+// truth-table oracle, handles, cofactors, permutation and the §5.2 toggle.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tests/bdd/truth_helpers.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using test::bdd_from_table;
+using test::random_table;
+using test::table_from_bdd;
+using test::TruthTable;
+
+TEST(BddCore, TerminalsAreDistinctAndIdempotent) {
+  BddManager mgr(4);
+  EXPECT_TRUE(mgr.bdd_true().is_true());
+  EXPECT_TRUE(mgr.bdd_false().is_false());
+  EXPECT_NE(mgr.bdd_true(), mgr.bdd_false());
+  EXPECT_EQ(mgr.bdd_true() & mgr.bdd_true(), mgr.bdd_true());
+  EXPECT_EQ(mgr.bdd_false() | mgr.bdd_false(), mgr.bdd_false());
+}
+
+TEST(BddCore, VarAndNvarAreComplements) {
+  BddManager mgr(3);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(!mgr.var(v), mgr.nvar(v));
+    EXPECT_EQ(mgr.var(v) & mgr.nvar(v), mgr.bdd_false());
+    EXPECT_EQ(mgr.var(v) | mgr.nvar(v), mgr.bdd_true());
+  }
+}
+
+TEST(BddCore, ReductionSharesIsomorphicSubgraphs) {
+  BddManager mgr(4);
+  // Build x0 AND x1 twice; the roots must be the same node.
+  Bdd a = mgr.var(0) & mgr.var(1);
+  Bdd b = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(a.id(), b.id());
+  // ITE(x, f, f) must collapse to f.
+  Bdd f = mgr.var(2) | mgr.var(3);
+  EXPECT_EQ(mgr.ite(mgr.var(0), f, f), f);
+}
+
+TEST(BddCore, HandleCopySemanticsKeepNodesAlive) {
+  BddManager mgr(4);
+  Bdd a = mgr.var(0) & mgr.var(1);
+  std::size_t before = mgr.live_node_count();
+  {
+    Bdd copy = a;        // refcount bump
+    Bdd moved = std::move(copy);
+    EXPECT_EQ(moved, a);
+    EXPECT_FALSE(copy.is_valid());  // NOLINT(bugprone-use-after-move)
+  }
+  mgr.gc();
+  // `a` is still referenced: its nodes must survive the GC.
+  EXPECT_GE(mgr.live_node_count(), a.size());
+  EXPECT_LE(mgr.live_node_count(), before);
+  std::vector<bool> assignment{true, true, false, false};
+  EXPECT_TRUE(a.eval(assignment));
+}
+
+TEST(BddCore, GcReclaimsUnreferencedNodes) {
+  BddManager mgr(8);
+  {
+    Bdd junk = mgr.bdd_true();
+    for (int v = 0; v < 8; ++v) junk &= (mgr.var(v) ^ mgr.var((v + 1) % 8));
+  }
+  mgr.gc();
+  EXPECT_EQ(mgr.live_node_count(), 0u);
+}
+
+class BddConnectiveOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddConnectiveOracle, MatchesTruthTables) {
+  const int nvars = 4;
+  std::mt19937 rng(GetParam());
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  TruthTable tg = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  Bdd g = bdd_from_table(mgr, tg, nvars);
+
+  ASSERT_EQ(table_from_bdd(mgr, f, nvars), tf);
+  ASSERT_EQ(table_from_bdd(mgr, g, nvars), tg);
+
+  TruthTable t_and = table_from_bdd(mgr, f & g, nvars);
+  TruthTable t_or = table_from_bdd(mgr, f | g, nvars);
+  TruthTable t_xor = table_from_bdd(mgr, f ^ g, nvars);
+  TruthTable t_not = table_from_bdd(mgr, !f, nvars);
+  TruthTable t_diff = table_from_bdd(mgr, f.diff(g), nvars);
+  TruthTable t_xnor = table_from_bdd(mgr, f.xnor(g), nvars);
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    EXPECT_EQ(t_and[i], tf[i] && tg[i]);
+    EXPECT_EQ(t_or[i], tf[i] || tg[i]);
+    EXPECT_EQ(t_xor[i], tf[i] != tg[i]);
+    EXPECT_EQ(t_not[i], !tf[i]);
+    EXPECT_EQ(t_diff[i], tf[i] && !tg[i]);
+    EXPECT_EQ(t_xnor[i], tf[i] == tg[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddConnectiveOracle,
+                         ::testing::Range(1, 21));
+
+class BddIteOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddIteOracle, MatchesTruthTables) {
+  const int nvars = 4;
+  std::mt19937 rng(GetParam() * 977);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  TruthTable tg = random_table(nvars, rng);
+  TruthTable th = random_table(nvars, rng);
+  Bdd r = mgr.ite(bdd_from_table(mgr, tf, nvars),
+                  bdd_from_table(mgr, tg, nvars),
+                  bdd_from_table(mgr, th, nvars));
+  TruthTable tr = table_from_bdd(mgr, r, nvars);
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    EXPECT_EQ(tr[i], tf[i] ? tg[i] : th[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddIteOracle, ::testing::Range(1, 11));
+
+TEST(BddCore, CofactorMatchesOracle) {
+  const int nvars = 4;
+  std::mt19937 rng(42);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  for (int v = 0; v < nvars; ++v) {
+    for (bool val : {false, true}) {
+      Bdd cof = mgr.cofactor(f, v, val);
+      TruthTable tc = table_from_bdd(mgr, cof, nvars);
+      for (std::size_t i = 0; i < tf.size(); ++i) {
+        std::size_t j = val ? (i | (1u << v)) : (i & ~(std::size_t{1} << v));
+        EXPECT_EQ(tc[i], static_cast<bool>(tf[j]));
+      }
+      // The cofactor must not depend on v.
+      for (int s : mgr.support(cof)) EXPECT_NE(s, v);
+    }
+  }
+}
+
+TEST(BddCore, MultiLiteralCofactor) {
+  BddManager mgr(4);
+  Bdd f = (mgr.var(0) & mgr.var(1)) | (mgr.var(2) & mgr.var(3));
+  Bdd c = mgr.cofactor(f, {{0, true}, {1, true}});
+  EXPECT_TRUE(c.is_true());
+  c = mgr.cofactor(f, {{0, false}, {2, false}});
+  EXPECT_TRUE(c.is_false());
+}
+
+TEST(BddCore, PermuteRenamesVariables) {
+  const int nvars = 6;
+  std::mt19937 rng(7);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(3, rng);
+  Bdd f = bdd_from_table(mgr, tf, 3);  // over vars 0,1,2
+  // Rename 0->3, 1->4, 2->5.
+  std::vector<int> map{3, 4, 5, 3, 4, 5};
+  Bdd g = mgr.permute(f, map);
+  std::vector<bool> assignment(nvars, false);
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    for (int v = 0; v < 3; ++v) {
+      assignment[3 + v] = (i >> v) & 1;
+      assignment[v] = !static_cast<bool>((i >> v) & 1);  // decoys
+    }
+    EXPECT_EQ(mgr.eval(g, assignment), static_cast<bool>(tf[i]));
+  }
+  // Round-trip: renaming back gives the original node.
+  std::vector<int> back{0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(mgr.permute(g, back), f);
+}
+
+TEST(BddCore, ToggleComplementsOneVariable) {
+  const int nvars = 4;
+  std::mt19937 rng(13);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  for (int v = 0; v < nvars; ++v) {
+    Bdd tog = mgr.toggle(f, v);
+    TruthTable tt = table_from_bdd(mgr, tog, nvars);
+    for (std::size_t i = 0; i < tf.size(); ++i) {
+      EXPECT_EQ(tt[i], static_cast<bool>(tf[i ^ (std::size_t{1} << v)]));
+    }
+    // Toggling twice is the identity (and yields the same node).
+    EXPECT_EQ(mgr.toggle(tog, v), f);
+  }
+}
+
+TEST(BddCore, DagSizeCountsSharedNodesOnce) {
+  BddManager mgr(4);
+  Bdd f = mgr.var(0) ^ mgr.var(1);
+  Bdd g = f | mgr.var(2);
+  std::size_t combined = mgr.dag_size(std::vector<Bdd>{f, g});
+  EXPECT_LE(combined, f.size() + g.size());
+  EXPECT_GE(combined, g.size());
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,115 @@
+// DOT export, handle ergonomics, and manager bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+TEST(BddIo, DotExportContainsEveryNodeAndBothArcStyles) {
+  BddManager mgr(3);
+  Bdd f = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  std::vector<std::string> names{"a", "b", "c"};
+  std::string dot = mgr.to_dot(f, names);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const auto& n : names) {
+    EXPECT_NE(dot.find("label=\"" + n + "\""), std::string::npos);
+  }
+  // Terminals and dashed (else) arcs present.
+  EXPECT_NE(dot.find("n0 [label=\"0\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Node count in the dump equals the DAG size (+2 terminals).
+  std::size_t labels = 0, pos = 0;
+  while ((pos = dot.find("[label=", pos)) != std::string::npos) {
+    ++labels;
+    pos += 7;
+  }
+  EXPECT_EQ(labels, f.size() + 2);
+}
+
+TEST(BddIo, UnnamedVariablesFallBackToIndices) {
+  BddManager mgr(2);
+  Bdd f = mgr.var(1);
+  std::string dot = mgr.to_dot(f, {});
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+}
+
+TEST(BddHandles, UsableInStdContainers) {
+  BddManager mgr(4);
+  std::map<int, Bdd> by_var;
+  std::vector<Bdd> all;
+  for (int v = 0; v < 4; ++v) {
+    by_var[v] = mgr.var(v);
+    all.push_back(mgr.var(v) ^ mgr.var((v + 1) % 4));
+  }
+  EXPECT_EQ(by_var.at(2), mgr.var(2));
+  all.erase(all.begin());
+  mgr.gc();
+  // Remaining handles still valid after erase + GC.
+  std::vector<bool> assignment{true, false, true, false};
+  EXPECT_TRUE(mgr.eval(all[0], assignment));  // x1 ^ x2 = 0^1
+}
+
+TEST(BddHandles, SelfAssignmentIsSafe) {
+  BddManager mgr(2);
+  Bdd f = mgr.var(0) & mgr.var(1);
+  Bdd& alias = f;
+  f = alias;  // copy self-assignment
+  EXPECT_TRUE(f.is_valid());
+  f = std::move(alias);  // move self-assignment
+  EXPECT_TRUE(f.is_valid());
+  std::vector<bool> a{true, true};
+  EXPECT_TRUE(f.eval(a));
+}
+
+TEST(BddManagerStats, CacheAndGcCountersAdvance) {
+  BddManager mgr(6);
+  Bdd f = mgr.bdd_false();
+  for (int i = 0; i < 6; ++i) f |= mgr.var(i) & mgr.var((i + 1) % 6);
+  std::uint64_t lookups = mgr.cache_lookups();
+  // Recompute the same conjunctions: hits must rise.
+  Bdd g = mgr.bdd_false();
+  for (int i = 0; i < 6; ++i) g |= mgr.var(i) & mgr.var((i + 1) % 6);
+  EXPECT_EQ(f, g);
+  EXPECT_GT(mgr.cache_lookups(), lookups);
+  EXPECT_GT(mgr.cache_hits(), 0u);
+  std::uint64_t gcs = mgr.gc_runs();
+  mgr.gc();
+  EXPECT_EQ(mgr.gc_runs(), gcs + 1);
+}
+
+TEST(BddManagerStats, PeakNodesMonotone) {
+  BddManager mgr(8);
+  std::size_t peak0 = mgr.peak_node_count();
+  Bdd f = mgr.bdd_true();
+  for (int i = 0; i < 8; ++i) f &= mgr.var(i) ^ mgr.var((i + 3) % 8);
+  EXPECT_GE(mgr.peak_node_count(), peak0);
+  std::size_t peak1 = mgr.peak_node_count();
+  mgr.gc();
+  EXPECT_EQ(mgr.peak_node_count(), peak1);  // peak survives GC
+  EXPECT_LE(mgr.live_node_count(), peak1);
+}
+
+TEST(BddVars, NewVarExtendsTheOrderAtTheBottom) {
+  BddManager mgr(2);
+  int v = mgr.new_var();
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(mgr.num_vars(), 3);
+  EXPECT_EQ(mgr.level_of_var(v), 2);
+  // Usable immediately, including with older variables.
+  Bdd f = mgr.var(0) & mgr.var(v);
+  std::vector<bool> a{true, false, true};
+  EXPECT_TRUE(mgr.eval(f, a));
+  a[v] = false;
+  EXPECT_FALSE(mgr.eval(f, a));
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,134 @@
+// Property-style tests: algebraic laws on random BDDs, with GC and
+// reordering interleaved to shake out lifetime bugs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tests/bdd/truth_helpers.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using test::bdd_from_table;
+using test::random_table;
+using test::table_from_bdd;
+using test::TruthTable;
+
+class BddLaws : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kVars = 5;
+  void SetUp() override {
+    mgr_ = std::make_unique<BddManager>(kVars);
+    std::mt19937 rng(GetParam() * 31337);
+    f_ = bdd_from_table(*mgr_, random_table(kVars, rng), kVars);
+    g_ = bdd_from_table(*mgr_, random_table(kVars, rng), kVars);
+    h_ = bdd_from_table(*mgr_, random_table(kVars, rng), kVars);
+  }
+  std::unique_ptr<BddManager> mgr_;
+  Bdd f_, g_, h_;
+};
+
+TEST_P(BddLaws, BooleanAlgebraLaws) {
+  BddManager& m = *mgr_;
+  // Commutativity / associativity / distributivity.
+  EXPECT_EQ(f_ & g_, g_ & f_);
+  EXPECT_EQ(f_ | g_, g_ | f_);
+  EXPECT_EQ((f_ & g_) & h_, f_ & (g_ & h_));
+  EXPECT_EQ((f_ | g_) | h_, f_ | (g_ | h_));
+  EXPECT_EQ(f_ & (g_ | h_), (f_ & g_) | (f_ & h_));
+  EXPECT_EQ(f_ | (g_ & h_), (f_ | g_) & (f_ | h_));
+  // De Morgan.
+  EXPECT_EQ(!(f_ & g_), (!f_) | (!g_));
+  EXPECT_EQ(!(f_ | g_), (!f_) & (!g_));
+  // Involution, absorption, complements.
+  EXPECT_EQ(!!f_, f_);
+  EXPECT_EQ(f_ & (f_ | g_), f_);
+  EXPECT_EQ(f_ | (f_ & g_), f_);
+  EXPECT_EQ(f_ ^ f_, m.bdd_false());
+  EXPECT_EQ(f_ ^ !f_, m.bdd_true());
+  // XOR via AND/OR decomposition.
+  EXPECT_EQ(f_ ^ g_, (f_ & (!g_)) | ((!f_) & g_));
+  // ITE identities.
+  EXPECT_EQ(m.ite(f_, g_, g_), g_);
+  EXPECT_EQ(m.ite(f_, m.bdd_true(), m.bdd_false()), f_);
+  EXPECT_EQ(m.ite(f_, g_, h_), (f_ & g_) | ((!f_) & h_));
+}
+
+TEST_P(BddLaws, QuantifierLaws) {
+  BddManager& m = *mgr_;
+  Bdd cube = m.cube({0, 2});
+  // ∃x.f = f|x=0 ∨ f|x=1 (iterated over the cube).
+  Bdd expect = m.cofactor(m.cofactor(f_, 0, false), 2, false) |
+               m.cofactor(m.cofactor(f_, 0, false), 2, true) |
+               m.cofactor(m.cofactor(f_, 0, true), 2, false) |
+               m.cofactor(m.cofactor(f_, 0, true), 2, true);
+  EXPECT_EQ(m.exists(f_, cube), expect);
+  // Duality: ∀x.f = ¬∃x.¬f.
+  EXPECT_EQ(m.forall(f_, cube), !m.exists(!f_, cube));
+  // Monotonicity: f ⊆ ∃x.f  and  ∀x.f ⊆ f.
+  EXPECT_EQ(f_ & m.exists(f_, cube), f_);
+  EXPECT_EQ(m.forall(f_, cube) & f_, m.forall(f_, cube));
+  // Quantified var leaves the support.
+  for (int v : m.support(m.exists(f_, cube))) {
+    EXPECT_NE(v, 0);
+    EXPECT_NE(v, 2);
+  }
+}
+
+TEST_P(BddLaws, LawsSurviveGcAndReorder) {
+  BddManager& m = *mgr_;
+  TruthTable tf = table_from_bdd(m, f_, kVars);
+  TruthTable tg = table_from_bdd(m, g_, kVars);
+  // Generate garbage, collect, reorder, and re-verify semantics.
+  for (int i = 0; i < 20; ++i) {
+    std::mt19937 rng(i);
+    Bdd junk = (f_ ^ g_) & bdd_from_table(m, random_table(kVars, rng), kVars);
+  }
+  m.gc();
+  m.reorder_sift();
+  EXPECT_EQ(table_from_bdd(m, f_, kVars), tf);
+  EXPECT_EQ(table_from_bdd(m, g_, kVars), tg);
+  TruthTable t_and = table_from_bdd(m, f_ & g_, kVars);
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    EXPECT_EQ(t_and[i], tf[i] && tg[i]);
+  }
+}
+
+TEST_P(BddLaws, SatcountIsAdditiveOverDisjointUnion) {
+  BddManager& m = *mgr_;
+  Bdd both = f_ & g_;
+  double cf = m.satcount(f_, kVars);
+  double cg = m.satcount(g_, kVars);
+  double cb = m.satcount(both, kVars);
+  double cu = m.satcount(f_ | g_, kVars);
+  EXPECT_DOUBLE_EQ(cu, cf + cg - cb);  // inclusion-exclusion
+  EXPECT_DOUBLE_EQ(m.satcount(!f_, kVars), (1 << kVars) - cf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddLaws, ::testing::Range(1, 13));
+
+TEST(BddStress, ManyOpsWithPeriodicGc) {
+  const int nvars = 10;
+  BddManager mgr(nvars);
+  std::mt19937 rng(555);
+  Bdd acc = mgr.bdd_false();
+  for (int round = 0; round < 200; ++round) {
+    int a = static_cast<int>(rng() % nvars);
+    int b = static_cast<int>(rng() % nvars);
+    Bdd term = mgr.var(a) ^ mgr.nvar(b);
+    acc = (acc | term).diff(mgr.var((a + b) % nvars) & acc);
+    if (round % 50 == 49) {
+      double before = mgr.satcount(acc, nvars);
+      mgr.gc();
+      EXPECT_DOUBLE_EQ(mgr.satcount(acc, nvars), before);
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pnenc

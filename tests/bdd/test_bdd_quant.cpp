@@ -1,0 +1,178 @@
+// Quantification, relational product, support, counting and enumeration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tests/bdd/truth_helpers.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using test::bdd_from_table;
+using test::random_table;
+using test::table_from_bdd;
+using test::TruthTable;
+
+TEST(BddQuant, CubeIsConjunctionOfPositiveLiterals) {
+  BddManager mgr(5);
+  Bdd c = mgr.cube({0, 2, 4});
+  std::vector<bool> a(5, false);
+  EXPECT_FALSE(mgr.eval(c, a));
+  a[0] = a[2] = a[4] = true;
+  EXPECT_TRUE(mgr.eval(c, a));
+  a[1] = a[3] = true;  // extra variables are don't-care
+  EXPECT_TRUE(mgr.eval(c, a));
+  a[2] = false;
+  EXPECT_FALSE(mgr.eval(c, a));
+}
+
+class BddQuantOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddQuantOracle, ExistsForallAndExistsMatchOracle) {
+  const int nvars = 5;
+  std::mt19937 rng(GetParam() * 1337);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  TruthTable tg = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  Bdd g = bdd_from_table(mgr, tg, nvars);
+
+  // Random quantification set.
+  std::vector<int> qvars;
+  for (int v = 0; v < nvars; ++v) {
+    if (rng() & 1) qvars.push_back(v);
+  }
+  Bdd cube = mgr.cube(qvars);
+
+  auto oracle = [&](const TruthTable& t, bool universal,
+                    bool conjoin_g) -> TruthTable {
+    TruthTable out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      bool acc = universal;
+      // Enumerate all assignments to qvars, keeping other bits of i fixed.
+      std::size_t m = qvars.size();
+      for (std::size_t k = 0; k < (std::size_t{1} << m); ++k) {
+        std::size_t j = i;
+        for (std::size_t b = 0; b < m; ++b) {
+          std::size_t bit = std::size_t{1} << qvars[b];
+          j = (k >> b) & 1 ? (j | bit) : (j & ~bit);
+        }
+        bool val = t[j] && (!conjoin_g || tg[j]);
+        acc = universal ? (acc && val) : (acc || val);
+      }
+      out[i] = acc;
+    }
+    return out;
+  };
+
+  EXPECT_EQ(table_from_bdd(mgr, mgr.exists(f, cube), nvars),
+            oracle(tf, false, false));
+  EXPECT_EQ(table_from_bdd(mgr, mgr.forall(f, cube), nvars),
+            oracle(tf, true, false));
+  EXPECT_EQ(table_from_bdd(mgr, mgr.and_exists(f, g, cube), nvars),
+            oracle(tf, false, true));
+  // and_exists must agree with the two-step computation.
+  EXPECT_EQ(mgr.and_exists(f, g, cube), mgr.exists(f & g, cube));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddQuantOracle, ::testing::Range(1, 16));
+
+TEST(BddQuant, ExistsOverEmptyCubeIsIdentity) {
+  BddManager mgr(4);
+  Bdd f = mgr.var(0) ^ mgr.var(3);
+  EXPECT_EQ(mgr.exists(f, mgr.bdd_true()), f);
+  EXPECT_EQ(mgr.forall(f, mgr.bdd_true()), f);
+}
+
+TEST(BddQuant, SupportIsExact) {
+  BddManager mgr(6);
+  Bdd f = (mgr.var(1) & mgr.var(3)) | mgr.var(5);
+  EXPECT_EQ(mgr.support(f), (std::vector<int>{1, 3, 5}));
+  // x2 XOR x2 vanishes from the support.
+  Bdd g = f ^ (mgr.var(2) ^ mgr.var(2));
+  EXPECT_EQ(mgr.support(g), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(BddQuant, SatcountMatchesEnumeration) {
+  const int nvars = 5;
+  std::mt19937 rng(99);
+  BddManager mgr(nvars);
+  for (int round = 0; round < 10; ++round) {
+    TruthTable tf = random_table(nvars, rng);
+    Bdd f = bdd_from_table(mgr, tf, nvars);
+    double expected = static_cast<double>(
+        std::count(tf.begin(), tf.end(), true));
+    EXPECT_DOUBLE_EQ(mgr.satcount(f, nvars), expected);
+  }
+}
+
+TEST(BddQuant, SatcountOverExplicitVarSubset) {
+  BddManager mgr(6);
+  // f depends only on vars {1, 4}; count over {1, 3, 4} — var 3 is free.
+  Bdd f = mgr.var(1) & mgr.var(4);
+  EXPECT_DOUBLE_EQ(mgr.satcount(f, std::vector<int>{1, 3, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(mgr.satcount(f, std::vector<int>{1, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.satcount(mgr.bdd_true(), std::vector<int>{0, 1, 2}),
+                   8.0);
+  EXPECT_DOUBLE_EQ(mgr.satcount(mgr.bdd_false(), std::vector<int>{0, 1, 2}),
+                   0.0);
+}
+
+TEST(BddQuant, PickOneReturnsSatisfyingAssignment) {
+  BddManager mgr(4);
+  Bdd f = (mgr.var(0) ^ mgr.var(1)) & mgr.var(3);
+  std::vector<int> vars{0, 1, 2, 3};
+  std::vector<bool> pick;
+  ASSERT_TRUE(mgr.pick_one(f, vars, pick));
+  std::vector<bool> assignment(4);
+  for (int v = 0; v < 4; ++v) assignment[v] = pick[v];
+  EXPECT_TRUE(mgr.eval(f, assignment));
+  EXPECT_FALSE(mgr.pick_one(mgr.bdd_false(), vars, pick));
+}
+
+TEST(BddQuant, AllSatEnumeratesEveryMinterm) {
+  const int nvars = 4;
+  std::mt19937 rng(5);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  std::vector<int> vars{0, 1, 2, 3};
+  auto sats = mgr.all_sat(f, vars);
+  EXPECT_EQ(sats.size(),
+            static_cast<std::size_t>(std::count(tf.begin(), tf.end(), true)));
+  for (const auto& s : sats) {
+    std::size_t idx = 0;
+    for (int v = 0; v < nvars; ++v) {
+      if (s[v]) idx |= std::size_t{1} << v;
+    }
+    EXPECT_TRUE(tf[idx]);
+  }
+}
+
+TEST(BddQuant, RelationalProductImageOfSmallRelation) {
+  // Variables: current x0,x1 ; next x2,x3. Relation: increment mod 4.
+  BddManager mgr(4);
+  Bdd rel = mgr.bdd_false();
+  for (int s = 0; s < 4; ++s) {
+    int ns = (s + 1) % 4;
+    Bdd cur = (s & 1 ? mgr.var(0) : mgr.nvar(0)) &
+              (s & 2 ? mgr.var(1) : mgr.nvar(1));
+    Bdd nxt = (ns & 1 ? mgr.var(2) : mgr.nvar(2)) &
+              (ns & 2 ? mgr.var(3) : mgr.nvar(3));
+    rel |= cur & nxt;
+  }
+  Bdd from = mgr.nvar(0) & mgr.nvar(1);  // state 0
+  Bdd img_next = mgr.and_exists(from, rel, mgr.cube({0, 1}));
+  // Rename next-state vars to current.
+  Bdd img = mgr.permute(img_next, {0, 1, 0, 1});
+  Bdd state1 = mgr.var(0) & mgr.nvar(1);
+  EXPECT_EQ(img, state1);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,140 @@
+// Dynamic reordering: adjacent swaps and sifting must preserve every live
+// handle's function, and sifting must actually shrink order-sensitive DAGs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "tests/bdd/truth_helpers.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using test::bdd_from_table;
+using test::random_table;
+using test::table_from_bdd;
+using test::TruthTable;
+
+TEST(BddReorder, SiftingPreservesFunctions) {
+  const int nvars = 6;
+  std::mt19937 rng(2024);
+  BddManager mgr(nvars);
+  std::vector<TruthTable> tables;
+  std::vector<Bdd> funcs;
+  for (int i = 0; i < 8; ++i) {
+    tables.push_back(random_table(nvars, rng));
+    funcs.push_back(bdd_from_table(mgr, tables.back(), nvars));
+  }
+  mgr.reorder_sift();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(table_from_bdd(mgr, funcs[i], nvars), tables[i]) << "func " << i;
+  }
+  // The var<->level maps must stay inverse bijections.
+  for (int v = 0; v < nvars; ++v) {
+    EXPECT_EQ(mgr.var_at_level(mgr.level_of_var(v)), v);
+  }
+}
+
+TEST(BddReorder, SiftingShrinksInterleavedConjunction) {
+  // f = (x0&x1) | (x2&x3) | ... is linear-sized in the good order
+  // (pairs adjacent) and exponential in the bad order (all left operands
+  // before all right operands). Build it in the bad order and sift.
+  const int pairs = 7;
+  BddManager mgr(2 * pairs);
+  Bdd f = mgr.bdd_false();
+  for (int i = 0; i < pairs; ++i) {
+    f |= mgr.var(i) & mgr.var(pairs + i);  // bad order: partners far apart
+  }
+  std::size_t before = f.size();
+  mgr.reorder_sift();
+  std::size_t after = f.size();
+  EXPECT_LT(after, before / 4) << "sifting should find the pairing order";
+  // Shape check: the optimal size for this function is 2*pairs + ...; allow
+  // a generous bound but require linear, not exponential.
+  EXPECT_LE(after, static_cast<std::size_t>(6 * pairs));
+}
+
+TEST(BddReorder, OperationsRemainCorrectAfterReorder) {
+  const int nvars = 6;
+  std::mt19937 rng(31);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  TruthTable tg = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  Bdd g = bdd_from_table(mgr, tg, nvars);
+  mgr.reorder_sift();
+  // New operations after reordering must still be canonical and correct.
+  TruthTable t_and = table_from_bdd(mgr, f & g, nvars);
+  for (std::size_t i = 0; i < tf.size(); ++i) {
+    EXPECT_EQ(t_and[i], tf[i] && tg[i]);
+  }
+  // Canonicity: rebuilding tf from scratch must give the same node as f.
+  Bdd f2 = bdd_from_table(mgr, tf, nvars);
+  EXPECT_EQ(f2, f);
+}
+
+TEST(BddReorder, RepeatedSiftingIsStable) {
+  const int nvars = 8;
+  std::mt19937 rng(77);
+  BddManager mgr(nvars);
+  TruthTable tf = random_table(nvars, rng);
+  Bdd f = bdd_from_table(mgr, tf, nvars);
+  mgr.reorder_sift();
+  std::size_t s1 = f.size();
+  mgr.reorder_sift();
+  std::size_t s2 = f.size();
+  EXPECT_LE(s2, s1);  // sifting never makes the final size worse
+  EXPECT_EQ(table_from_bdd(mgr, f, nvars), tf);
+}
+
+TEST(BddReorder, ArenaReallocationDuringOpsAndSiftIsSafe) {
+  // Regression: the node arena starts with a 16K reservation; growing past
+  // it reallocates the vector. Any Node reference held across an allocating
+  // call would dangle (this crashed the Table 3 harness at muller-16).
+  // Build well past 16K nodes, then exercise ops and a full sift.
+  const int nvars = 40;
+  BddManager mgr(nvars);
+  std::mt19937 rng(99);
+  Bdd f = mgr.bdd_false();
+  // OR of random 10-literal cubes: each adds a long fresh chain.
+  for (int c = 0; c < 4000 && mgr.live_node_count() < 40000; ++c) {
+    Bdd cube = mgr.bdd_true();
+    for (int k = 0; k < 10; ++k) {
+      int v = static_cast<int>(rng() % nvars);
+      cube &= (rng() & 1) ? mgr.var(v) : mgr.nvar(v);
+    }
+    f |= cube;
+  }
+  ASSERT_GT(mgr.live_node_count(), 20000u) << "test needs arena growth";
+  double count_before = mgr.satcount(f, nvars);
+  Bdd g = mgr.toggle(f, 3);
+  Bdd h = mgr.exists(f, mgr.cube({0, 5, 9}));
+  mgr.reorder_sift();
+  EXPECT_DOUBLE_EQ(mgr.satcount(f, nvars), count_before);
+  EXPECT_EQ(mgr.toggle(g, 3), f);
+  EXPECT_EQ(f & h, f);  // f implies ∃x.f
+}
+
+TEST(BddReorder, AutoReorderTriggersAndPreserves) {
+  const int pairs = 6;
+  BddManager mgr(2 * pairs);
+  mgr.set_auto_reorder(64);
+  Bdd f = mgr.bdd_false();
+  for (int i = 0; i < pairs; ++i) f |= mgr.var(i) & mgr.var(pairs + i);
+  std::size_t grown = f.size();
+  mgr.maybe_reorder();
+  EXPECT_GT(mgr.reorder_runs(), 0u);
+  EXPECT_LE(f.size(), grown);
+  // Function preserved.
+  std::vector<bool> a(2 * pairs, false);
+  a[0] = a[pairs] = true;
+  EXPECT_TRUE(mgr.eval(f, a));
+  a[0] = false;
+  EXPECT_FALSE(mgr.eval(f, a));
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared helpers for BDD tests: a truth-table oracle over up to 16 variables.
+// A function over n vars is a vector<bool> of 2^n entries indexed by the
+// assignment bits (bit v of the index = value of variable v).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::test {
+
+using TruthTable = std::vector<bool>;
+
+inline TruthTable random_table(int nvars, std::mt19937& rng) {
+  TruthTable t(std::size_t{1} << nvars);
+  std::bernoulli_distribution bit(0.5);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = bit(rng);
+  return t;
+}
+
+/// Builds the BDD of a truth table via ITE over vars 0..nvars-1.
+inline bdd::Bdd bdd_from_table(bdd::BddManager& mgr, const TruthTable& t,
+                               int nvars) {
+  // Branch on variable `var`; `index` accumulates the assignment bits chosen
+  // so far.
+  auto rec = [&](auto&& self, std::size_t index, int var) -> bdd::Bdd {
+    if (var == nvars) return t[index] ? mgr.bdd_true() : mgr.bdd_false();
+    bdd::Bdd f0 = self(self, index, var + 1);
+    bdd::Bdd f1 = self(self, index | (std::size_t{1} << var), var + 1);
+    return mgr.ite(mgr.var(var), f1, f0);
+  };
+  return rec(rec, 0, 0);
+}
+
+/// Reads the truth table of a BDD back by evaluating every assignment.
+inline TruthTable table_from_bdd(bdd::BddManager& mgr, const bdd::Bdd& f,
+                                 int nvars) {
+  TruthTable t(std::size_t{1} << nvars);
+  std::vector<bool> assignment(mgr.num_vars(), false);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (int v = 0; v < nvars; ++v) assignment[v] = (i >> v) & 1;
+    t[i] = mgr.eval(f, assignment);
+  }
+  return t;
+}
+
+}  // namespace pnenc::test

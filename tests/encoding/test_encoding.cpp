@@ -1,0 +1,210 @@
+// Encoding schemes (§3–§4): variable counts from the paper, encode/decode
+// round trips, characteristic-function semantics, toggle costs.
+
+#include <gtest/gtest.h>
+
+#include "encoding/encoding.hpp"
+#include "encoding/gray.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "smc/smc.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::dense_encoding;
+using encoding::improved_encoding;
+using encoding::MarkingEncoding;
+using encoding::sparse_encoding;
+using petri::Net;
+
+TEST(Gray, ReflectedCodeTogglesOneBit) {
+  for (std::uint32_t k = 0; k < 255; ++k) {
+    EXPECT_EQ(__builtin_popcount(encoding::gray(k) ^ encoding::gray(k + 1)),
+              1);
+  }
+}
+
+TEST(Encoding, SparseUsesOneVarPerPlace) {
+  Net net = petri::gen::fig1_net();
+  MarkingEncoding enc = sparse_encoding(net);
+  EXPECT_EQ(enc.num_vars(), 7);
+  EXPECT_TRUE(enc.smcs.empty());
+}
+
+TEST(Encoding, Fig1DenseUsesFourVariables) {
+  // Fig. 2b: the two 4-place SMCs give 2+2 variables for the whole net.
+  Net net = petri::gen::fig1_net();
+  MarkingEncoding enc = build_encoding(net, "dense");
+  EXPECT_EQ(enc.num_vars(), 4);
+  EXPECT_EQ(enc.smcs.size(), 2u);
+}
+
+TEST(Encoding, PhilosophersDenseUsesTenVariables) {
+  // §4.3: minimum-cost SMC cover of phil-2 costs 10 variables (density 0.5).
+  Net net = petri::gen::philosophers(2);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  EXPECT_EQ(enc.num_vars(), 10);
+  EXPECT_DOUBLE_EQ(enc.density(22.0), 0.5);
+}
+
+TEST(Encoding, PhilosophersImprovedUsesEightVariables) {
+  // §5.4 / Table 1: the improved scheme encodes phil-2 with 8 variables.
+  Net net = petri::gen::philosophers(2);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  EXPECT_EQ(enc.num_vars(), 8);
+}
+
+TEST(Encoding, ImprovedNeverUsesMoreVarsThanDense) {
+  for (const Net& net :
+       {petri::gen::fig1_net(), petri::gen::philosophers(3),
+        petri::gen::muller_pipeline(4), petri::gen::slotted_ring(3),
+        petri::gen::dme_ring(3), petri::gen::register_net(4, 'a')}) {
+    auto smcs = smc::find_smcs(net);
+    int sparse = sparse_encoding(net).num_vars();
+    int dense = dense_encoding(net, smcs).num_vars();
+    int improved = improved_encoding(net, smcs).num_vars();
+    EXPECT_LE(dense, sparse);
+    EXPECT_LE(improved, dense);
+  }
+}
+
+TEST(Encoding, MullerDenseHalvesTheVariables) {
+  // Paper Table 3: muller-n needs 4n sparse vs 2n dense variables.
+  for (int n : {4, 8}) {
+    Net net = petri::gen::muller_pipeline(n);
+    MarkingEncoding enc = build_encoding(net, "dense");
+    EXPECT_EQ(enc.num_vars(), 2 * n);
+  }
+}
+
+TEST(Encoding, SlottedRingDenseHalvesTheVariables) {
+  // Paper Table 3: slot-n: 10n sparse vs 5n dense.
+  Net net = petri::gen::slotted_ring(3);
+  EXPECT_EQ(build_encoding(net, "dense").num_vars(), 15);
+}
+
+class EncodingRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIsIdentityOnReachableMarkings) {
+  auto [net_id, scheme] = GetParam();
+  Net net;
+  switch (net_id) {
+    case 0: net = petri::gen::fig1_net(); break;
+    case 1: net = petri::gen::philosophers(2); break;
+    case 2: net = petri::gen::philosophers(3); break;
+    case 3: net = petri::gen::muller_pipeline(3); break;
+    case 4: net = petri::gen::slotted_ring(2); break;
+    case 5: net = petri::gen::dme_ring(3); break;
+    case 6: net = petri::gen::register_net(3, 'a'); break;
+    case 7: net = petri::gen::register_net(4, 'b'); break;
+    case 8: net = petri::gen::dme_ring_circuit(2); break;
+  }
+  MarkingEncoding enc = build_encoding(net, scheme);
+  petri::ExplicitOptions opts;
+  opts.keep_markings = true;
+  auto r = petri::explicit_reachability(net, opts);
+  ASSERT_TRUE(r.safe);
+  for (const auto& m : r.markings) {
+    std::vector<bool> bits = enc.encode(m);
+    ASSERT_EQ(static_cast<int>(bits.size()), enc.num_vars());
+    // decode() inverts encode(), and place_marked matches the marking
+    // place by place (this exercises the eq. 4 alias disambiguation).
+    EXPECT_EQ(enc.decode(bits), m);
+    for (std::size_t p = 0; p < net.num_places(); ++p) {
+      EXPECT_EQ(enc.place_marked(bits, static_cast<int>(p)), m.test(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndSchemes, EncodingRoundTrip,
+    ::testing::Combine(::testing::Range(0, 9),
+                       ::testing::Values("sparse", "dense", "improved")));
+
+TEST(Encoding, EncodingIsInjectiveOnReachableMarkings) {
+  Net net = petri::gen::philosophers(3);
+  petri::ExplicitOptions opts;
+  opts.keep_markings = true;
+  auto r = petri::explicit_reachability(net, opts);
+  for (const char* scheme : {"sparse", "dense", "improved"}) {
+    MarkingEncoding enc = build_encoding(net, scheme);
+    std::set<std::vector<bool>> seen;
+    for (const auto& m : r.markings) seen.insert(enc.encode(m));
+    EXPECT_EQ(seen.size(), r.markings.size()) << scheme;
+  }
+}
+
+TEST(Encoding, EncodeRejectsInvariantViolatingMarkings) {
+  Net net = petri::gen::fig1_net();
+  MarkingEncoding enc = build_encoding(net, "dense");
+  petri::Marking two_tokens(net.num_places());
+  two_tokens.set(0);  // p1 and p2 together violate SM1's invariant
+  two_tokens.set(1);
+  EXPECT_THROW(enc.encode(two_tokens), std::runtime_error);
+  petri::Marking empty(net.num_places());
+  EXPECT_THROW(enc.encode(empty), std::runtime_error);
+}
+
+TEST(Encoding, ToggleCostsAreGrayLikeOnMuller) {
+  // In each 4-place Muller link the token walks a pure cycle; the Gray
+  // assignment must achieve Hamming distance 1 on every transition of the
+  // SMC, so every firing toggles exactly one variable per covering SMC.
+  Net net = petri::gen::muller_pipeline(4);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    int cost = enc.toggle_cost(net, static_cast<int>(t));
+    // Boundary transitions live in one link (cost 1); internal transitions
+    // live in two adjacent links (cost 2).
+    EXPECT_GE(cost, 1) << net.transition_name(static_cast<int>(t));
+    EXPECT_LE(cost, 2) << net.transition_name(static_cast<int>(t));
+  }
+}
+
+TEST(Encoding, SparseToggleCostIsTokenFlow) {
+  Net net = petri::gen::fig1_net();
+  MarkingEncoding enc = sparse_encoding(net);
+  // t1: p1 -> {p2, p3}: three bits change.
+  EXPECT_EQ(enc.toggle_cost(net, net.transition_index("t1")), 3);
+  // t3: p2 -> p6: two bits change.
+  EXPECT_EQ(enc.toggle_cost(net, net.transition_index("t3")), 2);
+}
+
+TEST(Encoding, DenseTogglesFewerBitsThanSparseOnAverage) {
+  for (const Net& net :
+       {petri::gen::philosophers(3), petri::gen::muller_pipeline(4),
+        petri::gen::slotted_ring(3)}) {
+    MarkingEncoding sparse = sparse_encoding(net);
+    MarkingEncoding dense = build_encoding(net, "dense");
+    EXPECT_LT(dense.avg_toggle_cost(net), sparse.avg_toggle_cost(net));
+  }
+}
+
+TEST(Encoding, DensityImprovesSparseToImproved) {
+  Net net = petri::gen::philosophers(2);
+  double markings = 22.0;
+  double d_sparse = build_encoding(net, "sparse").density(markings);
+  double d_dense = build_encoding(net, "dense").density(markings);
+  double d_improved = build_encoding(net, "improved").density(markings);
+  EXPECT_LT(d_sparse, d_dense);
+  EXPECT_LT(d_dense, d_improved);
+  EXPECT_DOUBLE_EQ(d_improved, 5.0 / 8.0);
+}
+
+TEST(Encoding, VarNamesCoverEveryVariable) {
+  Net net = petri::gen::philosophers(2);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  auto names = enc.var_names(net);
+  ASSERT_EQ(static_cast<int>(names.size()), enc.num_vars());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+TEST(Encoding, UnknownSchemeThrows) {
+  EXPECT_THROW(build_encoding(petri::gen::fig1_net(), "optimal"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnenc

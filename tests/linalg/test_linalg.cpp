@@ -1,0 +1,168 @@
+// Rational arithmetic, matrix kernels, and Farkas P-invariants.
+
+#include <gtest/gtest.h>
+
+#include "linalg/invariants.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rational.hpp"
+#include "petri/generators.hpp"
+
+namespace pnenc {
+namespace {
+
+using linalg::Invariant;
+using linalg::Matrix;
+using linalg::Rational;
+
+TEST(Rational, NormalizationAndArithmetic) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ((-Rational(3, 7)).to_string(), "-3/7");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+}
+
+TEST(Rational, ErrorCases) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(INT64_MAX) + Rational(INT64_MAX),
+               std::overflow_error);
+}
+
+TEST(Matrix, RankAndNullSpace) {
+  // A 3x3 with rank 2.
+  Matrix m(3, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  m.at(1, 2) = 6;  // 2x row 0
+  m.at(2, 0) = 0;
+  m.at(2, 1) = 1;
+  m.at(2, 2) = 1;
+  EXPECT_EQ(m.rank(), 2u);
+
+  Matrix null = m.left_null_space();
+  EXPECT_EQ(null.rows(), 1u);
+  // Verify xᵀ·A = 0 for the basis vector.
+  std::vector<Rational> x(3);
+  for (std::size_t c = 0; c < 3; ++c) x[c] = null.at(0, c);
+  for (const Rational& v : m.row_times(x)) EXPECT_TRUE(v.is_zero());
+}
+
+TEST(Matrix, FullRankHasEmptyNullSpace) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = 1;
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m.left_null_space().rows(), 0u);
+}
+
+TEST(Invariants, Fig1NetHasThePapersMinimalInvariants) {
+  petri::Net net = petri::gen::fig1_net();
+  auto invs = linalg::minimal_semipositive_invariants(net.incidence());
+  // The paper (§2.2): I1 = [1 1 0 1 0 1 0], I2 = [1 0 1 0 1 0 1] are the
+  // minimal semi-positive invariants; I = I1 + I2 is not minimal.
+  ASSERT_EQ(invs.size(), 2u);
+  std::vector<std::vector<std::int64_t>> expected = {
+      {1, 1, 0, 1, 0, 1, 0}, {1, 0, 1, 0, 1, 0, 1}};
+  for (const auto& e : expected) {
+    bool found = false;
+    for (const auto& inv : invs) found |= (inv.weights == e);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Invariants, EveryInvariantAnnihilatesIncidence) {
+  for (const petri::Net& net :
+       {petri::gen::philosophers(3), petri::gen::muller_pipeline(4),
+        petri::gen::slotted_ring(3), petri::gen::dme_ring(3)}) {
+    auto c = net.incidence();
+    auto invs = linalg::minimal_semipositive_invariants(c);
+    ASSERT_FALSE(invs.empty());
+    for (const auto& inv : invs) {
+      for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+        std::int64_t dot = 0;
+        for (std::size_t p = 0; p < net.num_places(); ++p) {
+          dot += inv.weights[p] * c[p][t];
+        }
+        EXPECT_EQ(dot, 0) << "invariant violated at transition " << t;
+      }
+      // Semi-positive and non-null.
+      std::int64_t sum = 0;
+      for (std::int64_t w : inv.weights) {
+        EXPECT_GE(w, 0);
+        sum += w;
+      }
+      EXPECT_GT(sum, 0);
+    }
+  }
+}
+
+TEST(Invariants, SupportsAreIncomparable) {
+  // Minimality: no invariant's support strictly contains another's.
+  petri::Net net = petri::gen::philosophers(3);
+  auto invs = linalg::minimal_semipositive_invariants(net.incidence());
+  for (std::size_t i = 0; i < invs.size(); ++i) {
+    for (std::size_t j = 0; j < invs.size(); ++j) {
+      if (i == j) continue;
+      auto si = invs[i].support(), sj = invs[j].support();
+      bool subset = std::includes(sj.begin(), sj.end(), si.begin(), si.end());
+      EXPECT_FALSE(subset && si.size() < sj.size())
+          << "support " << i << " strictly inside " << j;
+    }
+  }
+}
+
+TEST(Invariants, SupportCapIsSoundForSmallInvariants) {
+  // With a support cap, every minimal invariant within the cap must still be
+  // found (supports only grow under Farkas combination), and nothing larger
+  // may appear.
+  petri::Net net = petri::gen::muller_pipeline(5);
+  auto all = linalg::minimal_semipositive_invariants(net.incidence());
+  auto capped =
+      linalg::minimal_semipositive_invariants(net.incidence(), 200000, 4);
+  std::size_t small_in_all = 0;
+  for (const auto& inv : all) {
+    if (inv.support().size() <= 4) small_in_all++;
+  }
+  EXPECT_EQ(capped.size(), small_in_all);
+  for (const auto& inv : capped) {
+    EXPECT_LE(inv.support().size(), 4u);
+    bool found = false;
+    for (const auto& ref : all) found |= (ref.weights == inv.weights);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Invariants, MullerPipelineContainsEveryLinkInvariant) {
+  const int n = 5;
+  petri::Net net = petri::gen::muller_pipeline(n);
+  auto invs = linalg::minimal_semipositive_invariants(net.incidence());
+  // The marked graph has one simple-cycle invariant per link {A,B,C,D} plus
+  // further simple cycles spanning adjacent links; all of the former must be
+  // present.
+  EXPECT_GE(invs.size(), static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    std::vector<int> link = {
+        net.place_index("A_" + std::to_string(i)),
+        net.place_index("B_" + std::to_string(i)),
+        net.place_index("C_" + std::to_string(i)),
+        net.place_index("D_" + std::to_string(i))};
+    std::sort(link.begin(), link.end());
+    bool found = false;
+    for (const auto& inv : invs) found |= (inv.support() == link);
+    EXPECT_TRUE(found) << "missing link invariant " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,163 @@
+// Explicit-state oracle: known reachability counts, safeness, deadlocks.
+
+#include <gtest/gtest.h>
+
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+
+namespace pnenc {
+namespace {
+
+using petri::explicit_reachability;
+using petri::ExplicitOptions;
+using petri::Net;
+
+TEST(Explicit, Fig1HasEightMarkings) {
+  Net net = petri::gen::fig1_net();
+  auto r = explicit_reachability(net);
+  EXPECT_EQ(r.num_markings, 8u);  // paper Fig. 1b
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.safe);
+  EXPECT_TRUE(r.deadlocks.empty());  // the net is live
+}
+
+TEST(Explicit, TwoPhilosophersHave22Markings) {
+  Net net = petri::gen::philosophers(2);
+  auto r = explicit_reachability(net);
+  EXPECT_EQ(r.num_markings, 22u);  // paper §4.3
+  EXPECT_TRUE(r.safe);
+  // The classic deadlocks: all philosophers holding their right forks, or
+  // all holding their left forks.
+  ASSERT_EQ(r.deadlocks.size(), 2u);
+  bool all_right = false, all_left = false;
+  for (const auto& dead : r.deadlocks) {
+    all_right |= dead.test(net.place_index("hasR_0")) &&
+                 dead.test(net.place_index("hasR_1"));
+    all_left |= dead.test(net.place_index("hasL_0")) &&
+                dead.test(net.place_index("hasL_1"));
+  }
+  EXPECT_TRUE(all_right);
+  EXPECT_TRUE(all_left);
+}
+
+TEST(Explicit, PhilosopherFamilyGrowsAndStaysSafe) {
+  std::size_t prev = 0;
+  for (int n = 2; n <= 5; ++n) {
+    auto r = explicit_reachability(petri::gen::philosophers(n));
+    EXPECT_TRUE(r.safe) << "phil-" << n;
+    EXPECT_GT(r.num_markings, prev);
+    EXPECT_EQ(r.deadlocks.size(), 2u) << "phil-" << n;
+    prev = r.num_markings;
+  }
+}
+
+TEST(Explicit, MullerPipelineCountsFollowTribonacciLikeGrowth) {
+  // The Muller pipeline state count grows with ratio ≈ 1.84; check exact
+  // values stay consistent run to run and the family is safe and live.
+  std::vector<std::size_t> counts;
+  for (int n = 1; n <= 6; ++n) {
+    auto r = explicit_reachability(petri::gen::muller_pipeline(n));
+    EXPECT_TRUE(r.safe);
+    EXPECT_TRUE(r.deadlocks.empty()) << "muller-" << n;
+    counts.push_back(r.num_markings);
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i], counts[i - 1]);
+  }
+  double ratio = static_cast<double>(counts[5]) / counts[4];
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(Explicit, SlottedRingSafeAndLive) {
+  for (int n = 2; n <= 3; ++n) {
+    auto r = explicit_reachability(petri::gen::slotted_ring(n));
+    EXPECT_TRUE(r.safe) << "slot-" << n;
+    EXPECT_TRUE(r.deadlocks.empty()) << "slot-" << n;
+    EXPECT_GT(r.num_markings, 100u);
+  }
+}
+
+TEST(Explicit, DmeRingEnforcesMutualExclusion) {
+  Net net = petri::gen::dme_ring(3);
+  ExplicitOptions opts;
+  opts.keep_markings = true;
+  auto r = explicit_reachability(net, opts);
+  EXPECT_TRUE(r.safe);
+  EXPECT_TRUE(r.deadlocks.empty());
+  // At most one cell in its critical section, ever.
+  for (const auto& m : r.markings) {
+    int in_cs = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (m.test(net.place_index("cs_" + std::to_string(i)))) ++in_cs;
+    }
+    EXPECT_LE(in_cs, 1);
+  }
+}
+
+TEST(Explicit, DmeCircuitVariantAlsoExcludes) {
+  Net net = petri::gen::dme_ring_circuit(2);
+  ExplicitOptions opts;
+  opts.keep_markings = true;
+  auto r = explicit_reachability(net, opts);
+  EXPECT_TRUE(r.safe);
+  for (const auto& m : r.markings) {
+    EXPECT_FALSE(m.test(net.place_index("cs_0")) &&
+                 m.test(net.place_index("cs_1")));
+  }
+}
+
+TEST(Explicit, RegisterNetReachesAllBitPatterns) {
+  // Variant 'a': k·2^k markings (sequencer position × register contents).
+  for (int k = 2; k <= 6; ++k) {
+    auto r = explicit_reachability(petri::gen::register_net(k, 'a'));
+    EXPECT_EQ(r.num_markings,
+              static_cast<std::size_t>(k) * (std::size_t{1} << k))
+        << "register-" << k;
+    EXPECT_TRUE(r.safe);
+  }
+}
+
+TEST(Explicit, RegisterVariantBIsMonotone) {
+  auto ra = explicit_reachability(petri::gen::register_net(4, 'a'));
+  auto rb = explicit_reachability(petri::gen::register_net(4, 'b'));
+  EXPECT_EQ(rb.num_markings, ra.num_markings);  // all subsets still reachable
+  EXPECT_TRUE(rb.safe);
+}
+
+TEST(Explicit, StateCapTruncatesGracefully) {
+  ExplicitOptions opts;
+  opts.max_markings = 10;
+  auto r = explicit_reachability(petri::gen::philosophers(3), opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GT(r.num_markings, 10u);
+}
+
+TEST(Explicit, PlaceMarkingCountsForFig1) {
+  // From the 8 markings of Fig. 1b: p1 appears once; p6 in 4 of them, etc.
+  auto counts = petri::place_marking_counts(petri::gen::fig1_net());
+  EXPECT_EQ(counts[0], 1u);  // p1: only M0
+  EXPECT_EQ(counts[5], 3u);  // p6: in {p6,p3}, {p6,p7}, {p6,p5}
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  // Each non-initial marking holds 2 tokens, M0 holds 1: 7*2+1 = 15.
+  EXPECT_EQ(total, 15u);
+}
+
+TEST(Explicit, UnsafeNetIsDetected) {
+  petri::Net net;
+  int a = net.add_place("a", true);
+  int b = net.add_place("b", true);
+  int c = net.add_place("c", false);
+  int t1 = net.add_transition("t1");
+  net.add_input_arc(a, t1);
+  net.add_output_arc(t1, c);
+  int t2 = net.add_transition("t2");
+  net.add_input_arc(b, t2);
+  net.add_output_arc(t2, c);  // second token into c => unsafe
+  auto r = explicit_reachability(net);
+  EXPECT_FALSE(r.safe);
+}
+
+}  // namespace
+}  // namespace pnenc

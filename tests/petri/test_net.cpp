@@ -1,0 +1,157 @@
+// Petri-net kernel: construction, token game, incidence, parser round-trip.
+
+#include <gtest/gtest.h>
+
+#include "petri/generators.hpp"
+#include "petri/net.hpp"
+#include "petri/parser.hpp"
+
+namespace pnenc {
+namespace {
+
+using petri::Marking;
+using petri::Net;
+
+TEST(Net, Fig1Structure) {
+  Net net = petri::gen::fig1_net();
+  EXPECT_EQ(net.num_places(), 7u);
+  EXPECT_EQ(net.num_transitions(), 7u);
+  EXPECT_EQ(net.validate(), "");
+  // Initial marking: p1 only.
+  EXPECT_TRUE(net.initial_marking().test(0));
+  EXPECT_EQ(net.initial_marking().token_count(), 1u);
+}
+
+TEST(Net, Fig1IncidenceMatchesPaper) {
+  Net net = petri::gen::fig1_net();
+  auto c = net.incidence();
+  // Paper §2.1 prints the full matrix; check it row by row.
+  std::vector<std::vector<std::int64_t>> expected = {
+      {-1, -1, 0, 0, 0, 0, 1}, {1, 0, -1, 0, 0, 0, 0}, {1, 0, 0, -1, 0, 0, 0},
+      {0, 1, 0, 0, -1, 0, 0},  {0, 1, 0, 0, 0, -1, 0}, {0, 0, 1, 0, 1, 0, -1},
+      {0, 0, 0, 1, 0, 1, -1}};
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Net, TokenGameOnFig1) {
+  Net net = petri::gen::fig1_net();
+  Marking m0 = net.initial_marking();
+  int t1 = net.transition_index("t1");
+  int t7 = net.transition_index("t7");
+  ASSERT_GE(t1, 0);
+  EXPECT_TRUE(net.is_enabled(m0, t1));
+  EXPECT_FALSE(net.is_enabled(m0, t7));
+
+  Marking m1 = net.fire(m0, t1);  // -> {p2, p3}
+  EXPECT_FALSE(m1.test(net.place_index("p1")));
+  EXPECT_TRUE(m1.test(net.place_index("p2")));
+  EXPECT_TRUE(m1.test(net.place_index("p3")));
+  EXPECT_EQ(m1.token_count(), 2u);
+
+  auto enabled = net.enabled_transitions(m1);
+  EXPECT_EQ(enabled.size(), 2u);  // t3 and t4
+  EXPECT_FALSE(net.is_deadlock(m1));
+}
+
+TEST(Net, SelfLoopFiringKeepsToken) {
+  Net net;
+  int p = net.add_place("p", true);
+  int q = net.add_place("q", false);
+  int t = net.add_transition("t");
+  net.add_input_arc(p, t);
+  net.add_output_arc(t, p);  // self-loop
+  net.add_output_arc(t, q);
+  Marking m = net.fire(net.initial_marking(), t);
+  EXPECT_TRUE(m.test(p));
+  EXPECT_TRUE(m.test(q));
+}
+
+TEST(Net, ValidateFlagsArcFreeTransitions) {
+  Net net;
+  net.add_place("p", true);
+  net.add_transition("t");
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(Marking, HashAndEquality) {
+  Marking a(100), b(100);
+  a.set(3);
+  a.set(77);
+  b.set(3);
+  EXPECT_NE(a, b);
+  b.set(77);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.marked_places(), (std::vector<int>{3, 77}));
+}
+
+TEST(Parser, RoundTripsGeneratedNets) {
+  for (const Net& net :
+       {petri::gen::fig1_net(), petri::gen::philosophers(2),
+        petri::gen::muller_pipeline(3), petri::gen::slotted_ring(2)}) {
+    std::string text = petri::write_net(net);
+    Net parsed = petri::parse_net(text);
+    ASSERT_EQ(parsed.num_places(), net.num_places());
+    ASSERT_EQ(parsed.num_transitions(), net.num_transitions());
+    EXPECT_EQ(parsed.initial_marking(), net.initial_marking());
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      EXPECT_EQ(parsed.preset(static_cast<int>(t)),
+                net.preset(static_cast<int>(t)));
+      EXPECT_EQ(parsed.postset(static_cast<int>(t)),
+                net.postset(static_cast<int>(t)));
+    }
+  }
+}
+
+TEST(Parser, ParsesExplicitSyntaxAndComments) {
+  const char* text =
+      "# a tiny net\n"
+      "place a 1\n"
+      "place b\n"
+      "trans t : a -> b   # fire once\n";
+  Net net = petri::parse_net(text);
+  EXPECT_EQ(net.num_places(), 2u);
+  EXPECT_EQ(net.num_transitions(), 1u);
+  EXPECT_TRUE(net.initial_marking().test(net.place_index("a")));
+  EXPECT_FALSE(net.initial_marking().test(net.place_index("b")));
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(petri::parse_net("place\n"), std::runtime_error);
+  EXPECT_THROW(petri::parse_net("trans t : a b\n"), std::runtime_error);
+  EXPECT_THROW(petri::parse_net("bogus line\n"), std::runtime_error);
+  EXPECT_THROW(petri::parse_net("place a\nplace a\n"), std::runtime_error);
+}
+
+TEST(Generators, SizesMatchDesign) {
+  EXPECT_EQ(petri::gen::philosophers(2).num_places(), 14u);   // paper Fig. 4
+  EXPECT_EQ(petri::gen::philosophers(5).num_places(), 35u);   // 7 per phil
+  EXPECT_EQ(petri::gen::muller_pipeline(30).num_places(), 120u);  // paper V
+  EXPECT_EQ(petri::gen::slotted_ring(5).num_places(), 50u);       // paper V
+  EXPECT_EQ(petri::gen::philosophers(2).num_transitions(), 10u);  // t1..t10
+  EXPECT_EQ(petri::gen::dme_ring(4).num_places(), 28u);
+  EXPECT_EQ(petri::gen::dme_ring_circuit(4).num_places(), 48u);
+  EXPECT_EQ(petri::gen::register_net(5, 'a').num_places(), 15u);
+  EXPECT_EQ(petri::gen::register_net(5, 'a').num_transitions(), 20u);
+  EXPECT_EQ(petri::gen::register_net(5, 'b').num_transitions(), 15u);
+}
+
+TEST(Generators, RejectDegenerateParameters) {
+  EXPECT_THROW(petri::gen::philosophers(1), std::invalid_argument);
+  EXPECT_THROW(petri::gen::muller_pipeline(0), std::invalid_argument);
+  EXPECT_THROW(petri::gen::slotted_ring(1), std::invalid_argument);
+  EXPECT_THROW(petri::gen::register_net(3, 'x'), std::invalid_argument);
+}
+
+TEST(Generators, AllNetsValidate) {
+  EXPECT_EQ(petri::gen::fig1_net().validate(), "");
+  EXPECT_EQ(petri::gen::philosophers(4).validate(), "");
+  EXPECT_EQ(petri::gen::muller_pipeline(6).validate(), "");
+  EXPECT_EQ(petri::gen::slotted_ring(4).validate(), "");
+  EXPECT_EQ(petri::gen::dme_ring(4).validate(), "");
+  EXPECT_EQ(petri::gen::dme_ring_circuit(3).validate(), "");
+  EXPECT_EQ(petri::gen::register_net(4, 'a').validate(), "");
+}
+
+}  // namespace
+}  // namespace pnenc

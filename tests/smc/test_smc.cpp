@@ -1,0 +1,173 @@
+// SMC extraction (§2.2) and the unate covering solver (§4.2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "smc/covering.hpp"
+#include "smc/smc.hpp"
+
+namespace pnenc {
+namespace {
+
+using petri::Net;
+using smc::CoverColumn;
+using smc::find_smcs;
+using smc::make_smc;
+using smc::Smc;
+using smc::solve_covering;
+
+TEST(Smc, Fig1HasTheTwoPaperSmcs) {
+  Net net = petri::gen::fig1_net();
+  auto smcs = find_smcs(net);
+  ASSERT_EQ(smcs.size(), 2u);
+  std::set<std::vector<int>> supports;
+  for (const auto& s : smcs) supports.insert(s.places);
+  // SM1 = {p1,p2,p4,p6} (ids 0,1,3,5), SM2 = {p1,p3,p5,p7} (ids 0,2,4,6).
+  EXPECT_TRUE(supports.count({0, 1, 3, 5}));
+  EXPECT_TRUE(supports.count({0, 2, 4, 6}));
+  for (const auto& s : smcs) EXPECT_EQ(s.encoding_cost(), 2);
+}
+
+TEST(Smc, TwoPhilosophersHaveSixSmcs) {
+  // Fig. 3 of the paper shows exactly six SM components for phil-2.
+  Net net = petri::gen::philosophers(2);
+  auto smcs = find_smcs(net);
+  EXPECT_EQ(smcs.size(), 6u);
+  // Four philosopher cycles of size 4 and two fork components of size 5.
+  int size4 = 0, size5 = 0;
+  for (const auto& s : smcs) {
+    if (s.size() == 4) ++size4;
+    if (s.size() == 5) ++size5;
+  }
+  EXPECT_EQ(size4, 4);
+  EXPECT_EQ(size5, 2);
+}
+
+TEST(Smc, PhilosopherSmcCountScalesLinearly) {
+  for (int n = 2; n <= 5; ++n) {
+    auto smcs = find_smcs(petri::gen::philosophers(n));
+    EXPECT_EQ(smcs.size(), static_cast<std::size_t>(3 * n)) << "phil-" << n;
+  }
+}
+
+TEST(Smc, TokenInvarianceHoldsOnAllReachableMarkings) {
+  // Theorem 2.1's consequence: every SMC holds exactly one token in every
+  // reachable marking — the property the encoding is built on.
+  for (const Net& net :
+       {petri::gen::fig1_net(), petri::gen::philosophers(3),
+        petri::gen::muller_pipeline(4), petri::gen::slotted_ring(3),
+        petri::gen::dme_ring(3)}) {
+    auto smcs = find_smcs(net);
+    ASSERT_FALSE(smcs.empty());
+    petri::ExplicitOptions opts;
+    opts.keep_markings = true;
+    auto r = petri::explicit_reachability(net, opts);
+    for (const auto& s : smcs) {
+      for (const auto& m : r.markings) {
+        int tokens = 0;
+        for (int p : s.places) tokens += m.test(p) ? 1 : 0;
+        ASSERT_EQ(tokens, 1) << "SMC token invariant violated";
+      }
+    }
+  }
+}
+
+TEST(Smc, SmcTransitionsHaveOneInOneOutPlace) {
+  auto smcs = find_smcs(petri::gen::slotted_ring(3));
+  for (const auto& s : smcs) {
+    ASSERT_EQ(s.transitions.size(), s.in_place.size());
+    ASSERT_EQ(s.transitions.size(), s.out_place.size());
+    for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+      EXPECT_TRUE(std::binary_search(s.places.begin(), s.places.end(),
+                                     s.in_place[i]));
+      EXPECT_TRUE(std::binary_search(s.places.begin(), s.places.end(),
+                                     s.out_place[i]));
+    }
+  }
+}
+
+TEST(Smc, RejectsNonSmcSubsets) {
+  Net net = petri::gen::fig1_net();
+  // {p1, p2} alone: t1 has output p3 outside... in the subnet t3 has no
+  // output inside; also not strongly connected.
+  EXPECT_FALSE(make_smc(net, {0, 1}, nullptr));
+  // The union of both SMCs holds one token but is not a state machine
+  // (t1 has two output places inside).
+  EXPECT_FALSE(make_smc(net, {0, 1, 2, 3, 4, 5, 6}, nullptr));
+}
+
+TEST(Smc, RejectsZeroOrTwoTokenSets) {
+  Net net = petri::gen::philosophers(2);
+  // A philosopher cycle plus a fork: two tokens initially.
+  int idle0 = net.place_index("idle_0");
+  int fork0 = net.place_index("fork_0");
+  EXPECT_FALSE(make_smc(net, {idle0, fork0}, nullptr));
+}
+
+TEST(Smc, DmeRingHasGlobalPrivilegeComponent) {
+  Net net = petri::gen::dme_ring(4);
+  auto smcs = find_smcs(net);
+  // Per-cell client cycles (size 4) + the privilege/grant component that
+  // spans all cells (size 3n).
+  bool found_global = false;
+  for (const auto& s : smcs) {
+    if (s.size() == 12u) found_global = true;
+  }
+  EXPECT_TRUE(found_global);
+}
+
+// ---------------------------------------------------------------------------
+// Covering solver
+// ---------------------------------------------------------------------------
+
+TEST(Covering, PicksTheCheapestCover) {
+  // Rows 0..3. Column A covers {0,1,2,3} at cost 3; B covers {0,1} cost 1;
+  // C covers {2,3} cost 1. Optimal: B+C at cost 2.
+  std::vector<CoverColumn> cols = {
+      {{0, 1, 2, 3}, 3}, {{0, 1}, 1}, {{2, 3}, 1}};
+  auto r = solve_covering(4, cols);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.total_cost, 2);
+  EXPECT_EQ(r.chosen, (std::vector<int>{1, 2}));
+}
+
+TEST(Covering, PrefersBigColumnWhenCheaper) {
+  std::vector<CoverColumn> cols = {
+      {{0, 1, 2, 3}, 2}, {{0, 1}, 2}, {{2, 3}, 2}};
+  auto r = solve_covering(4, cols);
+  EXPECT_EQ(r.total_cost, 2);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0}));
+}
+
+TEST(Covering, HandlesOverlappingColumnsExactly) {
+  // Classic trap for greedy: greedy picks the big middle column first and
+  // pays 3; optimal picks the two sides for 2.
+  std::vector<CoverColumn> cols = {
+      {{0, 1, 2}, 1},        // left
+      {{3, 4, 5}, 1},        // right
+      {{1, 2, 3, 4}, 1}};    // tempting middle
+  auto r = solve_covering(6, cols);
+  EXPECT_EQ(r.total_cost, 2);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0, 1}));
+}
+
+TEST(Covering, EmptyProblemIsFree) {
+  auto r = solve_covering(0, {});
+  EXPECT_EQ(r.total_cost, 0);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Covering, SingletonFallbackAlwaysExists) {
+  // Every row has its own singleton column: a valid cover must be found.
+  std::vector<CoverColumn> cols;
+  for (int i = 0; i < 10; ++i) cols.push_back({{i}, 1});
+  cols.push_back({{0, 1, 2, 3, 4}, 2});
+  auto r = solve_covering(10, cols);
+  EXPECT_EQ(r.total_cost, 7);  // big column + 5 singletons
+}
+
+}  // namespace
+}  // namespace pnenc

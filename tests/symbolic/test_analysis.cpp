@@ -1,0 +1,197 @@
+// Analyzer: dead transitions/places, backward reachability, reversibility,
+// and witness-trace extraction, validated against the token game.
+
+#include <gtest/gtest.h>
+
+#include "encoding/encoding.hpp"
+#include "petri/classify.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/analysis.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using petri::Net;
+using symbolic::Analyzer;
+using symbolic::SymbolicContext;
+
+/// Replays a firing sequence from M0 and returns the final marking.
+petri::Marking replay(const Net& net, const std::vector<int>& trace) {
+  petri::Marking m = net.initial_marking();
+  for (int t : trace) {
+    EXPECT_TRUE(net.is_enabled(m, t))
+        << "trace fires disabled transition " << net.transition_name(t);
+    m = net.fire(m, t);
+  }
+  return m;
+}
+
+TEST(Analyzer, LiveNetsHaveNoDeadTransitionsOrPlaces) {
+  for (const char* scheme : {"sparse", "improved"}) {
+    Net net = petri::gen::slotted_ring(3);
+    auto enc = build_encoding(net, scheme);
+    SymbolicContext ctx(net, enc);
+    Analyzer an(ctx);
+    EXPECT_TRUE(an.dead_transitions().empty()) << scheme;
+    EXPECT_TRUE(an.dead_places().empty()) << scheme;
+    EXPECT_TRUE(an.always_marked_places().empty()) << scheme;
+  }
+}
+
+TEST(Analyzer, DetectsStructurallyDeadTransition) {
+  // p_unreachable never gets a token, so t_dead can never fire.
+  Net net;
+  int a = net.add_place("a", true);
+  int b = net.add_place("b");
+  int orphan = net.add_place("orphan");
+  int sink = net.add_place("sink");
+  int t1 = net.add_transition("t1");
+  net.add_input_arc(a, t1);
+  net.add_output_arc(t1, b);
+  int t2 = net.add_transition("t_back");
+  net.add_input_arc(b, t2);
+  net.add_output_arc(t2, a);
+  int t_dead = net.add_transition("t_dead");
+  net.add_input_arc(orphan, t_dead);
+  net.add_output_arc(t_dead, sink);
+
+  auto enc = build_encoding(net, "sparse");
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  EXPECT_EQ(an.dead_transitions(), (std::vector<int>{t_dead}));
+  EXPECT_EQ(an.dead_places(), (std::vector<int>{orphan, sink}));
+  EXPECT_TRUE(an.is_reversible());
+}
+
+TEST(Analyzer, AlwaysMarkedPlaceIsReported) {
+  Net net;
+  int constant = net.add_place("constant", true);
+  int a = net.add_place("a", true);
+  int b = net.add_place("b");
+  int t = net.add_transition("t");
+  net.add_input_arc(a, t);
+  net.add_output_arc(t, b);
+  (void)constant;
+  auto enc = build_encoding(net, "sparse");
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  EXPECT_EQ(an.always_marked_places(), (std::vector<int>{constant}));
+}
+
+TEST(Analyzer, ReversibilityMatchesIntuition) {
+  // The Fig. 1 net cycles back to M0: reversible. The philosophers net has
+  // deadlocks: not reversible.
+  {
+    Net net = petri::gen::fig1_net();
+    auto enc = build_encoding(net, "dense");
+    SymbolicContext ctx(net, enc);
+    EXPECT_TRUE(Analyzer(ctx).is_reversible());
+  }
+  {
+    Net net = petri::gen::philosophers(2);
+    auto enc = build_encoding(net, "improved");
+    SymbolicContext ctx(net, enc);
+    EXPECT_FALSE(Analyzer(ctx).is_reversible());
+  }
+}
+
+TEST(Analyzer, CanReachAgreesWithExplicitBackwardSweep) {
+  Net net = petri::gen::philosophers(2);
+  auto enc = build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  // From every reachable marking one can reach *some* marking where
+  // philosopher 0 eats OR a deadlock (since deadlocks trap).
+  bdd::Bdd eat0 = ctx.place_char(net.place_index("eat_0"));
+  bdd::Bdd dead = ctx.deadlocks(an.reached());
+  bdd::Bdd can = an.can_reach(eat0 | dead);
+  EXPECT_EQ(can, an.reached());
+  // But not every marking can reach eating alone (deadlocks can't).
+  bdd::Bdd can_eat = an.can_reach(eat0);
+  EXPECT_TRUE((can_eat & dead).is_false());
+  EXPECT_EQ(can_eat | dead, an.reached());
+}
+
+class AnalyzerTrace : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AnalyzerTrace, DeadlockTraceReplaysToADeadlock) {
+  for (int n : {2, 3}) {
+    Net net = petri::gen::philosophers(n);
+    auto enc = build_encoding(net, GetParam());
+    SymbolicContext ctx(net, enc);
+    Analyzer an(ctx);
+    auto trace = an.deadlock_trace();
+    ASSERT_TRUE(trace.has_value()) << "phil-" << n;
+    petri::Marking end = replay(net, *trace);
+    EXPECT_TRUE(net.is_deadlock(end));
+    // BFS-shortest: reaching the all-right deadlock takes go+takeR per
+    // philosopher = 2n firings.
+    EXPECT_EQ(trace->size(), static_cast<std::size_t>(2 * n));
+  }
+}
+
+TEST_P(AnalyzerTrace, TraceToSpecificMarking) {
+  Net net = petri::gen::fig1_net();
+  auto enc = build_encoding(net, GetParam());
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  // Target: {p6, p7} — needs 3 firings (t1; t3; t4 or similar).
+  bdd::Bdd target = ctx.place_char(5) & ctx.place_char(6);
+  auto trace = an.trace_to(target);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->size(), 3u);
+  petri::Marking end = replay(net, *trace);
+  EXPECT_TRUE(end.test(5));
+  EXPECT_TRUE(end.test(6));
+}
+
+TEST_P(AnalyzerTrace, UnreachableTargetGivesNullopt) {
+  Net net = petri::gen::fig1_net();
+  auto enc = build_encoding(net, GetParam());
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  // p2 and p4 are in the same SMC: never marked together.
+  bdd::Bdd target = ctx.place_char(1) & ctx.place_char(3);
+  EXPECT_FALSE(an.trace_to(target).has_value());
+  EXPECT_FALSE(an.deadlock_trace().has_value());  // fig1 is deadlock-free
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AnalyzerTrace,
+                         ::testing::Values("sparse", "dense", "improved"));
+
+TEST(Classify, KnownFamilies) {
+  auto c_fig1 = petri::classify(petri::gen::fig1_net());
+  EXPECT_FALSE(c_fig1.state_machine);  // t1 has two outputs
+  EXPECT_FALSE(c_fig1.marked_graph);   // p1 has two output transitions
+  EXPECT_TRUE(c_fig1.free_choice);     // the only choice place is p1, and
+                                       // t1,t2 have singleton presets
+  auto c_muller = petri::classify(petri::gen::muller_pipeline(4));
+  EXPECT_TRUE(c_muller.marked_graph);
+  EXPECT_FALSE(c_muller.state_machine);
+  EXPECT_TRUE(c_muller.free_choice);  // MGs are trivially FC
+
+  auto c_phil = petri::classify(petri::gen::philosophers(3));
+  EXPECT_FALSE(c_phil.state_machine);
+  EXPECT_FALSE(c_phil.marked_graph);
+  EXPECT_FALSE(c_phil.free_choice);  // forks are shared with joint presets
+
+  // A plain cycle is a state machine (and a marked graph).
+  petri::Net cycle;
+  int p0 = cycle.add_place("p0", true);
+  int p1 = cycle.add_place("p1");
+  int t0 = cycle.add_transition("t0");
+  int t1 = cycle.add_transition("t1");
+  cycle.add_input_arc(p0, t0);
+  cycle.add_output_arc(t0, p1);
+  cycle.add_input_arc(p1, t1);
+  cycle.add_output_arc(t1, p0);
+  auto c_cycle = petri::classify(cycle);
+  EXPECT_TRUE(c_cycle.state_machine);
+  EXPECT_TRUE(c_cycle.marked_graph);
+  EXPECT_NE(c_cycle.to_string().find("state machine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnenc

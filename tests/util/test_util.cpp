@@ -1,0 +1,77 @@
+// Utility kit: table renderer, stats registry, timer formatting.
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace pnenc {
+namespace {
+
+TEST(TablePrinter, AlignsAndSeparates) {
+  util::TablePrinter t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"b", "12345"});
+  std::string out = t.render("title");
+  // Title first, then header, rows in order, with a separator between them.
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_LT(out.find("name"), out.find("alpha"));
+  EXPECT_LT(out.find("alpha"), out.find("12345"));
+  // Numeric right-alignment: "1" is padded on the left to width 5.
+  EXPECT_NE(out.find("|     1 |"), std::string::npos);
+  // Text left-alignment.
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  // 4 horizontal rules: top, under header, separator, bottom.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("\n+", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  // The top rule follows the title line; 3 more follow rows.
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  util::TablePrinter t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(Stats, CountersAccumulateAndReset) {
+  util::StatsRegistry reg;
+  reg.add("hits");
+  reg.add("hits", 4);
+  reg.set("misses", 7);
+  EXPECT_EQ(reg.get("hits"), 5u);
+  EXPECT_EQ(reg.get("misses"), 7u);
+  EXPECT_EQ(reg.get("absent"), 0u);
+  EXPECT_NE(reg.to_string().find("hits = 5"), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.get("hits"), 0u);
+}
+
+TEST(Stats, GlobalRegistryIsSingleton) {
+  util::StatsRegistry::global().set("probe", 42);
+  EXPECT_EQ(util::StatsRegistry::global().get("probe"), 42u);
+  util::StatsRegistry::global().reset();
+}
+
+TEST(Timer, MeasuresAndFormats) {
+  util::Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  EXPECT_GE(t.elapsed_us(), 0.0);
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+  EXPECT_GE(t.elapsed_s(), 0.0);
+  t.restart();
+  EXPECT_LT(t.elapsed_s(), 10.0);
+  EXPECT_EQ(util::format_duration_ms(250.0), "250.0 ms");
+  EXPECT_EQ(util::format_duration_ms(2500.0), "2.50 s");
+}
+
+}  // namespace
+}  // namespace pnenc

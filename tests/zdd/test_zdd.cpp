@@ -1,0 +1,176 @@
+// ZDD tests against an explicit set-of-sets oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "zdd/zdd.hpp"
+
+namespace pnenc {
+namespace {
+
+using zdd::Zdd;
+using zdd::ZddManager;
+
+using Family = std::set<std::vector<int>>;
+
+Family random_family(int nvars, int nsets, std::mt19937& rng) {
+  Family fam;
+  for (int i = 0; i < nsets; ++i) {
+    std::vector<int> s;
+    for (int v = 0; v < nvars; ++v) {
+      if (rng() & 1) s.push_back(v);
+    }
+    fam.insert(s);
+  }
+  return fam;
+}
+
+Zdd build(ZddManager& mgr, const Family& fam) {
+  Zdd f = mgr.empty();
+  for (const auto& s : fam) f |= mgr.singleton(s);
+  return f;
+}
+
+Family read_back(ZddManager& mgr, const Zdd& f) {
+  Family fam;
+  for (auto& s : mgr.all_sets(f)) fam.insert(s);
+  return fam;
+}
+
+TEST(Zdd, TerminalsAndSingletons) {
+  ZddManager mgr(4);
+  EXPECT_TRUE(mgr.empty().is_empty());
+  EXPECT_TRUE(mgr.base().is_base());
+  EXPECT_DOUBLE_EQ(mgr.empty().count(), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.base().count(), 1.0);
+  Zdd s = mgr.singleton({1, 3});
+  EXPECT_DOUBLE_EQ(s.count(), 1.0);
+  Family expected{{1, 3}};
+  EXPECT_EQ(read_back(mgr, s), expected);
+  // The empty set as a singleton is the base.
+  EXPECT_EQ(mgr.singleton({}), mgr.base());
+}
+
+TEST(Zdd, CanonicityOfConstructionOrder) {
+  ZddManager mgr(5);
+  Zdd a = mgr.singleton({0, 2}) | mgr.singleton({1}) | mgr.singleton({4});
+  Zdd b = mgr.singleton({4}) | mgr.singleton({0, 2}) | mgr.singleton({1});
+  EXPECT_EQ(a, b);
+}
+
+class ZddSetAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZddSetAlgebra, MatchesExplicitSets) {
+  const int nvars = 6;
+  std::mt19937 rng(GetParam() * 4242);
+  ZddManager mgr(nvars);
+  Family fa = random_family(nvars, 12, rng);
+  Family fb = random_family(nvars, 12, rng);
+  Zdd a = build(mgr, fa);
+  Zdd b = build(mgr, fb);
+
+  ASSERT_EQ(read_back(mgr, a), fa);
+  ASSERT_EQ(read_back(mgr, b), fb);
+  EXPECT_DOUBLE_EQ(a.count(), static_cast<double>(fa.size()));
+
+  Family funion, finter, fdiff;
+  std::set_union(fa.begin(), fa.end(), fb.begin(), fb.end(),
+                 std::inserter(funion, funion.end()));
+  std::set_intersection(fa.begin(), fa.end(), fb.begin(), fb.end(),
+                        std::inserter(finter, finter.end()));
+  std::set_difference(fa.begin(), fa.end(), fb.begin(), fb.end(),
+                      std::inserter(fdiff, fdiff.end()));
+  EXPECT_EQ(read_back(mgr, a | b), funion);
+  EXPECT_EQ(read_back(mgr, a & b), finter);
+  EXPECT_EQ(read_back(mgr, a - b), fdiff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZddSetAlgebra, ::testing::Range(1, 16));
+
+class ZddElementOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZddElementOps, SubsetChangeOnsetAssignMatchOracle) {
+  const int nvars = 6;
+  std::mt19937 rng(GetParam() * 97);
+  ZddManager mgr(nvars);
+  Family fa = random_family(nvars, 14, rng);
+  Zdd a = build(mgr, fa);
+
+  for (int v = 0; v < nvars; ++v) {
+    Family sub1, sub0, chg, ons, as1, as0;
+    for (auto s : fa) {
+      bool has = std::binary_search(s.begin(), s.end(), v);
+      if (has) {
+        std::vector<int> t = s;
+        t.erase(std::find(t.begin(), t.end(), v));
+        sub1.insert(t);
+        chg.insert(t);
+        ons.insert(s);
+        as1.insert(s);
+        as0.insert(t);
+      } else {
+        sub0.insert(s);
+        std::vector<int> t = s;
+        t.insert(std::upper_bound(t.begin(), t.end(), v), v);
+        chg.insert(t);
+        as1.insert(t);
+        as0.insert(s);
+      }
+    }
+    EXPECT_EQ(read_back(mgr, mgr.subset1(a, v)), sub1) << "v=" << v;
+    EXPECT_EQ(read_back(mgr, mgr.subset0(a, v)), sub0) << "v=" << v;
+    EXPECT_EQ(read_back(mgr, mgr.change(a, v)), chg) << "v=" << v;
+    EXPECT_EQ(read_back(mgr, mgr.onset(a, v)), ons) << "v=" << v;
+    EXPECT_EQ(read_back(mgr, mgr.assign1(a, v)), as1) << "v=" << v;
+    EXPECT_EQ(read_back(mgr, mgr.assign0(a, v)), as0) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZddElementOps, ::testing::Range(1, 11));
+
+TEST(Zdd, ChangeTwiceIsIdentity) {
+  ZddManager mgr(5);
+  std::mt19937 rng(3);
+  Family fa = random_family(5, 10, rng);
+  Zdd a = build(mgr, fa);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(mgr.change(mgr.change(a, v), v), a);
+  }
+}
+
+TEST(Zdd, GcKeepsReferencedFamilies) {
+  ZddManager mgr(6);
+  std::mt19937 rng(8);
+  Family fa = random_family(6, 15, rng);
+  Zdd a = build(mgr, fa);
+  {
+    // Generate garbage.
+    for (int i = 0; i < 10; ++i) {
+      Family junk = random_family(6, 10, rng);
+      Zdd j = build(mgr, junk);
+      j = j | a;
+    }
+  }
+  std::size_t live_before = mgr.live_node_count();
+  mgr.gc();
+  EXPECT_LT(mgr.live_node_count(), live_before);
+  EXPECT_EQ(read_back(mgr, a), fa);
+}
+
+TEST(Zdd, SparseSetsStayCompact) {
+  // The raison d'être of ZDDs: a family of singletons over many variables
+  // needs only one node per element, independent of nvars.
+  const int nvars = 200;
+  ZddManager mgr(nvars);
+  Zdd f = mgr.empty();
+  for (int v = 0; v < nvars; v += 10) f |= mgr.singleton({v});
+  EXPECT_EQ(f.size(), 20u);
+  EXPECT_DOUBLE_EQ(f.count(), 20.0);
+}
+
+}  // namespace
+}  // namespace pnenc
