@@ -55,7 +55,8 @@ petri::Net load_net(const std::string& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: pnanalyze <net-file|builtin:NAME> "
-               "[--scheme sparse|dense|improved] [--method direct|tr|mono] "
+               "[--scheme sparse|dense|improved] "
+               "[--method direct|tr|mono|clustered|chained|chained-direct] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
                "reg-N\n");
@@ -75,9 +76,22 @@ int main(int argc, char** argv) {
       scheme = argv[++i];
     } else if (!std::strcmp(argv[i], "--method") && i + 1 < argc) {
       std::string m = argv[++i];
-      method = m == "tr"     ? symbolic::ImageMethod::kPartitionedTr
-               : m == "mono" ? symbolic::ImageMethod::kMonolithicTr
-                             : symbolic::ImageMethod::kDirect;
+      if (m == "direct") {
+        method = symbolic::ImageMethod::kDirect;
+      } else if (m == "tr") {
+        method = symbolic::ImageMethod::kPartitionedTr;
+      } else if (m == "mono") {
+        method = symbolic::ImageMethod::kMonolithicTr;
+      } else if (m == "clustered") {
+        method = symbolic::ImageMethod::kClusteredTr;
+      } else if (m == "chained") {
+        method = symbolic::ImageMethod::kChainedTr;
+      } else if (m == "chained-direct") {
+        method = symbolic::ImageMethod::kChainedDirect;
+      } else {
+        std::fprintf(stderr, "unknown --method '%s'\n", m.c_str());
+        return usage();
+      }
     } else if (!std::strcmp(argv[i], "--deadlocks")) {
       want_deadlocks = true;
     } else if (!std::strcmp(argv[i], "--smcs")) {
@@ -121,14 +135,18 @@ int main(int argc, char** argv) {
                 static_cast<double>(net.num_places()) / enc.num_vars());
 
     symbolic::SymbolicOptions opts;
-    opts.with_next_vars = method != symbolic::ImageMethod::kDirect;
+    opts.with_next_vars = method != symbolic::ImageMethod::kDirect &&
+                          method != symbolic::ImageMethod::kChainedDirect;
     opts.auto_reorder_threshold = 200000;
     symbolic::SymbolicContext ctx(net, enc, opts);
     auto r = ctx.reachability(method);
+    bool chained = method == symbolic::ImageMethod::kChainedTr ||
+                   method == symbolic::ImageMethod::kChainedDirect;
     std::printf(
-        "reachable markings: %.6g  (%d BFS iterations, %zu BDD nodes, "
-        "%.1f ms total)\n",
-        r.num_markings, r.iterations, r.reached_nodes, timer.elapsed_ms());
+        "reachable markings: %.6g  (%d %s, %zu BDD nodes, %.1f ms total)\n",
+        r.num_markings, r.iterations,
+        chained ? "chained sweeps" : "BFS iterations", r.reached_nodes,
+        timer.elapsed_ms());
 
     if (want_deadlocks) {
       bdd::Bdd dead = ctx.deadlocks(ctx.reached_set());

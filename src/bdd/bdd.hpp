@@ -186,6 +186,11 @@ class BddManager {
   /// sifting according to the configured thresholds.
   void maybe_reorder();
 
+  /// Invalidates every computed-cache entry (the unique table is untouched,
+  /// so canonicity is preserved). Used by benchmarks to measure cold-cache
+  /// operation cost; results stay correct either way.
+  void clear_op_cache();
+
   [[nodiscard]] std::uint64_t cache_lookups() const { return cache_lookups_; }
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }

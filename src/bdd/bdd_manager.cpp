@@ -320,6 +320,11 @@ void BddManager::cache_clear() {
   for (auto& e : cache_) e.op = 0xFFFFFFFFu;
 }
 
+void BddManager::clear_op_cache() {
+  assert(op_depth_ == 0);
+  cache_clear();
+}
+
 void BddManager::set_auto_reorder(std::size_t first_threshold) {
   reorder_threshold_ = first_threshold;
 }

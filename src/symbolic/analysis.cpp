@@ -7,13 +7,18 @@ namespace pnenc::symbolic {
 using bdd::Bdd;
 
 Analyzer::Analyzer(SymbolicContext& ctx) : ctx_(ctx) {
-  Bdd reached = ctx.initial();
-  Bdd frontier = reached;
-  while (!frontier.is_false()) {
-    frontier = ctx.image_all(frontier).diff(reached);
-    reached |= frontier;
+  // Reuse a traversal the context already ran (any method computes the same
+  // set); otherwise run the fastest one available.
+  if (!ctx.reached_set().is_valid()) {
+    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kChainedTr
+                                         : ImageMethod::kChainedDirect);
   }
-  reached_ = reached;
+  reached_ = ctx.reached_set();
+}
+
+Analyzer::Analyzer(SymbolicContext& ctx, ImageMethod method) : ctx_(ctx) {
+  ctx.reachability(method);
+  reached_ = ctx.reached_set();
 }
 
 double Analyzer::num_markings() { return ctx_.count_markings(reached_); }
@@ -51,7 +56,7 @@ std::vector<int> Analyzer::always_marked_places() {
 Bdd Analyzer::can_reach(const Bdd& target) {
   Bdd acc = reached_ & target;
   for (;;) {
-    Bdd next = acc | (reached_ & ctx_.preimage_all(acc));
+    Bdd next = acc | (reached_ & ctx_.preimage_best(acc));
     if (next == acc) return acc;
     acc = next;
   }

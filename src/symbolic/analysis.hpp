@@ -12,8 +12,13 @@ namespace pnenc::symbolic {
 /// applications [10, 17] are asynchronous-circuit checks of this kind).
 class Analyzer {
  public:
-  /// Computes the reachability set once at construction.
+  /// Binds to the context's reachability set: reuses a traversal the
+  /// context already ran, otherwise computes one using chained sweeps over
+  /// the clustered partitioned relation when the context has next-state
+  /// variables and chained direct images otherwise.
   explicit Analyzer(SymbolicContext& ctx);
+  /// Same, with an explicit traversal method.
+  Analyzer(SymbolicContext& ctx, ImageMethod method);
 
   [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
   [[nodiscard]] double num_markings();

@@ -5,20 +5,18 @@ namespace pnenc::symbolic {
 using bdd::Bdd;
 
 CtlChecker::CtlChecker(SymbolicContext& ctx) : ctx_(ctx) {
-  Bdd reached = ctx.initial();
-  Bdd frontier = reached;
-  while (!frontier.is_false()) {
-    frontier = ctx.image_all(frontier).diff(reached);
-    reached |= frontier;
+  if (!ctx.reached_set().is_valid()) {
+    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kChainedTr
+                                         : ImageMethod::kChainedDirect);
   }
-  reached_ = reached;
+  reached_ = ctx.reached_set();
   deadlocked_ = ctx.deadlocks(reached_);
 }
 
 Bdd CtlChecker::states(const Bdd& f) { return reached_ & f; }
 
 Bdd CtlChecker::ex(const Bdd& f) {
-  return reached_ & ctx_.preimage_all(f & reached_);
+  return reached_ & ctx_.preimage_best(f & reached_);
 }
 
 Bdd CtlChecker::ef(const Bdd& f) {

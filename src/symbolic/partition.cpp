@@ -1,0 +1,187 @@
+#include "symbolic/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc::symbolic {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+RelationPartition::RelationPartition(SymbolicContext& ctx,
+                                     const PartitionOptions& opts)
+    : ctx_(ctx), opts_(opts) {
+  if (!ctx.has_next_vars()) {
+    throw std::logic_error(
+        "RelationPartition requires SymbolicOptions.with_next_vars");
+  }
+  const int nt = static_cast<int>(ctx.net().num_transitions());
+
+  // Order transitions by the first encoding variable they change, so
+  // transitions touching the same state-machine component end up adjacent
+  // and cluster together (their relations share support).
+  std::vector<int> order(nt);
+  std::iota(order.begin(), order.end(), 0);
+  auto first_changed = [&](int t) {
+    const auto& ch = ctx.changed_vars(t);
+    return ch.empty() ? -1 : *std::min_element(ch.begin(), ch.end());
+  };
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return first_changed(a) < first_changed(b);
+  });
+
+  // Two-phase clustering. Phase 1 groups by the changed-variable union —
+  // pure set arithmetic, no BDDs, so rejected candidates cost nothing.
+  // Phase 2 builds each group's relation once and splits in half while it
+  // exceeds the node cap.
+  std::vector<int> current;
+  std::vector<char> var_union(static_cast<std::size_t>(ctx.enc().num_vars()),
+                              0);
+  std::size_t union_size = 0;
+  for (int t : order) {
+    std::size_t added = 0;
+    for (int v : ctx.changed_vars(t)) {
+      if (!var_union[v]) ++added;
+    }
+    if (!current.empty() && union_size + added > opts_.var_cap) {
+      emit_clusters(current);
+      current.clear();
+      std::fill(var_union.begin(), var_union.end(), 0);
+      union_size = 0;
+    }
+    current.push_back(t);
+    for (int v : ctx.changed_vars(t)) {
+      if (!var_union[v]) {
+        var_union[v] = 1;
+        ++union_size;
+      }
+    }
+  }
+  if (!current.empty()) emit_clusters(current);
+}
+
+void RelationPartition::emit_clusters(const std::vector<int>& members) {
+  Cluster built = build_cluster(members);
+  if (built.relation.size() <= opts_.node_cap || members.size() == 1) {
+    clusters_.push_back(std::move(built));
+    return;
+  }
+  std::size_t half = members.size() / 2;
+  emit_clusters({members.begin(), members.begin() + half});
+  emit_clusters({members.begin() + half, members.end()});
+}
+
+RelationPartition::Cluster RelationPartition::build_cluster(
+    const std::vector<int>& members) const {
+  BddManager& mgr = ctx_.manager();
+  Cluster c;
+  c.members = members;
+
+  // V_c: union of the members' changed encoding variables, sorted.
+  for (int t : members) {
+    for (int v : ctx_.changed_vars(t)) c.vars.push_back(v);
+  }
+  std::sort(c.vars.begin(), c.vars.end());
+  c.vars.erase(std::unique(c.vars.begin(), c.vars.end()), c.vars.end());
+  std::vector<char> in_vc(static_cast<std::size_t>(ctx_.enc().num_vars()), 0);
+  for (int v : c.vars) in_vc[v] = 1;
+
+  // R_c = ∨_t E_t ∧ (changed vars of t get their constants) ∧ (other V_c
+  // vars keep their value). Variables outside V_c never appear — they are
+  // unchanged by construction, which is what makes the relation local.
+  Bdd rel = mgr.bdd_false();
+  for (int t : members) {
+    std::vector<char> changed_by_t(in_vc.size(), 0);
+    Bdd part = ctx_.enabling(t);
+    for (const auto& [v, val] : ctx_.fixed_assignments(t)) {
+      changed_by_t[v] = 1;
+      part &= val ? mgr.var(ctx_.qvar(v)) : mgr.nvar(ctx_.qvar(v));
+    }
+    for (int v : c.vars) {
+      if (!changed_by_t[v]) {
+        part &= mgr.var(ctx_.qvar(v)).xnor(mgr.var(ctx_.pvar(v)));
+      }
+    }
+    rel |= part;
+  }
+  c.relation = rel;
+
+  std::vector<int> pvars, qvars;
+  c.q_to_p.resize(static_cast<std::size_t>(mgr.num_vars()));
+  c.p_to_q.resize(static_cast<std::size_t>(mgr.num_vars()));
+  std::iota(c.q_to_p.begin(), c.q_to_p.end(), 0);
+  std::iota(c.p_to_q.begin(), c.p_to_q.end(), 0);
+  for (int v : c.vars) {
+    pvars.push_back(ctx_.pvar(v));
+    qvars.push_back(ctx_.qvar(v));
+    c.q_to_p[ctx_.qvar(v)] = ctx_.pvar(v);
+    c.p_to_q[ctx_.pvar(v)] = ctx_.qvar(v);
+  }
+  c.pcube = mgr.cube(pvars);
+  c.qcube = mgr.cube(qvars);
+  return c;
+}
+
+std::size_t RelationPartition::total_relation_nodes() const {
+  std::vector<Bdd> roots;
+  roots.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) roots.push_back(c.relation);
+  return ctx_.manager().dag_size(roots);
+}
+
+Bdd RelationPartition::image_cluster(const Cluster& c, const Bdd& from) {
+  BddManager& mgr = ctx_.manager();
+  // Fused ∃P_c (from ∧ R_c); untouched present-state variables of `from`
+  // survive unrenamed, which is exactly the frame condition.
+  Bdd img_q = mgr.and_exists(from, c.relation, c.pcube);
+  return mgr.permute(img_q, c.q_to_p);
+}
+
+Bdd RelationPartition::preimage_cluster(const Cluster& c, const Bdd& of) {
+  BddManager& mgr = ctx_.manager();
+  Bdd of_q = mgr.permute(of, c.p_to_q);
+  return mgr.and_exists(of_q, c.relation, c.qcube);
+}
+
+Bdd RelationPartition::image(const Bdd& from) {
+  BddManager& mgr = ctx_.manager();
+  Bdd out = mgr.bdd_false();
+  for (const Cluster& c : clusters_) out |= image_cluster(c, from);
+  return out;
+}
+
+Bdd RelationPartition::preimage(const Bdd& of) {
+  BddManager& mgr = ctx_.manager();
+  Bdd out = mgr.bdd_false();
+  for (const Cluster& c : clusters_) out |= preimage_cluster(c, of);
+  return out;
+}
+
+bool RelationPartition::chained_step(Bdd& acc) {
+  bool grew = false;
+  for (const Cluster& c : clusters_) {
+    Bdd next = acc | image_cluster(c, acc);
+    if (next != acc) {
+      acc = next;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+bool RelationPartition::chained_step_backward(Bdd& acc) {
+  bool grew = false;
+  for (const Cluster& c : clusters_) {
+    Bdd next = acc | preimage_cluster(c, acc);
+    if (next != acc) {
+      acc = next;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+}  // namespace pnenc::symbolic

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace pnenc::symbolic {
+
+class SymbolicContext;
+
+/// Knobs for the clustering heuristic. A cluster closes as soon as adding the
+/// next transition would push the disjoined relation past `node_cap` BDD
+/// nodes or the cluster's changed-variable union past `var_cap`.
+struct PartitionOptions {
+  std::size_t node_cap = 512;
+  std::size_t var_cap = 12;
+};
+
+/// Disjunctively partitioned transition relation with *local* frame axioms:
+/// each cluster's relation R_c ranges only over the present-state support of
+/// its members' enabling functions plus the (present, next) pairs of the
+/// cluster's changed-variable union V_c — variables outside V_c are simply
+/// absent and therefore implicitly unchanged. This keeps every R_c small
+/// regardless of net size (a monolithic R must carry q⟷p frame conjuncts for
+/// every variable, so it grows with the net even when transitions are local).
+///
+/// Images are computed with the fused relational product
+///   Img_c(F) = (∃P_c . F ∧ R_c)[Q_c → P_c]
+/// via BddManager::and_exists, never materializing F ∧ R_c. Preimages use
+/// the mirrored product over next-state variables.
+///
+/// Requires a SymbolicContext constructed with `with_next_vars`.
+class RelationPartition {
+ public:
+  explicit RelationPartition(SymbolicContext& ctx,
+                             const PartitionOptions& opts = {});
+
+  [[nodiscard]] const PartitionOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
+  /// Transition ids grouped into cluster `c` (in firing order).
+  [[nodiscard]] const std::vector<int>& members(std::size_t c) const {
+    return clusters_[c].members;
+  }
+  /// Combined DAG size of all cluster relations (shared nodes counted once).
+  [[nodiscard]] std::size_t total_relation_nodes() const;
+
+  /// Img(F) over all clusters.
+  [[nodiscard]] bdd::Bdd image(const bdd::Bdd& from);
+  /// Pre(F) over all clusters.
+  [[nodiscard]] bdd::Bdd preimage(const bdd::Bdd& of);
+
+  /// One chained sweep (Roig-style): for each cluster in order,
+  /// acc ← acc ∨ Img_c(acc), feeding each cluster's result into the next
+  /// within the same sweep. Returns true iff acc grew.
+  bool chained_step(bdd::Bdd& acc);
+  /// Chained backward sweep: acc ← acc ∨ Pre_c(acc) per cluster.
+  bool chained_step_backward(bdd::Bdd& acc);
+
+ private:
+  struct Cluster {
+    std::vector<int> members;
+    std::vector<int> vars;  // V_c: union of members' changed encoding vars
+    bdd::Bdd relation;
+    bdd::Bdd pcube;            // ∧ pvar(v), v ∈ V_c (image quantification)
+    bdd::Bdd qcube;            // ∧ qvar(v), v ∈ V_c (preimage quantification)
+    std::vector<int> q_to_p;   // rename map for image results
+    std::vector<int> p_to_q;   // rename map applied to the preimage operand
+  };
+
+  Cluster build_cluster(const std::vector<int>& members) const;
+  /// Builds `members` as one cluster, splitting in half recursively while the
+  /// relation exceeds the node cap (a singleton always stands).
+  void emit_clusters(const std::vector<int>& members);
+  [[nodiscard]] bdd::Bdd image_cluster(const Cluster& c, const bdd::Bdd& from);
+  [[nodiscard]] bdd::Bdd preimage_cluster(const Cluster& c, const bdd::Bdd& of);
+
+  SymbolicContext& ctx_;
+  PartitionOptions opts_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace pnenc::symbolic

@@ -211,6 +211,21 @@ Bdd SymbolicContext::monolithic_relation() {
   return r;
 }
 
+RelationPartition& SymbolicContext::partition(const PartitionOptions& opts) {
+  // Rebuild rather than silently hand back a partition built with different
+  // caps than the caller just asked for.
+  if (!partition_ || partition_->options().node_cap != opts.node_cap ||
+      partition_->options().var_cap != opts.var_cap) {
+    partition_ = std::make_unique<RelationPartition>(*this, opts);
+  }
+  return *partition_;
+}
+
+Bdd SymbolicContext::preimage_best(const Bdd& of) {
+  if (opts_.with_next_vars) return partition().preimage(of);
+  return preimage_all(of);
+}
+
 Bdd SymbolicContext::image_tr(const Bdd& from, bool monolithic) {
   std::vector<int> pvars, qmap(mgr_->num_vars());
   for (int i = 0; i < mgr_->num_vars(); ++i) qmap[i] = i;
@@ -238,25 +253,58 @@ Bdd SymbolicContext::image_tr(const Bdd& from, bool monolithic) {
 TraversalResult SymbolicContext::reachability(ImageMethod method) {
   util::Timer timer;
   Bdd reached = initial();
-  Bdd frontier = reached;
   TraversalResult result;
-  while (!frontier.is_false()) {
-    result.iterations++;
-    Bdd next;
-    switch (method) {
-      case ImageMethod::kDirect:
-        next = image_all(frontier);
-        break;
-      case ImageMethod::kPartitionedTr:
-        next = image_tr(frontier, /*monolithic=*/false);
-        break;
-      case ImageMethod::kMonolithicTr:
-        next = image_tr(frontier, /*monolithic=*/true);
-        break;
+  if (method == ImageMethod::kChainedTr) {
+    // Chained traversal: one iteration is a full sweep over the clusters,
+    // each cluster's image feeding the next. Typically converges in far
+    // fewer sweeps than BFS needs levels.
+    RelationPartition& part = partition();
+    bool grew = true;
+    while (grew) {
+      result.iterations++;
+      grew = part.chained_step(reached);
+      mgr_->maybe_reorder();
     }
-    frontier = next.diff(reached);
-    reached |= frontier;
-    mgr_->maybe_reorder();
+  } else if (method == ImageMethod::kChainedDirect) {
+    bool grew = true;
+    while (grew) {
+      result.iterations++;
+      grew = false;
+      for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+        Bdd next = reached | image(reached, static_cast<int>(t));
+        if (next != reached) {
+          reached = next;
+          grew = true;
+        }
+      }
+      mgr_->maybe_reorder();
+    }
+  } else {
+    Bdd frontier = reached;
+    while (!frontier.is_false()) {
+      result.iterations++;
+      Bdd next;
+      switch (method) {
+        case ImageMethod::kDirect:
+          next = image_all(frontier);
+          break;
+        case ImageMethod::kPartitionedTr:
+          next = image_tr(frontier, /*monolithic=*/false);
+          break;
+        case ImageMethod::kMonolithicTr:
+          next = image_tr(frontier, /*monolithic=*/true);
+          break;
+        case ImageMethod::kClusteredTr:
+          next = partition().image(frontier);
+          break;
+        case ImageMethod::kChainedTr:
+        case ImageMethod::kChainedDirect:
+          break;  // handled above
+      }
+      frontier = next.diff(reached);
+      reached |= frontier;
+      mgr_->maybe_reorder();
+    }
   }
   result.num_markings = count_markings(reached);
   result.reached_nodes = reached.size();

@@ -7,6 +7,7 @@
 #include "bdd/bdd.hpp"
 #include "encoding/encoding.hpp"
 #include "petri/net.hpp"
+#include "symbolic/partition.hpp"
 
 namespace pnenc::symbolic {
 
@@ -22,6 +23,17 @@ enum class ImageMethod {
   kPartitionedTr,
   /// Single monolithic R(P,Q) = ∨_t R_t.
   kMonolithicTr,
+  /// Clustered disjunctive relations with local frame axioms (see
+  /// partition.hpp) and fused AndExists image; frontier BFS.
+  kClusteredTr,
+  /// Clustered relations applied with chaining: each cluster's image feeds
+  /// the next cluster within the same sweep, so one "iteration" advances the
+  /// traversal by many levels (Roig/Pastor-style chained traversal).
+  kChainedTr,
+  /// Chaining over the direct constant-assignment images — no next-state
+  /// variables needed. The default for the analysis/CTL layers when the
+  /// context was built without next vars.
+  kChainedDirect,
 };
 
 struct SymbolicOptions {
@@ -59,6 +71,18 @@ class SymbolicContext {
   }
   /// Next-state variable id (requires with_next_vars).
   [[nodiscard]] int qvar(int i) const { return 2 * i + 1; }
+  [[nodiscard]] bool has_next_vars() const { return opts_.with_next_vars; }
+
+  /// Encoding variables transition t drives to a constant when it fires
+  /// (sorted insertion order) and the constants themselves. Exposed for the
+  /// partitioned-relation builder.
+  [[nodiscard]] const std::vector<int>& changed_vars(int t) {
+    return trans_info(t).changed_vars;
+  }
+  [[nodiscard]] const std::vector<std::pair<int, bool>>& fixed_assignments(
+      int t) {
+    return trans_info(t).fixed;
+  }
 
   /// Characteristic function [p] of a place (§5.1, eq. 4), memoized.
   bdd::Bdd place_char(int p);
@@ -83,6 +107,15 @@ class SymbolicContext {
   bdd::Bdd monolithic_relation();
   /// Image via the requested TR flavor.
   bdd::Bdd image_tr(const bdd::Bdd& from, bool monolithic);
+
+  /// Clustered partitioned relation (built lazily on first use; requires
+  /// with_next_vars). The partition is the hot path for the TR-based
+  /// traversals and the analysis/CTL backward fixpoints.
+  RelationPartition& partition(const PartitionOptions& opts = {});
+
+  /// Best available preimage: clustered relational product when next-state
+  /// variables exist, the direct constant-assignment method otherwise.
+  bdd::Bdd preimage_best(const bdd::Bdd& of);
 
   /// BFS fixpoint over [M0⟩. Populates TraversalResult with the marking
   /// count (sat-count over the encoding variables), final/peak node sizes.
@@ -119,6 +152,7 @@ class SymbolicContext {
   std::vector<TransInfo> trans_;
   std::vector<bdd::Bdd> trans_rel_;
   std::vector<char> trans_rel_ready_;
+  std::unique_ptr<RelationPartition> partition_;
   bdd::Bdd last_reached_;
 };
 
