@@ -162,6 +162,132 @@ void BM_RelProdClusteredFused(benchmark::State& state) {
 }
 BENCHMARK(BM_RelProdClusteredFused)->Arg(8)->Unit(benchmark::kMicrosecond);
 
+// --- Quantification scheduling: late vs early, naive vs affinity ----------
+//
+// The late path materializes F ∧ R_c and quantifies each step's cube at the
+// end of the step; the early path fuses the quantification inside the
+// relational product (and_exists). On top of that, the affinity schedule
+// reorders clusters to retire present-state variables as early as possible.
+// All variants compute the same image / the same reachable set.
+
+pnenc::petri::Net schedule_net(int family) {
+  switch (family) {
+    case 0: return pnenc::petri::gen::philosophers(10);
+    case 1: return pnenc::petri::gen::slotted_ring(6);
+    default: return pnenc::petri::gen::dme_ring(6);
+  }
+}
+
+const char* schedule_net_name(int family) {
+  switch (family) {
+    case 0: return "phil-10";
+    case 1: return "slot-6";
+    default: return "dme-6";
+  }
+}
+
+struct ScheduleFixture {
+  pnenc::petri::Net net;
+  pnenc::encoding::MarkingEncoding enc;
+  pnenc::symbolic::SymbolicContext ctx;
+  Bdd reached;
+
+  explicit ScheduleFixture(int family)
+      : net(schedule_net(family)),
+        enc(pnenc::encoding::build_encoding(net, "dense")),
+        ctx(net, enc,
+            [] {
+              pnenc::symbolic::SymbolicOptions o;
+              o.with_next_vars = true;
+              return o;
+            }()) {
+    ctx.reachability(pnenc::symbolic::ImageMethod::kDirect);
+    reached = ctx.reached_set();
+  }
+};
+
+void BM_ScheduleImageLate(benchmark::State& state) {
+  ScheduleFixture fx(static_cast<int>(state.range(0)));
+  pnenc::symbolic::PartitionOptions popts;
+  popts.schedule = pnenc::symbolic::ScheduleKind::kNaive;
+  auto& part = fx.ctx.partition(popts);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.ctx.manager().clear_op_cache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part.image_late(fx.reached));
+  }
+  state.SetLabel(schedule_net_name(static_cast<int>(state.range(0))));
+  state.counters["clusters"] = static_cast<double>(part.num_clusters());
+}
+BENCHMARK(BM_ScheduleImageLate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_ScheduleImageEarly(benchmark::State& state) {
+  ScheduleFixture fx(static_cast<int>(state.range(0)));
+  pnenc::symbolic::PartitionOptions popts;
+  popts.schedule = pnenc::symbolic::ScheduleKind::kNaive;
+  auto& part = fx.ctx.partition(popts);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.ctx.manager().clear_op_cache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part.image(fx.reached));
+  }
+  state.SetLabel(schedule_net_name(static_cast<int>(state.range(0))));
+  state.counters["clusters"] = static_cast<double>(part.num_clusters());
+}
+BENCHMARK(BM_ScheduleImageEarly)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_ScheduleImageEarlyAffinity(benchmark::State& state) {
+  ScheduleFixture fx(static_cast<int>(state.range(0)));
+  pnenc::symbolic::PartitionOptions popts;
+  popts.schedule = pnenc::symbolic::ScheduleKind::kEarly;
+  auto& part = fx.ctx.partition(popts);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.ctx.manager().clear_op_cache();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(part.image(fx.reached));
+  }
+  state.SetLabel(schedule_net_name(static_cast<int>(state.range(0))));
+  state.counters["var_lifetime"] =
+      static_cast<double>(part.schedule_stats().total_lifetime);
+}
+BENCHMARK(BM_ScheduleImageEarlyAffinity)
+    ->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+/// Full chained traversal from scratch; range(1) picks the schedule
+/// (0 = naive order, 1 = affinity order). Counters expose the sweep count
+/// and peak live nodes, the paper's space metric.
+void BM_ScheduleChainedTraversal(benchmark::State& state) {
+  using namespace pnenc;
+  petri::Net net = schedule_net(static_cast<int>(state.range(0)));
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::PartitionOptions popts;
+  popts.schedule = state.range(1) ? symbolic::ScheduleKind::kEarly
+                                  : symbolic::ScheduleKind::kNaive;
+  double sweeps = 0, peak = 0;
+  for (auto _ : state) {
+    symbolic::SymbolicOptions opts;
+    opts.with_next_vars = true;
+    symbolic::SymbolicContext ctx(net, enc, opts);
+    ctx.set_partition_options(popts);
+    auto r = ctx.reachability(symbolic::ImageMethod::kChainedTr);
+    benchmark::DoNotOptimize(r.num_markings);
+    sweeps = r.iterations;
+    peak = static_cast<double>(r.peak_live_nodes);
+  }
+  state.SetLabel(std::string(schedule_net_name(static_cast<int>(state.range(0)))) +
+                 (state.range(1) ? "/early" : "/naive"));
+  state.counters["sweeps"] = sweeps;
+  state.counters["peak_live_nodes"] = peak;
+}
+BENCHMARK(BM_ScheduleChainedTraversal)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SymbolicImage(benchmark::State& state) {
   using namespace pnenc;
   petri::Net net = petri::gen::muller_pipeline(static_cast<int>(state.range(0)));

@@ -2,12 +2,16 @@
 // text format — the "downstream user" entry point.
 //
 //   pnanalyze <net-file|builtin:NAME> [--scheme sparse|dense|improved]
-//             [--method direct|tr|mono] [--deadlocks] [--smcs] [--zdd]
-//             [--health]
+//             [--method direct|tr|mono|clustered|chained|chained-direct]
+//             [--schedule naive|early] [--autotune] [--stats]
+//             [--deadlocks] [--smcs] [--zdd] [--health]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
 // --health runs the sanity analyses: structural class, dead transitions,
-// dead places, reversibility.
+// dead places, reversibility. --schedule picks the cluster quantification
+// schedule for the clustered methods (early = affinity-ordered, the
+// default), --autotune derives the partition caps from the net's structure,
+// and --stats prints the partition/schedule shape (clustered|chained only).
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +28,7 @@
 #include "symbolic/analysis.hpp"
 #include "symbolic/symbolic.hpp"
 #include "symbolic/zdd_reach.hpp"
+#include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -57,6 +62,7 @@ int usage() {
                "usage: pnanalyze <net-file|builtin:NAME> "
                "[--scheme sparse|dense|improved] "
                "[--method direct|tr|mono|clustered|chained|chained-direct] "
+               "[--schedule naive|early] [--autotune] [--stats] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
                "reg-N\n");
@@ -69,11 +75,26 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string scheme = "improved";
   symbolic::ImageMethod method = symbolic::ImageMethod::kDirect;
+  symbolic::ScheduleKind schedule = symbolic::ScheduleKind::kEarly;
   bool want_deadlocks = false, want_smcs = false, want_zdd = false;
-  bool want_health = false;
+  bool want_health = false, want_autotune = false, want_stats = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
       scheme = argv[++i];
+    } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "naive") {
+        schedule = symbolic::ScheduleKind::kNaive;
+      } else if (s == "early") {
+        schedule = symbolic::ScheduleKind::kEarly;
+      } else {
+        std::fprintf(stderr, "unknown --schedule '%s'\n", s.c_str());
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--autotune")) {
+      want_autotune = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
     } else if (!std::strcmp(argv[i], "--method") && i + 1 < argc) {
       std::string m = argv[++i];
       if (m == "direct") {
@@ -139,6 +160,20 @@ int main(int argc, char** argv) {
                           method != symbolic::ImageMethod::kChainedDirect;
     opts.auto_reorder_threshold = 200000;
     symbolic::SymbolicContext ctx(net, enc, opts);
+    symbolic::PartitionOptions popts;
+    if (want_autotune) {
+      if (opts.with_next_vars) {
+        popts = symbolic::autotune_options(ctx);
+        std::printf("autotuned partition caps: node_cap=%zu var_cap=%zu\n",
+                    popts.node_cap, popts.var_cap);
+      } else {
+        std::printf(
+            "autotune: no effect for --method direct|chained-direct (no "
+            "partition is built)\n");
+      }
+    }
+    popts.schedule = schedule;
+    ctx.set_partition_options(popts);
     auto r = ctx.reachability(method);
     bool chained = method == symbolic::ImageMethod::kChainedTr ||
                    method == symbolic::ImageMethod::kChainedDirect;
@@ -147,6 +182,40 @@ int main(int argc, char** argv) {
         r.num_markings, r.iterations,
         chained ? "chained sweeps" : "BFS iterations", r.reached_nodes,
         timer.elapsed_ms());
+
+    // The partition (and therefore the schedule) drives the clustered
+    // traversals, plus the backward fixpoints behind --health's
+    // reversibility check whenever next-state variables exist; tr/mono
+    // forward traversals go through the §2.3 relations, so printing cluster
+    // stats for a plain tr/mono run would describe a structure it never
+    // used.
+    bool uses_partition = method == symbolic::ImageMethod::kClusteredTr ||
+                          method == symbolic::ImageMethod::kChainedTr ||
+                          (opts.with_next_vars && want_health);
+    if (want_stats) {
+      if (uses_partition) {
+        symbolic::RelationPartition& part = ctx.partition();
+        const symbolic::ScheduleStats& st = part.schedule_stats();
+        util::TablePrinter table({"clusters", "max cluster nodes",
+                                  "total rel nodes", "schedule", "length",
+                                  "var lifetime", "peak live vars"});
+        table.add_row({std::to_string(part.num_clusters()),
+                       std::to_string(part.max_cluster_nodes()),
+                       std::to_string(part.total_relation_nodes()),
+                       part.schedule_kind() == symbolic::ScheduleKind::kEarly
+                           ? "early"
+                           : "naive",
+                       std::to_string(st.length),
+                       std::to_string(st.total_lifetime),
+                       std::to_string(st.peak_live_vars)});
+        std::fputs(table.render("partition shape").c_str(), stdout);
+      } else {
+        std::printf(
+            "partition stats: n/a — no partition-backed sweep in this "
+            "invocation (use --method clustered|chained, or --health with a "
+            "TR method)\n");
+      }
+    }
 
     if (want_deadlocks) {
       bdd::Bdd dead = ctx.deadlocks(ctx.reached_set());

@@ -55,6 +55,12 @@ std::vector<int> Analyzer::always_marked_places() {
 
 Bdd Analyzer::can_reach(const Bdd& target) {
   Bdd acc = reached_ & target;
+  if (ctx_.has_next_vars()) {
+    // Chained backward sweeps over the scheduled partition: each sweep feeds
+    // one cluster's preimage into the next (reverse schedule order), so one
+    // iteration walks back many levels.
+    return ctx_.partition().backward_closure(acc, reached_);
+  }
   for (;;) {
     Bdd next = acc | (reached_ & ctx_.preimage_best(acc));
     if (next == acc) return acc;

@@ -15,12 +15,16 @@ class Analyzer {
   /// Binds to the context's reachability set: reuses a traversal the
   /// context already ran, otherwise computes one using chained sweeps over
   /// the clustered partitioned relation when the context has next-state
-  /// variables and chained direct images otherwise.
+  /// variables and chained direct images otherwise. Forward and backward
+  /// sweeps both honor the context's partition options (caps and
+  /// quantification schedule — see SymbolicContext::set_partition_options).
   explicit Analyzer(SymbolicContext& ctx);
   /// Same, with an explicit traversal method.
   Analyzer(SymbolicContext& ctx, ImageMethod method);
 
+  /// The reachability set [M0⟩ this analyzer answers queries against.
   [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+  /// Number of reachable markings (sat-count of reached()).
   [[nodiscard]] double num_markings();
 
   /// Transitions never enabled in any reachable marking (dead transitions —
@@ -33,7 +37,9 @@ class Analyzer {
   std::vector<int> always_marked_places();
 
   /// Backward reachability: all markings (within reach) that can reach a
-  /// target set. Equivalent to CTL EF restricted to [M0⟩.
+  /// target set. Equivalent to CTL EF restricted to [M0⟩. Runs chained
+  /// backward sweeps over the scheduled partition when next-state variables
+  /// exist, per-transition preimages otherwise.
   bdd::Bdd can_reach(const bdd::Bdd& target);
 
   /// Home-state check: can every reachable marking reach M0 again?

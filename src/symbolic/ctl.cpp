@@ -21,6 +21,12 @@ Bdd CtlChecker::ex(const Bdd& f) {
 
 Bdd CtlChecker::ef(const Bdd& f) {
   Bdd acc = states(f);
+  if (ctx_.has_next_vars()) {
+    // EF is a plain backward closure, so it can ride the scheduled chained
+    // sweep. EU/EG stay on single EX steps: their fixpoints restrict to
+    // f-states between steps, which chaining would skip past.
+    return ctx_.partition().backward_closure(acc, reached_);
+  }
   for (;;) {
     Bdd next = acc | ex(acc);
     if (next == acc) return acc;

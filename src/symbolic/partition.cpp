@@ -11,6 +11,45 @@ namespace pnenc::symbolic {
 using bdd::Bdd;
 using bdd::BddManager;
 
+PartitionOptions autotune_options(SymbolicContext& ctx) {
+  const int nt = static_cast<int>(ctx.net().num_transitions());
+  const int nv = ctx.enc().num_vars();
+
+  // Structural statistics: how many encoding variables a transition drives
+  // (width) and how far apart they sit in the variable order (span). Wide
+  // transitions need a larger var cap before any two of them can share a
+  // cluster; long spans mean clusters inevitably straddle components, so a
+  // tight cap would only fragment the partition.
+  double sum_width = 0.0, sum_span = 0.0;
+  for (int t = 0; t < nt; ++t) {
+    const auto& ch = ctx.changed_vars(t);
+    sum_width += static_cast<double>(ch.size());
+    if (!ch.empty()) {
+      auto [mn, mx] = std::minmax_element(ch.begin(), ch.end());
+      sum_span += static_cast<double>(*mx - *mn + 1);
+    }
+  }
+  const double avg_width = nt ? sum_width / nt : 0.0;
+  const double avg_span = nt ? sum_span / nt : 0.0;
+
+  auto clamp_sz = [](double v, std::size_t lo, std::size_t hi) {
+    if (v < static_cast<double>(lo)) return lo;
+    if (v > static_cast<double>(hi)) return hi;
+    return static_cast<std::size_t>(v);
+  };
+
+  PartitionOptions opts;
+  // Let a cluster absorb roughly three average transitions' worth of changed
+  // variables, or one average span, whichever is wider.
+  opts.var_cap = clamp_sz(std::max(3.0 * avg_width, avg_span), 8, 28);
+  // Allow larger relations on larger state spaces: per-cluster node budget
+  // scales with the encoding width, bounded so a single cluster can never
+  // approach monolithic-relation sizes.
+  opts.node_cap = clamp_sz(48.0 * nv + 16.0 * nt, 256, 8192);
+  opts.schedule = ScheduleKind::kEarly;
+  return opts;
+}
+
 RelationPartition::RelationPartition(SymbolicContext& ctx,
                                      const PartitionOptions& opts)
     : ctx_(ctx), opts_(opts) {
@@ -61,6 +100,8 @@ RelationPartition::RelationPartition(SymbolicContext& ctx,
     }
   }
   if (!current.empty()) emit_clusters(current);
+
+  set_schedule(opts_.schedule);
 }
 
 void RelationPartition::emit_clusters(const std::vector<int>& members) {
@@ -109,6 +150,18 @@ RelationPartition::Cluster RelationPartition::build_cluster(
   }
   c.relation = rel;
 
+  // Present support: every encoding variable the relation reads through its
+  // present-state literal, plus V_c (a changed variable whose present
+  // literal happens to be absent from the relation is still quantified by
+  // this cluster's step, so it must count as supported).
+  c.psupport = c.vars;
+  for (int bv : mgr.support(rel)) {
+    if (bv % 2 == 0) c.psupport.push_back(bv / 2);  // pvar(i) == 2i
+  }
+  std::sort(c.psupport.begin(), c.psupport.end());
+  c.psupport.erase(std::unique(c.psupport.begin(), c.psupport.end()),
+                   c.psupport.end());
+
   std::vector<int> pvars, qvars;
   c.q_to_p.resize(static_cast<std::size_t>(mgr.num_vars()));
   c.p_to_q.resize(static_cast<std::size_t>(mgr.num_vars()));
@@ -125,11 +178,138 @@ RelationPartition::Cluster RelationPartition::build_cluster(
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// Quantification schedule
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> RelationPartition::affinity_order() const {
+  const std::size_t k = clusters_.size();
+  const std::size_t nv = static_cast<std::size_t>(ctx_.enc().num_vars());
+
+  // remaining[v]: how many unscheduled clusters still support v. A variable
+  // retires when this hits zero — the greedy tries to drive counts to zero
+  // as early as possible while opening as few new variables as it can.
+  std::vector<int> remaining(nv, 0);
+  for (const Cluster& c : clusters_) {
+    for (int v : c.psupport) ++remaining[v];
+  }
+
+  std::vector<char> scheduled(k, 0), opened(nv, 0);
+  std::vector<std::size_t> order;
+  order.reserve(k);
+  const std::vector<int>* prev_supp = nullptr;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::size_t best = k;
+    long best_score = 0;
+    std::size_t best_overlap = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (scheduled[c]) continue;
+      long opens = 0, closes = 0;
+      std::size_t overlap = 0;
+      for (int v : clusters_[c].psupport) {
+        if (!opened[v]) ++opens;
+        if (remaining[v] == 1) ++closes;
+      }
+      if (prev_supp) {
+        // |psupport(c) ∩ psupport(previous)| — both sorted.
+        auto it = prev_supp->begin();
+        for (int v : clusters_[c].psupport) {
+          while (it != prev_supp->end() && *it < v) ++it;
+          if (it != prev_supp->end() && *it == v) ++overlap;
+        }
+      }
+      long score = opens - closes;  // lower = keeps fewer variables alive
+      if (best == k || score < best_score ||
+          (score == best_score && overlap > best_overlap)) {
+        best = c;
+        best_score = score;
+        best_overlap = overlap;
+      }
+    }
+    scheduled[best] = 1;
+    order.push_back(best);
+    for (int v : clusters_[best].psupport) {
+      opened[v] = 1;
+      --remaining[v];
+    }
+    prev_supp = &clusters_[best].psupport;
+  }
+  return order;
+}
+
+void RelationPartition::rebuild_retirement() {
+  const std::size_t k = order_.size();
+  const std::size_t nv = static_cast<std::size_t>(ctx_.enc().num_vars());
+  std::vector<int> remaining(nv, 0);
+  for (const Cluster& c : clusters_) {
+    for (int v : c.psupport) ++remaining[v];
+  }
+  std::vector<int> open_step(nv, -1);
+
+  retired_.assign(k, {});
+  stats_ = ScheduleStats{};
+  stats_.length = k;
+  std::size_t live = 0;
+  for (std::size_t step = 0; step < k; ++step) {
+    const Cluster& c = clusters_[order_[step]];
+    for (int v : c.psupport) {
+      if (open_step[v] < 0) {
+        open_step[v] = static_cast<int>(step);
+        ++live;
+      }
+      if (--remaining[v] == 0) {
+        retired_[step].push_back(v);
+        stats_.total_lifetime += step - static_cast<std::size_t>(open_step[v]) + 1;
+      }
+    }
+    stats_.peak_live_vars = std::max(stats_.peak_live_vars, live);
+    live -= retired_[step].size();
+  }
+}
+
+void RelationPartition::set_schedule(ScheduleKind kind) {
+  opts_.schedule = kind;
+  custom_order_ = false;
+  if (kind == ScheduleKind::kEarly) {
+    order_ = affinity_order();
+  } else {
+    order_.resize(clusters_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+  }
+  rebuild_retirement();
+}
+
+void RelationPartition::set_schedule_order(std::vector<std::size_t> order) {
+  if (order.size() != clusters_.size()) {
+    throw std::invalid_argument("schedule order must cover every cluster");
+  }
+  std::vector<char> seen(clusters_.size(), 0);
+  for (std::size_t c : order) {
+    if (c >= clusters_.size() || seen[c]) {
+      throw std::invalid_argument("schedule order must be a permutation");
+    }
+    seen[c] = 1;
+  }
+  order_ = std::move(order);
+  custom_order_ = true;
+  rebuild_retirement();
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps
+// ---------------------------------------------------------------------------
+
 std::size_t RelationPartition::total_relation_nodes() const {
   std::vector<Bdd> roots;
   roots.reserve(clusters_.size());
   for (const Cluster& c : clusters_) roots.push_back(c.relation);
   return ctx_.manager().dag_size(roots);
+}
+
+std::size_t RelationPartition::max_cluster_nodes() const {
+  std::size_t mx = 0;
+  for (const Cluster& c : clusters_) mx = std::max(mx, c.relation.size());
+  return mx;
 }
 
 Bdd RelationPartition::image_cluster(const Cluster& c, const Bdd& from) {
@@ -149,21 +329,34 @@ Bdd RelationPartition::preimage_cluster(const Cluster& c, const Bdd& of) {
 Bdd RelationPartition::image(const Bdd& from) {
   BddManager& mgr = ctx_.manager();
   Bdd out = mgr.bdd_false();
-  for (const Cluster& c : clusters_) out |= image_cluster(c, from);
+  for (std::size_t step : order_) out |= image_cluster(clusters_[step], from);
+  return out;
+}
+
+Bdd RelationPartition::image_late(const Bdd& from) {
+  BddManager& mgr = ctx_.manager();
+  Bdd out = mgr.bdd_false();
+  for (std::size_t step : order_) {
+    const Cluster& c = clusters_[step];
+    Bdd conj = from & c.relation;  // materialized intermediate
+    out |= mgr.permute(mgr.exists(conj, c.pcube), c.q_to_p);
+  }
   return out;
 }
 
 Bdd RelationPartition::preimage(const Bdd& of) {
   BddManager& mgr = ctx_.manager();
   Bdd out = mgr.bdd_false();
-  for (const Cluster& c : clusters_) out |= preimage_cluster(c, of);
+  for (std::size_t step : order_) {
+    out |= preimage_cluster(clusters_[step], of);
+  }
   return out;
 }
 
 bool RelationPartition::chained_step(Bdd& acc) {
   bool grew = false;
-  for (const Cluster& c : clusters_) {
-    Bdd next = acc | image_cluster(c, acc);
+  for (std::size_t step : order_) {
+    Bdd next = acc | image_cluster(clusters_[step], acc);
     if (next != acc) {
       acc = next;
       grew = true;
@@ -172,10 +365,20 @@ bool RelationPartition::chained_step(Bdd& acc) {
   return grew;
 }
 
+Bdd RelationPartition::backward_closure(const Bdd& seed, const Bdd& within) {
+  Bdd acc = seed & within;
+  for (;;) {
+    Bdd prev = acc;
+    chained_step_backward(acc);
+    acc &= within;
+    if (acc == prev) return acc;
+  }
+}
+
 bool RelationPartition::chained_step_backward(Bdd& acc) {
   bool grew = false;
-  for (const Cluster& c : clusters_) {
-    Bdd next = acc | preimage_cluster(c, acc);
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    Bdd next = acc | preimage_cluster(clusters_[*it], acc);
     if (next != acc) {
       acc = next;
       grew = true;

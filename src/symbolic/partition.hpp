@@ -9,13 +9,46 @@ namespace pnenc::symbolic {
 
 class SymbolicContext;
 
-/// Knobs for the clustering heuristic. A cluster closes as soon as adding the
-/// next transition would push the disjoined relation past `node_cap` BDD
-/// nodes or the cluster's changed-variable union past `var_cap`.
+/// How the quantification scheduler orders clusters within a sweep.
+enum class ScheduleKind {
+  /// Build order: transitions sorted by first changed variable (the seed
+  /// heuristic). Predictable, but interleaves unrelated components.
+  kNaive,
+  /// Cluster-affinity order (IWLS95-style): greedily minimize the lifetime
+  /// of present-state variables across the sweep, so each variable's last
+  /// supporting cluster — the point after which it is *retired* and may
+  /// never be quantified again — comes as early as possible.
+  kEarly,
+};
+
+/// Knobs for the clustering heuristic and sweep schedule. A cluster closes
+/// as soon as adding the next transition would push the disjoined relation
+/// past `node_cap` BDD nodes or the cluster's changed-variable union past
+/// `var_cap`.
 struct PartitionOptions {
   std::size_t node_cap = 512;
   std::size_t var_cap = 12;
+  ScheduleKind schedule = ScheduleKind::kEarly;
 };
+
+/// Aggregate measures of a cluster schedule, used by `pnanalyze --stats` and
+/// the scheduler tests. Lower lifetime / peak-live numbers mean present
+/// variables drop out of the sweep earlier.
+struct ScheduleStats {
+  /// Number of sweep steps (== number of clusters).
+  std::size_t length = 0;
+  /// Σ over present variables of (retire step − open step + 1).
+  std::size_t total_lifetime = 0;
+  /// Maximum number of present variables live (opened, not yet retired) at
+  /// any single step of the sweep.
+  std::size_t peak_live_vars = 0;
+};
+
+/// Picks PartitionOptions caps for a net from cheap structural statistics
+/// (transition count, changed-variable width and span) — no BDD operations
+/// beyond the per-transition metadata the partition builder needs anyway.
+/// The returned options use ScheduleKind::kEarly.
+[[nodiscard]] PartitionOptions autotune_options(SymbolicContext& ctx);
 
 /// Disjunctively partitioned transition relation with *local* frame axioms:
 /// each cluster's relation R_c ranges only over the present-state support of
@@ -30,6 +63,16 @@ struct PartitionOptions {
 /// via BddManager::and_exists, never materializing F ∧ R_c. Preimages use
 /// the mirrored product over next-state variables.
 ///
+/// Sweeps (image, preimage, chained_step*) visit clusters in the order of
+/// the active quantification schedule; see ScheduleKind. The scheduling
+/// invariant is: step i quantifies exactly cluster order[i]'s changed-var
+/// cube, which is contained in that cluster's present support, and a
+/// variable may be considered retired only once no remaining (later) cluster
+/// supports it — retired_after(i) is disjoint from every later cluster's
+/// support. Because ∃ distributes over the disjunctive union, per-cluster
+/// quantification inside the sweep is always sound, so the early and late
+/// paths return bit-identical images (see image_late).
+///
 /// Requires a SymbolicContext constructed with `with_next_vars`.
 class RelationPartition {
  public:
@@ -42,25 +85,87 @@ class RelationPartition {
   [[nodiscard]] const std::vector<int>& members(std::size_t c) const {
     return clusters_[c].members;
   }
+  /// V_c: encoding variables changed by cluster `c` (sorted). This is the
+  /// set quantified out by the step that applies cluster `c`.
+  [[nodiscard]] const std::vector<int>& cluster_vars(std::size_t c) const {
+    return clusters_[c].vars;
+  }
+  /// Present-state support of cluster `c` (sorted encoding variables):
+  /// everything the cluster reads (enabling functions, frame conditions)
+  /// plus V_c. A variable outside this set is untouched by the cluster.
+  [[nodiscard]] const std::vector<int>& cluster_support(std::size_t c) const {
+    return clusters_[c].psupport;
+  }
   /// Combined DAG size of all cluster relations (shared nodes counted once).
   [[nodiscard]] std::size_t total_relation_nodes() const;
+  /// DAG size of the largest single cluster relation.
+  [[nodiscard]] std::size_t max_cluster_nodes() const;
 
-  /// Img(F) over all clusters.
+  // ---- quantification schedule -----------------------------------------
+
+  /// Recomputes the sweep order (and retirement bookkeeping) for `kind`.
+  /// Cheap: set arithmetic only, cluster relations are not rebuilt.
+  ///
+  /// Partition-local override: a context-level entry point that fetches the
+  /// partition (reachability, preimage_best, Analyzer, CtlChecker) resyncs
+  /// the schedule to SymbolicContext::partition_options(), discarding this
+  /// call. Drive the partition directly afterwards (as the benches do), or
+  /// use SymbolicContext::set_partition_options for context-driven flows.
+  void set_schedule(ScheduleKind kind);
+  [[nodiscard]] ScheduleKind schedule_kind() const { return opts_.schedule; }
+  /// Installs an explicit cluster visit order (must be a permutation of
+  /// 0..num_clusters-1). Test/benchmark hook; options().schedule is left
+  /// unchanged and no longer describes the order (has_custom_order() turns
+  /// true until the next set_schedule call).
+  void set_schedule_order(std::vector<std::size_t> order);
+  /// True while an explicit set_schedule_order override is active.
+  [[nodiscard]] bool has_custom_order() const { return custom_order_; }
+  /// Cluster visit order of the active schedule, one entry per step.
+  [[nodiscard]] const std::vector<std::size_t>& schedule_order() const {
+    return order_;
+  }
+  /// Encoding variables whose last supporting cluster is step `step` of the
+  /// active schedule: from step+1 on, no cluster supports them, so the sweep
+  /// never quantifies or renames them again (the early-quantification
+  /// invariant, checked by the scheduler tests).
+  [[nodiscard]] const std::vector<int>& retired_after(std::size_t step) const {
+    return retired_[step];
+  }
+  [[nodiscard]] const ScheduleStats& schedule_stats() const { return stats_; }
+
+  // ---- sweeps -----------------------------------------------------------
+
+  /// Img(F) over all clusters, early-quantified: each step's and_exists
+  /// fuses the conjunction with the step's quantification cube.
   [[nodiscard]] bdd::Bdd image(const bdd::Bdd& from);
   /// Pre(F) over all clusters.
   [[nodiscard]] bdd::Bdd preimage(const bdd::Bdd& of);
+  /// Reference "late" path: materializes F ∧ R_c and quantifies the step
+  /// cube only at the end of each step. Bit-identical result to image() —
+  /// kept as the correctness oracle and benchmark baseline.
+  [[nodiscard]] bdd::Bdd image_late(const bdd::Bdd& from);
 
-  /// One chained sweep (Roig-style): for each cluster in order,
+  /// Least fixpoint of `seed ∪ Pre(·)`, intersected with `within` after
+  /// every sweep: the states of `within` that can reach `seed`. The
+  /// per-sweep restriction is lossless only when `within` is closed under
+  /// successors (a reachability set is: a predecessor of an out-of-`within`
+  /// state would itself be outside). Backs Analyzer::can_reach and CTL EF.
+  [[nodiscard]] bdd::Bdd backward_closure(const bdd::Bdd& seed,
+                                          const bdd::Bdd& within);
+
+  /// One chained sweep (Roig-style): for each cluster in schedule order,
   /// acc ← acc ∨ Img_c(acc), feeding each cluster's result into the next
   /// within the same sweep. Returns true iff acc grew.
   bool chained_step(bdd::Bdd& acc);
-  /// Chained backward sweep: acc ← acc ∨ Pre_c(acc) per cluster.
+  /// Chained backward sweep: acc ← acc ∨ Pre_c(acc) per cluster, visiting
+  /// clusters in reverse schedule order (the mirror of the forward sweep).
   bool chained_step_backward(bdd::Bdd& acc);
 
  private:
   struct Cluster {
     std::vector<int> members;
-    std::vector<int> vars;  // V_c: union of members' changed encoding vars
+    std::vector<int> vars;      // V_c: union of members' changed encoding vars
+    std::vector<int> psupport;  // present support: reads ∪ V_c (encoding vars)
     bdd::Bdd relation;
     bdd::Bdd pcube;            // ∧ pvar(v), v ∈ V_c (image quantification)
     bdd::Bdd qcube;            // ∧ qvar(v), v ∈ V_c (preimage quantification)
@@ -74,10 +179,18 @@ class RelationPartition {
   void emit_clusters(const std::vector<int>& members);
   [[nodiscard]] bdd::Bdd image_cluster(const Cluster& c, const bdd::Bdd& from);
   [[nodiscard]] bdd::Bdd preimage_cluster(const Cluster& c, const bdd::Bdd& of);
+  /// Greedy affinity order minimizing present-variable lifetimes.
+  [[nodiscard]] std::vector<std::size_t> affinity_order() const;
+  /// Recomputes retired_ and stats_ for the current order_.
+  void rebuild_retirement();
 
   SymbolicContext& ctx_;
   PartitionOptions opts_;
   std::vector<Cluster> clusters_;
+  std::vector<std::size_t> order_;        // cluster index per sweep step
+  std::vector<std::vector<int>> retired_; // per step: vars retired after it
+  ScheduleStats stats_;
+  bool custom_order_ = false;  // order_ came from set_schedule_order
 };
 
 }  // namespace pnenc::symbolic

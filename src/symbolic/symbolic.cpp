@@ -211,12 +211,24 @@ Bdd SymbolicContext::monolithic_relation() {
   return r;
 }
 
+RelationPartition& SymbolicContext::partition() { return partition(part_opts_); }
+
 RelationPartition& SymbolicContext::partition(const PartitionOptions& opts) {
   // Rebuild rather than silently hand back a partition built with different
-  // caps than the caller just asked for.
+  // caps than the caller just asked for; a mere schedule change only needs
+  // the (cheap) ordering pass, not new relations. The stored options follow
+  // the explicit request so a later no-arg partition() call hands back this
+  // same partition instead of rebuilding (which would dangle references the
+  // caller still holds).
+  part_opts_ = opts;
   if (!partition_ || partition_->options().node_cap != opts.node_cap ||
       partition_->options().var_cap != opts.var_cap) {
     partition_ = std::make_unique<RelationPartition>(*this, opts);
+  } else if (partition_->options().schedule != opts.schedule ||
+             partition_->has_custom_order()) {
+    // Also clears any explicit set_schedule_order override, so the caller
+    // gets the order the requested kind describes.
+    partition_->set_schedule(opts.schedule);
   }
   return *partition_;
 }

@@ -45,10 +45,15 @@ struct SymbolicOptions {
   std::size_t auto_reorder_threshold = 0;
 };
 
+/// Outcome of one reachability() run.
 struct TraversalResult {
+  /// |[M0⟩|: sat-count of the fixpoint over the encoding variables.
   double num_markings = 0.0;
   std::size_t reached_nodes = 0;  // BDD size of the final reachability set
+  /// High-water mark of live manager nodes during the traversal (the
+  /// paper's space metric).
   std::size_t peak_live_nodes = 0;
+  /// BFS levels, or chained sweeps for the chained methods.
   int iterations = 0;
   double cpu_ms = 0.0;
 };
@@ -61,8 +66,11 @@ class SymbolicContext {
   SymbolicContext(const petri::Net& net, const encoding::MarkingEncoding& enc,
                   const SymbolicOptions& opts = {});
 
+  /// The owning BDD manager (one per context; all handles belong to it).
   [[nodiscard]] bdd::BddManager& manager() { return *mgr_; }
+  /// The bound net (not owned; must outlive the context).
   [[nodiscard]] const petri::Net& net() const { return net_; }
+  /// The bound marking encoding (not owned; must outlive the context).
   [[nodiscard]] const encoding::MarkingEncoding& enc() const { return enc_; }
 
   /// Present-state variable id for encoding variable i.
@@ -71,6 +79,8 @@ class SymbolicContext {
   }
   /// Next-state variable id (requires with_next_vars).
   [[nodiscard]] int qvar(int i) const { return 2 * i + 1; }
+  /// Whether the context allocated next-state variables (TR methods and
+  /// RelationPartition require it; the direct methods never do).
   [[nodiscard]] bool has_next_vars() const { return opts_.with_next_vars; }
 
   /// Encoding variables transition t drives to a constant when it fires
@@ -110,8 +120,22 @@ class SymbolicContext {
 
   /// Clustered partitioned relation (built lazily on first use; requires
   /// with_next_vars). The partition is the hot path for the TR-based
-  /// traversals and the analysis/CTL backward fixpoints.
-  RelationPartition& partition(const PartitionOptions& opts = {});
+  /// traversals and the analysis/CTL backward fixpoints. The no-argument
+  /// overload uses the context's stored partition options (see
+  /// set_partition_options); the explicit overload rebuilds only when the
+  /// caps differ and merely reschedules when only the schedule kind does.
+  RelationPartition& partition();
+  RelationPartition& partition(const PartitionOptions& opts);
+
+  /// Sets the PartitionOptions every subsequent partition()-based sweep
+  /// (reachability, Analyzer, CtlChecker preimages) will use. Pass
+  /// autotune_options(*this) to derive caps from the net's structure.
+  void set_partition_options(const PartitionOptions& opts) {
+    part_opts_ = opts;
+  }
+  [[nodiscard]] const PartitionOptions& partition_options() const {
+    return part_opts_;
+  }
 
   /// Best available preimage: clustered relational product when next-state
   /// variables exist, the direct constant-assignment method otherwise.
@@ -152,6 +176,7 @@ class SymbolicContext {
   std::vector<TransInfo> trans_;
   std::vector<bdd::Bdd> trans_rel_;
   std::vector<char> trans_rel_ready_;
+  PartitionOptions part_opts_;
   std::unique_ptr<RelationPartition> partition_;
   bdd::Bdd last_reached_;
 };

@@ -1,0 +1,276 @@
+// Quantification scheduler: early-quantified (fused) images must equal the
+// late-quantified reference path across random cluster orders and every
+// encoding scheme; the affinity order must respect the retirement invariant
+// (a variable is retired only once no pending cluster supports it); and the
+// naive/early schedules must produce bit-identical reachable sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "encoding/encoding.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/partition.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::MarkingEncoding;
+using petri::Net;
+using symbolic::ImageMethod;
+using symbolic::PartitionOptions;
+using symbolic::RelationPartition;
+using symbolic::ScheduleKind;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+
+Net net_by_id(int id) {
+  switch (id) {
+    case 0: return petri::gen::fig1_net();
+    case 1: return petri::gen::philosophers(4);
+    case 2: return petri::gen::slotted_ring(4);
+  }
+  throw std::logic_error("bad net id");
+}
+
+class ScheduleEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(ScheduleEquivalence, EarlyImageEqualsLateImageUnderRandomOrders) {
+  auto [net_id, scheme] = GetParam();
+  Net net = net_by_id(net_id);
+  MarkingEncoding enc = build_encoding(net, scheme);
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  ctx.reachability(ImageMethod::kDirect);
+  bdd::Bdd reached = ctx.reached_set();
+  RelationPartition& part = ctx.partition();
+
+  // Operand pool: the full reachable set plus slices of it cut by place
+  // characteristic functions (so operands of different shapes and sizes get
+  // exercised, not just the fixpoint).
+  std::mt19937 rng(42);
+  std::vector<bdd::Bdd> operands = {reached};
+  for (int k = 0; k < 3; ++k) {
+    int p = static_cast<int>(rng() % net.num_places());
+    int q = static_cast<int>(rng() % net.num_places());
+    operands.push_back(reached & ctx.place_char(p));
+    operands.push_back(reached.diff(ctx.place_char(q)));
+  }
+
+  std::vector<std::size_t> order(part.num_clusters());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (int trial = 0; trial < 4; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    part.set_schedule_order(order);
+    for (const bdd::Bdd& f : operands) {
+      bdd::Bdd early = part.image(f);
+      // Same manager, so equal functions are the same node: bit-identical.
+      EXPECT_EQ(early, part.image_late(f))
+          << "net " << net_id << " scheme " << scheme << " trial " << trial;
+      EXPECT_EQ(early, ctx.image_all(f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndSchemes, ScheduleEquivalence,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values("sparse", "dense", "improved")));
+
+TEST(Schedule, AffinityOrderRespectsRetirementInvariant) {
+  for (int net_id = 0; net_id < 3; ++net_id) {
+    Net net = net_by_id(net_id);
+    MarkingEncoding enc = build_encoding(net, "improved");
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+    RelationPartition& part = ctx.partition();
+    part.set_schedule(ScheduleKind::kEarly);
+
+    const auto& order = part.schedule_order();
+    ASSERT_EQ(order.size(), part.num_clusters());
+
+    // The quantified cube of every cluster is contained in its support.
+    for (std::size_t c = 0; c < part.num_clusters(); ++c) {
+      const auto& supp = part.cluster_support(c);
+      for (int v : part.cluster_vars(c)) {
+        EXPECT_TRUE(std::binary_search(supp.begin(), supp.end(), v))
+            << "cluster " << c << " quantifies unsupported var " << v;
+      }
+    }
+
+    // A variable retired after step i must not appear in the support of any
+    // pending (later) cluster — once retired it is never quantified or
+    // renamed again.
+    std::size_t retired_total = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (int v : part.retired_after(i)) {
+        ++retired_total;
+        for (std::size_t j = i + 1; j < order.size(); ++j) {
+          const auto& supp = part.cluster_support(order[j]);
+          EXPECT_FALSE(std::binary_search(supp.begin(), supp.end(), v))
+              << "net " << net_id << ": var " << v << " retired at step " << i
+              << " but supported by pending cluster " << order[j];
+        }
+      }
+    }
+    // Every supported variable retires exactly once.
+    std::vector<char> supported(enc.num_vars(), 0);
+    for (std::size_t c = 0; c < part.num_clusters(); ++c) {
+      for (int v : part.cluster_support(c)) supported[v] = 1;
+    }
+    EXPECT_EQ(retired_total, static_cast<std::size_t>(std::count(
+                                 supported.begin(), supported.end(), 1)));
+  }
+}
+
+TEST(Schedule, AffinityOrderShortensVariableLifetimes) {
+  // Not a theorem for arbitrary nets, but on the paper's ring-shaped
+  // benchmarks the greedy must beat (or match) the naive first-changed-var
+  // order — regression-guards the cost function.
+  for (auto make : {+[] { return petri::gen::philosophers(6); },
+                    +[] { return petri::gen::slotted_ring(4); }}) {
+    Net net = make();
+    MarkingEncoding enc = build_encoding(net, "improved");
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+    RelationPartition& part = ctx.partition();
+    part.set_schedule(ScheduleKind::kNaive);
+    auto naive = part.schedule_stats();
+    part.set_schedule(ScheduleKind::kEarly);
+    auto early = part.schedule_stats();
+    EXPECT_EQ(naive.length, early.length);
+    EXPECT_LE(early.total_lifetime, naive.total_lifetime);
+    EXPECT_LE(early.peak_live_vars, naive.peak_live_vars);
+  }
+}
+
+TEST(Schedule, NaiveAndEarlyTraversalsAreBitIdentical) {
+  for (int net_id = 0; net_id < 3; ++net_id) {
+    Net net = net_by_id(net_id);
+    auto oracle = petri::explicit_reachability(net);
+    MarkingEncoding enc = build_encoding(net, "improved");
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+
+    PartitionOptions popts;
+    popts.schedule = ScheduleKind::kNaive;
+    ctx.set_partition_options(popts);
+    ctx.reachability(ImageMethod::kChainedTr);
+    bdd::Bdd naive_set = ctx.reached_set();
+
+    popts.schedule = ScheduleKind::kEarly;
+    ctx.set_partition_options(popts);
+    ctx.reachability(ImageMethod::kChainedTr);
+    bdd::Bdd early_set = ctx.reached_set();
+
+    EXPECT_EQ(naive_set, early_set);
+    EXPECT_DOUBLE_EQ(ctx.count_markings(early_set),
+                     static_cast<double>(oracle.num_markings));
+
+    // A BFS driven by the late-quantified reference image lands on the same
+    // node as well.
+    RelationPartition& part = ctx.partition();
+    bdd::Bdd reached = ctx.initial();
+    bdd::Bdd frontier = reached;
+    while (!frontier.is_false()) {
+      frontier = part.image_late(frontier).diff(reached);
+      reached |= frontier;
+    }
+    EXPECT_EQ(reached, early_set);
+  }
+}
+
+TEST(Schedule, RescheduleReusesClustersAndThreadsThroughContext) {
+  Net net = petri::gen::philosophers(4);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+
+  PartitionOptions popts;
+  popts.schedule = ScheduleKind::kNaive;
+  RelationPartition& part = ctx.partition(popts);
+  EXPECT_EQ(part.schedule_kind(), ScheduleKind::kNaive);
+  std::size_t clusters = part.num_clusters();
+
+  popts.schedule = ScheduleKind::kEarly;
+  RelationPartition& repart = ctx.partition(popts);
+  EXPECT_EQ(&repart, &part);  // schedule-only change must not rebuild
+  EXPECT_EQ(repart.schedule_kind(), ScheduleKind::kEarly);
+  EXPECT_EQ(repart.num_clusters(), clusters);
+
+  // Changing a cap rebuilds.
+  popts.var_cap += 4;
+  RelationPartition& rebuilt = ctx.partition(popts);
+  EXPECT_EQ(rebuilt.options().var_cap, popts.var_cap);
+}
+
+TEST(Schedule, PartitionRequestClearsCustomOrderOverride) {
+  Net net = petri::gen::philosophers(4);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  RelationPartition& part = ctx.partition();  // default: kEarly
+  std::vector<std::size_t> canonical = part.schedule_order();
+
+  std::vector<std::size_t> reversed(canonical.rbegin(), canonical.rend());
+  part.set_schedule_order(reversed);
+  EXPECT_TRUE(part.has_custom_order());
+
+  // Re-requesting the same options must restore the affinity order, not
+  // silently keep the override (the kinds match, but the order does not).
+  RelationPartition& again = ctx.partition(ctx.partition_options());
+  EXPECT_EQ(&again, &part);
+  EXPECT_FALSE(again.has_custom_order());
+  EXPECT_EQ(again.schedule_order(), canonical);
+}
+
+TEST(Schedule, SetScheduleOrderRejectsNonPermutations) {
+  Net net = petri::gen::philosophers(3);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  RelationPartition& part = ctx.partition();
+  ASSERT_GE(part.num_clusters(), 2u);
+  EXPECT_THROW(part.set_schedule_order({0}), std::invalid_argument);
+  std::vector<std::size_t> dup(part.num_clusters(), 0);
+  EXPECT_THROW(part.set_schedule_order(dup), std::invalid_argument);
+}
+
+TEST(Autotune, CapsWithinBoundsAndTraversalStaysCorrect) {
+  for (int net_id = 1; net_id < 3; ++net_id) {
+    Net net = net_by_id(net_id);
+    auto oracle = petri::explicit_reachability(net);
+    MarkingEncoding enc = build_encoding(net, "improved");
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+
+    PartitionOptions tuned = symbolic::autotune_options(ctx);
+    EXPECT_GE(tuned.var_cap, 8u);
+    EXPECT_LE(tuned.var_cap, 28u);
+    EXPECT_GE(tuned.node_cap, 256u);
+    EXPECT_LE(tuned.node_cap, 8192u);
+    EXPECT_EQ(tuned.schedule, ScheduleKind::kEarly);
+
+    ctx.set_partition_options(tuned);
+    auto r = ctx.reachability(ImageMethod::kChainedTr);
+    EXPECT_DOUBLE_EQ(r.num_markings,
+                     static_cast<double>(oracle.num_markings));
+  }
+}
+
+}  // namespace
+}  // namespace pnenc
