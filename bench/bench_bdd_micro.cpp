@@ -288,6 +288,70 @@ BENCHMARK(BM_ScheduleChainedTraversal)
     ->Args({2, 0})->Args({2, 1})
     ->Unit(benchmark::kMillisecond);
 
+// --- Saturation vs chained traversal on the deep nets ----------------------
+//
+// Full reachability from scratch on the benchmark families where depth (BFS
+// diameter) dominates: saturation exhausts each level group's local
+// subsystem before propagating root-ward, so deep sequential nets converge
+// with a fraction of the cluster applications a global chained sweep needs.
+// Captured in BENCH_saturation.json; range(0) picks the net, range(1) the
+// method (0 = chained baseline, 1 = saturation). Both use autotuned caps.
+
+pnenc::petri::Net deep_net(int family) {
+  switch (family) {
+    case 0: return pnenc::petri::gen::philosophers(12);
+    case 1: return pnenc::petri::gen::slotted_ring(8);
+    default: return pnenc::petri::gen::dme_ring(8);
+  }
+}
+
+const char* deep_net_name(int family) {
+  switch (family) {
+    case 0: return "phil-12";
+    case 1: return "slot-8";
+    default: return "dme-8";
+  }
+}
+
+void BM_SaturationTraversal(benchmark::State& state) {
+  using namespace pnenc;
+  petri::Net net = deep_net(static_cast<int>(state.range(0)));
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  const bool saturation = state.range(1) != 0;
+  double iterations = 0, peak = 0, applications = 0, memo_hits = 0;
+  for (auto _ : state) {
+    symbolic::SymbolicOptions opts;
+    opts.with_next_vars = true;
+    opts.auto_reorder_threshold = 200000;  // as the pnanalyze CLI runs
+    symbolic::SymbolicContext ctx(net, enc, opts);
+    ctx.set_partition_options(symbolic::autotune_options(ctx));
+    auto r = ctx.reachability(saturation ? symbolic::ImageMethod::kSaturation
+                                         : symbolic::ImageMethod::kChainedTr);
+    benchmark::DoNotOptimize(r.num_markings);
+    iterations = r.iterations;
+    peak = static_cast<double>(r.peak_live_nodes);
+    if (saturation) {
+      const auto& ss = ctx.partition().saturation_stats();
+      applications = static_cast<double>(ss.applications);
+      memo_hits = static_cast<double>(ss.memo_hits);
+    }
+  }
+  state.SetLabel(std::string(deep_net_name(static_cast<int>(state.range(0)))) +
+                 (saturation ? "/saturation" : "/chained"));
+  state.counters["peak_live_nodes"] = peak;
+  if (saturation) {
+    state.counters["applications"] = applications;
+    state.counters["memo_hits"] = memo_hits;
+  } else {
+    state.counters["sweeps"] = iterations;
+  }
+}
+BENCHMARK(BM_SaturationTraversal)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SymbolicImage(benchmark::State& state) {
   using namespace pnenc;
   petri::Net net = petri::gen::muller_pipeline(static_cast<int>(state.range(0)));

@@ -2,7 +2,8 @@
 // text format — the "downstream user" entry point.
 //
 //   pnanalyze <net-file|builtin:NAME> [--scheme sparse|dense|improved]
-//             [--method direct|tr|mono|clustered|chained|chained-direct]
+//             [--method direct|tr|mono|clustered|chained|chained-direct|
+//                       saturation]
 //             [--schedule naive|early] [--autotune] [--stats]
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //
@@ -11,7 +12,8 @@
 // dead places, reversibility. --schedule picks the cluster quantification
 // schedule for the clustered methods (early = affinity-ordered, the
 // default), --autotune derives the partition caps from the net's structure,
-// and --stats prints the partition/schedule shape (clustered|chained only).
+// and --stats prints the partition/schedule shape (clustered|chained|
+// saturation; saturation adds level/memo counters).
 
 #include <cstdio>
 #include <cstring>
@@ -61,7 +63,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pnanalyze <net-file|builtin:NAME> "
                "[--scheme sparse|dense|improved] "
-               "[--method direct|tr|mono|clustered|chained|chained-direct] "
+               "[--method direct|tr|mono|clustered|chained|chained-direct|saturation] "
                "[--schedule naive|early] [--autotune] [--stats] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
@@ -109,6 +111,8 @@ int main(int argc, char** argv) {
         method = symbolic::ImageMethod::kChainedTr;
       } else if (m == "chained-direct") {
         method = symbolic::ImageMethod::kChainedDirect;
+      } else if (m == "saturation") {
+        method = symbolic::ImageMethod::kSaturation;
       } else {
         std::fprintf(stderr, "unknown --method '%s'\n", m.c_str());
         return usage();
@@ -177,11 +181,13 @@ int main(int argc, char** argv) {
     auto r = ctx.reachability(method);
     bool chained = method == symbolic::ImageMethod::kChainedTr ||
                    method == symbolic::ImageMethod::kChainedDirect;
+    bool saturation = method == symbolic::ImageMethod::kSaturation;
     std::printf(
         "reachable markings: %.6g  (%d %s, %zu BDD nodes, %.1f ms total)\n",
         r.num_markings, r.iterations,
-        chained ? "chained sweeps" : "BFS iterations", r.reached_nodes,
-        timer.elapsed_ms());
+        saturation ? "cluster applications"
+                   : (chained ? "chained sweeps" : "BFS iterations"),
+        r.reached_nodes, timer.elapsed_ms());
 
     // The partition (and therefore the schedule) drives the clustered
     // traversals, plus the backward fixpoints behind --health's
@@ -191,6 +197,7 @@ int main(int argc, char** argv) {
     // used.
     bool uses_partition = method == symbolic::ImageMethod::kClusteredTr ||
                           method == symbolic::ImageMethod::kChainedTr ||
+                          method == symbolic::ImageMethod::kSaturation ||
                           (opts.with_next_vars && want_health);
     if (want_stats) {
       if (uses_partition) {
@@ -209,6 +216,16 @@ int main(int argc, char** argv) {
                        std::to_string(st.total_lifetime),
                        std::to_string(st.peak_live_vars)});
         std::fputs(table.render("partition shape").c_str(), stdout);
+        if (saturation) {
+          const symbolic::SaturationStats& ss = part.saturation_stats();
+          util::TablePrinter sat({"sat levels", "applications", "memo lookups",
+                                  "memo hits"});
+          sat.add_row({std::to_string(ss.levels),
+                       std::to_string(ss.applications),
+                       std::to_string(ss.memo_lookups),
+                       std::to_string(ss.memo_hits)});
+          std::fputs(sat.render("saturation").c_str(), stdout);
+        }
       } else {
         std::printf(
             "partition stats: n/a — no partition-backed sweep in this "

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pnenc::bdd {
@@ -179,6 +180,13 @@ class BddManager {
   /// Runs one full sifting pass over all variables. Preserves the function
   /// of every live handle. Returns the node count after reordering.
   std::size_t reorder_sift();
+  /// Installs an explicit variable order: `level2var[l]` is the variable to
+  /// place at level l (must be a permutation of 0..num_vars-1). Implemented
+  /// as a sequence of adjacent-level swaps, so it preserves the function and
+  /// identity of every live handle, like reorder_sift. Returns the node
+  /// count afterwards. Primarily a test/benchmark hook for exercising the
+  /// symbolic layer under adversarial orders.
+  std::size_t set_var_order(const std::vector<int>& level2var);
   /// Enables reorder-on-growth: reorder_sift() runs inside maybe_reorder()
   /// whenever live nodes exceed the threshold (which then doubles).
   void set_auto_reorder(std::size_t first_threshold);
@@ -195,6 +203,33 @@ class BddManager {
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
   [[nodiscard]] std::uint64_t reorder_runs() const { return reorder_runs_; }
+
+  // ---- client memo (keyed fixpoint results) ------------------------------
+  //
+  // A small exact memo table for *set-level* results that must survive GC
+  // and reordering — unlike the lossy computed-op cache, entries hold Bdd
+  // handles for both key and result, so the nodes stay referenced (GC-safe)
+  // and keep their identity across sifting (reorder-safe). The saturation
+  // traversal uses one slot per saturation level to memoize "this input set,
+  // saturated at this level".
+  //
+  // Slots namespace the keys: each client structure reserves a fresh range
+  // with memo_reserve so two structures (e.g. a rebuilt RelationPartition)
+  // can never read each other's entries.
+
+  /// Reserves `count` fresh memo slots; returns the first slot id.
+  std::uint64_t memo_reserve(std::uint64_t count);
+  /// Looks up (slot, key); true and sets `out` on a hit.
+  bool memo_get(std::uint64_t slot, const Bdd& key, Bdd& out);
+  /// Stores (slot, key) → result. Overwrites an existing entry.
+  void memo_put(std::uint64_t slot, const Bdd& key, const Bdd& result);
+  /// Drops every memo entry (releasing the node references it held).
+  void memo_clear();
+  /// Drops the entries of slots [first, first + count) — a client structure
+  /// releasing its namespace on destruction, so a short-lived client can't
+  /// pin its result nodes for the manager's whole lifetime.
+  void memo_release(std::uint64_t first, std::uint64_t count);
+  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
 
   // ---- raw node access (used by Bdd and tests) ---------------------------
   [[nodiscard]] int node_var(std::uint32_t id) const { return nodes_[id].var; }
@@ -300,6 +335,16 @@ class BddManager {
   std::vector<CacheEntry> cache_;
   std::uint64_t cache_lookups_ = 0;
   std::uint64_t cache_hits_ = 0;
+
+  // Client memo: key = (slot << 32) | node id. The stored handles keep both
+  // the key node and the result alive. Declared after nodes_ so destruction
+  // releases the references while the arena still exists.
+  struct MemoEntry {
+    Bdd key;
+    Bdd result;
+  };
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  std::uint64_t memo_next_slot_ = 0;
 
   int op_depth_ = 0;  // asserts GC/reorder never runs mid-operation
   std::size_t gc_threshold_ = 1u << 20;

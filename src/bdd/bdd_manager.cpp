@@ -325,6 +325,38 @@ void BddManager::clear_op_cache() {
   cache_clear();
 }
 
+// ---------------------------------------------------------------------------
+// Client memo
+// ---------------------------------------------------------------------------
+
+std::uint64_t BddManager::memo_reserve(std::uint64_t count) {
+  std::uint64_t first = memo_next_slot_;
+  memo_next_slot_ += count;
+  assert(memo_next_slot_ < (1ULL << 32) && "memo slot space exhausted");
+  return first;
+}
+
+bool BddManager::memo_get(std::uint64_t slot, const Bdd& key, Bdd& out) {
+  auto it = memo_.find((slot << 32) | key.id());
+  if (it == memo_.end()) return false;
+  out = it->second.result;
+  return true;
+}
+
+void BddManager::memo_put(std::uint64_t slot, const Bdd& key,
+                          const Bdd& result) {
+  memo_[(slot << 32) | key.id()] = MemoEntry{key, result};
+}
+
+void BddManager::memo_clear() { memo_.clear(); }
+
+void BddManager::memo_release(std::uint64_t first, std::uint64_t count) {
+  std::erase_if(memo_, [&](const auto& kv) {
+    std::uint64_t slot = kv.first >> 32;
+    return slot >= first && slot < first + count;
+  });
+}
+
 void BddManager::set_auto_reorder(std::size_t first_threshold) {
   reorder_threshold_ = first_threshold;
 }

@@ -110,6 +110,34 @@ void BddManager::sift_var(int v) {
   }
 }
 
+std::size_t BddManager::set_var_order(const std::vector<int>& level2var) {
+  assert(op_depth_ == 0);
+  const int n = num_vars();
+  assert(static_cast<int>(level2var.size()) == n);
+#ifndef NDEBUG
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (int v : level2var) {
+      assert(v >= 0 && v < n && !seen[v] && "level2var must be a permutation");
+      seen[v] = 1;
+    }
+  }
+#endif
+  gc();  // don't pay swap costs for dead nodes
+  // Selection by adjacent swaps: bubble each target variable up to its
+  // level, left to right. Everything already placed stays put.
+  for (int target = 0; target < n; ++target) {
+    int p = var2level_[level2var[target]];
+    assert(p >= target);
+    while (p > target) {
+      swap_levels(p - 1);
+      --p;
+    }
+  }
+  cache_clear();
+  return live_nodes_;
+}
+
 std::size_t BddManager::reorder_sift() {
   assert(op_depth_ == 0);
   reorder_runs_++;

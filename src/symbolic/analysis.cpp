@@ -8,9 +8,11 @@ using bdd::Bdd;
 
 Analyzer::Analyzer(SymbolicContext& ctx) : ctx_(ctx) {
   // Reuse a traversal the context already ran (any method computes the same
-  // set); otherwise run the fastest one available.
+  // set); otherwise run the fastest one available — saturation when the
+  // clustered partition exists, chained direct images otherwise. Backward
+  // sweeps (can_reach and friends) stay chained either way.
   if (!ctx.reached_set().is_valid()) {
-    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kChainedTr
+    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kSaturation
                                          : ImageMethod::kChainedDirect);
   }
   reached_ = ctx.reached_set();

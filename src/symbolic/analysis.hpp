@@ -13,10 +13,11 @@ namespace pnenc::symbolic {
 class Analyzer {
  public:
   /// Binds to the context's reachability set: reuses a traversal the
-  /// context already ran, otherwise computes one using chained sweeps over
-  /// the clustered partitioned relation when the context has next-state
-  /// variables and chained direct images otherwise. Forward and backward
-  /// sweeps both honor the context's partition options (caps and
+  /// context already ran, otherwise computes one by saturation over the
+  /// clustered partitioned relation when the context has next-state
+  /// variables and chained direct images otherwise. Backward sweeps always
+  /// use chained preimages (saturation is forward-only). Forward and
+  /// backward sweeps both honor the context's partition options (caps and
   /// quantification schedule — see SymbolicContext::set_partition_options).
   explicit Analyzer(SymbolicContext& ctx);
   /// Same, with an explicit traversal method.

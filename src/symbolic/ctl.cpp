@@ -5,8 +5,11 @@ namespace pnenc::symbolic {
 using bdd::Bdd;
 
 CtlChecker::CtlChecker(SymbolicContext& ctx) : ctx_(ctx) {
+  // Forward traversal by saturation when next-state variables exist (see
+  // ImageMethod::kSaturation); the backward fixpoints below (EF/EX/EU/EG)
+  // fall back to chained preimage sweeps over the same partition.
   if (!ctx.reached_set().is_valid()) {
-    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kChainedTr
+    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kSaturation
                                          : ImageMethod::kChainedDirect);
   }
   reached_ = ctx.reached_set();

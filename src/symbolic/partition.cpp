@@ -102,6 +102,7 @@ RelationPartition::RelationPartition(SymbolicContext& ctx,
   if (!current.empty()) emit_clusters(current);
 
   set_schedule(opts_.schedule);
+  build_sat_levels();
 }
 
 void RelationPartition::emit_clusters(const std::vector<int>& members) {
@@ -293,6 +294,114 @@ void RelationPartition::set_schedule_order(std::vector<std::size_t> order) {
   order_ = std::move(order);
   custom_order_ = true;
   rebuild_retirement();
+}
+
+// ---------------------------------------------------------------------------
+// Saturation
+// ---------------------------------------------------------------------------
+
+RelationPartition::~RelationPartition() {
+  ctx_.manager().memo_release(sat_memo_base_, sat_levels_.size());
+}
+
+void RelationPartition::build_sat_levels() {
+  BddManager& mgr = ctx_.manager();
+  const std::size_t k = clusters_.size();
+
+  // Topmost present-state variable of each cluster: the support variable
+  // whose present literal sits closest to the BDD root *at build time*. The
+  // grouping is frozen afterwards — later dynamic reorders change levels but
+  // preserve node identity/function, so a frozen grouping stays correct (any
+  // grouping yields the same least fixpoint; only the speed profile ages).
+  std::vector<int> top_of(k, -1);
+  for (std::size_t c = 0; c < k; ++c) {
+    int best_level = -1;
+    for (int v : clusters_[c].psupport) {
+      int level = mgr.level_of_var(ctx_.pvar(v));
+      if (best_level < 0 || level < best_level) {
+        best_level = level;
+        top_of[c] = v;
+      }
+    }
+  }
+
+  // One group per distinct top variable, ordered bottom-up: the group whose
+  // top variable sits deepest (largest level) saturates first.
+  std::vector<std::size_t> by_depth(k);
+  std::iota(by_depth.begin(), by_depth.end(), std::size_t{0});
+  auto depth = [&](std::size_t c) {
+    return top_of[c] < 0 ? mgr.num_vars()  // support-free: deepest group
+                         : mgr.level_of_var(ctx_.pvar(top_of[c]));
+  };
+  std::stable_sort(by_depth.begin(), by_depth.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return depth(a) > depth(b);
+                   });
+
+  sat_levels_.clear();
+  for (std::size_t c : by_depth) {
+    if (sat_levels_.empty() || sat_levels_.back().top_var != top_of[c]) {
+      sat_levels_.push_back(SatLevel{top_of[c], {}});
+    }
+    sat_levels_.back().clusters.push_back(c);
+  }
+  sat_memo_base_ = mgr.memo_reserve(sat_levels_.size());
+}
+
+Bdd RelationPartition::saturate(const Bdd& from) {
+  sat_stats_ = SaturationStats{};
+  sat_stats_.levels = sat_levels_.size();
+  if (sat_levels_.empty()) return from;
+  BddManager& mgr = ctx_.manager();
+  Bdd out = saturate_level(sat_levels_.size() - 1, from);
+
+  // Memoize only what can pay off later: the top-level answer (a repeated
+  // saturate() from the same seed is a table hit) and the fixpoint's
+  // identity at every level (the result is closed under all of them).
+  // Intra-run inputs grow strictly monotonically and therefore never
+  // repeat, so per-call entries would only pin dead frontier DAGs — the
+  // sweep writes nothing while it runs (see saturate_level).
+  mgr.memo_release(sat_memo_base_, sat_levels_.size());
+  mgr.memo_put(sat_memo_base_ + sat_levels_.size() - 1, from, out);
+  for (std::size_t lvl = 0; lvl < sat_levels_.size(); ++lvl) {
+    mgr.memo_put(sat_memo_base_ + lvl, out, out);
+  }
+  return out;
+}
+
+Bdd RelationPartition::saturate_level(std::size_t lvl, Bdd s) {
+  BddManager& mgr = ctx_.manager();
+  // Hits come from the entries the previous saturate() call kept: the
+  // seed's answer at the top level and the fixpoint identity at every one.
+  ++sat_stats_.memo_lookups;
+  Bdd out;
+  if (mgr.memo_get(sat_memo_base_ + lvl, s, out)) {
+    ++sat_stats_.memo_hits;
+    return out;
+  }
+
+  // Establish the invariant for the recursion: s closed under all deeper
+  // groups before this group fires at all.
+  if (lvl > 0) s = saturate_level(lvl - 1, s);
+
+  // Apply each cluster of the group to its own fixpoint (chaining within the
+  // cluster); whenever it adds states, the deeper groups may have been
+  // disturbed — re-saturate them before continuing. Passes repeat until the
+  // whole group is stable.
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (std::size_t c : sat_levels_[lvl].clusters) {
+      for (;;) {
+        Bdd next = s | image_cluster(clusters_[c], s);
+        ++sat_stats_.applications;
+        if (next == s) break;
+        s = lvl > 0 ? saturate_level(lvl - 1, next) : std::move(next);
+        grew = true;
+      }
+    }
+    mgr.maybe_reorder();
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -44,6 +45,19 @@ struct ScheduleStats {
   std::size_t peak_live_vars = 0;
 };
 
+/// Counters describing the last RelationPartition::saturate call — the
+/// saturation analogue of ScheduleStats, surfaced by `pnanalyze --stats`.
+struct SaturationStats {
+  /// Number of saturation level groups (distinct topmost present variables).
+  std::size_t levels = 0;
+  /// Cluster image applications performed (the saturation work metric; a
+  /// chained sweep costs num_clusters applications per sweep).
+  std::size_t applications = 0;
+  /// Per-level memo probes and hits in the manager's client memo.
+  std::size_t memo_lookups = 0;
+  std::size_t memo_hits = 0;
+};
+
 /// Picks PartitionOptions caps for a net from cheap structural statistics
 /// (transition count, changed-variable width and span) — no BDD operations
 /// beyond the per-transition metadata the partition builder needs anyway.
@@ -78,6 +92,11 @@ class RelationPartition {
  public:
   explicit RelationPartition(SymbolicContext& ctx,
                              const PartitionOptions& opts = {});
+  /// Releases this partition's saturation memo slots in the manager, so a
+  /// rebuilt partition does not keep the old fixpoint nodes pinned.
+  ~RelationPartition();
+  RelationPartition(const RelationPartition&) = delete;
+  RelationPartition& operator=(const RelationPartition&) = delete;
 
   [[nodiscard]] const PartitionOptions& options() const { return opts_; }
   [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
@@ -153,6 +172,47 @@ class RelationPartition {
   [[nodiscard]] bdd::Bdd backward_closure(const bdd::Bdd& seed,
                                           const bdd::Bdd& within);
 
+  // ---- saturation ---------------------------------------------------------
+
+  /// Least fixpoint of `from ∪ Img(·)` by saturation (Ciardo et al., adapted
+  /// to clustered relations): clusters are grouped by the level of their
+  /// topmost present-state variable (the one closest to the BDD root at
+  /// build time), and groups are saturated bottom-up — each cluster is
+  /// applied to a local fixpoint, re-saturating every deeper group it
+  /// disturbs, before the traversal moves root-ward. Deep, local subsystems
+  /// therefore converge completely before wide cross-component clusters ever
+  /// fire, which keeps intermediate sets small on deep nets.
+  ///
+  /// Results are memoized *across* saturate() calls in the manager's client
+  /// memo (see BddManager::memo_put): a repeated run from the same seed, or
+  /// any run whose input is already the fixpoint, is a table hit (intra-run
+  /// inputs grow strictly monotonically and never repeat, so the sweep
+  /// itself writes no entries). Memo slots are reserved per partition
+  /// instance, so a rebuild can never observe stale entries; the level
+  /// grouping is frozen at build time, so dynamic reordering (which
+  /// preserves node identity and function) cannot invalidate it either.
+  ///
+  /// Returns the same BDD node every other traversal method converges to.
+  [[nodiscard]] bdd::Bdd saturate(const bdd::Bdd& from);
+  /// Counters from the most recent saturate() call.
+  [[nodiscard]] const SaturationStats& saturation_stats() const {
+    return sat_stats_;
+  }
+  /// Number of saturation level groups.
+  [[nodiscard]] std::size_t num_sat_levels() const {
+    return sat_levels_.size();
+  }
+  /// Cluster indices in level group `lvl` (0 = deepest, processed first).
+  [[nodiscard]] const std::vector<std::size_t>& sat_level_clusters(
+      std::size_t lvl) const {
+    return sat_levels_[lvl].clusters;
+  }
+  /// Encoding variable that names level group `lvl` (the group's shared
+  /// topmost present-state variable).
+  [[nodiscard]] int sat_level_top_var(std::size_t lvl) const {
+    return sat_levels_[lvl].top_var;
+  }
+
   /// One chained sweep (Roig-style): for each cluster in schedule order,
   /// acc ← acc ∨ Img_c(acc), feeding each cluster's result into the next
   /// within the same sweep. Returns true iff acc grew.
@@ -173,6 +233,13 @@ class RelationPartition {
     std::vector<int> p_to_q;   // rename map applied to the preimage operand
   };
 
+  /// A saturation level group: every cluster whose topmost (root-most at
+  /// build time) present-state variable is `top_var`.
+  struct SatLevel {
+    int top_var = -1;
+    std::vector<std::size_t> clusters;
+  };
+
   Cluster build_cluster(const std::vector<int>& members) const;
   /// Builds `members` as one cluster, splitting in half recursively while the
   /// relation exceeds the node cap (a singleton always stands).
@@ -183,6 +250,10 @@ class RelationPartition {
   [[nodiscard]] std::vector<std::size_t> affinity_order() const;
   /// Recomputes retired_ and stats_ for the current order_.
   void rebuild_retirement();
+  /// Groups clusters into sat_levels_ (bottom-up) and reserves memo slots.
+  void build_sat_levels();
+  /// Saturates `s` under every cluster in level groups 0..lvl (memoized).
+  [[nodiscard]] bdd::Bdd saturate_level(std::size_t lvl, bdd::Bdd s);
 
   SymbolicContext& ctx_;
   PartitionOptions opts_;
@@ -191,6 +262,9 @@ class RelationPartition {
   std::vector<std::vector<int>> retired_; // per step: vars retired after it
   ScheduleStats stats_;
   bool custom_order_ = false;  // order_ came from set_schedule_order
+  std::vector<SatLevel> sat_levels_;  // level groups, deepest first
+  std::uint64_t sat_memo_base_ = 0;   // manager memo slot for level 0
+  SaturationStats sat_stats_;
 };
 
 }  // namespace pnenc::symbolic

@@ -266,7 +266,15 @@ TraversalResult SymbolicContext::reachability(ImageMethod method) {
   util::Timer timer;
   Bdd reached = initial();
   TraversalResult result;
-  if (method == ImageMethod::kChainedTr) {
+  if (method == ImageMethod::kSaturation) {
+    // Saturation: the whole fixpoint happens inside one partition call; the
+    // "iterations" a user can compare across methods are the cluster image
+    // applications (one chained sweep costs num_clusters of them).
+    RelationPartition& part = partition();
+    reached = part.saturate(reached);
+    result.iterations = static_cast<int>(part.saturation_stats().applications);
+    mgr_->maybe_reorder();
+  } else if (method == ImageMethod::kChainedTr) {
     // Chained traversal: one iteration is a full sweep over the clusters,
     // each cluster's image feeding the next. Typically converges in far
     // fewer sweeps than BFS needs levels.
@@ -311,6 +319,7 @@ TraversalResult SymbolicContext::reachability(ImageMethod method) {
           break;
         case ImageMethod::kChainedTr:
         case ImageMethod::kChainedDirect:
+        case ImageMethod::kSaturation:
           break;  // handled above
       }
       frontier = next.diff(reached);

@@ -34,6 +34,14 @@ enum class ImageMethod {
   /// variables needed. The default for the analysis/CTL layers when the
   /// context was built without next vars.
   kChainedDirect,
+  /// Saturation (Ciardo et al.) over the clustered relations: clusters are
+  /// grouped by topmost present-state variable and each group is saturated
+  /// bottom-up — deep local subsystems converge to fixpoint (with memoized
+  /// per-level results) before root-ward clusters fire. The default forward
+  /// traversal for the analysis/CTL layers when next-state variables exist;
+  /// backward fixpoints fall back to chained sweeps (preimage saturation
+  /// would need reverse-closed level groups). See RelationPartition::saturate.
+  kSaturation,
 };
 
 struct SymbolicOptions {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <random>
 
 #include "bdd/bdd.hpp"
@@ -55,6 +57,95 @@ TEST(BddReorder, SiftingShrinksInterleavedConjunction) {
   // Shape check: the optimal size for this function is 2*pairs + ...; allow
   // a generous bound but require linear, not exponential.
   EXPECT_LE(after, static_cast<std::size_t>(6 * pairs));
+}
+
+TEST(BddReorder, SetVarOrderInstallsExactOrderAndPreservesFunctions) {
+  const int nvars = 7;
+  std::mt19937 rng(123);
+  BddManager mgr(nvars);
+  std::vector<TruthTable> tables;
+  std::vector<Bdd> funcs;
+  for (int i = 0; i < 6; ++i) {
+    tables.push_back(random_table(nvars, rng));
+    funcs.push_back(bdd_from_table(mgr, tables.back(), nvars));
+  }
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<int> order(nvars);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    mgr.set_var_order(order);
+    // The requested order is installed exactly...
+    for (int level = 0; level < nvars; ++level) {
+      EXPECT_EQ(mgr.var_at_level(level), order[level]) << "trial " << trial;
+      EXPECT_EQ(mgr.level_of_var(order[level]), level);
+    }
+    // ...and every live handle still denotes its function.
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      EXPECT_EQ(table_from_bdd(mgr, funcs[i], nvars), tables[i])
+          << "func " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(BddReorder, SetVarOrderRoundTripRestoresDagSizes) {
+  // Installing the pairing order by hand must reach the same size sifting
+  // finds for the interleaved-conjunction family, and restoring the bad
+  // order must reproduce the original (order-exponential) size.
+  const int pairs = 6;
+  BddManager mgr(2 * pairs);
+  Bdd f = mgr.bdd_false();
+  for (int i = 0; i < pairs; ++i) f |= mgr.var(i) & mgr.var(pairs + i);
+  std::size_t bad_size = f.size();
+
+  std::vector<int> good;
+  for (int i = 0; i < pairs; ++i) {
+    good.push_back(i);
+    good.push_back(pairs + i);
+  }
+  mgr.set_var_order(good);
+  EXPECT_LE(f.size(), static_cast<std::size_t>(6 * pairs));
+
+  std::vector<int> bad(2 * pairs);
+  std::iota(bad.begin(), bad.end(), 0);
+  mgr.set_var_order(bad);
+  EXPECT_EQ(f.size(), bad_size);
+}
+
+TEST(BddReorder, ClientMemoSurvivesGcAndReorder) {
+  // Memo entries hold handles for key and result, so the referenced nodes
+  // must survive a GC sweep and keep their identity through sifting and
+  // explicit order changes.
+  const int nvars = 8;
+  std::mt19937 rng(55);
+  BddManager mgr(nvars);
+  TruthTable tk = random_table(nvars, rng);
+  TruthTable tr = random_table(nvars, rng);
+  std::uint64_t slot = mgr.memo_reserve(2);
+  {
+    Bdd key = bdd_from_table(mgr, tk, nvars);
+    Bdd result = bdd_from_table(mgr, tr, nvars);
+    mgr.memo_put(slot, key, result);
+    Bdd out;
+    ASSERT_TRUE(mgr.memo_get(slot, key, out));
+    EXPECT_EQ(out, result);
+    EXPECT_FALSE(mgr.memo_get(slot + 1, key, out)) << "slots must not alias";
+  }
+  // All external handles dropped: only the memo keeps the nodes alive.
+  mgr.gc();
+  mgr.reorder_sift();
+  std::vector<int> order(nvars);
+  std::iota(order.begin(), order.end(), 0);
+  std::reverse(order.begin(), order.end());
+  mgr.set_var_order(order);
+
+  Bdd key2 = bdd_from_table(mgr, tk, nvars);  // same function → same node
+  Bdd out;
+  ASSERT_TRUE(mgr.memo_get(slot, key2, out));
+  EXPECT_EQ(table_from_bdd(mgr, out, nvars), tr);
+
+  mgr.memo_clear();
+  EXPECT_EQ(mgr.memo_entries(), 0u);
+  EXPECT_FALSE(mgr.memo_get(slot, key2, out));
 }
 
 TEST(BddReorder, OperationsRemainCorrectAfterReorder) {

@@ -14,6 +14,7 @@
 #include "symbolic/ctl.hpp"
 #include "symbolic/partition.hpp"
 #include "symbolic/symbolic.hpp"
+#include "tests/testing/net_fixtures.hpp"
 
 namespace pnenc {
 namespace {
@@ -27,14 +28,7 @@ using symbolic::RelationPartition;
 using symbolic::SymbolicContext;
 using symbolic::SymbolicOptions;
 
-Net net_by_id(int id) {
-  switch (id) {
-    case 0: return petri::gen::fig1_net();
-    case 1: return petri::gen::philosophers(4);
-    case 2: return petri::gen::slotted_ring(4);
-  }
-  throw std::logic_error("bad net id");
-}
+using testing::net_by_id;  // shared fixtures: tests/testing/net_fixtures.hpp
 
 class PartitionedReach
     : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
@@ -42,21 +36,24 @@ class PartitionedReach
 TEST_P(PartitionedReach, ClusteredAndChainedMatchExplicitOracle) {
   auto [net_id, scheme] = GetParam();
   Net net = net_by_id(net_id);
-  auto oracle = petri::explicit_reachability(net);
+  const double expected =
+      static_cast<double>(testing::expected_markings(net_id));
   MarkingEncoding enc = build_encoding(net, scheme);
   SymbolicOptions opts;
   opts.with_next_vars = true;
   SymbolicContext ctx(net, enc, opts);
 
   auto clustered = ctx.reachability(ImageMethod::kClusteredTr);
-  EXPECT_DOUBLE_EQ(clustered.num_markings,
-                   static_cast<double>(oracle.num_markings))
+  EXPECT_DOUBLE_EQ(clustered.num_markings, expected)
       << "clustered, net " << net_id << " scheme " << scheme;
 
   auto chained = ctx.reachability(ImageMethod::kChainedTr);
-  EXPECT_DOUBLE_EQ(chained.num_markings,
-                   static_cast<double>(oracle.num_markings))
+  EXPECT_DOUBLE_EQ(chained.num_markings, expected)
       << "chained, net " << net_id << " scheme " << scheme;
+
+  auto saturated = ctx.reachability(ImageMethod::kSaturation);
+  EXPECT_DOUBLE_EQ(saturated.num_markings, expected)
+      << "saturation, net " << net_id << " scheme " << scheme;
 
   // Chaining must never need more sweeps than BFS needs levels.
   EXPECT_LE(chained.iterations, clustered.iterations);
@@ -65,16 +62,16 @@ TEST_P(PartitionedReach, ClusteredAndChainedMatchExplicitOracle) {
 TEST_P(PartitionedReach, ChainedDirectMatchesExplicitOracle) {
   auto [net_id, scheme] = GetParam();
   Net net = net_by_id(net_id);
-  auto oracle = petri::explicit_reachability(net);
   MarkingEncoding enc = build_encoding(net, scheme);
   SymbolicContext ctx(net, enc);
   auto r = ctx.reachability(ImageMethod::kChainedDirect);
-  EXPECT_DOUBLE_EQ(r.num_markings, static_cast<double>(oracle.num_markings));
+  EXPECT_DOUBLE_EQ(r.num_markings,
+                   static_cast<double>(testing::expected_markings(net_id)));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     NetsAndSchemes, PartitionedReach,
-    ::testing::Combine(::testing::Range(0, 3),
+    ::testing::Combine(::testing::Range(0, pnenc::testing::kNumNets),
                        ::testing::Values("sparse", "dense", "improved")));
 
 TEST(RelationPartition, ClusterImageAgreesWithPerTransitionImages) {

@@ -11,10 +11,10 @@
 #include <random>
 
 #include "encoding/encoding.hpp"
-#include "petri/explicit_reach.hpp"
 #include "petri/generators.hpp"
 #include "symbolic/partition.hpp"
 #include "symbolic/symbolic.hpp"
+#include "tests/testing/net_fixtures.hpp"
 
 namespace pnenc {
 namespace {
@@ -29,14 +29,7 @@ using symbolic::ScheduleKind;
 using symbolic::SymbolicContext;
 using symbolic::SymbolicOptions;
 
-Net net_by_id(int id) {
-  switch (id) {
-    case 0: return petri::gen::fig1_net();
-    case 1: return petri::gen::philosophers(4);
-    case 2: return petri::gen::slotted_ring(4);
-  }
-  throw std::logic_error("bad net id");
-}
+using testing::net_by_id;  // shared fixtures: tests/testing/net_fixtures.hpp
 
 class ScheduleEquivalence
     : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
@@ -81,7 +74,7 @@ TEST_P(ScheduleEquivalence, EarlyImageEqualsLateImageUnderRandomOrders) {
 
 INSTANTIATE_TEST_SUITE_P(
     NetsAndSchemes, ScheduleEquivalence,
-    ::testing::Combine(::testing::Range(0, 3),
+    ::testing::Combine(::testing::Range(0, pnenc::testing::kNumNets),
                        ::testing::Values("sparse", "dense", "improved")));
 
 TEST(Schedule, AffinityOrderRespectsRetirementInvariant) {
@@ -154,9 +147,8 @@ TEST(Schedule, AffinityOrderShortensVariableLifetimes) {
 }
 
 TEST(Schedule, NaiveAndEarlyTraversalsAreBitIdentical) {
-  for (int net_id = 0; net_id < 3; ++net_id) {
+  for (int net_id = 0; net_id < testing::kNumNets; ++net_id) {
     Net net = net_by_id(net_id);
-    auto oracle = petri::explicit_reachability(net);
     MarkingEncoding enc = build_encoding(net, "improved");
     SymbolicOptions opts;
     opts.with_next_vars = true;
@@ -175,7 +167,7 @@ TEST(Schedule, NaiveAndEarlyTraversalsAreBitIdentical) {
 
     EXPECT_EQ(naive_set, early_set);
     EXPECT_DOUBLE_EQ(ctx.count_markings(early_set),
-                     static_cast<double>(oracle.num_markings));
+                     static_cast<double>(testing::expected_markings(net_id)));
 
     // A BFS driven by the late-quantified reference image lands on the same
     // node as well.
@@ -250,9 +242,8 @@ TEST(Schedule, SetScheduleOrderRejectsNonPermutations) {
 }
 
 TEST(Autotune, CapsWithinBoundsAndTraversalStaysCorrect) {
-  for (int net_id = 1; net_id < 3; ++net_id) {
+  for (int net_id = 1; net_id < testing::kNumNets; ++net_id) {
     Net net = net_by_id(net_id);
-    auto oracle = petri::explicit_reachability(net);
     MarkingEncoding enc = build_encoding(net, "improved");
     SymbolicOptions opts;
     opts.with_next_vars = true;
@@ -268,7 +259,7 @@ TEST(Autotune, CapsWithinBoundsAndTraversalStaysCorrect) {
     ctx.set_partition_options(tuned);
     auto r = ctx.reachability(ImageMethod::kChainedTr);
     EXPECT_DOUBLE_EQ(r.num_markings,
-                     static_cast<double>(oracle.num_markings));
+                     static_cast<double>(testing::expected_markings(net_id)));
   }
 }
 

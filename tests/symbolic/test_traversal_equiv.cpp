@@ -1,0 +1,176 @@
+// Cross-method differential harness: every traversal family the library
+// offers — saturation, chained sweeps, clustered-BFS, and the direct method —
+// must compute the *same BDD node* for the reachable set (same manager, so
+// equal functions are identical nodes), and the count must match the
+// explicit-state oracle, across:
+//
+//   * every encoding scheme (sparse / dense / improved),
+//   * randomized cluster caps (including the singleton-cluster extreme), and
+//   * randomized variable orders (via BddManager::set_var_order).
+//
+// This suite is the oracle anchor for tests/testing/net_fixtures.hpp: it
+// re-runs the explicit oracle and checks the fixture constants against it,
+// so the other suites can use the constants without re-exploring.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/explicit_reach.hpp"
+#include "symbolic/partition.hpp"
+#include "symbolic/symbolic.hpp"
+#include "tests/testing/net_fixtures.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::MarkingEncoding;
+using petri::Net;
+using symbolic::ImageMethod;
+using symbolic::PartitionOptions;
+using symbolic::ScheduleKind;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+
+int scheme_index(const char* scheme) {
+  for (int i = 0; i < 3; ++i) {
+    if (std::string(scheme) == testing::kSchemes[i]) return i;
+  }
+  return 3;
+}
+
+class TraversalEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(TraversalEquivalence, AllMethodsAgreeUnderRandomCapsAndOrders) {
+  auto [net_id, scheme] = GetParam();
+  Net net = testing::net_by_id(net_id);
+
+  // Anchor the fixture constant against the ground-truth oracle once.
+  auto oracle = petri::explicit_reachability(net);
+  ASSERT_TRUE(oracle.complete);
+  ASSERT_EQ(oracle.num_markings, testing::expected_markings(net_id));
+  const double expected = static_cast<double>(oracle.num_markings);
+
+  std::mt19937 rng(1234u + 16u * static_cast<unsigned>(net_id) +
+                   static_cast<unsigned>(scheme_index(scheme)));
+  const std::size_t node_caps[] = {0, 64, 512, 4096};
+
+  for (int trial = 0; trial < 3; ++trial) {
+    PartitionOptions popts;
+    popts.node_cap = node_caps[rng() % 4];
+    popts.var_cap = 1 + rng() % 20;
+    popts.schedule =
+        (rng() % 2) ? ScheduleKind::kEarly : ScheduleKind::kNaive;
+
+    MarkingEncoding enc = build_encoding(net, scheme);
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+
+    // Trials beyond the first run under a random variable order, installed
+    // before any BDD is built so every method pays the same (possibly
+    // adversarial) order. Wide contexts (sparse slot-4 has 80 BDD
+    // variables) get a windowed shuffle instead of a global one: a fully
+    // random order there makes the *relations themselves* exponential and
+    // the trial takes seconds without testing anything extra.
+    if (trial > 0) {
+      const int nv = ctx.manager().num_vars();
+      std::vector<int> order(static_cast<std::size_t>(nv));
+      std::iota(order.begin(), order.end(), 0);
+      if (nv <= 40) {
+        std::shuffle(order.begin(), order.end(), rng);
+      } else {
+        for (int lo = 0; lo < nv; lo += 8) {
+          std::shuffle(order.begin() + lo,
+                       order.begin() + std::min(lo + 8, nv), rng);
+        }
+      }
+      ctx.manager().set_var_order(order);
+    }
+    ctx.set_partition_options(popts);
+
+    auto bfs = ctx.reachability(ImageMethod::kClusteredTr);
+    bdd::Bdd set_bfs = ctx.reached_set();
+    auto chained = ctx.reachability(ImageMethod::kChainedTr);
+    bdd::Bdd set_chained = ctx.reached_set();
+    auto sat = ctx.reachability(ImageMethod::kSaturation);
+    bdd::Bdd set_sat = ctx.reached_set();
+    auto direct = ctx.reachability(ImageMethod::kDirect);
+    bdd::Bdd set_direct = ctx.reached_set();
+
+    const auto label = [&](const char* what) {
+      return ::testing::Message()
+             << what << ": net " << testing::net_name(net_id) << " scheme "
+             << scheme << " trial " << trial << " node_cap " << popts.node_cap
+             << " var_cap " << popts.var_cap;
+    };
+    // Bit-identical reached sets (same manager: same function, same node)...
+    EXPECT_EQ(set_sat, set_chained) << label("saturation vs chained");
+    EXPECT_EQ(set_sat, set_bfs) << label("saturation vs clustered BFS");
+    EXPECT_EQ(set_sat, set_direct) << label("saturation vs direct");
+    // ...and the right count vs the explicit oracle for each method's own
+    // TraversalResult (counts come from independent satcount runs).
+    EXPECT_DOUBLE_EQ(bfs.num_markings, expected) << label("clustered BFS");
+    EXPECT_DOUBLE_EQ(chained.num_markings, expected) << label("chained");
+    EXPECT_DOUBLE_EQ(sat.num_markings, expected) << label("saturation");
+    EXPECT_DOUBLE_EQ(direct.num_markings, expected) << label("direct");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndSchemes, TraversalEquivalence,
+    ::testing::Combine(::testing::Range(0, pnenc::testing::kNumNets),
+                       ::testing::Values("sparse", "dense", "improved")));
+
+TEST(TraversalEquivalence, SaturationMemoHitsAcrossRepeatedRuns) {
+  // A second saturation run over the same partition must be answered from
+  // the manager's client memo (the input set is the memoized fixpoint).
+  Net net = testing::net_by_id(1);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+
+  ctx.reachability(ImageMethod::kSaturation);
+  auto first = ctx.partition().saturation_stats();
+  EXPECT_GT(first.applications, 0u);
+
+  ctx.reachability(ImageMethod::kSaturation);
+  auto second = ctx.partition().saturation_stats();
+  EXPECT_EQ(second.memo_hits, 1u);  // top-level call itself hits
+  EXPECT_EQ(second.applications, 0u);
+}
+
+TEST(TraversalEquivalence, RebuiltPartitionDoesNotReuseStaleMemo) {
+  // Changing the caps rebuilds the partition; its memo slots are fresh, so
+  // the first saturation after a rebuild must recompute, not hit entries
+  // keyed by the previous partition's levels.
+  Net net = testing::net_by_id(2);
+  MarkingEncoding enc = build_encoding(net, "dense");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+
+  ctx.reachability(ImageMethod::kSaturation);
+  bdd::Bdd before = ctx.reached_set();
+
+  PartitionOptions popts = ctx.partition_options();
+  popts.node_cap = 0;  // force singleton clusters → rebuild
+  ctx.set_partition_options(popts);
+  ctx.reachability(ImageMethod::kSaturation);
+  auto stats = ctx.partition().saturation_stats();
+  EXPECT_EQ(ctx.reached_set(), before);
+  // A stale top-level hit would answer without any cluster application;
+  // intra-run hits (re-saturating undisturbed levels) are fine and expected.
+  EXPECT_GT(stats.applications, 0u);
+}
+
+}  // namespace
+}  // namespace pnenc

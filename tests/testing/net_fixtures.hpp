@@ -1,0 +1,60 @@
+// Shared net fixtures for the symbolic test suites: the benchmark nets the
+// traversal/scheduler/equivalence tests all exercise, with their expected
+// reachable-marking counts (cross-checked against the explicit oracle by
+// tests/symbolic/test_traversal_equiv.cpp, so the constants here can be used
+// without re-running the oracle in every suite).
+//
+// Header-only on purpose: the build globs tests/*.cpp into one binary per
+// file, so fixture code must not be a .cpp.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "petri/generators.hpp"
+#include "petri/net.hpp"
+
+namespace pnenc::testing {
+
+/// Number of fixture nets (ids 0..kNumNets-1). The first kNumSmallNets are
+/// the historical trio (fig1, phil-4, slot-4) most suites sweep; dme-4 is
+/// the fourth for suites that want a deep sequential shape too.
+inline constexpr int kNumNets = 4;
+inline constexpr int kNumSmallNets = 3;
+
+/// Encoding schemes every scheme-parameterized suite sweeps.
+inline constexpr const char* kSchemes[] = {"sparse", "dense", "improved"};
+
+inline petri::Net net_by_id(int id) {
+  switch (id) {
+    case 0: return petri::gen::fig1_net();
+    case 1: return petri::gen::philosophers(4);
+    case 2: return petri::gen::slotted_ring(4);
+    case 3: return petri::gen::dme_ring(4);
+  }
+  throw std::logic_error("bad net id");
+}
+
+inline const char* net_name(int id) {
+  switch (id) {
+    case 0: return "fig1";
+    case 1: return "phil-4";
+    case 2: return "slot-4";
+    case 3: return "dme-4";
+  }
+  throw std::logic_error("bad net id");
+}
+
+/// |[M0⟩| of net_by_id(id), as established by the explicit-state oracle.
+inline std::size_t expected_markings(int id) {
+  switch (id) {
+    case 0: return 8;
+    case 1: return 466;
+    case 2: return 49152;
+    case 3: return 192;
+  }
+  throw std::logic_error("bad net id");
+}
+
+}  // namespace pnenc::testing
