@@ -1,0 +1,160 @@
+// Query-batch benchmarks: the amortization the QueryEngine exists for.
+//
+// Three execution modes over the same mixed batch of queries (reach + CTL +
+// deadlock + live, built from the net's own places/transitions):
+//   serial   — the pre-engine workflow: every query pays its own encode +
+//              partition + forward traversal on a fresh context (this is
+//              what "issue N independent pnanalyze runs" costs);
+//   batched  — one QueryEngine, jobs=1: encode/partition/traverse once,
+//              answer all queries against the shared reached set;
+//   sharded  — same engine, jobs=4: manager-per-shard workers with work
+//              stealing, the reached set shipped to each shard by
+//              structural copy (BddManager::import_bdd).
+//
+// Every mode's answers are checked bit-identical to the serial ones before
+// timing starts (the bench aborts on mismatch — see verify_identical), and
+// the `identical_to_serial` counter records it in BENCH_batch.json:
+//   ./bench_query_batch --benchmark_filter=QueryBatch \
+//       --benchmark_out=BENCH_batch.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "query/query.hpp"
+#include "symbolic/analysis.hpp"
+#include "symbolic/symbolic.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace {
+
+using namespace pnenc;
+using query::Query;
+using query::QueryKind;
+using query::QueryResult;
+
+petri::Net batch_net(int id) {
+  switch (id) {
+    case 0: return petri::gen::philosophers(8);
+    case 1: return petri::gen::slotted_ring(6);
+    default: return petri::gen::dme_ring(6);
+  }
+}
+
+const char* batch_net_name(int id) {
+  switch (id) {
+    case 0: return "phil-8";
+    case 1: return "slot-6";
+    default: return "dme-6";
+  }
+}
+
+// The mixed batch builder is shared with tests/query/test_query_engine.cpp
+// (tests/testing/query_batches.hpp): 20 queries, every kind represented,
+// several heavy backward fixpoints — the bench times exactly what the
+// differential suite locks down.
+using pnenc::testing::mixed_query_batch;
+
+symbolic::SymbolicOptions engine_opts() {
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;  // saturation forward + partition backward
+  opts.auto_reorder_threshold = 200000;
+  return opts;
+}
+
+/// The serial baseline: each query is answered on its own fresh context —
+/// full encode + partition + traversal per query, as issuing the batch as
+/// independent single-query runs would.
+std::vector<QueryResult> run_serial(const petri::Net& net,
+                                    const encoding::MarkingEncoding& enc,
+                                    const std::vector<Query>& batch) {
+  std::vector<QueryResult> out;
+  out.reserve(batch.size());
+  for (const Query& q : batch) {
+    symbolic::SymbolicContext ctx(net, enc, engine_opts());
+    query::QueryEngine engine(ctx, {});
+    std::vector<QueryResult> one = engine.run({q});
+    out.push_back(one[0]);
+  }
+  return out;
+}
+
+std::vector<QueryResult> run_engine(const petri::Net& net,
+                                    const encoding::MarkingEncoding& enc,
+                                    const std::vector<Query>& batch,
+                                    int jobs) {
+  symbolic::SymbolicContext ctx(net, enc, engine_opts());
+  query::QueryEngineOptions qopts;
+  qopts.jobs = jobs;
+  query::QueryEngine engine(ctx, qopts);
+  return engine.run(batch);
+}
+
+void verify_identical(const std::vector<QueryResult>& serial,
+                      const std::vector<QueryResult>& other,
+                      const char* mode) {
+  if (serial.size() != other.size()) {
+    std::fprintf(stderr, "BENCH BUG: %s answer count mismatch\n", mode);
+    std::abort();
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].holds != other[i].holds ||
+        serial[i].count != other[i].count) {
+      std::fprintf(stderr,
+                   "BENCH BUG: %s answer %zu differs from serial "
+                   "(holds %d vs %d, count %.17g vs %.17g)\n",
+                   mode, i, other[i].holds, serial[i].holds, other[i].count,
+                   serial[i].count);
+      std::abort();
+    }
+  }
+}
+
+/// mode: 0 = serial per-query traversals, 1 = batched jobs=1, 2 = sharded
+/// jobs=4.
+void BM_QueryBatch(benchmark::State& state) {
+  const int net_id = static_cast<int>(state.range(0));
+  petri::Net net = batch_net(net_id);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  std::vector<Query> batch = mixed_query_batch(net);
+  const int mode = static_cast<int>(state.range(1));
+
+  // Correctness gate before any timing: batched and sharded answers must be
+  // bit-identical to serial. Verified once per net (the serial leg alone is
+  // seconds on phil-8, and the three mode registrations share one process),
+  // but independently of which modes a --benchmark_filter selects.
+  static bool verified[3] = {false, false, false};
+  if (!verified[net_id]) {
+    std::vector<QueryResult> serial = run_serial(net, enc, batch);
+    verify_identical(serial, run_engine(net, enc, batch, 1), "batched");
+    verify_identical(serial, run_engine(net, enc, batch, 4), "sharded");
+    verified[net_id] = true;
+  }
+
+  for (auto _ : state) {
+    std::vector<QueryResult> r = mode == 0 ? run_serial(net, enc, batch)
+                                 : mode == 1 ? run_engine(net, enc, batch, 1)
+                                             : run_engine(net, enc, batch, 4);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetLabel(std::string(batch_net_name(static_cast<int>(state.range(0)))) +
+                 (mode == 0   ? "/serial"
+                  : mode == 1 ? "/batched"
+                              : "/sharded-j4"));
+  state.counters["queries"] = static_cast<double>(batch.size());
+  state.counters["identical_to_serial"] = 1;
+}
+BENCHMARK(BM_QueryBatch)
+    ->Args({0, 0})->Args({0, 1})->Args({0, 2})
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

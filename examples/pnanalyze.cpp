@@ -5,6 +5,7 @@
 //             [--method direct|tr|mono|clustered|chained|chained-direct|
 //                       saturation]
 //             [--schedule naive|early] [--autotune] [--stats]
+//             [--queries FILE] [--jobs N]
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
@@ -13,15 +14,22 @@
 // schedule for the clustered methods (early = affinity-ordered, the
 // default), --autotune derives the partition caps from the net's structure,
 // and --stats prints the partition/schedule shape (clustered|chained|
-// saturation; saturation adds level/memo counters).
+// saturation; saturation adds level/memo counters). --queries answers a
+// whole batch of reach/CTL/deadlock/live queries (format: src/query/
+// query.hpp) against one shared reached set; --jobs N answers them on N
+// manager-per-shard workers with work stealing — the batched output is
+// bit-identical to --jobs 1.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "encoding/encoding.hpp"
+#include "query/query.hpp"
 #include "petri/classify.hpp"
 #include "petri/explicit_reach.hpp"
 #include "petri/generators.hpp"
@@ -37,12 +45,38 @@ namespace {
 
 using namespace pnenc;
 
+/// Checked integer parsing: the whole string must be a decimal number in
+/// [min, max]. std::atoi would silently turn "phil-abc" into size 0 — every
+/// malformed spec must be a loud error instead.
+int parse_int(const std::string& s, const std::string& what, int min_value,
+              int max_value) {
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(begin, &end, 10);
+  if (s.empty() || end != begin + s.size() || errno == ERANGE ||
+      v < min_value || v > max_value) {
+    throw std::runtime_error("invalid " + what + " '" + s + "' (expected " +
+                             std::to_string(min_value) + ".." +
+                             std::to_string(max_value) + ")");
+  }
+  return static_cast<int>(v);
+}
+
 petri::Net load_net(const std::string& spec) {
   if (spec.rfind("builtin:", 0) == 0) {
     std::string name = spec.substr(8);
     auto dash = name.find('-');
     std::string family = name.substr(0, dash);
-    int n = dash == std::string::npos ? 0 : std::atoi(name.c_str() + dash + 1);
+    int n = 0;
+    if (dash != std::string::npos) {
+      try {
+        n = parse_int(name.substr(dash + 1), "net size", 1, 1000000);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(std::string(e.what()) + " in builtin net '" +
+                                 name + "'");
+      }
+    }
     if (family == "fig1") return petri::gen::fig1_net();
     if (family == "phil") return petri::gen::philosophers(n);
     if (family == "muller") return petri::gen::muller_pipeline(n);
@@ -65,6 +99,7 @@ int usage() {
                "[--scheme sparse|dense|improved] "
                "[--method direct|tr|mono|clustered|chained|chained-direct|saturation] "
                "[--schedule naive|early] [--autotune] [--stats] "
+               "[--queries FILE] [--jobs N] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
                "reg-N\n");
@@ -80,9 +115,20 @@ int main(int argc, char** argv) {
   symbolic::ScheduleKind schedule = symbolic::ScheduleKind::kEarly;
   bool want_deadlocks = false, want_smcs = false, want_zdd = false;
   bool want_health = false, want_autotune = false, want_stats = false;
+  std::string queries_file;
+  int jobs = 1;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
       scheme = argv[++i];
+    } else if (!std::strcmp(argv[i], "--queries") && i + 1 < argc) {
+      queries_file = argv[++i];
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      try {
+        jobs = parse_int(argv[++i], "--jobs value", 1, 1024);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage();
+      }
     } else if (!std::strcmp(argv[i], "--schedule") && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "naive") {
@@ -188,6 +234,28 @@ int main(int argc, char** argv) {
         saturation ? "cluster applications"
                    : (chained ? "chained sweeps" : "BFS iterations"),
         r.reached_nodes, timer.elapsed_ms());
+
+    if (!queries_file.empty()) {
+      std::ifstream qin(queries_file);
+      if (!qin) throw std::runtime_error("cannot open " + queries_file);
+      std::ostringstream qtext;
+      qtext << qin.rdbuf();
+      std::vector<query::Query> queries = query::parse_queries(qtext.str());
+      query::QueryEngineOptions qopts;
+      qopts.jobs = jobs;
+      query::QueryEngine engine(ctx, qopts);
+      util::Timer qtimer;
+      std::vector<query::QueryResult> answers = engine.run(queries);
+      std::printf("answered %zu queries in %.1f ms (%d job%s)\n",
+                  answers.size(), qtimer.elapsed_ms(), jobs,
+                  jobs == 1 ? "" : "s");
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        std::printf("query %d [%s]: %s  (%.6g markings)  %s\n",
+                    queries[i].line, query::kind_name(queries[i].kind),
+                    answers[i].holds ? "yes" : "no", answers[i].count,
+                    queries[i].text.c_str());
+      }
+    }
 
     // The partition (and therefore the schedule) drives the clustered
     // traversals, plus the backward fixpoints behind --health's

@@ -128,6 +128,20 @@ class BddManager {
   /// ∃ vars . (f ∧ g) computed in one pass (relational product).
   Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
 
+  /// Rebuilds the function denoted by `f` (a handle owned by *another*
+  /// manager) inside this manager and returns the local root. Variable ids
+  /// are preserved, so every variable in f's support must already exist
+  /// here; the managers' variable *orders* may differ (the copy is by ITE,
+  /// which renormalizes to this manager's order). Passing a handle this
+  /// manager already owns returns it unchanged.
+  ///
+  /// The source manager is only read (raw node structure; no handles are
+  /// created, no refcounts touched), so several destination managers may
+  /// import from one source concurrently as long as nothing mutates the
+  /// source — this is how the query layer ships a reached set to its
+  /// per-shard managers.
+  Bdd import_bdd(const Bdd& f);
+
   /// Cofactor f|_{var=value}.
   Bdd cofactor(const Bdd& f, int var, bool value);
   /// Cofactor by a cube of literal assignments (var, value) pairs.
@@ -193,6 +207,22 @@ class BddManager {
   /// Hook for long-running clients (the traversal loop): triggers GC and/or
   /// sifting according to the configured thresholds.
   void maybe_reorder();
+
+  /// Caps the node arena at `max_nodes` slots (terminals included); an
+  /// allocation that would grow the arena past the cap throws
+  /// std::length_error. The throw happens before any node state is touched
+  /// and the recursive operators unwind cleanly, so existing handles stay
+  /// valid and the manager remains usable (nodes completed earlier in the
+  /// failed operation are unreferenced and reclaimed by the next gc()).
+  /// The cap is clamped to the hard arena bound of 2^32−1: id 0xFFFFFFFF is
+  /// kNil, so the arena must never hand it out as a real node id. Defaults
+  /// to that hard bound; tests inject a small cap to exercise the guard,
+  /// and the query layer's sharding exists to split workloads that hit it.
+  void set_node_limit(std::size_t max_nodes);
+  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
+  /// Current arena size in slots (live + freed nodes + the 2 terminals) —
+  /// the quantity set_node_limit caps.
+  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
 
   /// Invalidates every computed-cache entry (the unique table is untouched,
   /// so canonicity is preserved). Used by benchmarks to measure cold-cache
@@ -324,6 +354,7 @@ class BddManager {
   }
 
   std::vector<Node> nodes_;
+  std::size_t node_limit_ = kNil;  // arena slot cap; id kNil is unusable
   std::uint32_t free_head_ = kNil;
   std::size_t live_nodes_ = 0;
   std::size_t peak_nodes_ = 0;

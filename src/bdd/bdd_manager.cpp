@@ -1,5 +1,8 @@
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "bdd/bdd.hpp"
 
@@ -150,9 +153,20 @@ std::uint32_t BddManager::alloc_node(std::uint32_t var, std::uint32_t low,
                                      std::uint32_t high) {
   std::uint32_t id;
   if (free_head_ != kNil) {
+    // Reusing a freed slot never grows the arena, so the cap does not apply.
     id = free_head_;
     free_head_ = nodes_[id].next;
   } else {
+    // Growth path: without this guard the 32-bit id would silently wrap past
+    // 2^32 (and id 0xFFFFFFFF would collide with kNil). Throwing here is
+    // clean — nothing has been linked yet and the recursive operators unwind
+    // through their RAII guards — so handles stay valid afterwards.
+    if (nodes_.size() >= node_limit_) {
+      throw std::length_error(
+          "BddManager: node arena exhausted (" + std::to_string(nodes_.size()) +
+          " slots, limit " + std::to_string(node_limit_) +
+          "); shard the workload across managers or raise set_node_limit");
+    }
     id = static_cast<std::uint32_t>(nodes_.size());
     nodes_.emplace_back();
   }
@@ -355,6 +369,10 @@ void BddManager::memo_release(std::uint64_t first, std::uint64_t count) {
     std::uint64_t slot = kv.first >> 32;
     return slot >= first && slot < first + count;
   });
+}
+
+void BddManager::set_node_limit(std::size_t max_nodes) {
+  node_limit_ = std::min<std::size_t>(max_nodes, kNil);
 }
 
 void BddManager::set_auto_reorder(std::size_t first_threshold) {

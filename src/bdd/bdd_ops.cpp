@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "bdd/bdd.hpp"
 
@@ -327,6 +328,42 @@ std::uint32_t BddManager::toggle_rec(std::uint32_t f, int v) {
 Bdd BddManager::toggle(const Bdd& f, int v) {
   OpGuard guard(op_depth_);
   return Bdd(this, toggle_rec(f.id(), v));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-manager structural copy
+// ---------------------------------------------------------------------------
+
+Bdd BddManager::import_bdd(const Bdd& f) {
+  if (!f.is_valid()) return Bdd();
+  const BddManager* src = f.manager();
+  if (src == this) return f;
+  // Walk the source DAG through its const raw-node accessors only: creating
+  // source handles here would bump refcounts, which is exactly the mutation
+  // concurrent importers must avoid. The memo is keyed by source node id and
+  // holds destination handles, which keeps every partial result referenced
+  // while the copy is in flight.
+  std::unordered_map<std::uint32_t, Bdd> memo;
+  auto rec = [&](auto&& self, std::uint32_t id) -> Bdd {
+    if (id == kFalse) return bdd_false();
+    if (id == kTrue) return bdd_true();
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    int v = src->node_var(id);
+    if (v < 0 || v >= num_vars()) {
+      throw std::invalid_argument(
+          "BddManager::import_bdd: source variable " + std::to_string(v) +
+          " does not exist in the destination manager");
+    }
+    Bdd lo = self(self, src->node_low(id));
+    Bdd hi = self(self, src->node_high(id));
+    // ITE (rather than raw mk) renormalizes to this manager's variable
+    // order, so importing across differently-sifted managers stays correct.
+    Bdd r = ite(var(v), hi, lo);
+    memo.emplace(id, r);
+    return r;
+  };
+  return rec(rec, f.id());
 }
 
 }  // namespace pnenc::bdd

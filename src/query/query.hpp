@@ -1,0 +1,127 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc::query {
+
+/// One query per line of a query file:
+///
+///   reach PRED     is a marking satisfying PRED reachable?
+///   ex PRED        CTL EX — states with a successor satisfying PRED
+///   ef PRED        CTL EF — states that can reach PRED
+///   ag PRED        CTL AG — states from which PRED holds globally
+///   eg PRED        CTL EG — states with a maximal path staying in PRED
+///   af PRED        CTL AF — states from which every path meets PRED
+///   deadlock       reachable markings with no enabled transition
+///   live T         is transition T enabled in some reachable marking?
+///
+/// PRED is a boolean expression over place names:
+///   expr   := term ('|' term)*
+///   term   := factor ('&' factor)*
+///   factor := '!' factor | '(' expr ')' | 'true' | 'false' | place-name
+/// where a place name is a [A-Za-z0-9_]+ identifier ('true'/'false' are
+/// reserved). '#' starts a comment; blank lines are skipped.
+enum class QueryKind {
+  kReach,
+  kEx,
+  kEf,
+  kAg,
+  kEg,
+  kAf,
+  kDeadlock,
+  kLive,
+};
+
+/// Lower-case keyword of a kind, as written in query files.
+[[nodiscard]] const char* kind_name(QueryKind k);
+
+struct Query {
+  QueryKind kind = QueryKind::kReach;
+  /// Predicate expression (reach/CTL kinds), transition name (live), empty
+  /// (deadlock).
+  std::string expr;
+  /// The original source line, for reporting.
+  std::string text;
+  /// 1-based line number in the query file (0 for programmatic queries).
+  int line = 0;
+};
+
+/// Function-level answer to one query. Deliberately holds only booleans and
+/// sat-counts — no node ids, witnesses, or anything else that depends on BDD
+/// *structure* — so batched and sharded evaluation is bit-identical to
+/// serial regardless of shard assignment, work-stealing order, or manager
+/// state. (Sat-counts are sums of powers of two and exact below 2^53, hence
+/// order-independent.)
+struct QueryResult {
+  /// reach/deadlock/live: the answer set is nonempty. CTL kinds: the
+  /// initial marking is in the answer set (the formula holds initially).
+  bool holds = false;
+  /// Number of reachable markings in the answer set.
+  double count = 0.0;
+};
+
+/// Parses a whole query file. Throws std::runtime_error with a 1-based line
+/// number on malformed input. Predicates are only tokenized here; place and
+/// transition names are resolved at evaluation time against the bound net.
+[[nodiscard]] std::vector<Query> parse_queries(const std::string& text);
+
+/// Compiles a predicate expression to the BDD of its satisfying markings
+/// over `ctx`'s present-state variables (not yet intersected with the
+/// reached set). Throws std::runtime_error on syntax errors or unknown
+/// place names.
+[[nodiscard]] bdd::Bdd compile_predicate(symbolic::SymbolicContext& ctx,
+                                         const std::string& expr);
+
+struct QueryEngineOptions {
+  /// Number of shard workers answering independent queries concurrently,
+  /// each with its own BddManager (manager-per-shard; the reached set is
+  /// shipped to every shard by structural copy). <= 1 answers every query
+  /// on the planning context itself.
+  int jobs = 1;
+};
+
+/// Batched multi-query engine over one shared SymbolicContext.
+///
+/// Planning amortizes everything query-independent across the batch: the
+/// net is encoded once, the relation partition is built once, and the
+/// forward-closed reached set is computed once (by the method decision
+/// guide — saturation when next-state variables exist, chained direct
+/// images otherwise), at construction. run() then answers each query
+/// against that one reached set, so a batch of N queries costs one
+/// traversal plus N cheap fixpoint-free (reach/deadlock/live) or
+/// backward-only (CTL) evaluations, instead of N full traversals.
+///
+/// With jobs > 1, independent queries execute concurrently on
+/// manager-per-shard workers fed by a work-stealing queue; each shard
+/// imports the reached set into its own manager (BddManager::import_bdd)
+/// and adopts it (SymbolicContext::set_reached), so shards never touch the
+/// planning context's manager. Results land in a slot per query index —
+/// the merge is deterministic by construction and, because QueryResult is
+/// function-level only, bit-identical to serial evaluation.
+class QueryEngine {
+ public:
+  /// Binds an existing context (must outlive the engine) and runs the
+  /// forward traversal now if the context has not already done so.
+  explicit QueryEngine(symbolic::SymbolicContext& ctx,
+                       const QueryEngineOptions& opts = {});
+
+  /// Answers the whole batch; results are indexed like `queries`. Throws
+  /// (with the query's line and text) on unknown places/transitions or
+  /// predicate syntax errors.
+  std::vector<QueryResult> run(const std::vector<Query>& queries);
+
+  [[nodiscard]] const symbolic::SymbolicContext& context() const {
+    return ctx_;
+  }
+  [[nodiscard]] const QueryEngineOptions& options() const { return opts_; }
+
+ private:
+  symbolic::SymbolicContext& ctx_;
+  QueryEngineOptions opts_;
+};
+
+}  // namespace pnenc::query

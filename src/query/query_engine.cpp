@@ -1,0 +1,208 @@
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "query/query.hpp"
+#include "symbolic/ctl.hpp"
+
+namespace pnenc::query {
+
+using bdd::Bdd;
+
+namespace {
+
+/// Work-stealing queue over query indices: each shard owns a deque seeded
+/// round-robin; an owner pops from the front of its own deque, and once that
+/// runs dry it steals from the *back* of the other shards' deques (the
+/// classic owner-front/thief-back split, so a thief and the owner contend on
+/// opposite ends). Mutex-per-shard keeps it simple and ThreadSanitizer-clean;
+/// the queue hands out at most `nitems` pops total, each index exactly once,
+/// so every result slot has exactly one writer.
+class WorkStealingQueue {
+ public:
+  WorkStealingQueue(std::size_t nshards, std::size_t nitems)
+      : shards_(nshards) {
+    for (std::size_t i = 0; i < nitems; ++i) {
+      shards_[i % nshards].d.push_back(i);
+    }
+  }
+
+  bool pop(std::size_t shard, std::size_t& item) {
+    {
+      PerShard& own = shards_[shard];
+      std::lock_guard<std::mutex> lock(own.m);
+      if (!own.d.empty()) {
+        item = own.d.front();
+        own.d.pop_front();
+        return true;
+      }
+    }
+    for (std::size_t k = 1; k < shards_.size(); ++k) {
+      PerShard& victim = shards_[(shard + k) % shards_.size()];
+      std::lock_guard<std::mutex> lock(victim.m);
+      if (!victim.d.empty()) {
+        item = victim.d.back();
+        victim.d.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct PerShard {
+    std::mutex m;
+    std::deque<std::size_t> d;
+  };
+  std::vector<PerShard> shards_;
+};
+
+/// Evaluates one query against a context whose reached set is already
+/// available (the checker was constructed over it). Works identically for
+/// the planning context (serial path) and a shard context: every input to
+/// the answer is a function of the net + reached set, so where it runs
+/// cannot change the result.
+QueryResult answer_query(symbolic::SymbolicContext& ctx,
+                         const symbolic::CtlChecker& ck, const Query& q) {
+  const Bdd& reached = ck.reached();
+  Bdd answer;
+  switch (q.kind) {
+    case QueryKind::kReach:
+      answer = ck.states(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kEx:
+      answer = ck.ex(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kEf:
+      answer = ck.ef(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kAg:
+      answer = ck.ag(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kEg:
+      answer = ck.eg(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kAf:
+      answer = ck.af(compile_predicate(ctx, q.expr));
+      break;
+    case QueryKind::kDeadlock:
+      answer = ck.deadlocked();  // computed once per checker, not per query
+      break;
+    case QueryKind::kLive: {
+      int t = ctx.net().transition_index(q.expr);
+      if (t < 0) {
+        throw std::runtime_error("unknown transition '" + q.expr + "'");
+      }
+      answer = reached & ctx.enabling(t);
+      break;
+    }
+  }
+  QueryResult r;
+  r.count = ctx.count_markings(answer);
+  switch (q.kind) {
+    case QueryKind::kReach:
+    case QueryKind::kDeadlock:
+    case QueryKind::kLive:
+      r.holds = !answer.is_false();
+      break;
+    default:
+      // CTL kinds: does the formula hold in the initial marking?
+      r.holds = !(ctx.initial() & answer).is_false();
+      break;
+  }
+  return r;
+}
+
+QueryResult answer_with_context(symbolic::SymbolicContext& ctx,
+                                const symbolic::CtlChecker& ck,
+                                const Query& q) {
+  try {
+    return answer_query(ctx, ck, q);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("query line " + std::to_string(q.line) + " ('" +
+                             q.text + "'): " + e.what());
+  }
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(symbolic::SymbolicContext& ctx,
+                         const QueryEngineOptions& opts)
+    : ctx_(ctx), opts_(opts) {
+  // Plan once for the whole batch: reuse a traversal the context already
+  // ran, otherwise compute one by the method decision guide (saturation
+  // over the clustered partition when next-state variables exist, chained
+  // direct images otherwise) — the same policy Analyzer and CtlChecker
+  // apply. Everything else (encoding, partition, schedules) is built lazily
+  // inside the context and shared by all subsequent queries.
+  if (!ctx_.reached_set().is_valid()) {
+    ctx_.reachability(ctx_.has_next_vars()
+                          ? symbolic::ImageMethod::kSaturation
+                          : symbolic::ImageMethod::kChainedDirect);
+  }
+}
+
+std::vector<QueryResult> QueryEngine::run(const std::vector<Query>& queries) {
+  std::vector<QueryResult> results(queries.size());
+  std::size_t jobs = opts_.jobs <= 1 ? 1 : static_cast<std::size_t>(opts_.jobs);
+  if (jobs > queries.size()) jobs = queries.size();
+
+  if (jobs <= 1) {
+    symbolic::CtlChecker ck(ctx_);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = answer_with_context(ctx_, ck, queries[i]);
+    }
+    return results;
+  }
+
+  // Manager-per-shard execution. Each worker builds a private context over
+  // the shared (const) net + encoding, imports the planning context's
+  // reached set into its own manager by structural copy, adopts it, and
+  // then drains the work-stealing queue. The planning context is never
+  // touched from a worker (its manager is read-only during the whole
+  // phase: import_bdd walks raw const node structure), and each result
+  // slot is written by exactly one worker, so the phase is race-free.
+  WorkStealingQueue queue(jobs, queries.size());
+  std::vector<std::exception_ptr> errors(jobs);
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, w]() {
+      try {
+        // Shards mirror the planner's configuration wholesale, so a future
+        // SymbolicOptions field cannot silently diverge between them.
+        symbolic::SymbolicContext sctx(ctx_.net(), ctx_.enc(), ctx_.options());
+        // Inherit the planning manager's current variable order before
+        // importing anything: the forward traversal typically sifted its
+        // way to an order in which the reached set is compact, and
+        // importing into a fresh default-ordered manager would rebuild the
+        // set in exactly the order the planner escaped (on phil-N improved
+        // that is orders of magnitude larger — the §6.1 pathology).
+        bdd::BddManager& planner = ctx_.manager();
+        std::vector<int> level2var(planner.num_vars());
+        for (int l = 0; l < planner.num_vars(); ++l) {
+          level2var[l] = planner.var_at_level(l);
+        }
+        sctx.manager().set_var_order(level2var);
+        sctx.set_partition_options(ctx_.partition_options());
+        sctx.set_reached(sctx.manager().import_bdd(ctx_.reached_set()));
+        symbolic::CtlChecker ck(sctx);
+        std::size_t i;
+        while (queue.pop(w, i)) {
+          results[i] = answer_with_context(sctx, ck, queries[i]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace pnenc::query

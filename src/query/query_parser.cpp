@@ -1,0 +1,186 @@
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "query/query.hpp"
+
+namespace pnenc::query {
+
+using bdd::Bdd;
+
+const char* kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kReach: return "reach";
+    case QueryKind::kEx: return "ex";
+    case QueryKind::kEf: return "ef";
+    case QueryKind::kAg: return "ag";
+    case QueryKind::kEg: return "eg";
+    case QueryKind::kAf: return "af";
+    case QueryKind::kDeadlock: return "deadlock";
+    case QueryKind::kLive: return "live";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("query line " + std::to_string(line) + ": " + msg);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Recursive-descent predicate compiler (grammar in query.hpp). Operates
+/// directly on the context so place names become characteristic functions.
+class PredParser {
+ public:
+  PredParser(symbolic::SymbolicContext& ctx, const std::string& s)
+      : ctx_(ctx), s_(s) {}
+
+  Bdd parse() {
+    Bdd f = expr();
+    skip_ws();
+    if (pos_ != s_.size()) {
+      throw std::runtime_error("trailing input at '" + s_.substr(pos_) +
+                               "' in predicate '" + s_ + "'");
+    }
+    return f;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Bdd expr() {
+    Bdd f = term();
+    while (eat('|')) f |= term();
+    return f;
+  }
+
+  Bdd term() {
+    Bdd f = factor();
+    while (eat('&')) f &= factor();
+    return f;
+  }
+
+  Bdd factor() {
+    if (eat('!')) return !factor();
+    if (eat('(')) {
+      Bdd f = expr();
+      if (!eat(')')) {
+        throw std::runtime_error("missing ')' in predicate '" + s_ + "'");
+      }
+      return f;
+    }
+    skip_ws();
+    std::size_t b = pos_;
+    while (pos_ < s_.size() && is_ident_char(s_[pos_])) ++pos_;
+    if (pos_ == b) {
+      throw std::runtime_error(
+          "expected place name at '" + s_.substr(b) + "' in predicate '" +
+          s_ + "'");
+    }
+    std::string name = s_.substr(b, pos_ - b);
+    if (name == "true") return ctx_.manager().bdd_true();
+    if (name == "false") return ctx_.manager().bdd_false();
+    int p = ctx_.net().place_index(name);
+    if (p < 0) {
+      throw std::runtime_error("unknown place '" + name + "' in predicate '" +
+                               s_ + "'");
+    }
+    return ctx_.place_char(p);
+  }
+
+  symbolic::SymbolicContext& ctx_;
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bdd compile_predicate(symbolic::SymbolicContext& ctx,
+                      const std::string& expr) {
+  return PredParser(ctx, expr).parse();
+}
+
+std::vector<Query> parse_queries(const std::string& text) {
+  std::vector<Query> queries;
+  std::istringstream in(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::size_t hash = raw.find('#');
+    std::string body = strip(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (body.empty()) continue;
+
+    std::size_t sp = 0;
+    while (sp < body.size() && is_ident_char(body[sp])) ++sp;
+    std::string keyword = body.substr(0, sp);
+    std::string rest = strip(body.substr(sp));
+
+    Query q;
+    q.text = body;
+    q.line = line;
+    if (keyword == "reach") {
+      q.kind = QueryKind::kReach;
+    } else if (keyword == "ex") {
+      q.kind = QueryKind::kEx;
+    } else if (keyword == "ef") {
+      q.kind = QueryKind::kEf;
+    } else if (keyword == "ag") {
+      q.kind = QueryKind::kAg;
+    } else if (keyword == "eg") {
+      q.kind = QueryKind::kEg;
+    } else if (keyword == "af") {
+      q.kind = QueryKind::kAf;
+    } else if (keyword == "deadlock") {
+      q.kind = QueryKind::kDeadlock;
+    } else if (keyword == "live") {
+      q.kind = QueryKind::kLive;
+    } else {
+      fail(line, "unknown query kind '" + keyword +
+                     "' (expected reach|ex|ef|ag|eg|af|deadlock|live)");
+    }
+
+    if (q.kind == QueryKind::kDeadlock) {
+      if (!rest.empty()) fail(line, "deadlock takes no argument");
+    } else if (q.kind == QueryKind::kLive) {
+      bool ident = !rest.empty();
+      for (char c : rest) ident = ident && is_ident_char(c);
+      if (!ident) fail(line, "live needs a single transition name");
+      q.expr = rest;
+    } else {
+      if (rest.empty()) {
+        fail(line, std::string(kind_name(q.kind)) + " needs a predicate");
+      }
+      q.expr = rest;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace pnenc::query

@@ -23,9 +23,9 @@ Analyzer::Analyzer(SymbolicContext& ctx, ImageMethod method) : ctx_(ctx) {
   reached_ = ctx.reached_set();
 }
 
-double Analyzer::num_markings() { return ctx_.count_markings(reached_); }
+double Analyzer::num_markings() const { return ctx_.count_markings(reached_); }
 
-std::vector<int> Analyzer::dead_transitions() {
+std::vector<int> Analyzer::dead_transitions() const {
   std::vector<int> dead;
   for (std::size_t t = 0; t < ctx_.net().num_transitions(); ++t) {
     if ((reached_ & ctx_.enabling(static_cast<int>(t))).is_false()) {
@@ -35,7 +35,7 @@ std::vector<int> Analyzer::dead_transitions() {
   return dead;
 }
 
-std::vector<int> Analyzer::dead_places() {
+std::vector<int> Analyzer::dead_places() const {
   std::vector<int> dead;
   for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
     if ((reached_ & ctx_.place_char(static_cast<int>(p))).is_false()) {
@@ -45,7 +45,7 @@ std::vector<int> Analyzer::dead_places() {
   return dead;
 }
 
-std::vector<int> Analyzer::always_marked_places() {
+std::vector<int> Analyzer::always_marked_places() const {
   std::vector<int> always;
   for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
     if (reached_.diff(ctx_.place_char(static_cast<int>(p))).is_false()) {
@@ -55,7 +55,7 @@ std::vector<int> Analyzer::always_marked_places() {
   return always;
 }
 
-Bdd Analyzer::can_reach(const Bdd& target) {
+Bdd Analyzer::can_reach(const Bdd& target) const {
   Bdd acc = reached_ & target;
   if (ctx_.has_next_vars()) {
     // Chained backward sweeps over the scheduled partition: each sweep feeds
@@ -70,11 +70,11 @@ Bdd Analyzer::can_reach(const Bdd& target) {
   }
 }
 
-bool Analyzer::is_reversible() {
+bool Analyzer::is_reversible() const {
   return reached_.diff(can_reach(ctx_.initial())).is_false();
 }
 
-std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) {
+std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) const {
   Bdd goal = reached_ & target;
   if (goal.is_false()) return std::nullopt;
 
@@ -123,7 +123,7 @@ std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) {
   return trace;
 }
 
-std::optional<std::vector<int>> Analyzer::deadlock_trace() {
+std::optional<std::vector<int>> Analyzer::deadlock_trace() const {
   return trace_to(ctx_.deadlocks(reached_));
 }
 

@@ -24,37 +24,46 @@ class Analyzer {
   Analyzer(SymbolicContext& ctx, ImageMethod method);
 
   /// The reachability set [M0⟩ this analyzer answers queries against.
+  ///
+  /// Every query method below is const: once the reachability set is
+  /// computed (at construction), answering is logically read-only — the
+  /// analyzer's own state never changes, which is the shared-read invariant
+  /// the batched QueryEngine relies on when several queries probe one
+  /// analyzer. (The bound context still memoizes enabling functions and
+  /// partitions internally through its non-const reference, so "const" here
+  /// means per-analyzer, not per-manager — each engine shard therefore owns
+  /// its context exclusively.)
   [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
   /// Number of reachable markings (sat-count of reached()).
-  [[nodiscard]] double num_markings();
+  [[nodiscard]] double num_markings() const;
 
   /// Transitions never enabled in any reachable marking (dead transitions —
   /// usually a modeling bug, always worth reporting).
-  std::vector<int> dead_transitions();
+  std::vector<int> dead_transitions() const;
 
   /// Places never marked (dead places) and places marked in every reachable
   /// marking (invariant places).
-  std::vector<int> dead_places();
-  std::vector<int> always_marked_places();
+  std::vector<int> dead_places() const;
+  std::vector<int> always_marked_places() const;
 
   /// Backward reachability: all markings (within reach) that can reach a
   /// target set. Equivalent to CTL EF restricted to [M0⟩. Runs chained
   /// backward sweeps over the scheduled partition when next-state variables
   /// exist, per-transition preimages otherwise.
-  bdd::Bdd can_reach(const bdd::Bdd& target);
+  bdd::Bdd can_reach(const bdd::Bdd& target) const;
 
   /// Home-state check: can every reachable marking reach M0 again?
   /// (Reversibility — standard PN property.)
-  bool is_reversible();
+  bool is_reversible() const;
 
   /// Extracts a firing sequence M0 → some marking in `target`, or nullopt
   /// if unreachable. Uses onion-ring backward pre-images so the trace is
   /// BFS-shortest. Cost: one forward fixpoint is already available; this
   /// adds one backward sweep plus |trace| image computations.
-  std::optional<std::vector<int>> trace_to(const bdd::Bdd& target);
+  std::optional<std::vector<int>> trace_to(const bdd::Bdd& target) const;
 
   /// Convenience: a trace to a reachable deadlock, if any exists.
-  std::optional<std::vector<int>> deadlock_trace();
+  std::optional<std::vector<int>> deadlock_trace() const;
 
  private:
   SymbolicContext& ctx_;

@@ -16,13 +16,13 @@ CtlChecker::CtlChecker(SymbolicContext& ctx) : ctx_(ctx) {
   deadlocked_ = ctx.deadlocks(reached_);
 }
 
-Bdd CtlChecker::states(const Bdd& f) { return reached_ & f; }
+Bdd CtlChecker::states(const Bdd& f) const { return reached_ & f; }
 
-Bdd CtlChecker::ex(const Bdd& f) {
+Bdd CtlChecker::ex(const Bdd& f) const {
   return reached_ & ctx_.preimage_best(f & reached_);
 }
 
-Bdd CtlChecker::ef(const Bdd& f) {
+Bdd CtlChecker::ef(const Bdd& f) const {
   Bdd acc = states(f);
   if (ctx_.has_next_vars()) {
     // EF is a plain backward closure, so it can ride the scheduled chained
@@ -37,7 +37,7 @@ Bdd CtlChecker::ef(const Bdd& f) {
   }
 }
 
-Bdd CtlChecker::eg(const Bdd& f) {
+Bdd CtlChecker::eg(const Bdd& f) const {
   Bdd ff = states(f);
   // Deadlocked f-states satisfy EG f (maximal paths that end there).
   Bdd acc = ff;
@@ -48,11 +48,15 @@ Bdd CtlChecker::eg(const Bdd& f) {
   }
 }
 
-Bdd CtlChecker::ag(const Bdd& f) { return reached_.diff(ef(reached_.diff(f))); }
+Bdd CtlChecker::ag(const Bdd& f) const {
+  return reached_.diff(ef(reached_.diff(f)));
+}
 
-Bdd CtlChecker::af(const Bdd& f) { return reached_.diff(eg(reached_.diff(f))); }
+Bdd CtlChecker::af(const Bdd& f) const {
+  return reached_.diff(eg(reached_.diff(f)));
+}
 
-Bdd CtlChecker::eu(const Bdd& f, const Bdd& g) {
+Bdd CtlChecker::eu(const Bdd& f, const Bdd& g) const {
   Bdd ff = states(f);
   Bdd acc = states(g);
   for (;;) {
@@ -62,7 +66,7 @@ Bdd CtlChecker::eu(const Bdd& f, const Bdd& g) {
   }
 }
 
-bool CtlChecker::holds_initially(const Bdd& f) {
+bool CtlChecker::holds_initially(const Bdd& f) const {
   return !(ctx_.initial() & f).is_false();
 }
 

@@ -16,25 +16,34 @@ class CtlChecker {
   explicit CtlChecker(SymbolicContext& ctx);
 
   [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+  /// Reachable markings with no enabled transition (computed once at
+  /// construction; also the EG operator's maximal-path base case).
+  [[nodiscard]] const bdd::Bdd& deadlocked() const { return deadlocked_; }
+
+  // Every operator below is const: after the constructor has computed the
+  // reachable and deadlocked sets, evaluating a formula never mutates the
+  // checker — the QueryEngine's shared-read invariant, compiler-enforced.
+  // (The bound context memoizes through its non-const reference; shards
+  // therefore own their contexts exclusively.)
 
   /// States (within reach) satisfying f.
-  bdd::Bdd states(const bdd::Bdd& f);
+  bdd::Bdd states(const bdd::Bdd& f) const;
   /// EX f: states with a successor in f.
-  bdd::Bdd ex(const bdd::Bdd& f);
+  bdd::Bdd ex(const bdd::Bdd& f) const;
   /// EF f: least fixpoint — states that can reach f.
-  bdd::Bdd ef(const bdd::Bdd& f);
+  bdd::Bdd ef(const bdd::Bdd& f) const;
   /// EG f: greatest fixpoint — states with an infinite (or deadlocked)
   /// f-path; deadlocked f-states count as EG f holds (no successor escapes).
-  bdd::Bdd eg(const bdd::Bdd& f);
+  bdd::Bdd eg(const bdd::Bdd& f) const;
   /// AG f = ¬EF ¬f.
-  bdd::Bdd ag(const bdd::Bdd& f);
+  bdd::Bdd ag(const bdd::Bdd& f) const;
   /// AF f = ¬EG ¬f.
-  bdd::Bdd af(const bdd::Bdd& f);
+  bdd::Bdd af(const bdd::Bdd& f) const;
   /// E[f U g].
-  bdd::Bdd eu(const bdd::Bdd& f, const bdd::Bdd& g);
+  bdd::Bdd eu(const bdd::Bdd& f, const bdd::Bdd& g) const;
 
   /// True iff the initial marking satisfies f.
-  bool holds_initially(const bdd::Bdd& f);
+  bool holds_initially(const bdd::Bdd& f) const;
 
  private:
   SymbolicContext& ctx_;

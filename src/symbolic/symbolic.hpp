@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -90,6 +91,9 @@ class SymbolicContext {
   /// Whether the context allocated next-state variables (TR methods and
   /// RelationPartition require it; the direct methods never do).
   [[nodiscard]] bool has_next_vars() const { return opts_.with_next_vars; }
+  /// The options this context was constructed with (the query layer clones
+  /// them into its shard contexts).
+  [[nodiscard]] const SymbolicOptions& options() const { return opts_; }
 
   /// Encoding variables transition t drives to a constant when it fires
   /// (sorted insertion order) and the constants themselves. Exposed for the
@@ -158,6 +162,18 @@ class SymbolicContext {
 
   /// The reachability set computed by the last reachability() call.
   [[nodiscard]] const bdd::Bdd& reached_set() const { return last_reached_; }
+
+  /// Adopts an externally computed reachability set (over this context's
+  /// present-state variables; the handle must belong to this context's
+  /// manager — assert-checked). Analyzer/CtlChecker constructed afterwards
+  /// reuse it instead of re-traversing. The query layer uses this to hand a
+  /// shard context the reached set imported from the planning context via
+  /// BddManager::import_bdd, so the forward fixpoint is computed exactly
+  /// once per batch.
+  void set_reached(const bdd::Bdd& reached) {
+    assert(reached.manager() == mgr_.get());
+    last_reached_ = reached;
+  }
 
   /// Set of reachable deadlocked markings: Reached ∧ ¬∨_t E_t.
   bdd::Bdd deadlocks(const bdd::Bdd& reached);

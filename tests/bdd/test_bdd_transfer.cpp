@@ -1,0 +1,146 @@
+// Cross-manager structural copy (BddManager::import_bdd) and the node-arena
+// overflow guard (set_node_limit / the std::length_error alloc_node throws
+// instead of silently wrapping its 32-bit ids past kNil).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+#include "tests/bdd/truth_helpers.hpp"
+
+namespace pnenc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using test::bdd_from_table;
+using test::random_table;
+using test::table_from_bdd;
+using test::TruthTable;
+
+TEST(BddTransfer, TerminalsAndLiterals) {
+  BddManager a(3), b(3);
+  EXPECT_TRUE(b.import_bdd(a.bdd_true()).is_true());
+  EXPECT_TRUE(b.import_bdd(a.bdd_false()).is_false());
+  Bdd lit = b.import_bdd(a.var(1));
+  EXPECT_EQ(lit, b.var(1));
+  Bdd nlit = b.import_bdd(a.nvar(2));
+  EXPECT_EQ(nlit, b.nvar(2));
+  // Importing an invalid (default) handle stays invalid instead of crashing.
+  EXPECT_FALSE(b.import_bdd(Bdd()).is_valid());
+}
+
+TEST(BddTransfer, SameManagerHandleIsReturnedUnchanged) {
+  BddManager a(3);
+  Bdd f = a.var(0) & a.var(2);
+  EXPECT_EQ(a.import_bdd(f), f);
+}
+
+TEST(BddTransfer, RandomFunctionsRoundTrip) {
+  const int nvars = 8;
+  std::mt19937 rng(20260730);
+  for (int round = 0; round < 10; ++round) {
+    BddManager a(nvars), b(nvars);
+    TruthTable t = random_table(nvars, rng);
+    Bdd fa = bdd_from_table(a, t, nvars);
+    Bdd fb = b.import_bdd(fa);
+    EXPECT_EQ(fb.manager(), &b);
+    EXPECT_EQ(table_from_bdd(b, fb, nvars), t);
+    // Canonicity in the destination: importing again lands on the same node.
+    EXPECT_EQ(b.import_bdd(fa), fb);
+  }
+}
+
+TEST(BddTransfer, ImportIntoDifferentVariableOrder) {
+  const int nvars = 6;
+  std::mt19937 rng(42);
+  TruthTable t = random_table(nvars, rng);
+  BddManager a(nvars), b(nvars);
+  // Destination uses the reversed order; the ITE-based copy renormalizes.
+  b.set_var_order({5, 4, 3, 2, 1, 0});
+  Bdd fa = bdd_from_table(a, t, nvars);
+  Bdd fb = b.import_bdd(fa);
+  EXPECT_EQ(table_from_bdd(b, fb, nvars), t);
+}
+
+TEST(BddTransfer, ImportFromSiftedSource) {
+  const int nvars = 6;
+  std::mt19937 rng(7);
+  TruthTable t = random_table(nvars, rng);
+  BddManager a(nvars), b(nvars);
+  Bdd fa = bdd_from_table(a, t, nvars);
+  a.reorder_sift();
+  Bdd fb = b.import_bdd(fa);
+  EXPECT_EQ(table_from_bdd(b, fb, nvars), t);
+}
+
+TEST(BddTransfer, MissingDestinationVariableThrows) {
+  BddManager a(4), b(2);
+  Bdd fa = a.var(3) | a.var(0);
+  EXPECT_THROW((void)b.import_bdd(fa), std::invalid_argument);
+}
+
+TEST(BddArenaLimit, DefaultLimitIsTheHardIdBound) {
+  BddManager mgr(2);
+  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
+  // set_node_limit clamps: id 0xFFFFFFFF is kNil and must stay unusable.
+  mgr.set_node_limit(~std::size_t{0});
+  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
+}
+
+TEST(BddArenaLimit, GrowthPastInjectedLimitThrowsLengthError) {
+  const int nvars = 16;
+  BddManager mgr(nvars);
+  Bdd f = mgr.var(0) & mgr.var(1);  // a small function to keep alive
+  mgr.set_node_limit(mgr.arena_size() + 4);
+  auto blow_up = [&] {
+    std::mt19937 rng(1);
+    Bdd acc = mgr.bdd_false();
+    for (int round = 0; round < 64; ++round) {
+      acc |= bdd_from_table(mgr, random_table(nvars, rng), nvars);
+    }
+    return acc;
+  };
+  EXPECT_THROW(blow_up(), std::length_error);
+  try {
+    blow_up();
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("node arena exhausted"),
+              std::string::npos);
+  }
+}
+
+TEST(BddArenaLimit, ManagerStaysUsableAfterTheThrow) {
+  const int nvars = 16;
+  BddManager mgr(nvars);
+  Bdd f = mgr.var(0) & mgr.var(1);
+  std::size_t before = mgr.arena_size();
+  mgr.set_node_limit(before + 8);
+  std::mt19937 rng(2);
+  bool threw = false;
+  try {
+    Bdd acc = mgr.bdd_false();
+    for (int round = 0; round < 64; ++round) {
+      acc |= bdd_from_table(mgr, random_table(nvars, rng), nvars);
+    }
+  } catch (const std::length_error&) {
+    threw = true;
+  }
+  ASSERT_TRUE(threw);
+  // Existing handles survived the unwind…
+  std::vector<bool> assign(nvars, true);
+  EXPECT_TRUE(mgr.eval(f, assign));
+  // …and after a gc reclaims the aborted operation's unreferenced nodes,
+  // the freed slots are reusable without growing the arena past the cap.
+  mgr.gc();
+  Bdd g = mgr.var(2) & mgr.var(3) & mgr.var(4);
+  assign[4] = false;
+  EXPECT_FALSE(mgr.eval(g, assign));
+  EXPECT_LE(mgr.arena_size(), before + 8);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,315 @@
+// Query layer: file/predicate parsing, and the batched/sharded QueryEngine
+// differential — every batched (jobs=1) and sharded (jobs=4, manager-per-
+// shard with work stealing) answer must be bit-identical to evaluating the
+// same query serially with Analyzer/CtlChecker on its own context, across
+// the shared fixture nets (fig1/phil-4/slot-4/dme-4) and both context
+// flavors (with and without next-state variables). Also the multi-shard
+// smoke test the ThreadSanitizer CI job runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "query/query.hpp"
+#include "symbolic/analysis.hpp"
+#include "symbolic/ctl.hpp"
+#include "tests/testing/net_fixtures.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace pnenc {
+namespace {
+
+using query::Query;
+using query::QueryKind;
+using query::QueryResult;
+using symbolic::CtlChecker;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(QueryParse, KindsCommentsAndBlanks) {
+  auto qs = query::parse_queries(
+      "# header comment\n"
+      "\n"
+      "reach p1 & !p2\n"
+      "ef p3 | (p4 & p5)   # trailing comment\n"
+      "ag true\n"
+      "eg !p1\n"
+      "af p2\n"
+      "ex p1\n"
+      "deadlock\n"
+      "live t3\n");
+  ASSERT_EQ(qs.size(), 8u);
+  EXPECT_EQ(qs[0].kind, QueryKind::kReach);
+  EXPECT_EQ(qs[0].expr, "p1 & !p2");
+  EXPECT_EQ(qs[0].line, 3);
+  EXPECT_EQ(qs[1].kind, QueryKind::kEf);
+  EXPECT_EQ(qs[1].expr, "p3 | (p4 & p5)");
+  EXPECT_EQ(qs[2].kind, QueryKind::kAg);
+  EXPECT_EQ(qs[3].kind, QueryKind::kEg);
+  EXPECT_EQ(qs[4].kind, QueryKind::kAf);
+  EXPECT_EQ(qs[5].kind, QueryKind::kEx);
+  EXPECT_EQ(qs[6].kind, QueryKind::kDeadlock);
+  EXPECT_TRUE(qs[6].expr.empty());
+  EXPECT_EQ(qs[7].kind, QueryKind::kLive);
+  EXPECT_EQ(qs[7].expr, "t3");
+  EXPECT_EQ(qs[7].line, 10);
+}
+
+TEST(QueryParse, MalformedLinesThrowWithLineNumber) {
+  EXPECT_THROW(query::parse_queries("frobnicate p1\n"), std::runtime_error);
+  EXPECT_THROW(query::parse_queries("reach\n"), std::runtime_error);
+  EXPECT_THROW(query::parse_queries("deadlock p1\n"), std::runtime_error);
+  EXPECT_THROW(query::parse_queries("live a b\n"), std::runtime_error);
+  try {
+    (void)query::parse_queries("reach p1\nbogus p2\n");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("query line 2"), std::string::npos);
+  }
+}
+
+TEST(QueryPredicate, CompilesAgainstFig1) {
+  petri::Net net = petri::gen::fig1_net();
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  // p1 is the initially marked place of fig1.
+  EXPECT_FALSE((ctx.initial() & query::compile_predicate(ctx, "p1")).is_false());
+  EXPECT_TRUE(
+      (ctx.initial() & query::compile_predicate(ctx, "!p1")).is_false());
+  EXPECT_TRUE(query::compile_predicate(ctx, "false").is_false());
+  EXPECT_TRUE(query::compile_predicate(ctx, "true").is_true());
+  // De Morgan sanity on the compiled functions.
+  EXPECT_EQ(query::compile_predicate(ctx, "!(p1 | p2)"),
+            query::compile_predicate(ctx, "!p1 & !p2"));
+  EXPECT_THROW((void)query::compile_predicate(ctx, "nosuchplace"),
+               std::runtime_error);
+  EXPECT_THROW((void)query::compile_predicate(ctx, "p1 &"),
+               std::runtime_error);
+  EXPECT_THROW((void)query::compile_predicate(ctx, "(p1"),
+               std::runtime_error);
+  EXPECT_THROW((void)query::compile_predicate(ctx, "p1 p2"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: batched/sharded vs serial Analyzer/CtlChecker
+// ---------------------------------------------------------------------------
+
+// The mixed batch lives in tests/testing/query_batches.hpp so the bench
+// harness times exactly what this suite locks down.
+using testing::mixed_query_batch;
+
+/// The serial oracle: answers one query with direct Analyzer/CtlChecker
+/// calls — written independently of the QueryEngine's evaluation code so
+/// the differential actually crosses implementations.
+QueryResult serial_answer(SymbolicContext& ctx, const symbolic::Analyzer& an,
+                          const CtlChecker& ck, const Query& q) {
+  QueryResult r;
+  bdd::Bdd set;
+  switch (q.kind) {
+    case QueryKind::kReach:
+      set = an.reached() & query::compile_predicate(ctx, q.expr);
+      r.holds = !set.is_false();
+      break;
+    case QueryKind::kEx:
+      set = ck.ex(query::compile_predicate(ctx, q.expr));
+      r.holds = ck.holds_initially(set);
+      break;
+    case QueryKind::kEf:
+      set = ck.ef(query::compile_predicate(ctx, q.expr));
+      r.holds = ck.holds_initially(set);
+      break;
+    case QueryKind::kAg:
+      set = ck.ag(query::compile_predicate(ctx, q.expr));
+      r.holds = ck.holds_initially(set);
+      break;
+    case QueryKind::kEg:
+      set = ck.eg(query::compile_predicate(ctx, q.expr));
+      r.holds = ck.holds_initially(set);
+      break;
+    case QueryKind::kAf:
+      set = ck.af(query::compile_predicate(ctx, q.expr));
+      r.holds = ck.holds_initially(set);
+      break;
+    case QueryKind::kDeadlock:
+      set = ctx.deadlocks(an.reached());
+      r.holds = !set.is_false();
+      break;
+    case QueryKind::kLive: {
+      int t = ctx.net().transition_index(q.expr);
+      set = an.reached() & ctx.enabling(t);
+      // Independent liveness path: a transition is live here iff the
+      // analyzer does not report it dead.
+      auto dead = an.dead_transitions();
+      r.holds = std::find(dead.begin(), dead.end(), t) == dead.end();
+      break;
+    }
+  }
+  r.count = ctx.count_markings(set);
+  return r;
+}
+
+class QueryDifferential
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(QueryDifferential, BatchedAndShardedMatchSerial) {
+  auto [net_id, with_next] = GetParam();
+  petri::Net net = testing::net_by_id(net_id);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = with_next;
+  std::vector<Query> batch = mixed_query_batch(net);
+
+  // Serial oracle, its own context.
+  SymbolicContext serial_ctx(net, enc, opts);
+  symbolic::Analyzer an(serial_ctx);
+  CtlChecker ck(serial_ctx);
+  std::vector<QueryResult> expected;
+  for (const Query& q : batch) {
+    expected.push_back(serial_answer(serial_ctx, an, ck, q));
+  }
+  // The fixture's established count anchors the whole run ("reach true"
+  // must count the full reachability set).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].text == "reach true") {
+      EXPECT_EQ(expected[i].count,
+                static_cast<double>(testing::expected_markings(net_id)));
+    }
+  }
+
+  // Batched (jobs=1) and sharded (jobs=4), each on a fresh context.
+  for (int jobs : {1, 4}) {
+    SymbolicContext ctx(net, enc, opts);
+    query::QueryEngineOptions qopts;
+    qopts.jobs = jobs;
+    query::QueryEngine engine(ctx, qopts);
+    std::vector<QueryResult> got = engine.run(batch);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].holds, expected[i].holds)
+          << testing::net_name(net_id) << " jobs=" << jobs << " query "
+          << batch[i].text;
+      EXPECT_EQ(got[i].count, expected[i].count)
+          << testing::net_name(net_id) << " jobs=" << jobs << " query "
+          << batch[i].text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixtureNets, QueryDifferential,
+    ::testing::Combine(::testing::Range(0, testing::kNumNets),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      std::string name = testing::net_name(std::get<0>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_" +
+             (std::get<1>(info.param) ? "nextvars" : "direct");
+    });
+
+// ---------------------------------------------------------------------------
+// Sharded execution details
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngine, ShardedRunsAreDeterministic) {
+  petri::Net net = petri::gen::slotted_ring(4);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  std::vector<Query> batch = mixed_query_batch(net);
+  query::QueryEngineOptions qopts;
+  qopts.jobs = 4;
+  query::QueryEngine engine(ctx, qopts);
+  std::vector<QueryResult> first = engine.run(batch);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<QueryResult> again = engine.run(batch);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].holds, first[i].holds);
+      EXPECT_EQ(again[i].count, first[i].count);
+    }
+  }
+}
+
+// The multi-shard smoke test the ThreadSanitizer CI job exercises: more
+// queries than shards so the work-stealing queue actually steals, all four
+// workers importing the reached set from one immutable source manager.
+TEST(QueryEngine, MultiShardSmoke) {
+  petri::Net net = petri::gen::slotted_ring(4);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  std::vector<Query> batch = mixed_query_batch(net);
+  std::vector<Query> big;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const Query& q : batch) {
+      big.push_back(q);
+      big.back().line = static_cast<int>(big.size());
+    }
+  }
+  query::QueryEngineOptions serial_opts;  // jobs=1
+  query::QueryEngine engine(ctx, serial_opts);
+  std::vector<QueryResult> expected = engine.run(big);
+  query::QueryEngineOptions sharded_opts;
+  sharded_opts.jobs = 4;
+  query::QueryEngine sharded(ctx, sharded_opts);
+  std::vector<QueryResult> got = sharded.run(big);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].holds, expected[i].holds);
+    EXPECT_EQ(got[i].count, expected[i].count);
+  }
+}
+
+TEST(QueryEngine, ErrorsCarryLineAndTextAcrossShards) {
+  petri::Net net = petri::gen::fig1_net();
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  std::vector<Query> batch = mixed_query_batch(net);
+  Query bad;
+  bad.kind = QueryKind::kReach;
+  bad.expr = "no_such_place";
+  bad.text = "reach no_such_place";
+  bad.line = 99;
+  batch.push_back(bad);
+  for (int jobs : {1, 4}) {
+    query::QueryEngineOptions qopts;
+    qopts.jobs = jobs;
+    query::QueryEngine engine(ctx, qopts);
+    try {
+      engine.run(batch);
+      FAIL() << "expected runtime_error (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      std::string msg = e.what();
+      EXPECT_NE(msg.find("query line 99"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("no_such_place"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(QueryEngine, UnknownTransitionInLiveQueryThrows) {
+  petri::Net net = petri::gen::fig1_net();
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  Query q;
+  q.kind = QueryKind::kLive;
+  q.expr = "t999";
+  q.text = "live t999";
+  q.line = 1;
+  query::QueryEngine engine(ctx, {});
+  EXPECT_THROW(engine.run({q}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,60 @@
+// Shared mixed query batch for the query-layer differential tests and the
+// bench_query_batch harness: one builder, so what the bench verifies and
+// times is exactly what the test suite locks down (the same reason
+// net_fixtures.hpp exists). Header-only on purpose — see net_fixtures.hpp.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "query/query.hpp"
+
+namespace pnenc::testing {
+
+/// A mixed batch of 20 queries (every QueryKind represented, several heavy
+/// EF/AG/EG backward fixpoints) built from the net's own place/transition
+/// names, so one builder covers every fixture/bench net.
+inline std::vector<query::Query> mixed_query_batch(const petri::Net& net) {
+  using query::Query;
+  using query::QueryKind;
+  std::vector<Query> qs;
+  auto place = [&](std::size_t i) {
+    return net.place_name(static_cast<int>(i % net.num_places()));
+  };
+  auto add = [&](QueryKind k, const std::string& expr) {
+    Query q;
+    q.kind = k;
+    q.expr = expr;
+    q.text =
+        std::string(query::kind_name(k)) + (expr.empty() ? "" : " ") + expr;
+    q.line = static_cast<int>(qs.size()) + 1;
+    qs.push_back(q);
+  };
+  std::size_t n = net.num_places();
+  add(QueryKind::kReach, place(0));
+  add(QueryKind::kReach, "!" + place(1));
+  add(QueryKind::kReach, place(0) + " & " + place(n / 2));
+  add(QueryKind::kReach, place(2) + " | " + place(n - 1));
+  add(QueryKind::kReach, "true");
+  add(QueryKind::kReach, "false");
+  add(QueryKind::kEf, place(n - 1));
+  add(QueryKind::kEf, place(1) + " & " + place(4));
+  add(QueryKind::kEf, "!" + place(0) + " & !" + place(5));
+  add(QueryKind::kAg, place(0) + " | !" + place(0));
+  add(QueryKind::kAg, "!" + place(3));
+  add(QueryKind::kAg, "!(" + place(2) + " & " + place(n - 2) + ")");
+  add(QueryKind::kEg, "!" + place(1));
+  add(QueryKind::kEg, "!" + place(n / 2));
+  add(QueryKind::kAf, place(0));
+  add(QueryKind::kEx, place(2));
+  add(QueryKind::kEx, "true");
+  add(QueryKind::kDeadlock, "");
+  add(QueryKind::kLive, net.transition_name(0));
+  add(QueryKind::kLive,
+      net.transition_name(static_cast<int>(net.num_transitions()) - 1));
+  return qs;
+}
+
+}  // namespace pnenc::testing
