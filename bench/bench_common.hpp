@@ -6,6 +6,7 @@
 #include <string>
 
 #include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
 #include "petri/net.hpp"
 #include "symbolic/symbolic.hpp"
 #include "util/timer.hpp"
@@ -52,6 +53,35 @@ inline RunStats run_scheme(const petri::Net& net, const std::string& scheme,
   stats.cpu_ms = timer.elapsed_ms();
   stats.iterations = r.iterations;
   return stats;
+}
+
+// ---- query/trace benchmark nets -------------------------------------------
+//
+// The three nets the query-batch and trace harnesses share, with the engine
+// options they run under. One definition so BENCH_batch.json and
+// BENCH_trace.json always measure the same configurations.
+
+inline petri::Net batch_net(int id) {
+  switch (id) {
+    case 0: return petri::gen::philosophers(8);
+    case 1: return petri::gen::slotted_ring(6);
+    default: return petri::gen::dme_ring(6);
+  }
+}
+
+inline const char* batch_net_name(int id) {
+  switch (id) {
+    case 0: return "phil-8";
+    case 1: return "slot-6";
+    default: return "dme-6";
+  }
+}
+
+inline symbolic::SymbolicOptions batch_engine_opts() {
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;  // saturation forward + partition backward
+  opts.auto_reorder_threshold = 200000;
+  return opts;
 }
 
 inline std::string fmt_count(double v) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "encoding/encoding.hpp"
 #include "petri/generators.hpp"
 #include "query/query.hpp"
@@ -34,25 +35,13 @@
 namespace {
 
 using namespace pnenc;
+// Nets and engine options are shared with bench_trace (bench_common.hpp),
+// so BENCH_batch.json and BENCH_trace.json measure the same configurations.
+using bench::batch_net;
+using bench::batch_net_name;
 using query::Query;
 using query::QueryKind;
 using query::QueryResult;
-
-petri::Net batch_net(int id) {
-  switch (id) {
-    case 0: return petri::gen::philosophers(8);
-    case 1: return petri::gen::slotted_ring(6);
-    default: return petri::gen::dme_ring(6);
-  }
-}
-
-const char* batch_net_name(int id) {
-  switch (id) {
-    case 0: return "phil-8";
-    case 1: return "slot-6";
-    default: return "dme-6";
-  }
-}
 
 // The mixed batch builder is shared with tests/query/test_query_engine.cpp
 // (tests/testing/query_batches.hpp): 20 queries, every kind represented,
@@ -60,12 +49,7 @@ const char* batch_net_name(int id) {
 // differential suite locks down.
 using pnenc::testing::mixed_query_batch;
 
-symbolic::SymbolicOptions engine_opts() {
-  symbolic::SymbolicOptions opts;
-  opts.with_next_vars = true;  // saturation forward + partition backward
-  opts.auto_reorder_threshold = 200000;
-  return opts;
-}
+symbolic::SymbolicOptions engine_opts() { return bench::batch_engine_opts(); }
 
 /// The serial baseline: each query is answered on its own fresh context —
 /// full encode + partition + traversal per query, as issuing the batch as

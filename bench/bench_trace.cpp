@@ -1,0 +1,148 @@
+// Trace-extraction benchmarks: what a witness costs on top of an answer.
+//
+// Two families over the bench nets (phil-8 / slot-6 / dme-6, improved
+// scheme, saturation forward traversal):
+//
+//   BM_TraceBatch    — the user-visible overhead: the 20-query mixed batch
+//                      answered plain vs with `trace` on every line
+//                      (jobs=1, planning amortized outside the timing loop,
+//                      exactly like a warm QueryEngine session).
+//   BM_TraceExtract  — per-witness costs on a prepared context: a shortest
+//                      EF path (backward onion rings through the
+//                      partition), an EG lasso (canonical greedy walk), and
+//                      — on phil-8, the one net with deadlocks — a shortest
+//                      deadlock trace.
+//
+// Before any timing, the traced batch's answers (holds + count) are checked
+// identical to the plain ones: extraction must never perturb an answer.
+// Capture:
+//   ./bench_trace --benchmark_filter=Trace \
+//       --benchmark_out=BENCH_trace.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "query/query.hpp"
+#include "symbolic/ctl.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/witness.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace {
+
+using namespace pnenc;
+using bench::batch_engine_opts;
+using bench::batch_net;
+using bench::batch_net_name;
+using query::Query;
+using query::QueryResult;
+using symbolic::Trace;
+using symbolic::WitnessExtractor;
+
+/// mode: 0 = plain answers, 1 = every query traced.
+void BM_TraceBatch(benchmark::State& state) {
+  const int net_id = static_cast<int>(state.range(0));
+  const bool traced = state.range(1) != 0;
+  petri::Net net = batch_net(net_id);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  std::vector<Query> plain = pnenc::testing::mixed_query_batch(net);
+  std::vector<Query> batch = plain;
+  if (traced) {
+    for (Query& q : batch) q.want_trace = true;
+  }
+
+  symbolic::SymbolicContext ctx(net, enc, batch_engine_opts());
+  query::QueryEngine engine(ctx, {});  // plans (traverses) once, untimed
+
+  // Correctness gate: tracing must not change a single answer, and every
+  // emitted trace must replay through the token game.
+  std::vector<QueryResult> base = engine.run(plain);
+  std::vector<QueryResult> check = engine.run(batch);
+  double traces = 0, trace_steps = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].holds != check[i].holds || base[i].count != check[i].count) {
+      std::fprintf(stderr, "BENCH BUG: tracing changed answer %zu\n", i);
+      std::abort();
+    }
+    if (check[i].has_trace) {
+      traces += 1;
+      trace_steps += static_cast<double>(check[i].trace.num_steps());
+      if (!symbolic::validate_trace(net, check[i].trace).empty()) {
+        std::fprintf(stderr, "BENCH BUG: trace %zu does not replay\n", i);
+        std::abort();
+      }
+    }
+  }
+
+  for (auto _ : state) {
+    std::vector<QueryResult> r = engine.run(batch);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetLabel(std::string(batch_net_name(net_id)) +
+                 (traced ? "/traced" : "/plain"));
+  state.counters["queries"] = static_cast<double>(batch.size());
+  state.counters["traces"] = traces;
+  state.counters["trace_steps"] = trace_steps;
+}
+BENCHMARK(BM_TraceBatch)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// kind: 0 = EF shortest path to the last place, 1 = EG-true lasso,
+/// 2 = shortest deadlock trace (registered for phil-8 only).
+void BM_TraceExtract(benchmark::State& state) {
+  const int net_id = static_cast<int>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  petri::Net net = batch_net(net_id);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicContext ctx(net, enc, batch_engine_opts());
+  ctx.reachability(symbolic::ImageMethod::kSaturation);
+  WitnessExtractor wx(ctx, ctx.reached_set());
+  symbolic::CtlChecker ck(ctx);
+  // Highest-id place that is NOT initially marked, so the EF trace has
+  // actual depth instead of a 0-step "M0 is the witness".
+  int target_place = static_cast<int>(net.num_places()) - 1;
+  while (net.initial_marking().test(static_cast<std::size_t>(target_place))) {
+    --target_place;
+  }
+  bdd::Bdd target = ctx.place_char(target_place);
+  bdd::Bdd eg_true = ck.eg(ctx.manager().bdd_true());
+
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    std::optional<Trace> trace;
+    switch (kind) {
+      case 0: trace = wx.trace_to(target); break;
+      case 1: trace = wx.eg_witness(eg_true); break;
+      default: trace = wx.deadlock_witness(); break;
+    }
+    if (!trace) {
+      std::fprintf(stderr, "BENCH BUG: no trace for %s kind %d\n",
+                   batch_net_name(net_id), kind);
+      std::abort();
+    }
+    steps = trace->num_steps();
+    benchmark::DoNotOptimize(trace->transitions.data());
+  }
+  state.SetLabel(std::string(batch_net_name(net_id)) +
+                 (kind == 0 ? "/ef" : kind == 1 ? "/eg-lasso" : "/deadlock"));
+  state.counters["trace_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_TraceExtract)
+    ->Args({0, 0})->Args({0, 1})->Args({0, 2})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
     std::vector<int> pvars;
     for (int i = 0; i < improved.num_vars(); ++i) pvars.push_back(ctx.pvar(i));
     std::vector<bool> witness;
-    if (ctx.manager().pick_one(dead, pvars, witness)) {
+    // Canonical pick: the printed witness must not depend on the variable
+    // order the traversal happened to sift to.
+    if (ctx.manager().pick_canonical(dead, pvars, witness)) {
       petri::Marking m = improved.decode(witness);
       std::printf("  witness:");
       for (int p : m.marked_places()) {

@@ -5,7 +5,7 @@
 //             [--method direct|tr|mono|clustered|chained|chained-direct|
 //                       saturation]
 //             [--schedule naive|early] [--autotune] [--stats]
-//             [--queries FILE] [--jobs N]
+//             [--queries FILE] [--jobs N] [--trace]
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
@@ -16,9 +16,14 @@
 // and --stats prints the partition/schedule shape (clustered|chained|
 // saturation; saturation adds level/memo counters). --queries answers a
 // whole batch of reach/CTL/deadlock/live queries (format: src/query/
-// query.hpp) against one shared reached set; --jobs N answers them on N
-// manager-per-shard workers with work stealing — the batched output is
-// bit-identical to --jobs 1.
+// query.hpp, full guide: docs/QUERIES.md) against one shared reached set;
+// --jobs N answers them on N manager-per-shard workers with work stealing —
+// the batched output, traces included, is bit-identical to --jobs 1.
+// --trace asks every query for a witness/counterexample trace (the same as
+// prefixing each line with the `trace` modifier) printed in the
+// machine-readable format of docs/QUERIES.md; without --queries it prints a
+// shortest deadlock trace (implies --deadlocks). Traces are canonical:
+// identical bytes for any --method, --jobs, and variable-order history.
 
 #include <cerrno>
 #include <cstdio>
@@ -37,6 +42,7 @@
 #include "smc/smc.hpp"
 #include "symbolic/analysis.hpp"
 #include "symbolic/symbolic.hpp"
+#include "symbolic/witness.hpp"
 #include "symbolic/zdd_reach.hpp"
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
@@ -99,11 +105,19 @@ int usage() {
                "[--scheme sparse|dense|improved] "
                "[--method direct|tr|mono|clustered|chained|chained-direct|saturation] "
                "[--schedule naive|early] [--autotune] [--stats] "
-               "[--queries FILE] [--jobs N] "
+               "[--queries FILE] [--jobs N] [--trace] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
                "reg-N\n");
   return 2;
+}
+
+/// Prints a trace in the docs/QUERIES.md line format, each line indented.
+void print_trace(const petri::Net& net, const symbolic::Trace& trace,
+                 const char* indent) {
+  std::istringstream lines(symbolic::format_trace(net, trace));
+  std::string l;
+  while (std::getline(lines, l)) std::printf("%s%s\n", indent, l.c_str());
 }
 
 }  // namespace
@@ -115,6 +129,7 @@ int main(int argc, char** argv) {
   symbolic::ScheduleKind schedule = symbolic::ScheduleKind::kEarly;
   bool want_deadlocks = false, want_smcs = false, want_zdd = false;
   bool want_health = false, want_autotune = false, want_stats = false;
+  bool want_trace = false;
   std::string queries_file;
   int jobs = 1;
   for (int i = 2; i < argc; ++i) {
@@ -163,6 +178,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown --method '%s'\n", m.c_str());
         return usage();
       }
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      want_trace = true;
     } else if (!std::strcmp(argv[i], "--deadlocks")) {
       want_deadlocks = true;
     } else if (!std::strcmp(argv[i], "--smcs")) {
@@ -241,6 +258,9 @@ int main(int argc, char** argv) {
       std::ostringstream qtext;
       qtext << qin.rdbuf();
       std::vector<query::Query> queries = query::parse_queries(qtext.str());
+      if (want_trace) {
+        for (query::Query& q : queries) q.want_trace = true;
+      }
       query::QueryEngineOptions qopts;
       qopts.jobs = jobs;
       query::QueryEngine engine(ctx, qopts);
@@ -254,7 +274,22 @@ int main(int argc, char** argv) {
                     queries[i].line, query::kind_name(queries[i].kind),
                     answers[i].holds ? "yes" : "no", answers[i].count,
                     queries[i].text.c_str());
+        if (queries[i].want_trace) {
+          if (answers[i].has_trace) {
+            std::printf("  trace (%zu steps%s):\n",
+                        answers[i].trace.num_steps(),
+                        answers[i].trace.is_lasso() ? ", lasso" : "");
+            print_trace(net, answers[i].trace, "    ");
+          } else {
+            std::printf("  trace: none\n");
+          }
+        }
       }
+    } else if (want_trace) {
+      // --trace without a query batch: a shortest deadlock trace is the
+      // standalone analysis it most often means — same output the
+      // `trace deadlock` query line produces.
+      want_deadlocks = true;
     }
 
     // The partition (and therefore the schedule) drives the clustered
@@ -310,7 +345,9 @@ int main(int argc, char** argv) {
         std::vector<int> pvars;
         for (int i = 0; i < enc.num_vars(); ++i) pvars.push_back(ctx.pvar(i));
         std::vector<bool> pick;
-        if (ctx.manager().pick_one(dead, pvars, pick)) {
+        // Canonical pick: the printed witness is a function of the deadlock
+        // set alone, not of whatever variable order the traversal sifted to.
+        if (ctx.manager().pick_canonical(dead, pvars, pick)) {
           petri::Marking m = enc.decode(pick);
           std::printf("  witness:");
           for (int p : m.marked_places()) {
@@ -318,14 +355,19 @@ int main(int argc, char** argv) {
           }
           std::printf("\n");
         }
-        symbolic::Analyzer an(ctx);
-        if (auto trace = an.deadlock_trace()) {
-          std::printf("  shortest firing sequence (%zu steps):",
-                      trace->size());
-          for (int t : *trace) {
-            std::printf(" %s", net.transition_name(t).c_str());
+        symbolic::WitnessExtractor wx(ctx, ctx.reached_set());
+        if (auto trace = wx.deadlock_witness()) {
+          if (want_trace) {
+            std::printf("deadlock trace (%zu steps):\n", trace->num_steps());
+            print_trace(net, *trace, "  ");
+          } else {
+            std::printf("  shortest firing sequence (%zu steps):",
+                        trace->num_steps());
+            for (int t : trace->transitions) {
+              std::printf(" %s", net.transition_name(t).c_str());
+            }
+            std::printf("\n");
           }
-          std::printf("\n");
         }
       }
     }

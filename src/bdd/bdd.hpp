@@ -139,7 +139,12 @@ class BddManager {
   /// created, no refcounts touched), so several destination managers may
   /// import from one source concurrently as long as nothing mutates the
   /// source — this is how the query layer ships a reached set to its
-  /// per-shard managers.
+  /// per-shard managers. The copy denotes the identical boolean function,
+  /// so every function-level operation downstream (satcount,
+  /// pick_canonical, eval) returns the same result here as on the source.
+  /// Cost: one ITE per source node, memoized per call — O(|f|) ITE builds
+  /// in the destination (which may be smaller or larger than |f| under the
+  /// destination's order).
   Bdd import_bdd(const Bdd& f);
 
   /// Cofactor f|_{var=value}.
@@ -167,9 +172,26 @@ class BddManager {
   /// Set of variable ids the function structurally depends on.
   [[nodiscard]] std::vector<int> support(const Bdd& f);
   /// Picks one satisfying assignment (minterm) over the given variables;
-  /// returns false if f is unsatisfiable.
+  /// returns false if f is unsatisfiable. Fast (one root-to-terminal walk),
+  /// but WHICH minterm comes back depends on the manager's current variable
+  /// order — two managers holding the same function under different orders
+  /// (a sifted planner vs a default-ordered shard) may pick different
+  /// minterms. Use pick_canonical wherever the choice becomes output.
   bool pick_one(const Bdd& f, const std::vector<int>& vars,
                 std::vector<bool>& out);
+  /// Canonical minterm pick: the lexicographically smallest satisfying
+  /// assignment of f over `vars` IN THE GIVEN ORDER, preferring false at
+  /// every position. Selection is by external variable index (successive
+  /// cofactors), never by node level, so the result is a pure function of
+  /// (the boolean function f, vars) — bit-identical across managers with
+  /// different variable orders, before/after sifting, and across
+  /// import_bdd copies. This is what lets witness traces join the query
+  /// layer's deterministic answer set. Returns false iff f is unsatisfiable.
+  /// Cost: |vars| memoized cofactor operations, O(|vars|·|f|) worst case.
+  /// Not thread-safe (mutates the op cache), like every manager operation:
+  /// one thread per manager.
+  bool pick_canonical(const Bdd& f, const std::vector<int>& vars,
+                      std::vector<bool>& out);
   /// Enumerates all satisfying assignments over `vars` (test-sized BDDs
   /// only). Each assignment is indexed by position in `vars`.
   [[nodiscard]] std::vector<std::vector<bool>> all_sat(
@@ -246,6 +268,11 @@ class BddManager {
   // Slots namespace the keys: each client structure reserves a fresh range
   // with memo_reserve so two structures (e.g. a rebuilt RelationPartition)
   // can never read each other's entries.
+  //
+  // Complexity: every memo call is one hash-table operation, O(1) expected.
+  // Thread-safety: like all manager state, the memo follows the
+  // one-thread-per-manager rule (no internal locking); cross-thread sharing
+  // of results goes through import_bdd into the other thread's manager.
 
   /// Reserves `count` fresh memo slots; returns the first slot id.
   std::uint64_t memo_reserve(std::uint64_t count);

@@ -104,6 +104,31 @@ bool BddManager::pick_one(const Bdd& f, const std::vector<int>& vars,
   return true;
 }
 
+bool BddManager::pick_canonical(const Bdd& f, const std::vector<int>& vars,
+                                std::vector<bool>& out) {
+  if (f.id() == kFalse) return false;
+  out.assign(vars.size(), false);
+  // Successive cofactors by external variable index: position i gets false
+  // iff some satisfying assignment extends the choices so far with
+  // vars[i]=false. Cofactor is a function-level operation, so node levels
+  // (and therefore the current variable order) cannot influence the pick.
+  Bdd current = f;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    Bdd low = cofactor(current, vars[i], false);
+    if (!low.is_false()) {
+      current = low;
+    } else {
+      out[i] = true;
+      current = cofactor(current, vars[i], true);
+    }
+  }
+  // If support(f) ⊆ vars, `current` is now the true terminal; otherwise the
+  // residual is satisfiable by construction and the returned assignment is
+  // the smallest one extendable to a model of f.
+  assert(!current.is_false());
+  return true;
+}
+
 std::vector<std::vector<bool>> BddManager::all_sat(
     const Bdd& f, const std::vector<int>& vars) {
   // Order the requested variables by their current level so the walk visits

@@ -5,19 +5,20 @@
 
 #include "bdd/bdd.hpp"
 #include "symbolic/symbolic.hpp"
+#include "symbolic/witness.hpp"
 
 namespace pnenc::query {
 
 /// One query per line of a query file:
 ///
-///   reach PRED     is a marking satisfying PRED reachable?
-///   ex PRED        CTL EX — states with a successor satisfying PRED
-///   ef PRED        CTL EF — states that can reach PRED
-///   ag PRED        CTL AG — states from which PRED holds globally
-///   eg PRED        CTL EG — states with a maximal path staying in PRED
-///   af PRED        CTL AF — states from which every path meets PRED
-///   deadlock       reachable markings with no enabled transition
-///   live T         is transition T enabled in some reachable marking?
+///   [trace] reach PRED   is a marking satisfying PRED reachable?
+///   [trace] ex PRED      CTL EX — states with a successor satisfying PRED
+///   [trace] ef PRED      CTL EF — states that can reach PRED
+///   [trace] ag PRED      CTL AG — states from which PRED holds globally
+///   [trace] eg PRED      CTL EG — states with a maximal path staying in PRED
+///   [trace] af PRED      CTL AF — states from which every path meets PRED
+///   [trace] deadlock     reachable markings with no enabled transition
+///   [trace] live T       is transition T enabled in some reachable marking?
 ///
 /// PRED is a boolean expression over place names:
 ///   expr   := term ('|' term)*
@@ -25,6 +26,11 @@ namespace pnenc::query {
 ///   factor := '!' factor | '(' expr ')' | 'true' | 'false' | place-name
 /// where a place name is a [A-Za-z0-9_]+ identifier ('true'/'false' are
 /// reserved). '#' starts a comment; blank lines are skipped.
+///
+/// The optional leading `trace` modifier asks for a concrete witness or
+/// counterexample alongside the answer (QueryResult::trace); which of the
+/// two a kind gets, and the full user guide for the grammar, is in
+/// docs/QUERIES.md.
 enum class QueryKind {
   kReach,
   kEx,
@@ -48,31 +54,48 @@ struct Query {
   std::string text;
   /// 1-based line number in the query file (0 for programmatic queries).
   int line = 0;
+  /// Extract a witness/counterexample trace alongside the answer (the
+  /// `trace` line modifier). Off by default: trace extraction costs extra
+  /// backward sweeps per traced query.
+  bool want_trace = false;
 };
 
-/// Function-level answer to one query. Deliberately holds only booleans and
-/// sat-counts — no node ids, witnesses, or anything else that depends on BDD
-/// *structure* — so batched and sharded evaluation is bit-identical to
-/// serial regardless of shard assignment, work-stealing order, or manager
-/// state. (Sat-counts are sums of powers of two and exact below 2^53, hence
-/// order-independent.)
+/// Answer to one query. Deliberately holds only *function-level* data —
+/// booleans, sat-counts, and (when asked for) a canonical trace of
+/// net-level markings and transition ids; never node ids or anything else
+/// that depends on BDD structure — so batched and sharded evaluation is
+/// bit-identical to serial regardless of shard assignment, work-stealing
+/// order, or manager state. (Sat-counts are sums of powers of two and
+/// exact below 2^53, hence order-independent; traces are canonical by the
+/// WitnessExtractor contract — see symbolic/witness.hpp — so a sifted
+/// planner and a default-ordered shard produce the same trace bytes.)
 struct QueryResult {
   /// reach/deadlock/live: the answer set is nonempty. CTL kinds: the
   /// initial marking is in the answer set (the formula holds initially).
   bool holds = false;
   /// Number of reachable markings in the answer set.
   double count = 0.0;
+  /// True iff the query asked for a trace (Query::want_trace) and one
+  /// exists for this answer; `trace` is meaningful only then.
+  bool has_trace = false;
+  /// The witness (reach/ex/ef/eg/deadlock/live, present iff holds) or
+  /// counterexample (ag/af, present iff !holds). Lassos (eg/af) carry
+  /// loop_start; render with symbolic::format_trace. See docs/QUERIES.md.
+  symbolic::Trace trace;
 };
 
 /// Parses a whole query file. Throws std::runtime_error with a 1-based line
 /// number on malformed input. Predicates are only tokenized here; place and
 /// transition names are resolved at evaluation time against the bound net.
+/// Pure: no BDD work, O(input length), safe to call from any thread.
 [[nodiscard]] std::vector<Query> parse_queries(const std::string& text);
 
 /// Compiles a predicate expression to the BDD of its satisfying markings
 /// over `ctx`'s present-state variables (not yet intersected with the
 /// reached set). Throws std::runtime_error on syntax errors or unknown
-/// place names.
+/// place names. Drives the context's memoizing machinery, so it follows
+/// the one-thread-per-context rule; the compiled function depends only on
+/// (net, encoding, expr), never on manager state.
 [[nodiscard]] bdd::Bdd compile_predicate(symbolic::SymbolicContext& ctx,
                                          const std::string& expr);
 
@@ -111,7 +134,15 @@ class QueryEngine {
 
   /// Answers the whole batch; results are indexed like `queries`. Throws
   /// (with the query's line and text) on unknown places/transitions or
-  /// predicate syntax errors.
+  /// predicate syntax errors. Deterministic: the result vector (including
+  /// any requested traces, byte for byte) is a pure function of (net,
+  /// encoding, queries) — jobs, steal order, and shard variable orders
+  /// cannot change it. Cost: per query one intersection
+  /// (reach/deadlock/live) or backward fixpoint (CTL kinds), plus — only
+  /// for want_trace queries — the witness extraction (typically
+  /// trace-length backward sweeps; see symbolic/witness.hpp). run() itself
+  /// must be called from one thread at a time (it spawns and joins its own
+  /// workers internally).
   std::vector<QueryResult> run(const std::vector<Query>& queries);
 
   [[nodiscard]] const symbolic::SymbolicContext& context() const {

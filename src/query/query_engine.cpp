@@ -62,42 +62,49 @@ class WorkStealingQueue {
 /// Evaluates one query against a context whose reached set is already
 /// available (the checker was constructed over it). Works identically for
 /// the planning context (serial path) and a shard context: every input to
-/// the answer is a function of the net + reached set, so where it runs
-/// cannot change the result.
+/// the answer — including a requested trace, whose extraction is canonical
+/// by the WitnessExtractor contract — is a function of the net + reached
+/// set, so where it runs cannot change the result.
 QueryResult answer_query(symbolic::SymbolicContext& ctx,
                          const symbolic::CtlChecker& ck, const Query& q) {
   const Bdd& reached = ck.reached();
+  Bdd pred;  // compiled predicate; stays invalid for deadlock/live
+  int live_t = -1;
+  if (q.kind == QueryKind::kLive) {
+    live_t = ctx.net().transition_index(q.expr);
+    if (live_t < 0) {
+      throw std::runtime_error("unknown transition '" + q.expr + "'");
+    }
+  } else if (q.kind != QueryKind::kDeadlock) {
+    pred = compile_predicate(ctx, q.expr);
+  }
+
   Bdd answer;
   switch (q.kind) {
     case QueryKind::kReach:
-      answer = ck.states(compile_predicate(ctx, q.expr));
+      answer = ck.states(pred);
       break;
     case QueryKind::kEx:
-      answer = ck.ex(compile_predicate(ctx, q.expr));
+      answer = ck.ex(pred);
       break;
     case QueryKind::kEf:
-      answer = ck.ef(compile_predicate(ctx, q.expr));
+      answer = ck.ef(pred);
       break;
     case QueryKind::kAg:
-      answer = ck.ag(compile_predicate(ctx, q.expr));
+      answer = ck.ag(pred);
       break;
     case QueryKind::kEg:
-      answer = ck.eg(compile_predicate(ctx, q.expr));
+      answer = ck.eg(pred);
       break;
     case QueryKind::kAf:
-      answer = ck.af(compile_predicate(ctx, q.expr));
+      answer = ck.af(pred);
       break;
     case QueryKind::kDeadlock:
       answer = ck.deadlocked();  // computed once per checker, not per query
       break;
-    case QueryKind::kLive: {
-      int t = ctx.net().transition_index(q.expr);
-      if (t < 0) {
-        throw std::runtime_error("unknown transition '" + q.expr + "'");
-      }
-      answer = reached & ctx.enabling(t);
+    case QueryKind::kLive:
+      answer = reached & ctx.enabling(live_t);
       break;
-    }
   }
   QueryResult r;
   r.count = ctx.count_markings(answer);
@@ -111,6 +118,45 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
       // CTL kinds: does the formula hold in the initial marking?
       r.holds = !(ctx.initial() & answer).is_false();
       break;
+  }
+
+  if (q.want_trace) {
+    // Witness for the kinds where `holds` asserts existence, counterexample
+    // for the universal kinds (ag/af, present exactly when !holds) — the
+    // per-kind mapping is documented in docs/QUERIES.md. All extraction
+    // reduces to the answer/predicate sets already at hand, so a traced
+    // query costs its extraction sweeps and nothing else.
+    symbolic::WitnessExtractor wx(ctx, reached);
+    std::optional<symbolic::Trace> trace;
+    switch (q.kind) {
+      case QueryKind::kReach:
+      case QueryKind::kEf:
+        trace = wx.trace_to(pred);
+        break;
+      case QueryKind::kEx:
+        trace = wx.ex_witness(pred);
+        break;
+      case QueryKind::kAg:
+        trace = wx.trace_to(reached.diff(pred));
+        break;
+      case QueryKind::kEg:
+        trace = wx.eg_witness(answer);
+        break;
+      case QueryKind::kAf:
+        // EG ¬PRED is exactly the complement of the AF answer within reach.
+        trace = wx.eg_witness(reached.diff(answer));
+        break;
+      case QueryKind::kDeadlock:
+        trace = wx.trace_to(answer);
+        break;
+      case QueryKind::kLive:
+        trace = wx.live_witness(live_t);
+        break;
+    }
+    if (trace) {
+      r.has_trace = true;
+      r.trace = std::move(*trace);
+    }
   }
   return r;
 }

@@ -144,6 +144,21 @@ std::vector<Query> parse_queries(const std::string& text) {
     Query q;
     q.text = body;
     q.line = line;
+    if (keyword == "trace") {
+      // Optional leading modifier: `trace <query>` asks for a witness or
+      // counterexample alongside the answer. Unambiguous because a place
+      // name can only appear after a kind keyword.
+      q.want_trace = true;
+      sp = 0;
+      while (sp < rest.size() && is_ident_char(rest[sp])) ++sp;
+      keyword = rest.substr(0, sp);
+      rest = strip(rest.substr(sp));
+      if (keyword.empty()) {
+        fail(line,
+             "trace needs a query (trace reach|ex|ef|ag|eg|af|deadlock|live "
+             "...)");
+      }
+    }
     if (keyword == "reach") {
       q.kind = QueryKind::kReach;
     } else if (keyword == "ex") {

@@ -1,6 +1,6 @@
 #include "symbolic/analysis.hpp"
 
-#include <algorithm>
+#include "symbolic/witness.hpp"
 
 namespace pnenc::symbolic {
 
@@ -75,56 +75,16 @@ bool Analyzer::is_reversible() const {
 }
 
 std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) const {
-  Bdd goal = reached_ & target;
-  if (goal.is_false()) return std::nullopt;
-
-  // Forward onion rings: layers[i] = markings first reached at depth i.
-  std::vector<Bdd> layers;
-  Bdd reached = ctx_.initial();
-  layers.push_back(reached);
-  std::size_t hit_layer = 0;
-  bool found = !(reached & goal).is_false();
-  while (!found) {
-    Bdd next = ctx_.image_all(layers.back()).diff(reached);
-    if (next.is_false()) return std::nullopt;  // unreachable (can't happen)
-    reached |= next;
-    layers.push_back(next);
-    hit_layer = layers.size() - 1;
-    found = !(next & goal).is_false();
-  }
-
-  // Pick a concrete goal marking in the hit layer and walk back.
-  const auto& enc = ctx_.enc();
-  std::vector<int> pvars;
-  for (int i = 0; i < enc.num_vars(); ++i) pvars.push_back(ctx_.pvar(i));
-  auto pick_minterm = [&](const Bdd& set) {
-    std::vector<bool> bits;
-    ctx_.manager().pick_one(set, pvars, bits);
-    return ctx_.marking_minterm(enc.decode(bits));
-  };
-
-  Bdd current = pick_minterm(layers[hit_layer] & goal);
-  std::vector<int> trace;
-  for (std::size_t layer = hit_layer; layer > 0; --layer) {
-    bool stepped = false;
-    for (std::size_t t = 0; t < ctx_.net().num_transitions() && !stepped;
-         ++t) {
-      Bdd preds =
-          ctx_.preimage(current, static_cast<int>(t)) & layers[layer - 1];
-      if (!preds.is_false()) {
-        trace.push_back(static_cast<int>(t));
-        current = pick_minterm(preds);
-        stepped = true;
-      }
-    }
-    if (!stepped) return std::nullopt;  // should be impossible
-  }
-  std::reverse(trace.begin(), trace.end());
-  return trace;
+  std::optional<Trace> trace = WitnessExtractor(ctx_, reached_).trace_to(target);
+  if (!trace) return std::nullopt;
+  return std::move(trace->transitions);
 }
 
 std::optional<std::vector<int>> Analyzer::deadlock_trace() const {
-  return trace_to(ctx_.deadlocks(reached_));
+  std::optional<Trace> trace =
+      WitnessExtractor(ctx_, reached_).deadlock_witness();
+  if (!trace) return std::nullopt;
+  return std::move(trace->transitions);
 }
 
 }  // namespace pnenc::symbolic

@@ -10,6 +10,13 @@ namespace pnenc::symbolic {
 /// Higher-level symbolic analyses built on the SymbolicContext machinery:
 /// the queries a verification user actually asks (the paper's target
 /// applications [10, 17] are asynchronous-circuit checks of this kind).
+///
+/// Determinism: every answer below — including the traces, see trace_to —
+/// is a pure function of (net, encoding, reached set as a boolean
+/// function); the traversal method, variable order, and sifting history
+/// cannot change it. Thread-safety: one thread per bound context (the
+/// analyzer drives the context's memoizing machinery); the query layer
+/// gives each shard its own context + analyzer.
 class Analyzer {
  public:
   /// Binds to the context's reachability set: reuses a traversal the
@@ -57,12 +64,22 @@ class Analyzer {
   bool is_reversible() const;
 
   /// Extracts a firing sequence M0 → some marking in `target`, or nullopt
-  /// if unreachable. Uses onion-ring backward pre-images so the trace is
-  /// BFS-shortest. Cost: one forward fixpoint is already available; this
-  /// adds one backward sweep plus |trace| image computations.
+  /// if unreachable. Delegates to WitnessExtractor::trace_to (see
+  /// witness.hpp for the full contract): backward onion rings of exact
+  /// one-step partition preimages, so the trace IS BFS-shortest — this is
+  /// a guarantee, not a best effort, because each ring is one exact Pre
+  /// sweep (Debug builds cross-check the partition preimage against the
+  /// independent direct per-transition preimage at every ring). The trace is
+  /// canonical: independent of the traversal method that produced
+  /// reached(), of the manager's variable order, and of sifting history.
+  /// Cost: dist(M0, target) backward sweeps plus one enabled-transition
+  /// scan per step. For the firings together with the intermediate
+  /// markings (and the machine-readable rendering), use WitnessExtractor
+  /// directly.
   std::optional<std::vector<int>> trace_to(const bdd::Bdd& target) const;
 
-  /// Convenience: a trace to a reachable deadlock, if any exists.
+  /// Convenience: a BFS-shortest trace to a reachable deadlock, if any
+  /// exists. Same determinism guarantee as trace_to.
   std::optional<std::vector<int>> deadlock_trace() const;
 
  private:

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "petri/marking.hpp"
+#include "petri/net.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace pnenc::symbolic {
+
+/// A concrete firing sequence through a net, produced by WitnessExtractor.
+///
+/// `markings[0]` is the initial marking and firing `transitions[i]` in
+/// `markings[i]` yields `markings[i+1]` (so `markings.size() ==
+/// transitions.size() + 1` always holds; a 0-step trace is the initial
+/// marking alone). For lasso witnesses (EG / AF counterexamples)
+/// `loop_start >= 0` and `markings.back() == markings[loop_start]`: after
+/// the last step the run is back where it was after step `loop_start`, and
+/// steps `loop_start+1 .. transitions.size()` repeat forever. `loop_start
+/// == -1` means the trace is a plain finite path (possibly ending in a
+/// deadlock, which is also a maximal path for EG).
+///
+/// A Trace holds only net-level data (transition ids and explicit
+/// markings) — no BDD handles — so it crosses shard boundaries freely and
+/// compares bytewise. Traces produced by WitnessExtractor are canonical:
+/// the same net, reached set, and target yield the identical Trace
+/// regardless of traversal method, variable order, sifting history, or
+/// which QueryEngine shard ran the extraction (see the class comment).
+struct Trace {
+  std::vector<int> transitions;
+  std::vector<petri::Marking> markings;
+  int loop_start = -1;
+
+  [[nodiscard]] std::size_t num_steps() const { return transitions.size(); }
+  [[nodiscard]] bool is_lasso() const { return loop_start >= 0; }
+
+  bool operator==(const Trace& o) const {
+    return transitions == o.transitions && markings == o.markings &&
+           loop_start == o.loop_start;
+  }
+  bool operator!=(const Trace& o) const { return !(*this == o); }
+};
+
+/// Renders a trace in the machine-readable format documented in
+/// docs/QUERIES.md: one firing per line,
+///
+///   <step> <transition-name> <+newly-marked...> <-newly-unmarked...>
+///
+/// with steps 1-based, delta places in ascending place-id order (`+`
+/// entries before `-` entries), and — for lassos only — a final line
+/// `loop <s>` meaning the run continues from the marking reached after
+/// step `s` (0 = the initial marking). A 0-step trace renders as the empty
+/// string.
+[[nodiscard]] std::string format_trace(const petri::Net& net,
+                                       const Trace& trace);
+
+/// Replays `trace` through the explicit token game (PetriNet::fire) and
+/// checks every stored marking, the loop closure, and — when `expect_start`
+/// is true — that the trace starts at the net's initial marking. Returns ""
+/// when the trace is a real firing sequence, else a description of the
+/// first violation. Used by the test suites and the Debug-build assertions
+/// inside WitnessExtractor itself.
+[[nodiscard]] std::string validate_trace(const petri::Net& net,
+                                         const Trace& trace,
+                                         bool expect_start = true);
+
+/// Extracts canonical witness traces and counterexamples from a computed
+/// reachability set.
+///
+/// Determinism contract: every extractor below is a pure function of (net,
+/// reached set as a boolean function, target set as a boolean function).
+/// The onion rings are built from exact one-step preimages — function-level
+/// sets, identical under every ImageMethod and variable order — and the
+/// walk that turns rings into firings is explicit: from a concrete marking
+/// it always fires the enabled transition with the smallest id whose
+/// successor lies in the next ring (or, for lassos, in the EG set), and
+/// the loop closes at the first repeated marking. No step ever consults a
+/// node id, a level, or pick_one, so a sifted planning context and a
+/// default-ordered QueryEngine shard produce bit-identical traces — traces
+/// join the deterministic answer set (the property
+/// tests/symbolic/test_witness.cpp and the query differential lock down).
+///
+/// Preimages go through the context's best backward machinery
+/// (RelationPartition cluster preimages when next-state variables exist,
+/// direct constant-assignment preimages otherwise); either way each ring
+/// is one exact backward step, which is what makes trace_to BFS-shortest.
+/// Debug builds anchor that exactness by cross-checking the partition
+/// preimage against the independently implemented direct per-transition
+/// preimage at every ring, and replay-validate every extracted trace.
+///
+/// Thread-safety: an extractor drives its context's (memoizing, non-const)
+/// BDD machinery, so it follows the same rule as Analyzer/CtlChecker — one
+/// thread per SymbolicContext; QueryEngine shards each build their own.
+class WitnessExtractor {
+ public:
+  /// Binds a context and the reachability set to extract against (must be
+  /// a fixpoint over the context's present-state variables; both must
+  /// outlive the extractor).
+  WitnessExtractor(SymbolicContext& ctx, const bdd::Bdd& reached);
+
+  /// BFS-shortest firing sequence M0 → some marking in `target` (within
+  /// reach), or nullopt if no reachable marking satisfies the target.
+  /// Cost: dist(M0, target) backward partition sweeps to build the rings,
+  /// plus one enabled-transition scan per step of the walk. This is also
+  /// the EF witness (initial ∈ EF f iff a path M0 → f exists) and, applied
+  /// to ¬f, the AG counterexample.
+  [[nodiscard]] std::optional<Trace> trace_to(const bdd::Bdd& target) const;
+
+  /// One-firing witness for EX: the smallest-id transition leading from M0
+  /// into `target`, or nullopt if no successor of M0 satisfies it.
+  [[nodiscard]] std::optional<Trace> ex_witness(const bdd::Bdd& target) const;
+
+  /// Lasso witness for EG: a run from M0 that stays inside `eg_set` forever
+  /// — either a stem plus a cycle (loop_start >= 0, closed at the first
+  /// repeated marking: the canonical loop-closing pick) or a finite path
+  /// into a deadlocked `eg_set` state (a maximal path). `eg_set` must be
+  /// the EG fixpoint itself (CtlChecker::eg's result: every non-deadlocked
+  /// member has a successor inside the set — that is what makes the greedy
+  /// walk total); nullopt if M0 ∉ eg_set, or — defensively — if the walk
+  /// gets stuck because the precondition was violated (Debug builds
+  /// assert; a truncated path is never returned as a "maximal" one).
+  /// Applied to EG ¬f this is the AF counterexample. Cost: at most
+  /// |eg_set| walk steps.
+  [[nodiscard]] std::optional<Trace> eg_witness(const bdd::Bdd& eg_set) const;
+
+  /// Shortest path to a reachable deadlock, or nullopt if none exists.
+  [[nodiscard]] std::optional<Trace> deadlock_witness() const;
+
+  /// Shortest path to a marking enabling transition `t`, extended by one
+  /// firing of `t` itself — the witness that `t` is live. Nullopt iff `t`
+  /// is dead.
+  [[nodiscard]] std::optional<Trace> live_witness(int t) const;
+
+  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+
+ private:
+  /// True iff the (explicit) marking is in the encoded set.
+  [[nodiscard]] bool contains(const bdd::Bdd& set,
+                              const petri::Marking& m) const;
+  /// Fires the smallest-id enabled transition of `m` whose successor lies
+  /// in `set`; appends the step to `trace` and returns true, or returns
+  /// false if no such transition exists.
+  bool step_into(const bdd::Bdd& set, petri::Marking& m, Trace& trace) const;
+
+  SymbolicContext& ctx_;
+  bdd::Bdd reached_;
+};
+
+}  // namespace pnenc::symbolic

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <random>
 
 #include "bdd/bdd.hpp"
@@ -133,6 +134,57 @@ TEST(BddQuant, PickOneReturnsSatisfyingAssignment) {
   for (int v = 0; v < 4; ++v) assignment[v] = pick[v];
   EXPECT_TRUE(mgr.eval(f, assignment));
   EXPECT_FALSE(mgr.pick_one(mgr.bdd_false(), vars, pick));
+}
+
+TEST(BddQuant, PickCanonicalIsLexSmallestAndOrderIndependent) {
+  const int nvars = 5;
+  std::mt19937 rng(321);
+  std::vector<int> vars(nvars);
+  std::iota(vars.begin(), vars.end(), 0);
+  for (int round = 0; round < 20; ++round) {
+    TruthTable tf = random_table(nvars, rng);
+    BddManager a(nvars);
+    BddManager b(nvars);
+    // b holds the same function under an adversarial variable order — the
+    // sifted-planner-vs-default-shard situation the canonical pick exists
+    // for.
+    std::vector<int> level2var = vars;
+    std::shuffle(level2var.begin(), level2var.end(), rng);
+    Bdd fa = bdd_from_table(a, tf, nvars);
+    b.set_var_order(level2var);
+    Bdd fb = bdd_from_table(b, tf, nvars);
+
+    std::vector<bool> pa, pb;
+    bool sa = a.pick_canonical(fa, vars, pa);
+    ASSERT_EQ(sa, b.pick_canonical(fb, vars, pb));
+    if (!sa) continue;  // unsatisfiable table this round
+    EXPECT_EQ(pa, pb) << "pick depends on the variable order (round "
+                      << round << ")";
+    // The contract: lexicographically smallest satisfying assignment over
+    // `vars` in the given order, false < true — checked against exhaustive
+    // enumeration.
+    auto sats = a.all_sat(fa, vars);
+    EXPECT_EQ(pa, *std::min_element(sats.begin(), sats.end()));
+    std::vector<bool> assignment(nvars);
+    for (int v = 0; v < nvars; ++v) assignment[v] = pa[v];
+    EXPECT_TRUE(a.eval(fa, assignment));
+  }
+}
+
+TEST(BddQuant, PickCanonicalRespectsTheGivenVarOrderAndFreeVars) {
+  BddManager mgr(4);
+  // f = x0 ⊕ x1: smallest over (0,1,..) is 01..; over (1,0,..) it is the
+  // mirror image — the *given* order defines "lexicographic", not ids.
+  Bdd f = mgr.var(0) ^ mgr.var(1);
+  std::vector<bool> pick;
+  ASSERT_TRUE(mgr.pick_canonical(f, {0, 1, 2, 3}, pick));
+  EXPECT_EQ(pick, (std::vector<bool>{false, true, false, false}));
+  ASSERT_TRUE(mgr.pick_canonical(f, {1, 0, 2, 3}, pick));
+  EXPECT_EQ(pick, (std::vector<bool>{false, true, false, false}));
+  // Vars outside the support stay false; unsatisfiable input reports so.
+  ASSERT_TRUE(mgr.pick_canonical(mgr.bdd_true(), {2, 3}, pick));
+  EXPECT_EQ(pick, (std::vector<bool>{false, false}));
+  EXPECT_FALSE(mgr.pick_canonical(mgr.bdd_false(), {0, 1}, pick));
 }
 
 TEST(BddQuant, AllSatEnumeratesEveryMinterm) {

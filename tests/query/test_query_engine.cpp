@@ -3,7 +3,9 @@
 // shard with work stealing) answer must be bit-identical to evaluating the
 // same query serially with Analyzer/CtlChecker on its own context, across
 // the shared fixture nets (fig1/phil-4/slot-4/dme-4) and both context
-// flavors (with and without next-state variables). Also the multi-shard
+// flavors (with and without next-state variables). The same guarantee
+// extends to witness traces (`trace` modifier): serial and sharded runs
+// must produce byte-identical, replay-valid traces. Also the multi-shard
 // smoke test the ThreadSanitizer CI job runs.
 
 #include <gtest/gtest.h>
@@ -62,6 +64,30 @@ TEST(QueryParse, KindsCommentsAndBlanks) {
   EXPECT_EQ(qs[7].kind, QueryKind::kLive);
   EXPECT_EQ(qs[7].expr, "t3");
   EXPECT_EQ(qs[7].line, 10);
+}
+
+TEST(QueryParse, TraceModifier) {
+  auto qs = query::parse_queries(
+      "trace reach p1\n"
+      "reach p1\n"
+      "trace deadlock\n"
+      "trace live t3\n"
+      "trace eg !p1   # lasso witness\n");
+  ASSERT_EQ(qs.size(), 5u);
+  EXPECT_TRUE(qs[0].want_trace);
+  EXPECT_EQ(qs[0].kind, QueryKind::kReach);
+  EXPECT_EQ(qs[0].expr, "p1");
+  EXPECT_FALSE(qs[1].want_trace);
+  EXPECT_TRUE(qs[2].want_trace);
+  EXPECT_EQ(qs[2].kind, QueryKind::kDeadlock);
+  EXPECT_TRUE(qs[3].want_trace);
+  EXPECT_EQ(qs[3].expr, "t3");
+  EXPECT_TRUE(qs[4].want_trace);
+  EXPECT_EQ(qs[4].kind, QueryKind::kEg);
+  // `trace` alone (or with a bogus kind) is an error with the line number.
+  EXPECT_THROW(query::parse_queries("trace\n"), std::runtime_error);
+  EXPECT_THROW(query::parse_queries("trace frobnicate p1\n"),
+               std::runtime_error);
 }
 
 TEST(QueryParse, MalformedLinesThrowWithLineNumber) {
@@ -219,6 +245,60 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------------------------------------------------------------------
 // Sharded execution details
 // ---------------------------------------------------------------------------
+
+// The trace leg of the determinism guarantee: a traced batch answered
+// serially, batched, and sharded produces byte-identical traces, every one
+// of which replays through the explicit token game. This is what "traces
+// join the deterministic answer set" means — and the sharded run extracts
+// on managers whose variable order histories differ from the planner's.
+TEST(QueryEngine, TracedBatchIdenticalAcrossJobsAndReplayValid) {
+  for (int net_id = 0; net_id < testing::kNumNets; ++net_id) {
+    petri::Net net = testing::net_by_id(net_id);
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    std::vector<Query> batch = mixed_query_batch(net);
+    for (Query& q : batch) q.want_trace = true;
+
+    SymbolicContext ctx1(net, enc, opts);
+    query::QueryEngine serial(ctx1, {});
+    std::vector<QueryResult> expected = serial.run(batch);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Witness kinds carry a trace exactly when they hold; the universal
+      // kinds (ag/af) carry a counterexample exactly when they do not.
+      bool expect_trace = (batch[i].kind == QueryKind::kAg ||
+                           batch[i].kind == QueryKind::kAf)
+                              ? !expected[i].holds
+                              : expected[i].holds;
+      EXPECT_EQ(expected[i].has_trace, expect_trace)
+          << testing::net_name(net_id) << " query " << batch[i].text;
+      if (expected[i].has_trace) {
+        EXPECT_EQ(symbolic::validate_trace(net, expected[i].trace), "")
+            << testing::net_name(net_id) << " query " << batch[i].text;
+      }
+    }
+
+    SymbolicContext ctx4(net, enc, opts);
+    query::QueryEngineOptions qopts;
+    qopts.jobs = 4;
+    query::QueryEngine sharded(ctx4, qopts);
+    std::vector<QueryResult> got = sharded.run(batch);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].holds, expected[i].holds);
+      EXPECT_EQ(got[i].count, expected[i].count);
+      ASSERT_EQ(got[i].has_trace, expected[i].has_trace)
+          << testing::net_name(net_id) << " query " << batch[i].text;
+      if (got[i].has_trace) {
+        EXPECT_TRUE(got[i].trace == expected[i].trace)
+            << testing::net_name(net_id) << " query " << batch[i].text;
+        EXPECT_EQ(symbolic::format_trace(net, got[i].trace),
+                  symbolic::format_trace(net, expected[i].trace));
+      }
+    }
+  }
+}
 
 TEST(QueryEngine, ShardedRunsAreDeterministic) {
   petri::Net net = petri::gen::slotted_ring(4);

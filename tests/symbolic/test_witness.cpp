@@ -1,0 +1,317 @@
+// Witness/trace layer (ctest label `trace`): canonical extraction — the
+// same trace bytes under every ImageMethod, every encoding scheme, random
+// variable-order permutations, and sifted vs default orders — plus replay
+// validation of every emitted trace through the explicit token game
+// (PetriNet::fire), lasso closure, and the format/validate helpers.
+// Sharded-vs-serial trace equality lives in tests/query/test_query_engine.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "symbolic/analysis.hpp"
+#include "symbolic/ctl.hpp"
+#include "symbolic/witness.hpp"
+#include "tests/testing/net_fixtures.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using petri::Net;
+using symbolic::Analyzer;
+using symbolic::CtlChecker;
+using symbolic::format_trace;
+using symbolic::ImageMethod;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+using symbolic::Trace;
+using symbolic::validate_trace;
+using symbolic::WitnessExtractor;
+
+/// Characteristic function of the highest-id place that is NOT initially
+/// marked — reachable (not dead) in every fixture net, so trace_to over it
+/// always yields a witness with at least one firing.
+bdd::Bdd last_place(SymbolicContext& ctx) {
+  int p = static_cast<int>(ctx.net().num_places()) - 1;
+  while (ctx.net().initial_marking().test(static_cast<std::size_t>(p))) --p;
+  return ctx.place_char(p);
+}
+
+/// All witness flavors a context supports, rendered to one byte string: the
+/// quantity the canonicality tests compare across methods/orders/schemes.
+std::string all_trace_bytes(const Net& net, SymbolicContext& ctx,
+                            const bdd::Bdd& reached) {
+  WitnessExtractor wx(ctx, reached);
+  CtlChecker ck(ctx);
+  std::string bytes;
+  auto append = [&](const char* tag, const std::optional<Trace>& trace) {
+    bytes += tag;
+    bytes += ":\n";
+    if (trace) {
+      EXPECT_EQ(validate_trace(net, *trace), "") << tag;
+      bytes += format_trace(net, *trace);
+    } else {
+      bytes += "(none)\n";
+    }
+  };
+  append("ef", wx.trace_to(last_place(ctx)));
+  append("ex", wx.ex_witness(ctx.image_all(ctx.initial())));
+  append("deadlock", wx.deadlock_witness());
+  append("live_first", wx.live_witness(0));
+  append("live_last",
+         wx.live_witness(static_cast<int>(net.num_transitions()) - 1));
+  append("eg_true", wx.eg_witness(ck.eg(ctx.manager().bdd_true())));
+  return bytes;
+}
+
+struct MethodCase {
+  ImageMethod method;
+  bool with_next;
+  const char* name;
+};
+
+constexpr MethodCase kMethods[] = {
+    {ImageMethod::kDirect, false, "direct"},
+    {ImageMethod::kChainedDirect, false, "chained-direct"},
+    {ImageMethod::kPartitionedTr, true, "tr"},
+    {ImageMethod::kMonolithicTr, true, "mono"},
+    {ImageMethod::kClusteredTr, true, "clustered"},
+    {ImageMethod::kChainedTr, true, "chained"},
+    {ImageMethod::kSaturation, true, "saturation"},
+};
+
+class WitnessCanonical : public ::testing::TestWithParam<int> {};
+
+// The tentpole guarantee, leg 1: whichever traversal computed the reached
+// set — and whether preimages run through the partition (next-state
+// variables) or the direct constant-assignment path — the extracted traces
+// are bit-identical.
+TEST_P(WitnessCanonical, SameTraceBytesUnderEveryImageMethod) {
+  Net net = testing::net_by_id(GetParam());
+  auto enc = build_encoding(net, "improved");
+  std::string reference;
+  for (const MethodCase& mc : kMethods) {
+    SymbolicOptions opts;
+    opts.with_next_vars = mc.with_next;
+    SymbolicContext ctx(net, enc, opts);
+    ctx.reachability(mc.method);
+    std::string bytes = all_trace_bytes(net, ctx, ctx.reached_set());
+    if (reference.empty()) {
+      reference = bytes;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(bytes, reference)
+          << testing::net_name(GetParam()) << " method " << mc.name;
+    }
+  }
+}
+
+// Leg 2: the encoding scheme maps markings to different boolean vectors,
+// but traces are net-level objects — same bytes under all three schemes.
+TEST_P(WitnessCanonical, SameTraceBytesUnderEveryScheme) {
+  Net net = testing::net_by_id(GetParam());
+  std::string reference;
+  for (const char* scheme : testing::kSchemes) {
+    auto enc = build_encoding(net, scheme);
+    SymbolicOptions opts;
+    opts.with_next_vars = true;
+    SymbolicContext ctx(net, enc, opts);
+    ctx.reachability(ImageMethod::kSaturation);
+    std::string bytes = all_trace_bytes(net, ctx, ctx.reached_set());
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference)
+          << testing::net_name(GetParam()) << " scheme " << scheme;
+    }
+  }
+}
+
+// Leg 3: the pick rule selects by external variable index, never by level,
+// so adversarial set_var_order permutations and a sifting pass between
+// traversal and extraction cannot change a single trace byte.
+TEST_P(WitnessCanonical, SameTraceBytesUnderRandomVarOrdersAndSifting) {
+  Net net = testing::net_by_id(GetParam());
+  auto enc = build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  ctx.reachability(ImageMethod::kSaturation);
+  std::string reference = all_trace_bytes(net, ctx, ctx.reached_set());
+
+  std::mt19937 rng(0xC0FFEE ^ static_cast<unsigned>(GetParam()));
+  for (int round = 0; round < 3; ++round) {
+    std::vector<int> level2var(ctx.manager().num_vars());
+    std::iota(level2var.begin(), level2var.end(), 0);
+    std::shuffle(level2var.begin(), level2var.end(), rng);
+    ctx.manager().set_var_order(level2var);
+    EXPECT_EQ(all_trace_bytes(net, ctx, ctx.reached_set()), reference)
+        << testing::net_name(GetParam()) << " random order round " << round;
+  }
+  ctx.manager().reorder_sift();
+  EXPECT_EQ(all_trace_bytes(net, ctx, ctx.reached_set()), reference)
+      << testing::net_name(GetParam()) << " after sifting";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtureNets, WitnessCanonical,
+                         ::testing::Range(0, testing::kNumNets),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name = testing::net_name(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Replay and endpoint semantics
+// ---------------------------------------------------------------------------
+
+TEST(Witness, EveryTraceKindReplaysAndEndsWhereItShould) {
+  Net net = petri::gen::philosophers(4);
+  auto enc = build_encoding(net, "improved");
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  SymbolicContext ctx(net, enc, opts);
+  Analyzer an(ctx);
+  WitnessExtractor wx(ctx, an.reached());
+
+  auto dead = wx.deadlock_witness();
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(validate_trace(net, *dead), "");
+  EXPECT_TRUE(net.is_deadlock(dead->markings.back()));
+  // BFS-shortest: the all-left deadlock needs go+take per philosopher.
+  EXPECT_EQ(dead->num_steps(), 8u);
+
+  int eat = net.place_index("eat_0");
+  auto ef = wx.trace_to(ctx.place_char(eat));
+  ASSERT_TRUE(ef.has_value());
+  EXPECT_EQ(validate_trace(net, *ef), "");
+  EXPECT_TRUE(ef->markings.back().test(static_cast<std::size_t>(eat)));
+
+  int t_last = static_cast<int>(net.num_transitions()) - 1;
+  auto live = wx.live_witness(t_last);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(validate_trace(net, *live), "");
+  EXPECT_EQ(live->transitions.back(), t_last);
+
+  // EG !eat_0: the canonical walk must park in a repeat or a deadlock —
+  // either is a maximal path inside the set.
+  CtlChecker ck(ctx);
+  auto lasso = wx.eg_witness(ck.eg(!ctx.place_char(eat)));
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_EQ(validate_trace(net, *lasso), "");
+  EXPECT_TRUE(lasso->is_lasso() || net.is_deadlock(lasso->markings.back()));
+  for (const petri::Marking& m : lasso->markings) {
+    EXPECT_FALSE(m.test(static_cast<std::size_t>(eat)));
+  }
+}
+
+TEST(Witness, EgLassoClosesAtTheFirstRepeat) {
+  Net net = petri::gen::fig1_net();
+  auto enc = build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  WitnessExtractor wx(ctx, an.reached());
+  CtlChecker ck(ctx);
+  auto lasso = wx.eg_witness(ck.eg(ctx.manager().bdd_true()));
+  ASSERT_TRUE(lasso.has_value());
+  ASSERT_TRUE(lasso->is_lasso());  // fig1 is deadlock-free: must cycle
+  EXPECT_EQ(validate_trace(net, *lasso), "");
+  EXPECT_EQ(lasso->markings.back(), lasso->markings[lasso->loop_start]);
+  // First repeat ⇒ everything before the closing marking is distinct.
+  for (std::size_t i = 0; i + 1 < lasso->markings.size(); ++i) {
+    for (std::size_t j = i + 1; j + 1 < lasso->markings.size(); ++j) {
+      EXPECT_NE(lasso->markings[i], lasso->markings[j]);
+    }
+  }
+}
+
+TEST(Witness, TrivialAndImpossibleTargets) {
+  Net net = petri::gen::fig1_net();
+  auto enc = build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc);
+  Analyzer an(ctx);
+  WitnessExtractor wx(ctx, an.reached());
+  // Target containing M0: zero-step witness, empty rendering.
+  auto zero = wx.trace_to(ctx.initial());
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->num_steps(), 0u);
+  EXPECT_EQ(zero->markings.size(), 1u);
+  EXPECT_EQ(format_trace(net, *zero), "");
+  // p2 ∧ p4 lie in one SMC: never simultaneously marked.
+  EXPECT_FALSE(
+      wx.trace_to(ctx.place_char(1) & ctx.place_char(3)).has_value());
+  EXPECT_FALSE(wx.deadlock_witness().has_value());
+  EXPECT_FALSE(wx.eg_witness(ctx.manager().bdd_false()).has_value());
+  EXPECT_FALSE(wx.ex_witness(ctx.manager().bdd_false()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// format_trace / validate_trace
+// ---------------------------------------------------------------------------
+
+TEST(Witness, FormatTraceGolden) {
+  Net net = petri::gen::fig1_net();
+  Trace trace;
+  petri::Marking m = net.initial_marking();
+  trace.markings.push_back(m);
+  for (int t : {0, 2}) {  // t1; t3
+    m = net.fire(m, t);
+    trace.transitions.push_back(t);
+    trace.markings.push_back(m);
+  }
+  EXPECT_EQ(validate_trace(net, trace), "");
+  EXPECT_EQ(format_trace(net, trace),
+            "1 t1 +p2 +p3 -p1\n"
+            "2 t3 +p6 -p2\n");
+  trace.loop_start = 0;  // (not a real lasso — format only)
+  EXPECT_EQ(format_trace(net, trace),
+            "1 t1 +p2 +p3 -p1\n"
+            "2 t3 +p6 -p2\n"
+            "loop 0\n");
+}
+
+TEST(Witness, ValidateTraceCatchesEveryCorruption) {
+  Net net = petri::gen::fig1_net();
+  Trace good;
+  petri::Marking m = net.initial_marking();
+  good.markings.push_back(m);
+  m = net.fire(m, 0);
+  good.transitions.push_back(0);
+  good.markings.push_back(m);
+  ASSERT_EQ(validate_trace(net, good), "");
+
+  Trace bad = good;
+  bad.transitions[0] = 3;  // t4 is not enabled at M0
+  EXPECT_NE(validate_trace(net, bad), "");
+
+  bad = good;
+  bad.markings[1].set(0, true);  // result marking tampered
+  EXPECT_NE(validate_trace(net, bad), "");
+
+  bad = good;
+  bad.markings[0].set(0, false);  // does not start at M0
+  EXPECT_NE(validate_trace(net, bad), "");
+  EXPECT_EQ(validate_trace(net, bad, /*expect_start=*/false),
+            "step 1 fires disabled transition t1");
+
+  bad = good;
+  bad.markings.pop_back();  // count mismatch
+  EXPECT_NE(validate_trace(net, bad), "");
+
+  bad = good;
+  bad.loop_start = 0;  // markings[0] != markings.back(): lasso doesn't close
+  EXPECT_NE(validate_trace(net, bad), "");
+
+  bad = good;
+  bad.loop_start = 1;  // empty loop
+  EXPECT_NE(validate_trace(net, bad), "");
+}
+
+}  // namespace
+}  // namespace pnenc
