@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <string>
 
+#include <vector>
+
 #include "encoding/encoding.hpp"
 #include "petri/generators.hpp"
 #include "petri/net.hpp"
 #include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_context.hpp"
 #include "util/timer.hpp"
 
 namespace pnenc::bench {
@@ -53,6 +56,64 @@ inline RunStats run_scheme(const petri::Net& net, const std::string& scheme,
   stats.cpu_ms = timer.elapsed_ms();
   stats.iterations = r.iterations;
   return stats;
+}
+
+/// One ZDD-backend traversal on a fresh ZddContext — the sparse-side
+/// analogue of run_scheme. No encoding is built (one variable per place,
+/// `vars` reports the place count) and no final sifting pass exists (the
+/// ZDD variable order is fixed), so the reported structure size is already
+/// canonical. `bdd_nodes` carries the reached-set ZDD node count.
+inline RunStats run_zdd(const petri::Net& net, symbolic::ImageMethod method) {
+  util::Timer timer;
+  symbolic::ZddContext ctx(net);
+  symbolic::ZddTraversalResult r = ctx.reachability(method);
+  RunStats stats;
+  stats.markings = r.num_markings;
+  stats.vars = static_cast<int>(net.num_places());
+  stats.bdd_nodes = r.reached_nodes;
+  stats.peak_nodes = r.peak_live_nodes;
+  stats.cpu_ms = timer.elapsed_ms();
+  stats.iterations = r.iterations;
+  return stats;
+}
+
+// ---- Table-4 net rows -----------------------------------------------------
+//
+// The paper's Table 4 measured ZDD sparse analysis vs the dense encoding on
+// Yoneda's asynchronous-circuit suite; DESIGN.md §4 substitutes structurally
+// analogous generated nets. One definition of the row list so the static
+// comparison table (bench_table4) and the timed harness (bench_zdd →
+// BENCH_zdd.json) always measure the same nets.
+
+struct NamedNet {
+  std::string name;
+  petri::Net net;
+};
+
+inline std::vector<NamedNet> table4_rows(bool quick) {
+  std::vector<NamedNet> rows;
+  std::vector<int> spec = quick ? std::vector<int>{3, 4}
+                                : std::vector<int>{4, 6, 8};
+  std::vector<int> cir = quick ? std::vector<int>{2, 3}
+                               : std::vector<int>{3, 4, 5};
+  for (int n : spec) {
+    rows.push_back({"dme-spec-" + std::to_string(n), petri::gen::dme_ring(n)});
+  }
+  for (int n : cir) {
+    rows.push_back(
+        {"dme-cir-" + std::to_string(n), petri::gen::dme_ring_circuit(n)});
+  }
+  int reg = quick ? 8 : 12;
+  rows.push_back({"register-a", petri::gen::register_net(reg, 'a')});
+  rows.push_back({"register-b", petri::gen::register_net(reg, 'b')});
+  if (!quick) {
+    // Larger-state-space rows so the structure-size comparison is taken at
+    // the scale the paper's Table 4 operated at.
+    rows.push_back({"slot-5", petri::gen::slotted_ring(5)});
+    rows.push_back({"slot-6", petri::gen::slotted_ring(6)});
+    rows.push_back({"muller-14", petri::gen::muller_pipeline(14)});
+  }
+  return rows;
 }
 
 // ---- query/trace benchmark nets -------------------------------------------

@@ -15,62 +15,39 @@
 
 #include "bench/bench_common.hpp"
 #include "petri/generators.hpp"
-#include "symbolic/zdd_reach.hpp"
 #include "util/table_printer.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pnenc;
   bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
 
-  struct Row {
-    std::string name;
-    petri::Net net;
-  };
-  std::vector<Row> rows;
-  std::vector<int> spec = quick ? std::vector<int>{3, 4}
-                                : std::vector<int>{4, 6, 8};
-  std::vector<int> cir = quick ? std::vector<int>{2, 3}
-                               : std::vector<int>{3, 4, 5};
-  for (int n : spec) {
-    rows.push_back({"dme-spec-" + std::to_string(n), petri::gen::dme_ring(n)});
-  }
-  for (int n : cir) {
-    rows.push_back(
-        {"dme-cir-" + std::to_string(n), petri::gen::dme_ring_circuit(n)});
-  }
-  int rega = quick ? 8 : 12, regb = quick ? 8 : 12;
-  rows.push_back({"register-a", petri::gen::register_net(rega, 'a')});
-  rows.push_back({"register-b", petri::gen::register_net(regb, 'b')});
-  if (!quick) {
-    // Larger-state-space rows so the structure-size comparison is taken at
-    // the scale the paper's Table 4 operated at.
-    rows.push_back({"slot-5", petri::gen::slotted_ring(5)});
-    rows.push_back({"slot-6", petri::gen::slotted_ring(6)});
-    rows.push_back({"muller-14", petri::gen::muller_pipeline(14)});
-  }
+  // Net rows shared with bench_zdd (bench_common.hpp), so this table and
+  // BENCH_zdd.json always measure the same configurations.
+  std::vector<bench::NamedNet> rows = bench::table4_rows(quick);
 
   util::TablePrinter table({"PN", "markings", "V", "ZDD", "CPU(ms)",  // zdd
                             "V", "BDD", "CPU(ms)"});                  // dense
   std::string last_family;
-  for (const Row& row : rows) {
+  for (const bench::NamedNet& row : rows) {
     std::string family = row.name.substr(0, row.name.rfind('-'));
     if (family != last_family && !last_family.empty()) table.add_separator();
     last_family = family;
 
-    util::Timer zt;
-    symbolic::ZddTraversalResult z = symbolic::zdd_reachability(row.net);
-    double zdd_ms = zt.elapsed_ms();
+    // The zdd leg stays on the seed's monolithic per-transition BFS — that
+    // is what the paper's Table 4 compares against; bench_zdd measures the
+    // clustered/saturation stack over the same rows.
+    bench::RunStats z =
+        bench::run_zdd(row.net, symbolic::ImageMethod::kMonolithicTr);
 
     bench::RunStats dense = bench::run_scheme(row.net, "dense");
-    if (z.num_markings != dense.markings) {
+    if (z.markings != dense.markings) {
       std::fprintf(stderr, "MISMATCH on %s (zdd %.0f vs bdd %.0f)\n",
-                   row.name.c_str(), z.num_markings, dense.markings);
+                   row.name.c_str(), z.markings, dense.markings);
       return 1;
     }
-    table.add_row({row.name, bench::fmt_count(z.num_markings),
-                   std::to_string(row.net.num_places()),
-                   std::to_string(z.reached_nodes), bench::fmt_ms(zdd_ms),
+    table.add_row({row.name, bench::fmt_count(z.markings),
+                   std::to_string(z.vars),
+                   std::to_string(z.bdd_nodes), bench::fmt_ms(z.cpu_ms),
                    std::to_string(dense.vars), std::to_string(dense.bdd_nodes),
                    bench::fmt_ms(dense.cpu_ms)});
   }

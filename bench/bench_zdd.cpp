@@ -1,0 +1,134 @@
+// ZDD-path traversal benchmarks: does lifting the clustered/saturation
+// stack onto the sparse backend pay off over the seed's monolithic
+// per-transition BFS (the Table-4 [18] baseline), and how does the lifted
+// ZDD path compare against the dense BDD encoding per net family?
+//
+// Two benchmark groups over the full Table-4 rows (bench_common.hpp —
+// shared with bench_table4, so both harnesses measure the same nets; the
+// larger slot/muller rows are where the lifted stack's win shows — the
+// quick rows are too small for the per-sweep savings to beat BFS setup):
+//   ZddMethod   — monolithic BFS vs clustered frontier BFS vs saturation,
+//                 all on the ZDD backend;
+//   BackendCompare — BDD (dense encoding, saturation) vs ZDD (saturation),
+//                 today's best method on each backend.
+//
+// Every leg's marking count is checked against the monolithic baseline
+// before timing starts (the bench aborts on mismatch), and the
+// `identical_counts` counter records it in the JSON:
+//   ./bench_zdd --benchmark_out=BENCH_zdd.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace pnenc;
+
+const std::vector<bench::NamedNet>& rows() {
+  static const std::vector<bench::NamedNet> r = bench::table4_rows(false);
+  return r;
+}
+
+/// Marking count of the seed's monolithic BFS, computed once per net: the
+/// correctness anchor every other leg must reproduce exactly.
+double baseline_markings(std::size_t net_id) {
+  static std::vector<double> cache(rows().size(), -1.0);
+  if (cache[net_id] < 0) {
+    cache[net_id] =
+        bench::run_zdd(rows()[net_id].net,
+                       symbolic::ImageMethod::kMonolithicTr)
+            .markings;
+  }
+  return cache[net_id];
+}
+
+void check_count(const char* leg, const std::string& net, double got,
+                 double want) {
+  if (got != want) {
+    std::fprintf(stderr, "BENCH BUG: %s on %s counts %.17g, monolithic "
+                         "baseline counts %.17g\n",
+                 leg, net.c_str(), got, want);
+    std::abort();
+  }
+}
+
+/// mode: 0 = monolithic BFS (seed baseline), 1 = clustered frontier BFS,
+/// 2 = saturation.
+void BM_ZddMethod(benchmark::State& state) {
+  const std::size_t net_id = static_cast<std::size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  const bench::NamedNet& row = rows()[net_id];
+  const symbolic::ImageMethod method =
+      mode == 0   ? symbolic::ImageMethod::kMonolithicTr
+      : mode == 1 ? symbolic::ImageMethod::kClusteredTr
+                  : symbolic::ImageMethod::kSaturation;
+  const char* leg = mode == 0 ? "/mono" : mode == 1 ? "/clustered"
+                                                    : "/saturation";
+
+  bench::RunStats probe = bench::run_zdd(row.net, method);
+  check_count(leg, row.name, probe.markings, baseline_markings(net_id));
+
+  for (auto _ : state) {
+    bench::RunStats s = bench::run_zdd(row.net, method);
+    benchmark::DoNotOptimize(&s);
+  }
+  state.SetLabel(row.name + leg);
+  state.counters["markings"] = probe.markings;
+  state.counters["zdd_nodes"] = static_cast<double>(probe.bdd_nodes);
+  state.counters["sweeps"] = static_cast<double>(probe.iterations);
+  state.counters["identical_counts"] = 1;
+}
+
+/// backend: 0 = dense BDD encoding under saturation, 1 = ZDD under
+/// saturation — the method each backend's decision guide picks.
+void BM_BackendCompare(benchmark::State& state) {
+  const std::size_t net_id = static_cast<std::size_t>(state.range(0));
+  const bool zdd = state.range(1) == 1;
+  const bench::NamedNet& row = rows()[net_id];
+
+  bench::RunStats probe =
+      zdd ? bench::run_zdd(row.net, symbolic::ImageMethod::kSaturation)
+          : bench::run_scheme(row.net, "dense",
+                              symbolic::ImageMethod::kSaturation);
+  check_count(zdd ? "/zdd" : "/bdd", row.name, probe.markings,
+              baseline_markings(net_id));
+
+  for (auto _ : state) {
+    bench::RunStats s =
+        zdd ? bench::run_zdd(row.net, symbolic::ImageMethod::kSaturation)
+            : bench::run_scheme(row.net, "dense",
+                                symbolic::ImageMethod::kSaturation);
+    benchmark::DoNotOptimize(&s);
+  }
+  state.SetLabel(row.name + (zdd ? "/zdd" : "/bdd"));
+  state.counters["markings"] = probe.markings;
+  state.counters["vars"] = static_cast<double>(probe.vars);
+  state.counters["nodes"] = static_cast<double>(probe.bdd_nodes);
+  state.counters["identical_counts"] = 1;
+}
+
+void ZddMethodArgs(benchmark::internal::Benchmark* b) {
+  for (std::size_t n = 0; n < rows().size(); ++n) {
+    for (int m = 0; m < 3; ++m) b->Args({static_cast<long>(n), m});
+  }
+}
+void BackendArgs(benchmark::internal::Benchmark* b) {
+  for (std::size_t n = 0; n < rows().size(); ++n) {
+    for (int k = 0; k < 2; ++k) b->Args({static_cast<long>(n), k});
+  }
+}
+
+BENCHMARK(BM_ZddMethod)->Apply(ZddMethodArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BackendCompare)
+    ->Apply(BackendArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 // pnanalyze: command-line symbolic analyzer for Petri nets in the library's
 // text format — the "downstream user" entry point.
 //
-//   pnanalyze <net-file|builtin:NAME> [--scheme sparse|dense|improved]
+//   pnanalyze <net-file|builtin:NAME> [--backend bdd|zdd|auto]
+//             [--scheme sparse|dense|improved]
 //             [--method direct|tr|mono|clustered|chained|chained-direct|
 //                       saturation]
 //             [--schedule naive|early] [--autotune] [--stats]
@@ -9,21 +10,29 @@
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
-// --health runs the sanity analyses: structural class, dead transitions,
-// dead places, reversibility. --schedule picks the cluster quantification
-// schedule for the clustered methods (early = affinity-ordered, the
-// default), --autotune derives the partition caps from the net's structure,
-// and --stats prints the partition/schedule shape (clustered|chained|
-// saturation; saturation adds level/memo counters). --queries answers a
-// whole batch of reach/CTL/deadlock/live queries (format: src/query/
-// query.hpp, full guide: docs/QUERIES.md) against one shared reached set;
-// --jobs N answers them on N manager-per-shard workers with work stealing —
-// the batched output, traces included, is bit-identical to --jobs 1.
-// --trace asks every query for a witness/counterexample trace (the same as
-// prefixing each line with the `trace` modifier) printed in the
-// machine-readable format of docs/QUERIES.md; without --queries it prints a
-// shortest deadlock trace (implies --deadlocks). Traces are canonical:
-// identical bytes for any --method, --jobs, and variable-order history.
+// --backend picks the decision-diagram backend: bdd (the default — dense
+// marking encodings, the paper's contribution), zdd (sparse one-variable-
+// per-place families), or auto (the structural decision guide of
+// symbolic/backend.hpp chooses and says why). Every analysis below runs on
+// either backend with identical answers, counts, and trace bytes; on zdd,
+// --scheme has no effect (no marking encoding exists), --method direct|tr
+// is rejected (those are BDD-encoding-specific), and the default --method
+// is saturation. --health runs the sanity analyses: structural class, dead
+// transitions, dead places, reversibility. --schedule picks the cluster
+// quantification schedule for the clustered methods (early =
+// affinity-ordered, the default), --autotune derives the partition caps
+// from the net's structure, and --stats prints the partition/schedule shape
+// (clustered|chained|saturation; saturation adds level/memo counters).
+// --queries answers a whole batch of reach/CTL/deadlock/live queries
+// (format: src/query/query.hpp, full guide: docs/QUERIES.md) against one
+// shared reached set; --jobs N answers them on N manager-per-shard workers
+// with work stealing — the batched output, traces included, is
+// bit-identical to --jobs 1. --trace asks every query for a
+// witness/counterexample trace (the same as prefixing each line with the
+// `trace` modifier) printed in the machine-readable format of
+// docs/QUERIES.md; without --queries it prints a shortest deadlock trace
+// (implies --deadlocks). Traces are canonical: identical bytes for any
+// --method, --jobs, --backend, and variable-order history.
 
 #include <cerrno>
 #include <cstdio>
@@ -35,6 +44,7 @@
 
 #include "encoding/encoding.hpp"
 #include "query/query.hpp"
+#include "symbolic/backend.hpp"
 #include "petri/classify.hpp"
 #include "petri/explicit_reach.hpp"
 #include "petri/generators.hpp"
@@ -102,6 +112,7 @@ petri::Net load_net(const std::string& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: pnanalyze <net-file|builtin:NAME> "
+               "[--backend bdd|zdd|auto] "
                "[--scheme sparse|dense|improved] "
                "[--method direct|tr|mono|clustered|chained|chained-direct|saturation] "
                "[--schedule naive|early] [--autotune] [--stats] "
@@ -120,12 +131,179 @@ void print_trace(const petri::Net& net, const symbolic::Trace& trace,
   while (std::getline(lines, l)) std::printf("%s%s\n", indent, l.c_str());
 }
 
+/// Loads, answers, and prints a query batch — one code path for both
+/// backends, so the output format cannot drift between them (the
+/// cross-backend differential tests compare these lines verbatim).
+template <class Backend>
+void run_query_batch(const petri::Net& net, typename Backend::Context& ctx,
+                     const std::string& queries_file, bool want_trace,
+                     int jobs) {
+  std::ifstream qin(queries_file);
+  if (!qin) throw std::runtime_error("cannot open " + queries_file);
+  std::ostringstream qtext;
+  qtext << qin.rdbuf();
+  std::vector<query::Query> queries = query::parse_queries(qtext.str());
+  if (want_trace) {
+    for (query::Query& q : queries) q.want_trace = true;
+  }
+  query::QueryEngineOptions qopts;
+  qopts.jobs = jobs;
+  query::BasicQueryEngine<Backend> engine(ctx, qopts);
+  util::Timer qtimer;
+  std::vector<query::QueryResult> answers = engine.run(queries);
+  std::printf("answered %zu queries in %.1f ms (%d job%s)\n", answers.size(),
+              qtimer.elapsed_ms(), jobs, jobs == 1 ? "" : "s");
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::printf("query %d [%s]: %s  (%.6g markings)  %s\n", queries[i].line,
+                query::kind_name(queries[i].kind),
+                answers[i].holds ? "yes" : "no", answers[i].count,
+                queries[i].text.c_str());
+    if (queries[i].want_trace) {
+      if (answers[i].has_trace) {
+        std::printf("  trace (%zu steps%s):\n", answers[i].trace.num_steps(),
+                    answers[i].trace.is_lasso() ? ", lasso" : "");
+        print_trace(net, answers[i].trace, "    ");
+      } else {
+        std::printf("  trace: none\n");
+      }
+    }
+  }
+}
+
+/// The ZDD-backend analysis flow: same stages and line formats as the BDD
+/// flow in main(), over a ZddContext. No marking encoding exists (one
+/// variable per place), so the encoding banner, --scheme, and the
+/// encoding-specific methods (direct/tr) do not apply.
+int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
+            symbolic::ScheduleKind schedule, bool want_autotune,
+            bool want_stats, const std::string& queries_file, int jobs,
+            bool want_trace, bool want_deadlocks, bool want_health) {
+  util::Timer timer;
+  std::printf("backend 'zdd': %zu variables (one per place)\n",
+              net.num_places());
+
+  symbolic::ZddContext ctx(net);
+  symbolic::PartitionOptions popts;
+  if (want_autotune) {
+    popts = symbolic::autotune_zdd_options(net);
+    std::printf(
+        "autotuned partition caps: var_cap=%zu (node_cap unused: the zdd "
+        "partition materializes no relation)\n",
+        popts.var_cap);
+  }
+  popts.schedule = schedule;
+  ctx.set_partition_options(popts);
+  auto r = ctx.reachability(method);
+  bool chained = method == symbolic::ImageMethod::kChainedTr ||
+                 method == symbolic::ImageMethod::kChainedDirect;
+  bool saturation = method == symbolic::ImageMethod::kSaturation;
+  std::printf(
+      "reachable markings: %.6g  (%d %s, %zu ZDD nodes, %.1f ms total)\n",
+      r.num_markings, r.iterations,
+      saturation ? "cluster applications"
+                 : (chained ? "chained sweeps" : "BFS iterations"),
+      r.reached_nodes, timer.elapsed_ms());
+
+  if (!queries_file.empty()) {
+    run_query_batch<symbolic::ZddBackend>(net, ctx, queries_file, want_trace,
+                                          jobs);
+  } else if (want_trace) {
+    want_deadlocks = true;
+  }
+
+  // The clustered methods sweep the partition forward; every backward
+  // fixpoint (health's reversibility, traces) sweeps it too — on the ZDD
+  // path preimages are always the scheduled partition sweep.
+  bool uses_partition = method == symbolic::ImageMethod::kClusteredTr ||
+                        chained || saturation || want_health;
+  if (want_stats) {
+    if (uses_partition) {
+      symbolic::ZddRelationPartition& part = ctx.partition();
+      const symbolic::ScheduleStats& st = part.schedule_stats();
+      util::TablePrinter table(
+          {"clusters", "schedule", "length", "var lifetime", "peak live vars"});
+      table.add_row({std::to_string(part.num_clusters()),
+                     part.schedule_kind() == symbolic::ScheduleKind::kEarly
+                         ? "early"
+                         : "naive",
+                     std::to_string(st.length),
+                     std::to_string(st.total_lifetime),
+                     std::to_string(st.peak_live_vars)});
+      std::fputs(table.render("partition shape").c_str(), stdout);
+      if (saturation) {
+        const symbolic::SaturationStats& ss = part.saturation_stats();
+        util::TablePrinter sat(
+            {"sat levels", "applications", "memo lookups", "memo hits"});
+        sat.add_row({std::to_string(ss.levels),
+                     std::to_string(ss.applications),
+                     std::to_string(ss.memo_lookups),
+                     std::to_string(ss.memo_hits)});
+        std::fputs(sat.render("saturation").c_str(), stdout);
+      }
+    } else {
+      std::printf(
+          "partition stats: n/a — no partition-backed sweep in this "
+          "invocation (use --method clustered|chained|saturation, or "
+          "--health)\n");
+    }
+  }
+
+  if (want_deadlocks) {
+    zdd::Zdd dead = ctx.deadlocks(ctx.reached_set());
+    double n = ctx.count_markings(dead);
+    std::printf("deadlocked markings: %.6g\n", n);
+    if (n > 0) {
+      std::vector<int> pick;
+      // Canonical pick: lexicographically smallest member of the family —
+      // a function of the deadlock set alone, and (because the witness is
+      // compared as a set of marked places) the same marking the BDD
+      // backend's pick_canonical prints.
+      if (ctx.manager().pick_canonical(dead, pick)) {
+        std::printf("  witness:");
+        for (int p : pick) std::printf(" %s", net.place_name(p).c_str());
+        std::printf("\n");
+      }
+      symbolic::ZddWitnessExtractor wx(ctx, ctx.reached_set());
+      if (auto trace = wx.deadlock_witness()) {
+        if (want_trace) {
+          std::printf("deadlock trace (%zu steps):\n", trace->num_steps());
+          print_trace(net, *trace, "  ");
+        } else {
+          std::printf("  shortest firing sequence (%zu steps):",
+                      trace->num_steps());
+          for (int t : trace->transitions) {
+            std::printf(" %s", net.transition_name(t).c_str());
+          }
+          std::printf("\n");
+        }
+      }
+    }
+  }
+
+  if (want_health) {
+    std::printf("structural class: %s\n",
+                petri::classify(net).to_string().c_str());
+    symbolic::ZddAnalyzer an(ctx);
+    auto dead_t = an.dead_transitions();
+    auto dead_p = an.dead_places();
+    std::printf("dead transitions: %zu", dead_t.size());
+    for (int t : dead_t) std::printf(" %s", net.transition_name(t).c_str());
+    std::printf("\ndead places: %zu", dead_p.size());
+    for (int p : dead_p) std::printf(" %s", net.place_name(p).c_str());
+    std::printf("\nreversible (M0 is a home state): %s\n",
+                an.is_reversible() ? "yes" : "no");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string scheme = "improved";
+  std::string backend_str = "bdd";
   symbolic::ImageMethod method = symbolic::ImageMethod::kDirect;
+  bool method_set = false;
   symbolic::ScheduleKind schedule = symbolic::ScheduleKind::kEarly;
   bool want_deadlocks = false, want_smcs = false, want_zdd = false;
   bool want_health = false, want_autotune = false, want_stats = false;
@@ -135,6 +313,15 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
       scheme = argv[++i];
+    } else if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
+      backend_str = argv[++i];
+      if (backend_str != "bdd" && backend_str != "zdd" &&
+          backend_str != "auto") {
+        std::fprintf(stderr, "unknown --backend '%s' (expected bdd, zdd or "
+                             "auto)\n",
+                     backend_str.c_str());
+        return usage();
+      }
     } else if (!std::strcmp(argv[i], "--queries") && i + 1 < argc) {
       queries_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
@@ -160,6 +347,7 @@ int main(int argc, char** argv) {
       want_stats = true;
     } else if (!std::strcmp(argv[i], "--method") && i + 1 < argc) {
       std::string m = argv[++i];
+      method_set = true;
       if (m == "direct") {
         method = symbolic::ImageMethod::kDirect;
       } else if (m == "tr") {
@@ -216,6 +404,41 @@ int main(int argc, char** argv) {
       }
     }
 
+    symbolic::BackendKind backend = backend_str == "zdd"
+                                        ? symbolic::BackendKind::kZdd
+                                        : symbolic::BackendKind::kBdd;
+    if (backend_str == "auto") {
+      symbolic::SparsityStats ss = symbolic::sparsity_stats(net);
+      backend = symbolic::choose_backend(ss);
+      std::printf(
+          "backend auto: %s (marked fraction %.3g, mean changed width "
+          "%.3g)\n",
+          symbolic::backend_name(backend), ss.marked_fraction,
+          ss.mean_changed_width);
+    }
+    if (backend == symbolic::BackendKind::kZdd) {
+      if (!method_set) {
+        method = symbolic::ImageMethod::kSaturation;
+      } else if (method == symbolic::ImageMethod::kDirect ||
+                 method == symbolic::ImageMethod::kPartitionedTr) {
+        std::fprintf(stderr,
+                     "--method direct|tr is specific to the BDD marking "
+                     "encoding; the zdd backend supports "
+                     "mono|clustered|chained|chained-direct|saturation\n");
+        return usage();
+      }
+      int rc = run_zdd(net, method, schedule, want_autotune, want_stats,
+                       queries_file, jobs, want_trace, want_deadlocks,
+                       want_health);
+      if (want_zdd) {
+        auto z = symbolic::zdd_reachability(net);
+        std::printf("ZDD (sparse) cross-check: %.6g markings, %zu ZDD "
+                    "nodes, %.1f ms\n",
+                    z.num_markings, z.reached_nodes, z.cpu_ms);
+      }
+      return rc;
+    }
+
     util::Timer timer;
     encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
     std::printf("encoding '%s': %d variables (density vs sparse: %.2f)\n",
@@ -253,38 +476,8 @@ int main(int argc, char** argv) {
         r.reached_nodes, timer.elapsed_ms());
 
     if (!queries_file.empty()) {
-      std::ifstream qin(queries_file);
-      if (!qin) throw std::runtime_error("cannot open " + queries_file);
-      std::ostringstream qtext;
-      qtext << qin.rdbuf();
-      std::vector<query::Query> queries = query::parse_queries(qtext.str());
-      if (want_trace) {
-        for (query::Query& q : queries) q.want_trace = true;
-      }
-      query::QueryEngineOptions qopts;
-      qopts.jobs = jobs;
-      query::QueryEngine engine(ctx, qopts);
-      util::Timer qtimer;
-      std::vector<query::QueryResult> answers = engine.run(queries);
-      std::printf("answered %zu queries in %.1f ms (%d job%s)\n",
-                  answers.size(), qtimer.elapsed_ms(), jobs,
-                  jobs == 1 ? "" : "s");
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        std::printf("query %d [%s]: %s  (%.6g markings)  %s\n",
-                    queries[i].line, query::kind_name(queries[i].kind),
-                    answers[i].holds ? "yes" : "no", answers[i].count,
-                    queries[i].text.c_str());
-        if (queries[i].want_trace) {
-          if (answers[i].has_trace) {
-            std::printf("  trace (%zu steps%s):\n",
-                        answers[i].trace.num_steps(),
-                        answers[i].trace.is_lasso() ? ", lasso" : "");
-            print_trace(net, answers[i].trace, "    ");
-          } else {
-            std::printf("  trace: none\n");
-          }
-        }
-      }
+      run_query_batch<symbolic::BddBackend>(net, ctx, queries_file,
+                                            want_trace, jobs);
     } else if (want_trace) {
       // --trace without a query batch: a shortest deadlock trace is the
       // standalone analysis it most often means — same output the

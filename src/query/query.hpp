@@ -3,8 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "bdd/bdd.hpp"
-#include "symbolic/symbolic.hpp"
+#include "symbolic/backend.hpp"
 #include "symbolic/witness.hpp"
 
 namespace pnenc::query {
@@ -61,12 +60,13 @@ struct Query {
 };
 
 /// Answer to one query. Deliberately holds only *function-level* data —
-/// booleans, sat-counts, and (when asked for) a canonical trace of
+/// booleans, marking counts, and (when asked for) a canonical trace of
 /// net-level markings and transition ids; never node ids or anything else
-/// that depends on BDD structure — so batched and sharded evaluation is
-/// bit-identical to serial regardless of shard assignment, work-stealing
-/// order, or manager state. (Sat-counts are sums of powers of two and
-/// exact below 2^53, hence order-independent; traces are canonical by the
+/// that depends on diagram structure — so batched, sharded, and
+/// cross-backend evaluation is bit-identical to serial regardless of shard
+/// assignment, work-stealing order, or manager state. (BDD sat-counts are
+/// sums of powers of two and exact below 2^53, hence order-independent;
+/// ZDD counts are exact set cardinalities; traces are canonical by the
 /// WitnessExtractor contract — see symbolic/witness.hpp — so a sifted
 /// planner and a default-ordered shard produce the same trace bytes.)
 struct QueryResult {
@@ -87,7 +87,7 @@ struct QueryResult {
 /// Parses a whole query file. Throws std::runtime_error with a 1-based line
 /// number on malformed input. Predicates are only tokenized here; place and
 /// transition names are resolved at evaluation time against the bound net.
-/// Pure: no BDD work, O(input length), safe to call from any thread.
+/// Pure: no diagram work, O(input length), safe to call from any thread.
 [[nodiscard]] std::vector<Query> parse_queries(const std::string& text);
 
 /// Compiles a predicate expression to the BDD of its satisfying markings
@@ -99,38 +99,58 @@ struct QueryResult {
 [[nodiscard]] bdd::Bdd compile_predicate(symbolic::SymbolicContext& ctx,
                                          const std::string& expr);
 
+/// ZDD overload with *within-reach* semantics: the returned family is the
+/// subset of `reached` satisfying the predicate. A ZDD family has no
+/// unrestricted characteristic function ("all sets containing p" is not a
+/// finite family), so place atoms compile to onset filters of `reached`,
+/// `true` to `reached` itself, and `!` to complement within `reached` —
+/// which is exactly the set every CTL operator would intersect with reach
+/// anyway, so BDD and ZDD query answers coincide (the cross-backend
+/// differential suite locks this down). Same grammar, same error messages.
+[[nodiscard]] zdd::Zdd compile_predicate(symbolic::ZddContext& ctx,
+                                         const zdd::Zdd& reached,
+                                         const std::string& expr);
+
 struct QueryEngineOptions {
   /// Number of shard workers answering independent queries concurrently,
-  /// each with its own BddManager (manager-per-shard; the reached set is
-  /// shipped to every shard by structural copy). <= 1 answers every query
-  /// on the planning context itself.
+  /// each with its own manager (manager-per-shard; the reached set is
+  /// shipped to every shard by structural copy — import_bdd / import_zdd).
+  /// <= 1 answers every query on the planning context itself.
   int jobs = 1;
 };
 
-/// Batched multi-query engine over one shared SymbolicContext.
+/// Batched multi-query engine over one shared backend context, generic
+/// over the DdBackend concept (symbolic/backend.hpp). `QueryEngine` is the
+/// BDD instantiation (behavior-identical to the original class);
+/// `ZddQueryEngine` runs the same planning/sharding machinery over a
+/// ZddContext.
 ///
 /// Planning amortizes everything query-independent across the batch: the
 /// net is encoded once, the relation partition is built once, and the
-/// forward-closed reached set is computed once (by the method decision
-/// guide — saturation when next-state variables exist, chained direct
-/// images otherwise), at construction. run() then answers each query
-/// against that one reached set, so a batch of N queries costs one
-/// traversal plus N cheap fixpoint-free (reach/deadlock/live) or
+/// forward-closed reached set is computed once (by the backend's method
+/// decision guide — saturation when the clustered partition is available,
+/// chained direct images otherwise), at construction. run() then answers
+/// each query against that one reached set, so a batch of N queries costs
+/// one traversal plus N cheap fixpoint-free (reach/deadlock/live) or
 /// backward-only (CTL) evaluations, instead of N full traversals.
 ///
 /// With jobs > 1, independent queries execute concurrently on
-/// manager-per-shard workers fed by a work-stealing queue; each shard
-/// imports the reached set into its own manager (BddManager::import_bdd)
-/// and adopts it (SymbolicContext::set_reached), so shards never touch the
-/// planning context's manager. Results land in a slot per query index —
-/// the merge is deterministic by construction and, because QueryResult is
+/// manager-per-shard workers fed by a work-stealing queue; each shard is
+/// built by Backend::make_shard — a private context mirroring the
+/// planner's configuration that imports the reached set into its own
+/// manager by structural copy — so shards never touch the planning
+/// context's manager. Results land in a slot per query index — the merge
+/// is deterministic by construction and, because QueryResult is
 /// function-level only, bit-identical to serial evaluation.
-class QueryEngine {
+template <class Backend>
+  requires symbolic::DdBackend<Backend>
+class BasicQueryEngine {
  public:
+  using Context = typename Backend::Context;
+
   /// Binds an existing context (must outlive the engine) and runs the
   /// forward traversal now if the context has not already done so.
-  explicit QueryEngine(symbolic::SymbolicContext& ctx,
-                       const QueryEngineOptions& opts = {});
+  explicit BasicQueryEngine(Context& ctx, const QueryEngineOptions& opts = {});
 
   /// Answers the whole batch; results are indexed like `queries`. Throws
   /// (with the query's line and text) on unknown places/transitions or
@@ -145,14 +165,21 @@ class QueryEngine {
   /// workers internally).
   std::vector<QueryResult> run(const std::vector<Query>& queries);
 
-  [[nodiscard]] const symbolic::SymbolicContext& context() const {
-    return ctx_;
-  }
+  [[nodiscard]] const Context& context() const { return ctx_; }
   [[nodiscard]] const QueryEngineOptions& options() const { return opts_; }
 
  private:
-  symbolic::SymbolicContext& ctx_;
+  Context& ctx_;
   QueryEngineOptions opts_;
 };
+
+/// The BDD instantiation — the original QueryEngine.
+using QueryEngine = BasicQueryEngine<symbolic::BddBackend>;
+/// The ZDD instantiation, answering the same query files with identical
+/// results (and byte-identical traces) over the sparse backend.
+using ZddQueryEngine = BasicQueryEngine<symbolic::ZddBackend>;
+
+extern template class BasicQueryEngine<symbolic::BddBackend>;
+extern template class BasicQueryEngine<symbolic::ZddBackend>;
 
 }  // namespace pnenc::query

@@ -1,5 +1,6 @@
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -8,8 +9,6 @@
 #include "symbolic/ctl.hpp"
 
 namespace pnenc::query {
-
-using bdd::Bdd;
 
 namespace {
 
@@ -59,16 +58,33 @@ class WorkStealingQueue {
   std::vector<PerShard> shards_;
 };
 
+/// Per-backend predicate compilation, dispatched by context type: the BDD
+/// compile is reach-independent (the CTL operators intersect), the ZDD
+/// compile is within-reach by construction (see query.hpp). Either way the
+/// compiled set means the same thing once intersected with reach, which is
+/// all answer_query ever does with it.
+bdd::Bdd compile_for(symbolic::SymbolicContext& ctx, const bdd::Bdd& /*reached*/,
+                     const std::string& expr) {
+  return compile_predicate(ctx, expr);
+}
+zdd::Zdd compile_for(symbolic::ZddContext& ctx, const zdd::Zdd& reached,
+                     const std::string& expr) {
+  return compile_predicate(ctx, reached, expr);
+}
+
 /// Evaluates one query against a context whose reached set is already
 /// available (the checker was constructed over it). Works identically for
 /// the planning context (serial path) and a shard context: every input to
 /// the answer — including a requested trace, whose extraction is canonical
 /// by the WitnessExtractor contract — is a function of the net + reached
-/// set, so where it runs cannot change the result.
-QueryResult answer_query(symbolic::SymbolicContext& ctx,
-                         const symbolic::CtlChecker& ck, const Query& q) {
-  const Bdd& reached = ck.reached();
-  Bdd pred;  // compiled predicate; stays invalid for deadlock/live
+/// set, so where (and on which backend) it runs cannot change the result.
+template <class Backend>
+QueryResult answer_query(typename Backend::Context& ctx,
+                         const symbolic::BasicCtlChecker<Backend>& ck,
+                         const Query& q) {
+  using Handle = typename Backend::Handle;
+  const Handle& reached = ck.reached();
+  Handle pred;  // compiled predicate; stays invalid for deadlock/live
   int live_t = -1;
   if (q.kind == QueryKind::kLive) {
     live_t = ctx.net().transition_index(q.expr);
@@ -76,10 +92,10 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
       throw std::runtime_error("unknown transition '" + q.expr + "'");
     }
   } else if (q.kind != QueryKind::kDeadlock) {
-    pred = compile_predicate(ctx, q.expr);
+    pred = compile_for(ctx, reached, q.expr);
   }
 
-  Bdd answer;
+  Handle answer;
   switch (q.kind) {
     case QueryKind::kReach:
       answer = ck.states(pred);
@@ -103,7 +119,7 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
       answer = ck.deadlocked();  // computed once per checker, not per query
       break;
     case QueryKind::kLive:
-      answer = reached & ctx.enabling(live_t);
+      answer = Backend::enabled_states(ctx, reached, live_t);
       break;
   }
   QueryResult r;
@@ -112,11 +128,11 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
     case QueryKind::kReach:
     case QueryKind::kDeadlock:
     case QueryKind::kLive:
-      r.holds = !answer.is_false();
+      r.holds = !Backend::empty(answer);
       break;
     default:
       // CTL kinds: does the formula hold in the initial marking?
-      r.holds = !(ctx.initial() & answer).is_false();
+      r.holds = !Backend::empty(ctx.initial() & answer);
       break;
   }
 
@@ -126,7 +142,7 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
     // per-kind mapping is documented in docs/QUERIES.md. All extraction
     // reduces to the answer/predicate sets already at hand, so a traced
     // query costs its extraction sweeps and nothing else.
-    symbolic::WitnessExtractor wx(ctx, reached);
+    symbolic::BasicWitnessExtractor<Backend> wx(ctx, reached);
     std::optional<symbolic::Trace> trace;
     switch (q.kind) {
       case QueryKind::kReach:
@@ -137,14 +153,14 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
         trace = wx.ex_witness(pred);
         break;
       case QueryKind::kAg:
-        trace = wx.trace_to(reached.diff(pred));
+        trace = wx.trace_to(Backend::diff(reached, pred));
         break;
       case QueryKind::kEg:
         trace = wx.eg_witness(answer);
         break;
       case QueryKind::kAf:
         // EG ¬PRED is exactly the complement of the AF answer within reach.
-        trace = wx.eg_witness(reached.diff(answer));
+        trace = wx.eg_witness(Backend::diff(reached, answer));
         break;
       case QueryKind::kDeadlock:
         trace = wx.trace_to(answer);
@@ -161,11 +177,12 @@ QueryResult answer_query(symbolic::SymbolicContext& ctx,
   return r;
 }
 
-QueryResult answer_with_context(symbolic::SymbolicContext& ctx,
-                                const symbolic::CtlChecker& ck,
+template <class Backend>
+QueryResult answer_with_context(typename Backend::Context& ctx,
+                                const symbolic::BasicCtlChecker<Backend>& ck,
                                 const Query& q) {
   try {
-    return answer_query(ctx, ck, q);
+    return answer_query<Backend>(ctx, ck, q);
   } catch (const std::exception& e) {
     throw std::runtime_error("query line " + std::to_string(q.line) + " ('" +
                              q.text + "'): " + e.what());
@@ -174,42 +191,44 @@ QueryResult answer_with_context(symbolic::SymbolicContext& ctx,
 
 }  // namespace
 
-QueryEngine::QueryEngine(symbolic::SymbolicContext& ctx,
-                         const QueryEngineOptions& opts)
+template <class Backend>
+  requires symbolic::DdBackend<Backend>
+BasicQueryEngine<Backend>::BasicQueryEngine(Context& ctx,
+                                            const QueryEngineOptions& opts)
     : ctx_(ctx), opts_(opts) {
   // Plan once for the whole batch: reuse a traversal the context already
-  // ran, otherwise compute one by the method decision guide (saturation
-  // over the clustered partition when next-state variables exist, chained
-  // direct images otherwise) — the same policy Analyzer and CtlChecker
-  // apply. Everything else (encoding, partition, schedules) is built lazily
-  // inside the context and shared by all subsequent queries.
-  if (!ctx_.reached_set().is_valid()) {
-    ctx_.reachability(ctx_.has_next_vars()
-                          ? symbolic::ImageMethod::kSaturation
-                          : symbolic::ImageMethod::kChainedDirect);
-  }
+  // ran, otherwise compute one by the backend's method decision guide
+  // (saturation over the clustered partition when available, chained direct
+  // images otherwise) — the same policy Analyzer and CtlChecker apply.
+  // Everything else (encoding, partition, schedules) is built lazily inside
+  // the context and shared by all subsequent queries.
+  Backend::ensure_reached(ctx_);
 }
 
-std::vector<QueryResult> QueryEngine::run(const std::vector<Query>& queries) {
+template <class Backend>
+  requires symbolic::DdBackend<Backend>
+std::vector<QueryResult> BasicQueryEngine<Backend>::run(
+    const std::vector<Query>& queries) {
   std::vector<QueryResult> results(queries.size());
   std::size_t jobs = opts_.jobs <= 1 ? 1 : static_cast<std::size_t>(opts_.jobs);
   if (jobs > queries.size()) jobs = queries.size();
 
   if (jobs <= 1) {
-    symbolic::CtlChecker ck(ctx_);
+    symbolic::BasicCtlChecker<Backend> ck(ctx_);
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      results[i] = answer_with_context(ctx_, ck, queries[i]);
+      results[i] = answer_with_context<Backend>(ctx_, ck, queries[i]);
     }
     return results;
   }
 
-  // Manager-per-shard execution. Each worker builds a private context over
-  // the shared (const) net + encoding, imports the planning context's
-  // reached set into its own manager by structural copy, adopts it, and
-  // then drains the work-stealing queue. The planning context is never
+  // Manager-per-shard execution. Each worker builds a private context via
+  // Backend::make_shard (mirroring the planner's configuration, importing
+  // the reached set into its own manager by structural copy, adopting it)
+  // and then drains the work-stealing queue. The planning context is never
   // touched from a worker (its manager is read-only during the whole
-  // phase: import_bdd walks raw const node structure), and each result
-  // slot is written by exactly one worker, so the phase is race-free.
+  // phase: import_bdd / import_zdd walk raw const node structure), and
+  // each result slot is written by exactly one worker, so the phase is
+  // race-free.
   WorkStealingQueue queue(jobs, queries.size());
   std::vector<std::exception_ptr> errors(jobs);
   std::vector<std::thread> workers;
@@ -217,27 +236,11 @@ std::vector<QueryResult> QueryEngine::run(const std::vector<Query>& queries) {
   for (std::size_t w = 0; w < jobs; ++w) {
     workers.emplace_back([&, w]() {
       try {
-        // Shards mirror the planner's configuration wholesale, so a future
-        // SymbolicOptions field cannot silently diverge between them.
-        symbolic::SymbolicContext sctx(ctx_.net(), ctx_.enc(), ctx_.options());
-        // Inherit the planning manager's current variable order before
-        // importing anything: the forward traversal typically sifted its
-        // way to an order in which the reached set is compact, and
-        // importing into a fresh default-ordered manager would rebuild the
-        // set in exactly the order the planner escaped (on phil-N improved
-        // that is orders of magnitude larger — the §6.1 pathology).
-        bdd::BddManager& planner = ctx_.manager();
-        std::vector<int> level2var(planner.num_vars());
-        for (int l = 0; l < planner.num_vars(); ++l) {
-          level2var[l] = planner.var_at_level(l);
-        }
-        sctx.manager().set_var_order(level2var);
-        sctx.set_partition_options(ctx_.partition_options());
-        sctx.set_reached(sctx.manager().import_bdd(ctx_.reached_set()));
-        symbolic::CtlChecker ck(sctx);
+        std::unique_ptr<Context> sctx = Backend::make_shard(ctx_);
+        symbolic::BasicCtlChecker<Backend> ck(*sctx);
         std::size_t i;
         while (queue.pop(w, i)) {
-          results[i] = answer_with_context(sctx, ck, queries[i]);
+          results[i] = answer_with_context<Backend>(*sctx, ck, queries[i]);
         }
       } catch (...) {
         errors[w] = std::current_exception();
@@ -250,5 +253,8 @@ std::vector<QueryResult> QueryEngine::run(const std::vector<Query>& queries) {
   }
   return results;
 }
+
+template class BasicQueryEngine<symbolic::BddBackend>;
+template class BasicQueryEngine<symbolic::ZddBackend>;
 
 }  // namespace pnenc::query

@@ -39,15 +39,24 @@ std::string strip(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Recursive-descent predicate compiler (grammar in query.hpp). Operates
-/// directly on the context so place names become characteristic functions.
+/// Recursive-descent predicate compiler (grammar in query.hpp), templated
+/// over the handful of atom/connective constructions that differ per
+/// backend. The grammar, precedence, and every error message are shared, so
+/// the two backends reject exactly the same inputs with identical
+/// diagnostics — part of the cross-backend differential contract.
+///
+/// Ops must provide: Handle, top() ('true'), bot() ('false'),
+/// bnot(f) ('!'), place(p) (a place atom by id), net(). '&' and '|' use the
+/// Handle's native operators.
+template <class Ops>
 class PredParser {
- public:
-  PredParser(symbolic::SymbolicContext& ctx, const std::string& s)
-      : ctx_(ctx), s_(s) {}
+  using Handle = typename Ops::Handle;
 
-  Bdd parse() {
-    Bdd f = expr();
+ public:
+  PredParser(Ops ops, const std::string& s) : ops_(ops), s_(s) {}
+
+  Handle parse() {
+    Handle f = expr();
     skip_ws();
     if (pos_ != s_.size()) {
       throw std::runtime_error("trailing input at '" + s_.substr(pos_) +
@@ -73,22 +82,22 @@ class PredParser {
     return false;
   }
 
-  Bdd expr() {
-    Bdd f = term();
+  Handle expr() {
+    Handle f = term();
     while (eat('|')) f |= term();
     return f;
   }
 
-  Bdd term() {
-    Bdd f = factor();
+  Handle term() {
+    Handle f = factor();
     while (eat('&')) f &= factor();
     return f;
   }
 
-  Bdd factor() {
-    if (eat('!')) return !factor();
+  Handle factor() {
+    if (eat('!')) return ops_.bnot(factor());
     if (eat('(')) {
-      Bdd f = expr();
+      Handle f = expr();
       if (!eat(')')) {
         throw std::runtime_error("missing ')' in predicate '" + s_ + "'");
       }
@@ -103,26 +112,60 @@ class PredParser {
           s_ + "'");
     }
     std::string name = s_.substr(b, pos_ - b);
-    if (name == "true") return ctx_.manager().bdd_true();
-    if (name == "false") return ctx_.manager().bdd_false();
-    int p = ctx_.net().place_index(name);
+    if (name == "true") return ops_.top();
+    if (name == "false") return ops_.bot();
+    int p = ops_.net().place_index(name);
     if (p < 0) {
       throw std::runtime_error("unknown place '" + name + "' in predicate '" +
                                s_ + "'");
     }
-    return ctx_.place_char(p);
+    return ops_.place(p);
   }
 
-  symbolic::SymbolicContext& ctx_;
+  Ops ops_;
   const std::string& s_;
   std::size_t pos_ = 0;
+};
+
+/// BDD atoms: plain characteristic functions; negation is boolean
+/// complement. The compiled predicate ranges over all 2^n variable
+/// assignments — callers intersect with reach.
+struct BddPredOps {
+  symbolic::SymbolicContext& ctx;
+  using Handle = Bdd;
+  Handle top() { return ctx.manager().bdd_true(); }
+  Handle bot() { return ctx.manager().bdd_false(); }
+  Handle bnot(const Handle& f) { return !f; }
+  Handle place(int p) { return ctx.place_char(p); }
+  const petri::Net& net() { return ctx.net(); }
+};
+
+/// ZDD atoms, within-reach (see compile_predicate's ZDD doc in query.hpp):
+/// 'true' is the reached family itself, a place atom is an onset filter of
+/// it, and '!' complements within it. Every connective is then closed over
+/// subsets of reach, so the parse result equals reach ∧ (BDD predicate) as
+/// a set of markings.
+struct ZddPredOps {
+  symbolic::ZddContext& ctx;
+  const zdd::Zdd& reached;
+  using Handle = zdd::Zdd;
+  Handle top() { return reached; }
+  Handle bot() { return ctx.manager().empty(); }
+  Handle bnot(const Handle& f) { return reached - f; }
+  Handle place(int p) { return ctx.marked_states(reached, p); }
+  const petri::Net& net() { return ctx.net(); }
 };
 
 }  // namespace
 
 Bdd compile_predicate(symbolic::SymbolicContext& ctx,
                       const std::string& expr) {
-  return PredParser(ctx, expr).parse();
+  return PredParser<BddPredOps>(BddPredOps{ctx}, expr).parse();
+}
+
+zdd::Zdd compile_predicate(symbolic::ZddContext& ctx, const zdd::Zdd& reached,
+                           const std::string& expr) {
+  return PredParser<ZddPredOps>(ZddPredOps{ctx, reached}, expr).parse();
 }
 
 std::vector<Query> parse_queries(const std::string& text) {

@@ -1,90 +1,10 @@
 #include "symbolic/analysis.hpp"
 
-#include "symbolic/witness.hpp"
-
 namespace pnenc::symbolic {
 
-using bdd::Bdd;
-
-Analyzer::Analyzer(SymbolicContext& ctx) : ctx_(ctx) {
-  // Reuse a traversal the context already ran (any method computes the same
-  // set); otherwise run the fastest one available — saturation when the
-  // clustered partition exists, chained direct images otherwise. Backward
-  // sweeps (can_reach and friends) stay chained either way.
-  if (!ctx.reached_set().is_valid()) {
-    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kSaturation
-                                         : ImageMethod::kChainedDirect);
-  }
-  reached_ = ctx.reached_set();
-}
-
-Analyzer::Analyzer(SymbolicContext& ctx, ImageMethod method) : ctx_(ctx) {
-  ctx.reachability(method);
-  reached_ = ctx.reached_set();
-}
-
-double Analyzer::num_markings() const { return ctx_.count_markings(reached_); }
-
-std::vector<int> Analyzer::dead_transitions() const {
-  std::vector<int> dead;
-  for (std::size_t t = 0; t < ctx_.net().num_transitions(); ++t) {
-    if ((reached_ & ctx_.enabling(static_cast<int>(t))).is_false()) {
-      dead.push_back(static_cast<int>(t));
-    }
-  }
-  return dead;
-}
-
-std::vector<int> Analyzer::dead_places() const {
-  std::vector<int> dead;
-  for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
-    if ((reached_ & ctx_.place_char(static_cast<int>(p))).is_false()) {
-      dead.push_back(static_cast<int>(p));
-    }
-  }
-  return dead;
-}
-
-std::vector<int> Analyzer::always_marked_places() const {
-  std::vector<int> always;
-  for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
-    if (reached_.diff(ctx_.place_char(static_cast<int>(p))).is_false()) {
-      always.push_back(static_cast<int>(p));
-    }
-  }
-  return always;
-}
-
-Bdd Analyzer::can_reach(const Bdd& target) const {
-  Bdd acc = reached_ & target;
-  if (ctx_.has_next_vars()) {
-    // Chained backward sweeps over the scheduled partition: each sweep feeds
-    // one cluster's preimage into the next (reverse schedule order), so one
-    // iteration walks back many levels.
-    return ctx_.partition().backward_closure(acc, reached_);
-  }
-  for (;;) {
-    Bdd next = acc | (reached_ & ctx_.preimage_best(acc));
-    if (next == acc) return acc;
-    acc = next;
-  }
-}
-
-bool Analyzer::is_reversible() const {
-  return reached_.diff(can_reach(ctx_.initial())).is_false();
-}
-
-std::optional<std::vector<int>> Analyzer::trace_to(const Bdd& target) const {
-  std::optional<Trace> trace = WitnessExtractor(ctx_, reached_).trace_to(target);
-  if (!trace) return std::nullopt;
-  return std::move(trace->transitions);
-}
-
-std::optional<std::vector<int>> Analyzer::deadlock_trace() const {
-  std::optional<Trace> trace =
-      WitnessExtractor(ctx_, reached_).deadlock_witness();
-  if (!trace) return std::nullopt;
-  return std::move(trace->transitions);
-}
+// Header template over the DdBackend concept; instantiated once per shipped
+// backend so client TUs link instead of re-instantiating.
+template class BasicAnalyzer<BddBackend>;
+template class BasicAnalyzer<ZddBackend>;
 
 }  // namespace pnenc::symbolic

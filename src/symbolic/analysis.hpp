@@ -3,32 +3,44 @@
 #include <optional>
 #include <vector>
 
-#include "symbolic/symbolic.hpp"
+#include "symbolic/witness.hpp"
 
 namespace pnenc::symbolic {
 
-/// Higher-level symbolic analyses built on the SymbolicContext machinery:
+/// Higher-level symbolic analyses built on a backend context's machinery:
 /// the queries a verification user actually asks (the paper's target
 /// applications [10, 17] are asynchronous-circuit checks of this kind).
+/// Generic over the DdBackend concept (backend.hpp); the BDD instantiation
+/// is the original Analyzer, behavior-identical.
 ///
 /// Determinism: every answer below — including the traces, see trace_to —
-/// is a pure function of (net, encoding, reached set as a boolean
-/// function); the traversal method, variable order, and sifting history
-/// cannot change it. Thread-safety: one thread per bound context (the
-/// analyzer drives the context's memoizing machinery); the query layer
-/// gives each shard its own context + analyzer.
-class Analyzer {
+/// is a pure function of (net, reached set as a set of markings); the
+/// traversal method, backend, variable order, and sifting history cannot
+/// change it. Thread-safety: one thread per bound context (the analyzer
+/// drives the context's memoizing machinery); the query layer gives each
+/// shard its own context + analyzer.
+template <class Backend>
+  requires DdBackend<Backend>
+class BasicAnalyzer {
  public:
+  using Context = typename Backend::Context;
+  using Handle = typename Backend::Handle;
+
   /// Binds to the context's reachability set: reuses a traversal the
-  /// context already ran, otherwise computes one by saturation over the
-  /// clustered partitioned relation when the context has next-state
-  /// variables and chained direct images otherwise. Backward sweeps always
-  /// use chained preimages (saturation is forward-only). Forward and
-  /// backward sweeps both honor the context's partition options (caps and
-  /// quantification schedule — see SymbolicContext::set_partition_options).
-  explicit Analyzer(SymbolicContext& ctx);
+  /// context already ran, otherwise computes one by the backend's decision
+  /// guide (saturation over the clustered partition when available, chained
+  /// direct images otherwise). Backward sweeps always use chained preimages
+  /// (saturation is forward-only). Forward and backward sweeps both honor
+  /// the context's partition options (caps and quantification schedule).
+  explicit BasicAnalyzer(Context& ctx) : ctx_(ctx) {
+    Backend::ensure_reached(ctx);
+    reached_ = ctx.reached_set();
+  }
   /// Same, with an explicit traversal method.
-  Analyzer(SymbolicContext& ctx, ImageMethod method);
+  BasicAnalyzer(Context& ctx, ImageMethod method) : ctx_(ctx) {
+    ctx.reachability(method);
+    reached_ = ctx.reached_set();
+  }
 
   /// The reachability set [M0⟩ this analyzer answers queries against.
   ///
@@ -40,51 +52,114 @@ class Analyzer {
   /// partitions internally through its non-const reference, so "const" here
   /// means per-analyzer, not per-manager — each engine shard therefore owns
   /// its context exclusively.)
-  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
-  /// Number of reachable markings (sat-count of reached()).
-  [[nodiscard]] double num_markings() const;
+  [[nodiscard]] const Handle& reached() const { return reached_; }
+  /// Number of reachable markings.
+  [[nodiscard]] double num_markings() const {
+    return ctx_.count_markings(reached_);
+  }
 
   /// Transitions never enabled in any reachable marking (dead transitions —
   /// usually a modeling bug, always worth reporting).
-  std::vector<int> dead_transitions() const;
+  std::vector<int> dead_transitions() const {
+    std::vector<int> dead;
+    for (std::size_t t = 0; t < ctx_.net().num_transitions(); ++t) {
+      if (Backend::empty(
+              Backend::enabled_states(ctx_, reached_, static_cast<int>(t)))) {
+        dead.push_back(static_cast<int>(t));
+      }
+    }
+    return dead;
+  }
 
   /// Places never marked (dead places) and places marked in every reachable
   /// marking (invariant places).
-  std::vector<int> dead_places() const;
-  std::vector<int> always_marked_places() const;
+  std::vector<int> dead_places() const {
+    std::vector<int> dead;
+    for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
+      if (Backend::empty(
+              Backend::marked_states(ctx_, reached_, static_cast<int>(p)))) {
+        dead.push_back(static_cast<int>(p));
+      }
+    }
+    return dead;
+  }
+  std::vector<int> always_marked_places() const {
+    std::vector<int> always;
+    for (std::size_t p = 0; p < ctx_.net().num_places(); ++p) {
+      Handle marked =
+          Backend::marked_states(ctx_, reached_, static_cast<int>(p));
+      if (Backend::empty(Backend::diff(reached_, marked))) {
+        always.push_back(static_cast<int>(p));
+      }
+    }
+    return always;
+  }
 
   /// Backward reachability: all markings (within reach) that can reach a
   /// target set. Equivalent to CTL EF restricted to [M0⟩. Runs chained
-  /// backward sweeps over the scheduled partition when next-state variables
-  /// exist, per-transition preimages otherwise.
-  bdd::Bdd can_reach(const bdd::Bdd& target) const;
+  /// backward sweeps over the scheduled partition when available,
+  /// per-transition preimages otherwise.
+  Handle can_reach(const Handle& target) const {
+    Handle acc = reached_ & target;
+    if (Backend::has_partition_backward(ctx_)) {
+      // Chained backward sweeps over the scheduled partition: each sweep
+      // feeds one cluster's preimage into the next (reverse schedule
+      // order), so one iteration walks back many levels.
+      return ctx_.partition().backward_closure(acc, reached_);
+    }
+    for (;;) {
+      Handle next = acc | (reached_ & ctx_.preimage_best(acc));
+      if (next == acc) return acc;
+      acc = next;
+    }
+  }
 
   /// Home-state check: can every reachable marking reach M0 again?
   /// (Reversibility — standard PN property.)
-  bool is_reversible() const;
+  bool is_reversible() const {
+    return Backend::empty(Backend::diff(reached_, can_reach(ctx_.initial())));
+  }
 
   /// Extracts a firing sequence M0 → some marking in `target`, or nullopt
-  /// if unreachable. Delegates to WitnessExtractor::trace_to (see
+  /// if unreachable. Delegates to BasicWitnessExtractor::trace_to (see
   /// witness.hpp for the full contract): backward onion rings of exact
   /// one-step partition preimages, so the trace IS BFS-shortest — this is
   /// a guarantee, not a best effort, because each ring is one exact Pre
   /// sweep (Debug builds cross-check the partition preimage against the
-  /// independent direct per-transition preimage at every ring). The trace is
-  /// canonical: independent of the traversal method that produced
-  /// reached(), of the manager's variable order, and of sifting history.
-  /// Cost: dist(M0, target) backward sweeps plus one enabled-transition
-  /// scan per step. For the firings together with the intermediate
-  /// markings (and the machine-readable rendering), use WitnessExtractor
-  /// directly.
-  std::optional<std::vector<int>> trace_to(const bdd::Bdd& target) const;
+  /// independent direct per-transition preimage at every ring). The trace
+  /// is canonical: independent of the traversal method that produced
+  /// reached(), of the backend, of the manager's variable order, and of
+  /// sifting history. Cost: dist(M0, target) backward sweeps plus one
+  /// enabled-transition scan per step. For the firings together with the
+  /// intermediate markings (and the machine-readable rendering), use
+  /// BasicWitnessExtractor directly.
+  std::optional<std::vector<int>> trace_to(const Handle& target) const {
+    std::optional<Trace> trace =
+        BasicWitnessExtractor<Backend>(ctx_, reached_).trace_to(target);
+    if (!trace) return std::nullopt;
+    return std::move(trace->transitions);
+  }
 
   /// Convenience: a BFS-shortest trace to a reachable deadlock, if any
   /// exists. Same determinism guarantee as trace_to.
-  std::optional<std::vector<int>> deadlock_trace() const;
+  std::optional<std::vector<int>> deadlock_trace() const {
+    std::optional<Trace> trace =
+        BasicWitnessExtractor<Backend>(ctx_, reached_).deadlock_witness();
+    if (!trace) return std::nullopt;
+    return std::move(trace->transitions);
+  }
 
  private:
-  SymbolicContext& ctx_;
-  bdd::Bdd reached_;
+  Context& ctx_;
+  Handle reached_;
 };
+
+/// The BDD instantiation — the original Analyzer, behavior-identical.
+using Analyzer = BasicAnalyzer<BddBackend>;
+/// The ZDD instantiation.
+using ZddAnalyzer = BasicAnalyzer<ZddBackend>;
+
+extern template class BasicAnalyzer<BddBackend>;
+extern template class BasicAnalyzer<ZddBackend>;
 
 }  // namespace pnenc::symbolic

@@ -1,0 +1,107 @@
+#include "symbolic/backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnenc::symbolic {
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kBdd: return "bdd";
+    case BackendKind::kZdd: return "zdd";
+  }
+  return "?";
+}
+
+BackendKind parse_backend(const std::string& name) {
+  if (name == "bdd") return BackendKind::kBdd;
+  if (name == "zdd") return BackendKind::kZdd;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected bdd or zdd)");
+}
+
+SparsityStats sparsity_stats(const petri::Net& net) {
+  SparsityStats s;
+  s.places = net.num_places();
+  s.transitions = net.num_transitions();
+  if (s.places > 0) {
+    s.marked_fraction =
+        static_cast<double>(net.initial_marking().token_count()) /
+        static_cast<double>(s.places);
+  }
+  double sum_width = 0.0;
+  for (std::size_t t = 0; t < s.transitions; ++t) {
+    const auto& pre = net.preset(static_cast<int>(t));
+    const auto& post = net.postset(static_cast<int>(t));
+    std::size_t changed = 0;
+    for (int p : pre) {
+      if (std::find(post.begin(), post.end(), p) == post.end()) ++changed;
+    }
+    for (int p : post) {
+      if (std::find(pre.begin(), pre.end(), p) == pre.end()) ++changed;
+    }
+    sum_width += static_cast<double>(changed);
+  }
+  if (s.transitions > 0) {
+    s.mean_changed_width = sum_width / static_cast<double>(s.transitions);
+  }
+  return s;
+}
+
+BackendKind choose_backend(const SparsityStats& s) {
+  // Zero-suppression pays when most places are unmarked in most markings
+  // (proxy: the initial fraction, which safe-net firings roughly preserve)
+  // AND the net is wide enough that the suppressed variables dominate the
+  // diagram. Small or dense nets stay on the BDD path, whose logarithmic
+  // marking encodings are the paper's own contribution.
+  constexpr double kMaxMarkedFraction = 0.25;
+  constexpr std::size_t kMinPlaces = 24;
+  if (s.places >= kMinPlaces && s.marked_fraction <= kMaxMarkedFraction) {
+    return BackendKind::kZdd;
+  }
+  return BackendKind::kBdd;
+}
+
+BackendKind choose_backend(const petri::Net& net) {
+  return choose_backend(sparsity_stats(net));
+}
+
+PartitionOptions autotune_zdd_options(const petri::Net& net) {
+  const std::size_t nt = net.num_transitions();
+  double sum_width = 0.0, sum_span = 0.0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const auto& pre = net.preset(static_cast<int>(t));
+    const auto& post = net.postset(static_cast<int>(t));
+    std::vector<int> changed;
+    for (int p : pre) {
+      if (std::find(post.begin(), post.end(), p) == post.end()) {
+        changed.push_back(p);
+      }
+    }
+    for (int p : post) {
+      if (std::find(pre.begin(), pre.end(), p) == pre.end()) {
+        changed.push_back(p);
+      }
+    }
+    sum_width += static_cast<double>(changed.size());
+    if (!changed.empty()) {
+      auto [mn, mx] = std::minmax_element(changed.begin(), changed.end());
+      sum_span += static_cast<double>(*mx - *mn + 1);
+    }
+  }
+  const double avg_width = nt ? sum_width / static_cast<double>(nt) : 0.0;
+  const double avg_span = nt ? sum_span / static_cast<double>(nt) : 0.0;
+
+  auto clamp_sz = [](double v, std::size_t lo, std::size_t hi) {
+    if (v < static_cast<double>(lo)) return lo;
+    if (v > static_cast<double>(hi)) return hi;
+    return static_cast<std::size_t>(v);
+  };
+
+  PartitionOptions opts;  // node_cap stays at its default, unused here
+  opts.var_cap = clamp_sz(std::max(3.0 * avg_width, avg_span), 8, 28);
+  opts.schedule = ScheduleKind::kEarly;
+  return opts;
+}
+
+}  // namespace pnenc::symbolic

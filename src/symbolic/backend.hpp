@@ -1,0 +1,234 @@
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_context.hpp"
+
+namespace pnenc::symbolic {
+
+/// Which decision-diagram backend a traversal/analysis stack runs on. See
+/// docs/ARCHITECTURE.md ("Backend abstraction") for the decision guide.
+enum class BackendKind {
+  kBdd,  ///< dense marking encodings over a BddManager (SymbolicContext)
+  kZdd,  ///< sparse one-var-per-place families over a ZddManager (ZddContext)
+};
+
+/// "bdd" / "zdd" — the CLI spelling.
+[[nodiscard]] const char* backend_name(BackendKind k);
+/// Parses the CLI spelling; throws std::invalid_argument on anything else.
+[[nodiscard]] BackendKind parse_backend(const std::string& name);
+
+/// Cheap structural statistics driving the backend chooser: everything is
+/// O(net size) arithmetic over the net description — no diagram is built to
+/// decide which diagram to build.
+struct SparsityStats {
+  std::size_t places = 0;
+  std::size_t transitions = 0;
+  /// |M0| / places — the fraction of places marked initially. Safe nets
+  /// roughly preserve token count (transitions here consume and produce a
+  /// handful), so this is a proxy for how sparse every reachable marking
+  /// is, which is exactly what zero-suppression pays for.
+  double marked_fraction = 0.0;
+  /// Mean |•t Δ t•| — how many places an average firing changes. Wide
+  /// changed-sets make the subset/change pipelines churn more of the ZDD.
+  double mean_changed_width = 0.0;
+};
+[[nodiscard]] SparsityStats sparsity_stats(const petri::Net& net);
+
+/// Backend decision guide, as a function: ZDDs win when markings are sparse
+/// sets over many places (most variables zero-suppressed away on every
+/// path) — concretely, when at most a quarter of the places are marked and
+/// the net is wide enough (>= 24 places) for suppression to matter. Dense
+/// or small nets stay on the BDD path, whose logarithmic marking encodings
+/// are the paper's own contribution. `pnanalyze --backend auto` is this
+/// function verbatim.
+[[nodiscard]] BackendKind choose_backend(const SparsityStats& s);
+[[nodiscard]] BackendKind choose_backend(const petri::Net& net);
+
+/// Picks ZDD PartitionOptions from the same style of structural statistics
+/// as autotune_options (partition.hpp) does for the BDD partition: the
+/// var cap absorbs roughly three average transitions' worth of changed
+/// places, or one average changed-place span, whichever is wider. node_cap
+/// is carried at its default but unused (the ZDD partition materializes no
+/// relation to cap).
+[[nodiscard]] PartitionOptions autotune_zdd_options(const petri::Net& net);
+
+// ---------------------------------------------------------------------------
+// DdBackend instantiations
+// ---------------------------------------------------------------------------
+//
+// A backend bundles a Context (net + manager + traversal machinery) and a
+// Handle (a set of markings) with the small set of static operations whose
+// spelling genuinely differs between the diagram kinds. Everything else the
+// generic layers (BasicCtlChecker, BasicWitnessExtractor, BasicAnalyzer,
+// BasicQueryEngine) need is duck-typed directly off the Context — both
+// SymbolicContext and ZddContext expose initial(), reached_set(),
+// set_reached(), reachability(), count_markings(), deadlocks(),
+// preimage_best()/preimage_all(), partition() and the partition-options
+// plumbing under identical names — and off the Handle (operator&, operator|,
+// operator==). The statics cover the seams:
+//
+//   empty/diff        Bdd spells them is_false()/diff(); Zdd is_empty()/−.
+//   contains          BDD evaluates the encoding; ZDD walks set membership.
+//   enabled/marked    BDD conjoins characteristic functions; ZDD runs
+//                     onset filter chains (no unrestricted characteristic
+//                     function exists for a family).
+//   ensure_reached    the traversal-method decision guide per backend.
+//   has_partition_backward  whether preimage_best is the scheduled
+//                     partition sweep (always for ZDD; only with next-state
+//                     variables for BDD) — gates EF/can_reach chaining and
+//                     the Debug witness-ring cross-check.
+//   make_shard        the manager-per-shard worker prologue: construct a
+//                     private context mirroring the planner's configuration
+//                     and adopt the reached set by structural import.
+
+struct BddBackend {
+  using Context = SymbolicContext;
+  using Handle = bdd::Bdd;
+  static constexpr BackendKind kKind = BackendKind::kBdd;
+  static const char* name() { return "bdd"; }
+
+  static bool empty(const Handle& h) { return h.is_false(); }
+  static Handle diff(const Handle& a, const Handle& b) { return a.diff(b); }
+
+  static bool contains(Context& ctx, const Handle& set,
+                       const petri::Marking& m) {
+    std::vector<bool> bits = ctx.enc().encode(m);
+    std::vector<bool> assignment(ctx.manager().num_vars(), false);
+    for (int i = 0; i < ctx.enc().num_vars(); ++i) {
+      assignment[ctx.pvar(i)] = bits[i];
+    }
+    return ctx.manager().eval(set, assignment);
+  }
+
+  static Handle enabled_states(Context& ctx, const Handle& set, int t) {
+    return set & ctx.enabling(t);
+  }
+  static Handle marked_states(Context& ctx, const Handle& set, int p) {
+    return set & ctx.place_char(p);
+  }
+
+  static bool has_partition_backward(Context& ctx) {
+    return ctx.has_next_vars();
+  }
+
+  static void ensure_reached(Context& ctx) {
+    // Saturation over the clustered partition when next-state variables
+    // exist, chained direct images otherwise — the decision guide every
+    // BDD analysis layer applies.
+    if (!ctx.reached_set().is_valid()) {
+      ctx.reachability(ctx.has_next_vars() ? ImageMethod::kSaturation
+                                           : ImageMethod::kChainedDirect);
+    }
+  }
+
+  static std::unique_ptr<Context> make_shard(Context& ctx) {
+    // Shards mirror the planner's configuration wholesale, so a future
+    // SymbolicOptions field cannot silently diverge between them.
+    auto sctx = std::make_unique<Context>(ctx.net(), ctx.enc(), ctx.options());
+    // Inherit the planning manager's current variable order before
+    // importing anything: the forward traversal typically sifted its way to
+    // an order in which the reached set is compact, and importing into a
+    // fresh default-ordered manager would rebuild the set in exactly the
+    // order the planner escaped (on phil-N improved that is orders of
+    // magnitude larger — the §6.1 pathology).
+    bdd::BddManager& planner = ctx.manager();
+    std::vector<int> level2var(planner.num_vars());
+    for (int l = 0; l < planner.num_vars(); ++l) {
+      level2var[l] = planner.var_at_level(l);
+    }
+    sctx->manager().set_var_order(level2var);
+    sctx->set_partition_options(ctx.partition_options());
+    sctx->set_reached(sctx->manager().import_bdd(ctx.reached_set()));
+    return sctx;
+  }
+};
+
+struct ZddBackend {
+  using Context = ZddContext;
+  using Handle = zdd::Zdd;
+  static constexpr BackendKind kKind = BackendKind::kZdd;
+  static const char* name() { return "zdd"; }
+
+  static bool empty(const Handle& h) { return h.is_empty(); }
+  static Handle diff(const Handle& a, const Handle& b) { return a - b; }
+
+  static bool contains(Context& ctx, const Handle& set,
+                       const petri::Marking& m) {
+    return ctx.contains(set, m);
+  }
+
+  static Handle enabled_states(Context& ctx, const Handle& set, int t) {
+    return ctx.enabled_states(set, t);
+  }
+  static Handle marked_states(Context& ctx, const Handle& set, int p) {
+    return ctx.marked_states(set, p);
+  }
+
+  /// The ZDD preimage is always the scheduled partition sweep — no
+  /// next-state variables exist or are needed (preimages are subset/change
+  /// algebra over the same variables).
+  static bool has_partition_backward(Context&) { return true; }
+
+  static void ensure_reached(Context& ctx) {
+    if (!ctx.reached_set().is_valid()) {
+      ctx.reachability(ImageMethod::kSaturation);
+    }
+  }
+
+  static std::unique_ptr<Context> make_shard(Context& ctx) {
+    // No variable order to inherit: the ZDD order is fixed (var == level),
+    // which is also why import_zdd is a raw structural copy.
+    auto sctx = std::make_unique<Context>(ctx.net());
+    sctx->set_partition_options(ctx.partition_options());
+    sctx->set_reached(sctx->manager().import_zdd(ctx.reached_set()));
+    return sctx;
+  }
+};
+
+/// The concept the generic layers are written against. Deliberately names
+/// both halves of the contract: the backend statics and the duck-typed
+/// Context/Handle surface they compose with.
+template <class B>
+concept DdBackend = requires(typename B::Context& ctx,
+                             const typename B::Handle& h,
+                             const petri::Marking& m, int i) {
+  typename B::Context;
+  typename B::Handle;
+  { B::kKind } -> std::convertible_to<BackendKind>;
+  { B::name() } -> std::convertible_to<const char*>;
+  { B::empty(h) } -> std::convertible_to<bool>;
+  { B::diff(h, h) } -> std::same_as<typename B::Handle>;
+  { B::contains(ctx, h, m) } -> std::convertible_to<bool>;
+  { B::enabled_states(ctx, h, i) } -> std::same_as<typename B::Handle>;
+  { B::marked_states(ctx, h, i) } -> std::same_as<typename B::Handle>;
+  { B::has_partition_backward(ctx) } -> std::convertible_to<bool>;
+  { B::ensure_reached(ctx) };
+  { B::make_shard(ctx) } -> std::same_as<std::unique_ptr<typename B::Context>>;
+  // Duck-typed Context surface shared by SymbolicContext and ZddContext.
+  { ctx.net() } -> std::convertible_to<const petri::Net&>;
+  { ctx.initial() } -> std::same_as<typename B::Handle>;
+  { ctx.reached_set() } -> std::convertible_to<typename B::Handle>;
+  { ctx.count_markings(h) } -> std::convertible_to<double>;
+  { ctx.deadlocks(h) } -> std::same_as<typename B::Handle>;
+  { ctx.preimage_best(h) } -> std::same_as<typename B::Handle>;
+  { ctx.preimage_all(h) } -> std::same_as<typename B::Handle>;
+  { ctx.partition().backward_closure(h, h) } -> std::same_as<typename B::Handle>;
+  { ctx.reachability(ImageMethod::kSaturation) };
+  { ctx.partition_options() } -> std::convertible_to<PartitionOptions>;
+  // Duck-typed Handle surface.
+  { h& h } -> std::same_as<typename B::Handle>;
+  { h | h } -> std::same_as<typename B::Handle>;
+  { h == h } -> std::convertible_to<bool>;
+  { h.is_valid() } -> std::convertible_to<bool>;
+};
+
+static_assert(DdBackend<BddBackend>);
+static_assert(DdBackend<ZddBackend>);
+
+}  // namespace pnenc::symbolic

@@ -2,72 +2,10 @@
 
 namespace pnenc::symbolic {
 
-using bdd::Bdd;
-
-CtlChecker::CtlChecker(SymbolicContext& ctx) : ctx_(ctx) {
-  // Forward traversal by saturation when next-state variables exist (see
-  // ImageMethod::kSaturation); the backward fixpoints below (EF/EX/EU/EG)
-  // fall back to chained preimage sweeps over the same partition.
-  if (!ctx.reached_set().is_valid()) {
-    ctx.reachability(ctx.has_next_vars() ? ImageMethod::kSaturation
-                                         : ImageMethod::kChainedDirect);
-  }
-  reached_ = ctx.reached_set();
-  deadlocked_ = ctx.deadlocks(reached_);
-}
-
-Bdd CtlChecker::states(const Bdd& f) const { return reached_ & f; }
-
-Bdd CtlChecker::ex(const Bdd& f) const {
-  return reached_ & ctx_.preimage_best(f & reached_);
-}
-
-Bdd CtlChecker::ef(const Bdd& f) const {
-  Bdd acc = states(f);
-  if (ctx_.has_next_vars()) {
-    // EF is a plain backward closure, so it can ride the scheduled chained
-    // sweep. EU/EG stay on single EX steps: their fixpoints restrict to
-    // f-states between steps, which chaining would skip past.
-    return ctx_.partition().backward_closure(acc, reached_);
-  }
-  for (;;) {
-    Bdd next = acc | ex(acc);
-    if (next == acc) return acc;
-    acc = next;
-  }
-}
-
-Bdd CtlChecker::eg(const Bdd& f) const {
-  Bdd ff = states(f);
-  // Deadlocked f-states satisfy EG f (maximal paths that end there).
-  Bdd acc = ff;
-  for (;;) {
-    Bdd next = ff & (ex(acc) | deadlocked_);
-    if (next == acc) return acc;
-    acc = next;
-  }
-}
-
-Bdd CtlChecker::ag(const Bdd& f) const {
-  return reached_.diff(ef(reached_.diff(f)));
-}
-
-Bdd CtlChecker::af(const Bdd& f) const {
-  return reached_.diff(eg(reached_.diff(f)));
-}
-
-Bdd CtlChecker::eu(const Bdd& f, const Bdd& g) const {
-  Bdd ff = states(f);
-  Bdd acc = states(g);
-  for (;;) {
-    Bdd next = acc | (ff & ex(acc));
-    if (next == acc) return acc;
-    acc = next;
-  }
-}
-
-bool CtlChecker::holds_initially(const Bdd& f) const {
-  return !(ctx_.initial() & f).is_false();
-}
+// The checker is a header template over the DdBackend concept; the two
+// shipped backends are instantiated once here so every client TU links
+// against these definitions instead of re-instantiating the fixpoint code.
+template class BasicCtlChecker<BddBackend>;
+template class BasicCtlChecker<ZddBackend>;
 
 }  // namespace pnenc::symbolic

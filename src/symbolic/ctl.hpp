@@ -1,24 +1,42 @@
 #pragma once
 
-#include "symbolic/symbolic.hpp"
+#include "symbolic/backend.hpp"
 
 namespace pnenc::symbolic {
 
-/// Minimal CTL model checker over a SymbolicContext, in the style the paper's
-/// framework is used for asynchronous-circuit verification [17]: properties
-/// are boolean combinations of place characteristic functions; temporal
-/// operators are fixpoints over the (pre-)image machinery.
+/// Minimal CTL model checker, in the style the paper's framework is used
+/// for asynchronous-circuit verification [17]: properties are boolean
+/// combinations of place predicates; temporal operators are fixpoints over
+/// the backend's (pre-)image machinery. Generic over the DdBackend concept
+/// (backend.hpp): the same fixpoint code checks formulas over a BDD
+/// SymbolicContext or a ZDD ZddContext, and the cross-backend differential
+/// suite holds the two to identical answers.
 ///
 /// All operators work relative to the reachable set computed once at
-/// construction (states outside [M0⟩ are ignored).
-class CtlChecker {
+/// construction (states outside [M0⟩ are ignored). With the ZDD backend
+/// every predicate handle is already within-reach by construction (see
+/// compile_predicate's ZDD overload) — the operators below only ever
+/// intersect with reach, so that invariant is preserved.
+template <class Backend>
+  requires DdBackend<Backend>
+class BasicCtlChecker {
  public:
-  explicit CtlChecker(SymbolicContext& ctx);
+  using Context = typename Backend::Context;
+  using Handle = typename Backend::Handle;
 
-  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+  explicit BasicCtlChecker(Context& ctx) : ctx_(ctx) {
+    // Forward traversal by the backend's decision guide (saturation when
+    // the clustered partition is available); the backward fixpoints below
+    // (EF/EX/EU/EG) run chained preimage sweeps over the same partition.
+    Backend::ensure_reached(ctx);
+    reached_ = ctx.reached_set();
+    deadlocked_ = ctx.deadlocks(reached_);
+  }
+
+  [[nodiscard]] const Handle& reached() const { return reached_; }
   /// Reachable markings with no enabled transition (computed once at
   /// construction; also the EG operator's maximal-path base case).
-  [[nodiscard]] const bdd::Bdd& deadlocked() const { return deadlocked_; }
+  [[nodiscard]] const Handle& deadlocked() const { return deadlocked_; }
 
   // Every operator below is const: after the constructor has computed the
   // reachable and deadlocked sets, evaluating a formula never mutates the
@@ -27,28 +45,81 @@ class CtlChecker {
   // therefore own their contexts exclusively.)
 
   /// States (within reach) satisfying f.
-  bdd::Bdd states(const bdd::Bdd& f) const;
+  Handle states(const Handle& f) const { return reached_ & f; }
+
   /// EX f: states with a successor in f.
-  bdd::Bdd ex(const bdd::Bdd& f) const;
+  Handle ex(const Handle& f) const {
+    return reached_ & ctx_.preimage_best(f & reached_);
+  }
+
   /// EF f: least fixpoint — states that can reach f.
-  bdd::Bdd ef(const bdd::Bdd& f) const;
+  Handle ef(const Handle& f) const {
+    Handle acc = states(f);
+    if (Backend::has_partition_backward(ctx_)) {
+      // EF is a plain backward closure, so it can ride the scheduled
+      // chained sweep. EU/EG stay on single EX steps: their fixpoints
+      // restrict to f-states between steps, which chaining would skip past.
+      return ctx_.partition().backward_closure(acc, reached_);
+    }
+    for (;;) {
+      Handle next = acc | ex(acc);
+      if (next == acc) return acc;
+      acc = next;
+    }
+  }
+
   /// EG f: greatest fixpoint — states with an infinite (or deadlocked)
-  /// f-path; deadlocked f-states count as EG f holds (no successor escapes).
-  bdd::Bdd eg(const bdd::Bdd& f) const;
-  /// AG f = ¬EF ¬f.
-  bdd::Bdd ag(const bdd::Bdd& f) const;
-  /// AF f = ¬EG ¬f.
-  bdd::Bdd af(const bdd::Bdd& f) const;
+  /// f-path; deadlocked f-states count as EG f holds (no successor
+  /// escapes).
+  Handle eg(const Handle& f) const {
+    Handle ff = states(f);
+    // Deadlocked f-states satisfy EG f (maximal paths that end there).
+    Handle acc = ff;
+    for (;;) {
+      Handle next = ff & (ex(acc) | deadlocked_);
+      if (next == acc) return acc;
+      acc = next;
+    }
+  }
+
+  /// AG f = ¬EF ¬f (complement within reach).
+  Handle ag(const Handle& f) const {
+    return Backend::diff(reached_, ef(Backend::diff(reached_, f)));
+  }
+
+  /// AF f = ¬EG ¬f (complement within reach).
+  Handle af(const Handle& f) const {
+    return Backend::diff(reached_, eg(Backend::diff(reached_, f)));
+  }
+
   /// E[f U g].
-  bdd::Bdd eu(const bdd::Bdd& f, const bdd::Bdd& g) const;
+  Handle eu(const Handle& f, const Handle& g) const {
+    Handle ff = states(f);
+    Handle acc = states(g);
+    for (;;) {
+      Handle next = acc | (ff & ex(acc));
+      if (next == acc) return acc;
+      acc = next;
+    }
+  }
 
   /// True iff the initial marking satisfies f.
-  bool holds_initially(const bdd::Bdd& f) const;
+  bool holds_initially(const Handle& f) const {
+    return !Backend::empty(ctx_.initial() & f);
+  }
 
  private:
-  SymbolicContext& ctx_;
-  bdd::Bdd reached_;
-  bdd::Bdd deadlocked_;
+  Context& ctx_;
+  Handle reached_;
+  Handle deadlocked_;
 };
+
+/// The BDD instantiation — the original CtlChecker, bit-identical behavior.
+using CtlChecker = BasicCtlChecker<BddBackend>;
+/// The ZDD instantiation.
+using ZddCtlChecker = BasicCtlChecker<ZddBackend>;
+
+extern template class BasicCtlChecker<BddBackend>;
+extern template class BasicCtlChecker<ZddBackend>;
 
 }  // namespace pnenc::symbolic

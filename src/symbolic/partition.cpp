@@ -183,89 +183,23 @@ RelationPartition::Cluster RelationPartition::build_cluster(
 // Quantification schedule
 // ---------------------------------------------------------------------------
 
+std::vector<std::vector<int>> RelationPartition::psupports() const {
+  std::vector<std::vector<int>> supports;
+  supports.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) supports.push_back(c.psupport);
+  return supports;
+}
+
 std::vector<std::size_t> RelationPartition::affinity_order() const {
-  const std::size_t k = clusters_.size();
-  const std::size_t nv = static_cast<std::size_t>(ctx_.enc().num_vars());
-
-  // remaining[v]: how many unscheduled clusters still support v. A variable
-  // retires when this hits zero — the greedy tries to drive counts to zero
-  // as early as possible while opening as few new variables as it can.
-  std::vector<int> remaining(nv, 0);
-  for (const Cluster& c : clusters_) {
-    for (int v : c.psupport) ++remaining[v];
-  }
-
-  std::vector<char> scheduled(k, 0), opened(nv, 0);
-  std::vector<std::size_t> order;
-  order.reserve(k);
-  const std::vector<int>* prev_supp = nullptr;
-  for (std::size_t step = 0; step < k; ++step) {
-    std::size_t best = k;
-    long best_score = 0;
-    std::size_t best_overlap = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      if (scheduled[c]) continue;
-      long opens = 0, closes = 0;
-      std::size_t overlap = 0;
-      for (int v : clusters_[c].psupport) {
-        if (!opened[v]) ++opens;
-        if (remaining[v] == 1) ++closes;
-      }
-      if (prev_supp) {
-        // |psupport(c) ∩ psupport(previous)| — both sorted.
-        auto it = prev_supp->begin();
-        for (int v : clusters_[c].psupport) {
-          while (it != prev_supp->end() && *it < v) ++it;
-          if (it != prev_supp->end() && *it == v) ++overlap;
-        }
-      }
-      long score = opens - closes;  // lower = keeps fewer variables alive
-      if (best == k || score < best_score ||
-          (score == best_score && overlap > best_overlap)) {
-        best = c;
-        best_score = score;
-        best_overlap = overlap;
-      }
-    }
-    scheduled[best] = 1;
-    order.push_back(best);
-    for (int v : clusters_[best].psupport) {
-      opened[v] = 1;
-      --remaining[v];
-    }
-    prev_supp = &clusters_[best].psupport;
-  }
-  return order;
+  return affinity_schedule(psupports(),
+                           static_cast<std::size_t>(ctx_.enc().num_vars()));
 }
 
 void RelationPartition::rebuild_retirement() {
-  const std::size_t k = order_.size();
-  const std::size_t nv = static_cast<std::size_t>(ctx_.enc().num_vars());
-  std::vector<int> remaining(nv, 0);
-  for (const Cluster& c : clusters_) {
-    for (int v : c.psupport) ++remaining[v];
-  }
-  std::vector<int> open_step(nv, -1);
-
-  retired_.assign(k, {});
-  stats_ = ScheduleStats{};
-  stats_.length = k;
-  std::size_t live = 0;
-  for (std::size_t step = 0; step < k; ++step) {
-    const Cluster& c = clusters_[order_[step]];
-    for (int v : c.psupport) {
-      if (open_step[v] < 0) {
-        open_step[v] = static_cast<int>(step);
-        ++live;
-      }
-      if (--remaining[v] == 0) {
-        retired_[step].push_back(v);
-        stats_.total_lifetime += step - static_cast<std::size_t>(open_step[v]) + 1;
-      }
-    }
-    stats_.peak_live_vars = std::max(stats_.peak_live_vars, live);
-    live -= retired_[step].size();
-  }
+  RetirementPlan plan = build_retirement(
+      psupports(), order_, static_cast<std::size_t>(ctx_.enc().num_vars()));
+  retired_ = std::move(plan.retired);
+  stats_ = plan.stats;
 }
 
 void RelationPartition::set_schedule(ScheduleKind kind) {
@@ -281,16 +215,7 @@ void RelationPartition::set_schedule(ScheduleKind kind) {
 }
 
 void RelationPartition::set_schedule_order(std::vector<std::size_t> order) {
-  if (order.size() != clusters_.size()) {
-    throw std::invalid_argument("schedule order must cover every cluster");
-  }
-  std::vector<char> seen(clusters_.size(), 0);
-  for (std::size_t c : order) {
-    if (c >= clusters_.size() || seen[c]) {
-      throw std::invalid_argument("schedule order must be a permutation");
-    }
-    seen[c] = 1;
-  }
+  validate_schedule_order(order, clusters_.size());
   order_ = std::move(order);
   custom_order_ = true;
   rebuild_retirement();
@@ -314,6 +239,7 @@ void RelationPartition::build_sat_levels() {
   // preserve node identity/function, so a frozen grouping stays correct (any
   // grouping yields the same least fixpoint; only the speed profile ages).
   std::vector<int> top_of(k, -1);
+  std::vector<int> depth_of(k, mgr.num_vars());  // support-free: deepest
   for (std::size_t c = 0; c < k; ++c) {
     int best_level = -1;
     for (int v : clusters_[c].psupport) {
@@ -323,85 +249,34 @@ void RelationPartition::build_sat_levels() {
         top_of[c] = v;
       }
     }
+    if (best_level >= 0) depth_of[c] = best_level;
   }
 
-  // One group per distinct top variable, ordered bottom-up: the group whose
-  // top variable sits deepest (largest level) saturates first.
-  std::vector<std::size_t> by_depth(k);
-  std::iota(by_depth.begin(), by_depth.end(), std::size_t{0});
-  auto depth = [&](std::size_t c) {
-    return top_of[c] < 0 ? mgr.num_vars()  // support-free: deepest group
-                         : mgr.level_of_var(ctx_.pvar(top_of[c]));
-  };
-  std::stable_sort(by_depth.begin(), by_depth.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return depth(a) > depth(b);
-                   });
-
-  sat_levels_.clear();
-  for (std::size_t c : by_depth) {
-    if (sat_levels_.empty() || sat_levels_.back().top_var != top_of[c]) {
-      sat_levels_.push_back(SatLevel{top_of[c], {}});
-    }
-    sat_levels_.back().clusters.push_back(c);
-  }
+  sat_levels_ = build_sat_level_groups(top_of, depth_of);
   sat_memo_base_ = mgr.memo_reserve(sat_levels_.size());
 }
 
 Bdd RelationPartition::saturate(const Bdd& from) {
-  sat_stats_ = SaturationStats{};
-  sat_stats_.levels = sat_levels_.size();
-  if (sat_levels_.empty()) return from;
-  BddManager& mgr = ctx_.manager();
-  Bdd out = saturate_level(sat_levels_.size() - 1, from);
-
-  // Memoize only what can pay off later: the top-level answer (a repeated
-  // saturate() from the same seed is a table hit) and the fixpoint's
-  // identity at every level (the result is closed under all of them).
-  // Intra-run inputs grow strictly monotonically and therefore never
-  // repeat, so per-call entries would only pin dead frontier DAGs — the
-  // sweep writes nothing while it runs (see saturate_level).
-  mgr.memo_release(sat_memo_base_, sat_levels_.size());
-  mgr.memo_put(sat_memo_base_ + sat_levels_.size() - 1, from, out);
-  for (std::size_t lvl = 0; lvl < sat_levels_.size(); ++lvl) {
-    mgr.memo_put(sat_memo_base_ + lvl, out, out);
-  }
-  return out;
-}
-
-Bdd RelationPartition::saturate_level(std::size_t lvl, Bdd s) {
-  BddManager& mgr = ctx_.manager();
-  // Hits come from the entries the previous saturate() call kept: the
-  // seed's answer at the top level and the fixpoint identity at every one.
-  ++sat_stats_.memo_lookups;
-  Bdd out;
-  if (mgr.memo_get(sat_memo_base_ + lvl, s, out)) {
-    ++sat_stats_.memo_hits;
-    return out;
-  }
-
-  // Establish the invariant for the recursion: s closed under all deeper
-  // groups before this group fires at all.
-  if (lvl > 0) s = saturate_level(lvl - 1, s);
-
-  // Apply each cluster of the group to its own fixpoint (chaining within the
-  // cluster); whenever it adds states, the deeper groups may have been
-  // disturbed — re-saturate them before continuing. Passes repeat until the
-  // whole group is stable.
-  for (bool grew = true; grew;) {
-    grew = false;
-    for (std::size_t c : sat_levels_[lvl].clusters) {
-      for (;;) {
-        Bdd next = s | image_cluster(clusters_[c], s);
-        ++sat_stats_.applications;
-        if (next == s) break;
-        s = lvl > 0 ? saturate_level(lvl - 1, next) : std::move(next);
-        grew = true;
-      }
+  // The fixpoint control flow is the generic engine in schedule_core.hpp;
+  // this driver binds it to the BDD clusters and the manager's client memo.
+  struct Driver {
+    RelationPartition& p;
+    Bdd image_cluster(std::size_t c, const Bdd& s) {
+      return p.image_cluster(p.clusters_[c], s);
     }
-    mgr.maybe_reorder();
-  }
-  return s;
+    Bdd unite(const Bdd& a, const Bdd& b) { return a | b; }
+    bool memo_get(std::size_t lvl, const Bdd& key, Bdd& out) {
+      return p.ctx_.manager().memo_get(p.sat_memo_base_ + lvl, key, out);
+    }
+    void memo_put(std::size_t lvl, const Bdd& key, const Bdd& r) {
+      p.ctx_.manager().memo_put(p.sat_memo_base_ + lvl, key, r);
+    }
+    void memo_reset() {
+      p.ctx_.manager().memo_release(p.sat_memo_base_, p.sat_levels_.size());
+    }
+    void tick() { p.ctx_.manager().maybe_reorder(); }
+  } driver{*this};
+  return saturate_levels(driver, sat_levels_, from, sat_stats_);
 }
 
 // ---------------------------------------------------------------------------

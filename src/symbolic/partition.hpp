@@ -5,58 +5,16 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "symbolic/schedule_core.hpp"
 
 namespace pnenc::symbolic {
 
 class SymbolicContext;
 
-/// How the quantification scheduler orders clusters within a sweep.
-enum class ScheduleKind {
-  /// Build order: transitions sorted by first changed variable (the seed
-  /// heuristic). Predictable, but interleaves unrelated components.
-  kNaive,
-  /// Cluster-affinity order (IWLS95-style): greedily minimize the lifetime
-  /// of present-state variables across the sweep, so each variable's last
-  /// supporting cluster — the point after which it is *retired* and may
-  /// never be quantified again — comes as early as possible.
-  kEarly,
-};
-
-/// Knobs for the clustering heuristic and sweep schedule. A cluster closes
-/// as soon as adding the next transition would push the disjoined relation
-/// past `node_cap` BDD nodes or the cluster's changed-variable union past
-/// `var_cap`.
-struct PartitionOptions {
-  std::size_t node_cap = 512;
-  std::size_t var_cap = 12;
-  ScheduleKind schedule = ScheduleKind::kEarly;
-};
-
-/// Aggregate measures of a cluster schedule, used by `pnanalyze --stats` and
-/// the scheduler tests. Lower lifetime / peak-live numbers mean present
-/// variables drop out of the sweep earlier.
-struct ScheduleStats {
-  /// Number of sweep steps (== number of clusters).
-  std::size_t length = 0;
-  /// Σ over present variables of (retire step − open step + 1).
-  std::size_t total_lifetime = 0;
-  /// Maximum number of present variables live (opened, not yet retired) at
-  /// any single step of the sweep.
-  std::size_t peak_live_vars = 0;
-};
-
-/// Counters describing the last RelationPartition::saturate call — the
-/// saturation analogue of ScheduleStats, surfaced by `pnanalyze --stats`.
-struct SaturationStats {
-  /// Number of saturation level groups (distinct topmost present variables).
-  std::size_t levels = 0;
-  /// Cluster image applications performed (the saturation work metric; a
-  /// chained sweep costs num_clusters applications per sweep).
-  std::size_t applications = 0;
-  /// Per-level memo probes and hits in the manager's client memo.
-  std::size_t memo_lookups = 0;
-  std::size_t memo_hits = 0;
-};
+// ScheduleKind, PartitionOptions, ScheduleStats, SaturationStats and the
+// scheduling/saturation control logic itself live in schedule_core.hpp —
+// they are backend-neutral and shared with the ZDD partition
+// (zdd_context.hpp). This header adds the BDD-specific clustered relation.
 
 /// Picks PartitionOptions caps for a net from cheap structural statistics
 /// (transition count, changed-variable width and span) — no BDD operations
@@ -233,27 +191,20 @@ class RelationPartition {
     std::vector<int> p_to_q;   // rename map applied to the preimage operand
   };
 
-  /// A saturation level group: every cluster whose topmost (root-most at
-  /// build time) present-state variable is `top_var`.
-  struct SatLevel {
-    int top_var = -1;
-    std::vector<std::size_t> clusters;
-  };
-
   Cluster build_cluster(const std::vector<int>& members) const;
   /// Builds `members` as one cluster, splitting in half recursively while the
   /// relation exceeds the node cap (a singleton always stands).
   void emit_clusters(const std::vector<int>& members);
   [[nodiscard]] bdd::Bdd image_cluster(const Cluster& c, const bdd::Bdd& from);
   [[nodiscard]] bdd::Bdd preimage_cluster(const Cluster& c, const bdd::Bdd& of);
-  /// Greedy affinity order minimizing present-variable lifetimes.
+  /// Greedy affinity order minimizing present-variable lifetimes
+  /// (delegates to affinity_schedule in schedule_core.hpp).
   [[nodiscard]] std::vector<std::size_t> affinity_order() const;
   /// Recomputes retired_ and stats_ for the current order_.
   void rebuild_retirement();
   /// Groups clusters into sat_levels_ (bottom-up) and reserves memo slots.
   void build_sat_levels();
-  /// Saturates `s` under every cluster in level groups 0..lvl (memoized).
-  [[nodiscard]] bdd::Bdd saturate_level(std::size_t lvl, bdd::Bdd s);
+  [[nodiscard]] std::vector<std::vector<int>> psupports() const;
 
   SymbolicContext& ctx_;
   PartitionOptions opts_;
@@ -262,7 +213,7 @@ class RelationPartition {
   std::vector<std::vector<int>> retired_; // per step: vars retired after it
   ScheduleStats stats_;
   bool custom_order_ = false;  // order_ came from set_schedule_order
-  std::vector<SatLevel> sat_levels_;  // level groups, deepest first
+  std::vector<SatLevelGroup> sat_levels_;  // level groups, deepest first
   std::uint64_t sat_memo_base_ = 0;   // manager memo slot for level 0
   SaturationStats sat_stats_;
 };

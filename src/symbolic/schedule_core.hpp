@@ -1,0 +1,339 @@
+#pragma once
+
+// Backend-neutral traversal control logic shared by the BDD and ZDD
+// partitions: cluster scheduling (affinity order + retirement bookkeeping)
+// is pure set arithmetic over present-support vectors, and the saturation
+// fixpoint is pure control flow over an abstract cluster-image driver —
+// neither touches a decision-diagram node, so both live here, templated or
+// plain, and the per-backend RelationPartition classes reduce to cluster
+// construction plus a thin driver. See docs/ARCHITECTURE.md ("Backend
+// abstraction").
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pnenc::symbolic {
+
+/// Image computation strategy for the traversal. Backend-neutral: the
+/// clustered/chained/saturation methods are meaningful for both the BDD
+/// (SymbolicContext) and ZDD (ZddContext) paths; kDirect and kPartitionedTr
+/// are tied to the BDD marking encoding and rejected by the ZDD context.
+enum class ImageMethod {
+  /// The paper's fast path: firing t drives every affected variable to a
+  /// constant (an SMC containing t always lands on the code of t's output
+  /// place), so Img_t(F) = ∃changed(F ∧ E_t) ∧ consts — no next-state
+  /// variables and no renaming. BDD only.
+  kDirect,
+  /// Classic disjunctively partitioned transition relations R_t(P,Q) (§2.3,
+  /// eq. 3) with relational-product image and Q→P renaming. BDD only.
+  kPartitionedTr,
+  /// Single monolithic step: one R(P,Q) = ∨_t R_t on the BDD path; the
+  /// seed's per-transition whole-set BFS on the ZDD path (the Table 4 [18]
+  /// baseline).
+  kMonolithicTr,
+  /// Clustered disjunctive relations with local frame axioms (see
+  /// partition.hpp / ZddRelationPartition) and per-cluster image;
+  /// frontier BFS.
+  kClusteredTr,
+  /// Clustered relations applied with chaining: each cluster's image feeds
+  /// the next cluster within the same sweep, so one "iteration" advances the
+  /// traversal by many levels (Roig/Pastor-style chained traversal).
+  kChainedTr,
+  /// Chaining over the direct constant-assignment images — no next-state
+  /// variables needed. The default for the analysis/CTL layers when the
+  /// BDD context was built without next vars; an alias of kChainedTr on the
+  /// ZDD path (which never has or needs next-state variables).
+  kChainedDirect,
+  /// Saturation (Ciardo et al.) over the clustered relations: clusters are
+  /// grouped by topmost present-state variable and each group is saturated
+  /// bottom-up — deep local subsystems converge to fixpoint (with memoized
+  /// per-level results) before root-ward clusters fire. The default forward
+  /// traversal for the analysis/CTL layers when next-state variables exist
+  /// (always, for ZDD); backward fixpoints fall back to chained sweeps
+  /// (preimage saturation would need reverse-closed level groups). See
+  /// RelationPartition::saturate and ZddRelationPartition::saturate.
+  kSaturation,
+};
+
+/// How the quantification scheduler orders clusters within a sweep.
+enum class ScheduleKind {
+  /// Build order: transitions sorted by first changed variable (the seed
+  /// heuristic). Predictable, but interleaves unrelated components.
+  kNaive,
+  /// Cluster-affinity order (IWLS95-style): greedily minimize the lifetime
+  /// of present-state variables across the sweep, so each variable's last
+  /// supporting cluster — the point after which it is *retired* and may
+  /// never be quantified again — comes as early as possible.
+  kEarly,
+};
+
+/// Knobs for the clustering heuristic and sweep schedule. A cluster closes
+/// as soon as adding the next transition would push the disjoined relation
+/// past `node_cap` BDD nodes or the cluster's changed-variable union past
+/// `var_cap`. (The ZDD partition has no materialized relation, so only
+/// `var_cap` applies there — see ZddRelationPartition.)
+struct PartitionOptions {
+  std::size_t node_cap = 512;
+  std::size_t var_cap = 12;
+  ScheduleKind schedule = ScheduleKind::kEarly;
+};
+
+/// Aggregate measures of a cluster schedule, used by `pnanalyze --stats` and
+/// the scheduler tests. Lower lifetime / peak-live numbers mean present
+/// variables drop out of the sweep earlier.
+struct ScheduleStats {
+  /// Number of sweep steps (== number of clusters).
+  std::size_t length = 0;
+  /// Σ over present variables of (retire step − open step + 1).
+  std::size_t total_lifetime = 0;
+  /// Maximum number of present variables live (opened, not yet retired) at
+  /// any single step of the sweep.
+  std::size_t peak_live_vars = 0;
+};
+
+/// Counters describing the last saturate() call — the saturation analogue of
+/// ScheduleStats, surfaced by `pnanalyze --stats`.
+struct SaturationStats {
+  /// Number of saturation level groups (distinct topmost present variables).
+  std::size_t levels = 0;
+  /// Cluster image applications performed (the saturation work metric; a
+  /// chained sweep costs num_clusters applications per sweep).
+  std::size_t applications = 0;
+  /// Per-level memo probes and hits in the manager's client memo.
+  std::size_t memo_lookups = 0;
+  std::size_t memo_hits = 0;
+};
+
+/// A saturation level group: every cluster whose topmost (root-most at
+/// build time) present-state variable is `top_var`. Groups are ordered
+/// deepest-first (group 0 saturates first).
+struct SatLevelGroup {
+  int top_var = -1;
+  std::vector<std::size_t> clusters;
+};
+
+/// Greedy affinity order (ScheduleKind::kEarly) over cluster present-state
+/// supports: each step picks the unscheduled cluster minimizing
+/// (newly-opened − retired) variables, breaking ties toward the largest
+/// support overlap with the previous step. `psupports[c]` must be sorted;
+/// `nv` is the variable universe size. Pure set arithmetic — identical for
+/// every backend, which is why the BDD and ZDD schedules over structurally
+/// equal clusterings coincide.
+inline std::vector<std::size_t> affinity_schedule(
+    const std::vector<std::vector<int>>& psupports, std::size_t nv) {
+  const std::size_t k = psupports.size();
+
+  // remaining[v]: how many unscheduled clusters still support v. A variable
+  // retires when this hits zero — the greedy tries to drive counts to zero
+  // as early as possible while opening as few new variables as it can.
+  std::vector<int> remaining(nv, 0);
+  for (const auto& supp : psupports) {
+    for (int v : supp) ++remaining[v];
+  }
+
+  std::vector<char> scheduled(k, 0), opened(nv, 0);
+  std::vector<std::size_t> order;
+  order.reserve(k);
+  const std::vector<int>* prev_supp = nullptr;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::size_t best = k;
+    long best_score = 0;
+    std::size_t best_overlap = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (scheduled[c]) continue;
+      long opens = 0, closes = 0;
+      std::size_t overlap = 0;
+      for (int v : psupports[c]) {
+        if (!opened[v]) ++opens;
+        if (remaining[v] == 1) ++closes;
+      }
+      if (prev_supp) {
+        // |psupport(c) ∩ psupport(previous)| — both sorted.
+        auto it = prev_supp->begin();
+        for (int v : psupports[c]) {
+          while (it != prev_supp->end() && *it < v) ++it;
+          if (it != prev_supp->end() && *it == v) ++overlap;
+        }
+      }
+      long score = opens - closes;  // lower = keeps fewer variables alive
+      if (best == k || score < best_score ||
+          (score == best_score && overlap > best_overlap)) {
+        best = c;
+        best_score = score;
+        best_overlap = overlap;
+      }
+    }
+    scheduled[best] = 1;
+    order.push_back(best);
+    for (int v : psupports[best]) {
+      opened[v] = 1;
+      --remaining[v];
+    }
+    prev_supp = &psupports[best];
+  }
+  return order;
+}
+
+/// Retirement bookkeeping for a sweep order: per step, the variables whose
+/// last supporting cluster is that step (from the next step on, no cluster
+/// supports them — the early-quantification invariant), plus the aggregate
+/// ScheduleStats.
+struct RetirementPlan {
+  std::vector<std::vector<int>> retired;  // per step: vars retired after it
+  ScheduleStats stats;
+};
+
+inline RetirementPlan build_retirement(
+    const std::vector<std::vector<int>>& psupports,
+    const std::vector<std::size_t>& order, std::size_t nv) {
+  const std::size_t k = order.size();
+  std::vector<int> remaining(nv, 0);
+  for (const auto& supp : psupports) {
+    for (int v : supp) ++remaining[v];
+  }
+  std::vector<int> open_step(nv, -1);
+
+  RetirementPlan plan;
+  plan.retired.assign(k, {});
+  plan.stats.length = k;
+  std::size_t live = 0;
+  for (std::size_t step = 0; step < k; ++step) {
+    for (int v : psupports[order[step]]) {
+      if (open_step[v] < 0) {
+        open_step[v] = static_cast<int>(step);
+        ++live;
+      }
+      if (--remaining[v] == 0) {
+        plan.retired[step].push_back(v);
+        plan.stats.total_lifetime +=
+            step - static_cast<std::size_t>(open_step[v]) + 1;
+      }
+    }
+    plan.stats.peak_live_vars = std::max(plan.stats.peak_live_vars, live);
+    live -= plan.retired[step].size();
+  }
+  return plan;
+}
+
+/// Throws std::invalid_argument unless `order` is a permutation of 0..k-1.
+/// Shared validation for the set_schedule_order test hooks.
+inline void validate_schedule_order(const std::vector<std::size_t>& order,
+                                    std::size_t k) {
+  if (order.size() != k) {
+    throw std::invalid_argument("schedule order must cover every cluster");
+  }
+  std::vector<char> seen(k, 0);
+  for (std::size_t c : order) {
+    if (c >= k || seen[c]) {
+      throw std::invalid_argument("schedule order must be a permutation");
+    }
+    seen[c] = 1;
+  }
+}
+
+/// Groups clusters into saturation levels, deepest-first: `top_of[c]` names
+/// each cluster's topmost present-state variable (-1 for support-free
+/// clusters), `depth_of[c]` its level at build time (larger = deeper; give
+/// support-free clusters the maximum depth). Clusters sharing a top
+/// variable share a group; the stable sort keeps build order within equal
+/// depths, mirroring the original BDD grouping exactly.
+inline std::vector<SatLevelGroup> build_sat_level_groups(
+    const std::vector<int>& top_of, const std::vector<int>& depth_of) {
+  const std::size_t k = top_of.size();
+  std::vector<std::size_t> by_depth(k);
+  std::iota(by_depth.begin(), by_depth.end(), std::size_t{0});
+  std::stable_sort(by_depth.begin(), by_depth.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return depth_of[a] > depth_of[b];
+                   });
+  std::vector<SatLevelGroup> levels;
+  for (std::size_t c : by_depth) {
+    if (levels.empty() || levels.back().top_var != top_of[c]) {
+      levels.push_back(SatLevelGroup{top_of[c], {}});
+    }
+    levels.back().clusters.push_back(c);
+  }
+  return levels;
+}
+
+/// Generic saturation fixpoint (Ciardo et al., adapted to clustered
+/// relations): saturates level groups bottom-up, each cluster applied to a
+/// local fixpoint with deeper groups re-saturated whenever it adds states.
+/// The decision-diagram work goes through `Driver`:
+///
+///   Handle image_cluster(std::size_t c, const Handle& from);
+///   Handle unite(const Handle& a, const Handle& b);        // a ∪ b
+///   bool   memo_get(std::size_t lvl, const Handle& key, Handle& out);
+///   void   memo_put(std::size_t lvl, const Handle& key, const Handle& r);
+///   void   memo_reset();   // drop this partition's memo entries
+///   void   tick();         // end-of-pass hook (BDD: maybe_reorder)
+///
+/// Handles must be value types with operator==. The control flow (and
+/// therefore the operation sequence a backend manager observes) is lifted
+/// verbatim from the original BDD implementation, which is what keeps the
+/// BDD path bit-identical after the refactor.
+template <class Driver, class Handle>
+Handle saturate_level_rec(Driver& d, const std::vector<SatLevelGroup>& levels,
+                          std::size_t lvl, Handle s, SaturationStats& stats) {
+  // Hits come from the entries the previous saturate call kept: the seed's
+  // answer at the top level and the fixpoint identity at every one.
+  ++stats.memo_lookups;
+  Handle out;
+  if (d.memo_get(lvl, s, out)) {
+    ++stats.memo_hits;
+    return out;
+  }
+
+  // Establish the invariant for the recursion: s closed under all deeper
+  // groups before this group fires at all.
+  if (lvl > 0) s = saturate_level_rec(d, levels, lvl - 1, std::move(s), stats);
+
+  // Apply each cluster of the group to its own fixpoint (chaining within the
+  // cluster); whenever it adds states, the deeper groups may have been
+  // disturbed — re-saturate them before continuing. Passes repeat until the
+  // whole group is stable.
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (std::size_t c : levels[lvl].clusters) {
+      for (;;) {
+        Handle next = d.unite(s, d.image_cluster(c, s));
+        ++stats.applications;
+        if (next == s) break;
+        s = lvl > 0
+                ? saturate_level_rec(d, levels, lvl - 1, std::move(next), stats)
+                : std::move(next);
+        grew = true;
+      }
+    }
+    d.tick();
+  }
+  return s;
+}
+
+template <class Driver, class Handle>
+Handle saturate_levels(Driver& d, const std::vector<SatLevelGroup>& levels,
+                       const Handle& from, SaturationStats& stats) {
+  stats = SaturationStats{};
+  stats.levels = levels.size();
+  if (levels.empty()) return from;
+  Handle out = saturate_level_rec(d, levels, levels.size() - 1, from, stats);
+
+  // Memoize only what can pay off later: the top-level answer (a repeated
+  // saturate from the same seed is a table hit) and the fixpoint's identity
+  // at every level (the result is closed under all of them). Intra-run
+  // inputs grow strictly monotonically and therefore never repeat, so
+  // per-call entries would only pin dead frontier DAGs — the sweep writes
+  // nothing while it runs (see saturate_level_rec).
+  d.memo_reset();
+  d.memo_put(levels.size() - 1, from, out);
+  for (std::size_t lvl = 0; lvl < levels.size(); ++lvl) {
+    d.memo_put(lvl, out, out);
+  }
+  return out;
+}
+
+}  // namespace pnenc::symbolic

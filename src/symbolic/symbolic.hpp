@@ -12,38 +12,9 @@
 
 namespace pnenc::symbolic {
 
-/// Image computation strategy for the traversal.
-enum class ImageMethod {
-  /// The paper's fast path: firing t drives every affected variable to a
-  /// constant (an SMC containing t always lands on the code of t's output
-  /// place), so Img_t(F) = ∃changed(F ∧ E_t) ∧ consts — no next-state
-  /// variables and no renaming.
-  kDirect,
-  /// Classic disjunctively partitioned transition relations R_t(P,Q) (§2.3,
-  /// eq. 3) with relational-product image and Q→P renaming.
-  kPartitionedTr,
-  /// Single monolithic R(P,Q) = ∨_t R_t.
-  kMonolithicTr,
-  /// Clustered disjunctive relations with local frame axioms (see
-  /// partition.hpp) and fused AndExists image; frontier BFS.
-  kClusteredTr,
-  /// Clustered relations applied with chaining: each cluster's image feeds
-  /// the next cluster within the same sweep, so one "iteration" advances the
-  /// traversal by many levels (Roig/Pastor-style chained traversal).
-  kChainedTr,
-  /// Chaining over the direct constant-assignment images — no next-state
-  /// variables needed. The default for the analysis/CTL layers when the
-  /// context was built without next vars.
-  kChainedDirect,
-  /// Saturation (Ciardo et al.) over the clustered relations: clusters are
-  /// grouped by topmost present-state variable and each group is saturated
-  /// bottom-up — deep local subsystems converge to fixpoint (with memoized
-  /// per-level results) before root-ward clusters fire. The default forward
-  /// traversal for the analysis/CTL layers when next-state variables exist;
-  /// backward fixpoints fall back to chained sweeps (preimage saturation
-  /// would need reverse-closed level groups). See RelationPartition::saturate.
-  kSaturation,
-};
+// ImageMethod lives in schedule_core.hpp (included via partition.hpp): the
+// traversal-method vocabulary is backend-neutral and shared with the ZDD
+// context (zdd_context.hpp).
 
 struct SymbolicOptions {
   /// Allocate next-state variables (interleaved with present-state ones) and

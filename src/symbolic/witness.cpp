@@ -1,17 +1,14 @@
 #include "symbolic/witness.hpp"
 
-#include <cassert>
 #include <sstream>
-#include <unordered_map>
 
 namespace pnenc::symbolic {
 
-using bdd::Bdd;
 using petri::Marking;
 using petri::Net;
 
 // ---------------------------------------------------------------------------
-// Formatting and validation
+// Formatting and validation (backend-free: Traces are net-level data)
 // ---------------------------------------------------------------------------
 
 std::string format_trace(const Net& net, const Trace& trace) {
@@ -69,149 +66,10 @@ std::string validate_trace(const Net& net, const Trace& trace,
 }
 
 // ---------------------------------------------------------------------------
-// WitnessExtractor
+// Extractor instantiations
 // ---------------------------------------------------------------------------
 
-WitnessExtractor::WitnessExtractor(SymbolicContext& ctx, const Bdd& reached)
-    : ctx_(ctx), reached_(reached) {}
-
-bool WitnessExtractor::contains(const Bdd& set, const Marking& m) const {
-  std::vector<bool> bits = ctx_.enc().encode(m);
-  std::vector<bool> assignment(ctx_.manager().num_vars(), false);
-  for (int i = 0; i < ctx_.enc().num_vars(); ++i) {
-    assignment[ctx_.pvar(i)] = bits[i];
-  }
-  return ctx_.manager().eval(set, assignment);
-}
-
-bool WitnessExtractor::step_into(const Bdd& set, Marking& m,
-                                 Trace& trace) const {
-  const Net& net = ctx_.net();
-  // Smallest-id enabled transition whose successor lands in `set`: the one
-  // rule every deterministic property of the extractor reduces to.
-  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
-    int tid = static_cast<int>(t);
-    if (!net.is_enabled(m, tid)) continue;
-    Marking next = net.fire(m, tid);
-    if (!contains(set, next)) continue;
-    trace.transitions.push_back(tid);
-    trace.markings.push_back(next);
-    m = std::move(next);
-    return true;
-  }
-  return false;
-}
-
-std::optional<Trace> WitnessExtractor::trace_to(const Bdd& target) const {
-  Bdd goal = reached_ & target;
-  if (goal.is_false()) return std::nullopt;
-
-  const Net& net = ctx_.net();
-  Trace trace;
-  trace.markings.push_back(net.initial_marking());
-  const Marking& m0 = trace.markings[0];
-
-  // Backward onion rings: rings[i] holds the reached markings whose exact
-  // distance TO the goal is i (each ring is one preimage sweep through the
-  // partition, minus everything already ringed). Rings are function-level
-  // sets, so they are identical under every traversal method and variable
-  // order; stopping at the first ring containing M0 makes the walk below
-  // BFS-shortest.
-  std::vector<Bdd> rings{goal};
-  Bdd seen = goal;
-  bool found = contains(goal, m0);
-  while (!found) {
-    Bdd frontier = (reached_ & ctx_.preimage_best(rings.back())).diff(seen);
-#ifndef NDEBUG
-    // Ring minimality, the "shortest trace" guarantee, rests on
-    // preimage_best being an *exact* one-step Pre. When the partition path
-    // is in use, cross-check it against the independently implemented
-    // direct per-transition preimage — the two must agree as functions, so
-    // any over/under-approximation in either sweep fires here.
-    assert(!ctx_.has_next_vars() ||
-           frontier == (reached_ & ctx_.preimage_all(rings.back())).diff(seen));
-#endif
-    // goal ⊆ reached and every reached marking is forward-reachable from
-    // M0, so the backward sweep must eventually absorb M0; an empty
-    // frontier beforehand would mean the reached set is not a fixpoint.
-    if (frontier.is_false()) return std::nullopt;
-    seen |= frontier;
-    rings.push_back(frontier);
-    found = contains(frontier, m0);
-  }
-
-  Marking m = m0;
-  for (std::size_t ring = rings.size() - 1; ring > 0; --ring) {
-    bool stepped = step_into(rings[ring - 1], m, trace);
-    assert(stepped && "ring marking has no successor in the next ring");
-    if (!stepped) return std::nullopt;
-  }
-  assert(validate_trace(net, trace).empty());
-  return trace;
-}
-
-std::optional<Trace> WitnessExtractor::ex_witness(const Bdd& target) const {
-  Bdd set = reached_ & target;
-  if (set.is_false()) return std::nullopt;
-  Trace trace;
-  trace.markings.push_back(ctx_.net().initial_marking());
-  Marking m = trace.markings[0];
-  if (!step_into(set, m, trace)) return std::nullopt;
-  assert(validate_trace(ctx_.net(), trace).empty());
-  return trace;
-}
-
-std::optional<Trace> WitnessExtractor::eg_witness(const Bdd& eg_set) const {
-  const Net& net = ctx_.net();
-  Trace trace;
-  trace.markings.push_back(net.initial_marking());
-  Marking m = trace.markings[0];
-  if (!contains(eg_set, m)) return std::nullopt;
-
-  // Greedy walk inside the EG fixpoint: every non-deadlocked member has a
-  // successor in the set, so step_into is total; the walk is a
-  // deterministic function on a finite set, so it either parks in a
-  // deadlock (a maximal path — a valid EG witness) or revisits a marking.
-  // Closing the loop at the FIRST repeat is the canonical loop-closing
-  // pick: no shard can close it anywhere else.
-  std::unordered_map<Marking, int, petri::MarkingHash> index;
-  index.emplace(m, 0);
-  for (;;) {
-    if (net.is_deadlock(m)) break;
-    bool stepped = step_into(eg_set, m, trace);
-    assert(stepped && "EG-set marking has no successor inside the set");
-    // A stuck non-deadlocked walk means the precondition was violated
-    // (the set is not the EG fixpoint): there is no valid witness to
-    // return, so fail loudly-in-Debug, empty-in-Release — never a
-    // truncated path masquerading as a maximal one.
-    if (!stepped) return std::nullopt;
-    auto [it, inserted] =
-        index.emplace(m, static_cast<int>(trace.markings.size()) - 1);
-    if (!inserted) {
-      trace.loop_start = it->second;
-      break;
-    }
-  }
-  assert(validate_trace(net, trace).empty());
-  return trace;
-}
-
-std::optional<Trace> WitnessExtractor::deadlock_witness() const {
-  return trace_to(ctx_.deadlocks(reached_));
-}
-
-std::optional<Trace> WitnessExtractor::live_witness(int t) const {
-  std::optional<Trace> trace = trace_to(reached_ & ctx_.enabling(t));
-  if (!trace) return std::nullopt;
-  // The endpoint satisfies E_t (= every preset place marked), so firing t
-  // itself is the liveness evidence.
-  const Net& net = ctx_.net();
-  const Marking& end = trace->markings.back();
-  assert(net.is_enabled(end, t));
-  trace->markings.push_back(net.fire(end, t));
-  trace->transitions.push_back(t);
-  assert(validate_trace(net, *trace).empty());
-  return trace;
-}
+template class BasicWitnessExtractor<BddBackend>;
+template class BasicWitnessExtractor<ZddBackend>;
 
 }  // namespace pnenc::symbolic

@@ -1,13 +1,14 @@
 #pragma once
 
+#include <cassert>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "bdd/bdd.hpp"
 #include "petri/marking.hpp"
 #include "petri/net.hpp"
-#include "symbolic/symbolic.hpp"
+#include "symbolic/backend.hpp"
 
 namespace pnenc::symbolic {
 
@@ -24,11 +25,12 @@ namespace pnenc::symbolic {
 /// deadlock, which is also a maximal path for EG).
 ///
 /// A Trace holds only net-level data (transition ids and explicit
-/// markings) — no BDD handles — so it crosses shard boundaries freely and
-/// compares bytewise. Traces produced by WitnessExtractor are canonical:
-/// the same net, reached set, and target yield the identical Trace
-/// regardless of traversal method, variable order, sifting history, or
-/// which QueryEngine shard ran the extraction (see the class comment).
+/// markings) — no diagram handles — so it crosses shard AND backend
+/// boundaries freely and compares bytewise. Traces produced by
+/// WitnessExtractor are canonical: the same net, reached set, and target
+/// yield the identical Trace regardless of traversal method, backend,
+/// variable order, sifting history, or which QueryEngine shard ran the
+/// extraction (see the class comment).
 struct Trace {
   std::vector<int> transitions;
   std::vector<petri::Marking> markings;
@@ -68,38 +70,46 @@ struct Trace {
                                          bool expect_start = true);
 
 /// Extracts canonical witness traces and counterexamples from a computed
-/// reachability set.
+/// reachability set. Generic over the DdBackend concept (backend.hpp): the
+/// walk that turns symbolic sets into firings is net-level and identical
+/// for every backend, so `--backend zdd` traces are byte-equal to BDD ones.
 ///
 /// Determinism contract: every extractor below is a pure function of (net,
-/// reached set as a boolean function, target set as a boolean function).
-/// The onion rings are built from exact one-step preimages — function-level
-/// sets, identical under every ImageMethod and variable order — and the
-/// walk that turns rings into firings is explicit: from a concrete marking
-/// it always fires the enabled transition with the smallest id whose
-/// successor lies in the next ring (or, for lassos, in the EG set), and
-/// the loop closes at the first repeated marking. No step ever consults a
-/// node id, a level, or pick_one, so a sifted planning context and a
+/// reached set as a set of markings, target set as a set of markings). The
+/// onion rings are built from exact one-step preimages — function-level
+/// sets, identical under every ImageMethod, backend and variable order —
+/// and the walk that turns rings into firings is explicit: from a concrete
+/// marking it always fires the enabled transition with the smallest id
+/// whose successor lies in the next ring (or, for lassos, in the EG set),
+/// and the loop closes at the first repeated marking. No step ever consults
+/// a node id, a level, or pick_one, so a sifted planning context and a
 /// default-ordered QueryEngine shard produce bit-identical traces — traces
 /// join the deterministic answer set (the property
 /// tests/symbolic/test_witness.cpp and the query differential lock down).
 ///
-/// Preimages go through the context's best backward machinery
-/// (RelationPartition cluster preimages when next-state variables exist,
-/// direct constant-assignment preimages otherwise); either way each ring
-/// is one exact backward step, which is what makes trace_to BFS-shortest.
-/// Debug builds anchor that exactness by cross-checking the partition
-/// preimage against the independently implemented direct per-transition
-/// preimage at every ring, and replay-validate every extracted trace.
+/// Preimages go through the context's best backward machinery (partition
+/// cluster preimages when available — always, for ZDD — direct
+/// constant-assignment preimages otherwise); either way each ring is one
+/// exact backward step, which is what makes trace_to BFS-shortest. Debug
+/// builds anchor that exactness by cross-checking the partition preimage
+/// against the independently implemented direct per-transition preimage at
+/// every ring, and replay-validate every extracted trace.
 ///
 /// Thread-safety: an extractor drives its context's (memoizing, non-const)
-/// BDD machinery, so it follows the same rule as Analyzer/CtlChecker — one
-/// thread per SymbolicContext; QueryEngine shards each build their own.
-class WitnessExtractor {
+/// diagram machinery, so it follows the same rule as Analyzer/CtlChecker —
+/// one thread per context; QueryEngine shards each build their own.
+template <class Backend>
+  requires DdBackend<Backend>
+class BasicWitnessExtractor {
  public:
+  using Context = typename Backend::Context;
+  using Handle = typename Backend::Handle;
+
   /// Binds a context and the reachability set to extract against (must be
-  /// a fixpoint over the context's present-state variables; both must
-  /// outlive the extractor).
-  WitnessExtractor(SymbolicContext& ctx, const bdd::Bdd& reached);
+  /// a fixpoint over the context's state sets; both must outlive the
+  /// extractor).
+  BasicWitnessExtractor(Context& ctx, const Handle& reached)
+      : ctx_(ctx), reached_(reached) {}
 
   /// BFS-shortest firing sequence M0 → some marking in `target` (within
   /// reach), or nullopt if no reachable marking satisfies the target.
@@ -107,46 +117,205 @@ class WitnessExtractor {
   /// plus one enabled-transition scan per step of the walk. This is also
   /// the EF witness (initial ∈ EF f iff a path M0 → f exists) and, applied
   /// to ¬f, the AG counterexample.
-  [[nodiscard]] std::optional<Trace> trace_to(const bdd::Bdd& target) const;
+  [[nodiscard]] std::optional<Trace> trace_to(const Handle& target) const;
 
   /// One-firing witness for EX: the smallest-id transition leading from M0
   /// into `target`, or nullopt if no successor of M0 satisfies it.
-  [[nodiscard]] std::optional<Trace> ex_witness(const bdd::Bdd& target) const;
+  [[nodiscard]] std::optional<Trace> ex_witness(const Handle& target) const;
 
   /// Lasso witness for EG: a run from M0 that stays inside `eg_set` forever
   /// — either a stem plus a cycle (loop_start >= 0, closed at the first
   /// repeated marking: the canonical loop-closing pick) or a finite path
   /// into a deadlocked `eg_set` state (a maximal path). `eg_set` must be
-  /// the EG fixpoint itself (CtlChecker::eg's result: every non-deadlocked
-  /// member has a successor inside the set — that is what makes the greedy
-  /// walk total); nullopt if M0 ∉ eg_set, or — defensively — if the walk
-  /// gets stuck because the precondition was violated (Debug builds
-  /// assert; a truncated path is never returned as a "maximal" one).
-  /// Applied to EG ¬f this is the AF counterexample. Cost: at most
-  /// |eg_set| walk steps.
-  [[nodiscard]] std::optional<Trace> eg_witness(const bdd::Bdd& eg_set) const;
+  /// the EG fixpoint itself (BasicCtlChecker::eg's result: every
+  /// non-deadlocked member has a successor inside the set — that is what
+  /// makes the greedy walk total); nullopt if M0 ∉ eg_set, or —
+  /// defensively — if the walk gets stuck because the precondition was
+  /// violated (Debug builds assert; a truncated path is never returned as
+  /// a "maximal" one). Applied to EG ¬f this is the AF counterexample.
+  /// Cost: at most |eg_set| walk steps.
+  [[nodiscard]] std::optional<Trace> eg_witness(const Handle& eg_set) const;
 
   /// Shortest path to a reachable deadlock, or nullopt if none exists.
-  [[nodiscard]] std::optional<Trace> deadlock_witness() const;
+  [[nodiscard]] std::optional<Trace> deadlock_witness() const {
+    return trace_to(ctx_.deadlocks(reached_));
+  }
 
   /// Shortest path to a marking enabling transition `t`, extended by one
   /// firing of `t` itself — the witness that `t` is live. Nullopt iff `t`
   /// is dead.
   [[nodiscard]] std::optional<Trace> live_witness(int t) const;
 
-  [[nodiscard]] const bdd::Bdd& reached() const { return reached_; }
+  [[nodiscard]] const Handle& reached() const { return reached_; }
 
  private:
   /// True iff the (explicit) marking is in the encoded set.
-  [[nodiscard]] bool contains(const bdd::Bdd& set,
-                              const petri::Marking& m) const;
+  [[nodiscard]] bool contains(const Handle& set, const petri::Marking& m) const {
+    return Backend::contains(ctx_, set, m);
+  }
   /// Fires the smallest-id enabled transition of `m` whose successor lies
   /// in `set`; appends the step to `trace` and returns true, or returns
   /// false if no such transition exists.
-  bool step_into(const bdd::Bdd& set, petri::Marking& m, Trace& trace) const;
+  bool step_into(const Handle& set, petri::Marking& m, Trace& trace) const;
 
-  SymbolicContext& ctx_;
-  bdd::Bdd reached_;
+  Context& ctx_;
+  Handle reached_;
 };
+
+// ---------------------------------------------------------------------------
+// Template bodies (instantiated once per backend, in witness.cpp)
+// ---------------------------------------------------------------------------
+
+template <class Backend>
+  requires DdBackend<Backend>
+bool BasicWitnessExtractor<Backend>::step_into(const Handle& set,
+                                               petri::Marking& m,
+                                               Trace& trace) const {
+  const petri::Net& net = ctx_.net();
+  // Smallest-id enabled transition whose successor lands in `set`: the one
+  // rule every deterministic property of the extractor reduces to.
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    int tid = static_cast<int>(t);
+    if (!net.is_enabled(m, tid)) continue;
+    petri::Marking next = net.fire(m, tid);
+    if (!contains(set, next)) continue;
+    trace.transitions.push_back(tid);
+    trace.markings.push_back(next);
+    m = std::move(next);
+    return true;
+  }
+  return false;
+}
+
+template <class Backend>
+  requires DdBackend<Backend>
+std::optional<Trace> BasicWitnessExtractor<Backend>::trace_to(
+    const Handle& target) const {
+  Handle goal = reached_ & target;
+  if (Backend::empty(goal)) return std::nullopt;
+
+  const petri::Net& net = ctx_.net();
+  Trace trace;
+  trace.markings.push_back(net.initial_marking());
+  const petri::Marking& m0 = trace.markings[0];
+
+  // Backward onion rings: rings[i] holds the reached markings whose exact
+  // distance TO the goal is i (each ring is one preimage sweep through the
+  // partition, minus everything already ringed). Rings are function-level
+  // sets, so they are identical under every traversal method and variable
+  // order; stopping at the first ring containing M0 makes the walk below
+  // BFS-shortest.
+  std::vector<Handle> rings{goal};
+  Handle seen = goal;
+  bool found = contains(goal, m0);
+  while (!found) {
+    Handle frontier =
+        Backend::diff(reached_ & ctx_.preimage_best(rings.back()), seen);
+#ifndef NDEBUG
+    // Ring minimality, the "shortest trace" guarantee, rests on
+    // preimage_best being an *exact* one-step Pre. When the partition path
+    // is in use, cross-check it against the independently implemented
+    // direct per-transition preimage — the two must agree as functions, so
+    // any over/under-approximation in either sweep fires here.
+    assert(!Backend::has_partition_backward(ctx_) ||
+           frontier == Backend::diff(reached_ & ctx_.preimage_all(rings.back()),
+                                     seen));
+#endif
+    // goal ⊆ reached and every reached marking is forward-reachable from
+    // M0, so the backward sweep must eventually absorb M0; an empty
+    // frontier beforehand would mean the reached set is not a fixpoint.
+    if (Backend::empty(frontier)) return std::nullopt;
+    seen |= frontier;
+    rings.push_back(frontier);
+    found = contains(frontier, m0);
+  }
+
+  petri::Marking m = m0;
+  for (std::size_t ring = rings.size() - 1; ring > 0; --ring) {
+    bool stepped = step_into(rings[ring - 1], m, trace);
+    assert(stepped && "ring marking has no successor in the next ring");
+    if (!stepped) return std::nullopt;
+  }
+  assert(validate_trace(net, trace).empty());
+  return trace;
+}
+
+template <class Backend>
+  requires DdBackend<Backend>
+std::optional<Trace> BasicWitnessExtractor<Backend>::ex_witness(
+    const Handle& target) const {
+  Handle set = reached_ & target;
+  if (Backend::empty(set)) return std::nullopt;
+  Trace trace;
+  trace.markings.push_back(ctx_.net().initial_marking());
+  petri::Marking m = trace.markings[0];
+  if (!step_into(set, m, trace)) return std::nullopt;
+  assert(validate_trace(ctx_.net(), trace).empty());
+  return trace;
+}
+
+template <class Backend>
+  requires DdBackend<Backend>
+std::optional<Trace> BasicWitnessExtractor<Backend>::eg_witness(
+    const Handle& eg_set) const {
+  const petri::Net& net = ctx_.net();
+  Trace trace;
+  trace.markings.push_back(net.initial_marking());
+  petri::Marking m = trace.markings[0];
+  if (!contains(eg_set, m)) return std::nullopt;
+
+  // Greedy walk inside the EG fixpoint: every non-deadlocked member has a
+  // successor in the set, so step_into is total; the walk is a
+  // deterministic function on a finite set, so it either parks in a
+  // deadlock (a maximal path — a valid EG witness) or revisits a marking.
+  // Closing the loop at the FIRST repeat is the canonical loop-closing
+  // pick: no shard can close it anywhere else.
+  std::unordered_map<petri::Marking, int, petri::MarkingHash> index;
+  index.emplace(m, 0);
+  for (;;) {
+    if (net.is_deadlock(m)) break;
+    bool stepped = step_into(eg_set, m, trace);
+    assert(stepped && "EG-set marking has no successor inside the set");
+    // A stuck non-deadlocked walk means the precondition was violated
+    // (the set is not the EG fixpoint): there is no valid witness to
+    // return, so fail loudly-in-Debug, empty-in-Release — never a
+    // truncated path masquerading as a maximal one.
+    if (!stepped) return std::nullopt;
+    auto [it, inserted] =
+        index.emplace(m, static_cast<int>(trace.markings.size()) - 1);
+    if (!inserted) {
+      trace.loop_start = it->second;
+      break;
+    }
+  }
+  assert(validate_trace(net, trace).empty());
+  return trace;
+}
+
+template <class Backend>
+  requires DdBackend<Backend>
+std::optional<Trace> BasicWitnessExtractor<Backend>::live_witness(int t) const {
+  std::optional<Trace> trace =
+      trace_to(Backend::enabled_states(ctx_, reached_, t));
+  if (!trace) return std::nullopt;
+  // The endpoint satisfies E_t (= every preset place marked), so firing t
+  // itself is the liveness evidence.
+  const petri::Net& net = ctx_.net();
+  const petri::Marking& end = trace->markings.back();
+  assert(net.is_enabled(end, t));
+  trace->markings.push_back(net.fire(end, t));
+  trace->transitions.push_back(t);
+  assert(validate_trace(net, *trace).empty());
+  return trace;
+}
+
+/// The BDD instantiation — the original WitnessExtractor, bit-identical
+/// traces.
+using WitnessExtractor = BasicWitnessExtractor<BddBackend>;
+/// The ZDD instantiation.
+using ZddWitnessExtractor = BasicWitnessExtractor<ZddBackend>;
+
+extern template class BasicWitnessExtractor<BddBackend>;
+extern template class BasicWitnessExtractor<ZddBackend>;
 
 }  // namespace pnenc::symbolic

@@ -1,0 +1,449 @@
+#include "symbolic/zdd_context.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace pnenc::symbolic {
+
+using zdd::Zdd;
+using zdd::ZddManager;
+
+// ---------------------------------------------------------------------------
+// ZddRelationPartition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// •t Δ t•: the places a transition actually changes (a self-loop place,
+// consumed and re-produced, is read but not changed) — the ZDD counterpart
+// of SymbolicContext::changed_vars for clustering purposes.
+std::vector<int> changed_places(const petri::Net& net, int t) {
+  const auto& pre = net.preset(t);
+  const auto& post = net.postset(t);
+  std::vector<int> out;
+  for (int p : pre) {
+    if (std::find(post.begin(), post.end(), p) == post.end()) out.push_back(p);
+  }
+  for (int p : post) {
+    if (std::find(pre.begin(), pre.end(), p) == pre.end()) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void merge_sorted_unique(std::vector<int>& into, const std::vector<int>& add) {
+  into.insert(into.end(), add.begin(), add.end());
+  std::sort(into.begin(), into.end());
+  into.erase(std::unique(into.begin(), into.end()), into.end());
+}
+
+}  // namespace
+
+ZddRelationPartition::ZddRelationPartition(ZddContext& ctx,
+                                           const PartitionOptions& opts)
+    : ctx_(ctx), opts_(opts) {
+  const petri::Net& net = ctx.net();
+  const int nt = static_cast<int>(net.num_transitions());
+
+  // Same phase-1 grouping as the BDD partition: transitions sorted by first
+  // changed place so component-local transitions land adjacent, then a
+  // greedy sweep that closes a cluster when its changed-place union would
+  // exceed var_cap. There is no phase 2 — no relation to split, so node_cap
+  // never applies.
+  std::vector<int> order(static_cast<std::size_t>(nt));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<int>> changed(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) changed[t] = changed_places(net, t);
+  auto first_changed = [&](int t) {
+    return changed[t].empty() ? -1 : changed[t].front();
+  };
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return first_changed(a) < first_changed(b);
+  });
+
+  std::vector<int> current;
+  std::vector<char> var_union(net.num_places(), 0);
+  std::size_t union_size = 0;
+  auto emit = [&]() {
+    Cluster c;
+    c.members = current;
+    for (int t : current) {
+      merge_sorted_unique(c.vars, changed[t]);
+      merge_sorted_unique(c.psupport, net.preset(t));
+      merge_sorted_unique(c.psupport, net.postset(t));
+    }
+    clusters_.push_back(std::move(c));
+  };
+  for (int t : order) {
+    std::size_t added = 0;
+    for (int v : changed[t]) {
+      if (!var_union[v]) ++added;
+    }
+    if (!current.empty() && union_size + added > opts_.var_cap) {
+      emit();
+      current.clear();
+      std::fill(var_union.begin(), var_union.end(), 0);
+      union_size = 0;
+    }
+    current.push_back(t);
+    for (int v : changed[t]) {
+      if (!var_union[v]) {
+        var_union[v] = 1;
+        ++union_size;
+      }
+    }
+  }
+  if (!current.empty()) emit();
+
+  set_schedule(opts_.schedule);
+  build_sat_levels();
+}
+
+ZddRelationPartition::~ZddRelationPartition() {
+  ctx_.manager().memo_release(sat_memo_base_, sat_levels_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Quantification schedule
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<int>> ZddRelationPartition::psupports() const {
+  std::vector<std::vector<int>> supports;
+  supports.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) supports.push_back(c.psupport);
+  return supports;
+}
+
+void ZddRelationPartition::rebuild_retirement() {
+  RetirementPlan plan = build_retirement(psupports(), order_,
+                                         ctx_.net().num_places());
+  retired_ = std::move(plan.retired);
+  stats_ = plan.stats;
+}
+
+void ZddRelationPartition::set_schedule(ScheduleKind kind) {
+  opts_.schedule = kind;
+  custom_order_ = false;
+  if (kind == ScheduleKind::kEarly) {
+    order_ = affinity_schedule(psupports(), ctx_.net().num_places());
+  } else {
+    order_.resize(clusters_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+  }
+  rebuild_retirement();
+}
+
+void ZddRelationPartition::set_schedule_order(std::vector<std::size_t> order) {
+  validate_schedule_order(order, clusters_.size());
+  order_ = std::move(order);
+  custom_order_ = true;
+  rebuild_retirement();
+}
+
+// ---------------------------------------------------------------------------
+// Saturation
+// ---------------------------------------------------------------------------
+
+void ZddRelationPartition::build_sat_levels() {
+  const std::size_t k = clusters_.size();
+
+  // Topmost supported place of each cluster. Var id == level here, so the
+  // root-most supported variable is simply the smallest place id, and —
+  // unlike the BDD grouping, which snapshots levels that a later reorder
+  // may shuffle — this grouping can never age.
+  std::vector<int> top_of(k, -1);
+  std::vector<int> depth_of(k, static_cast<int>(ctx_.net().num_places()));
+  for (std::size_t c = 0; c < k; ++c) {
+    if (!clusters_[c].psupport.empty()) {
+      top_of[c] = clusters_[c].psupport.front();  // sorted ascending
+      depth_of[c] = top_of[c];
+    }
+  }
+
+  sat_levels_ = build_sat_level_groups(top_of, depth_of);
+  sat_memo_base_ = ctx_.manager().memo_reserve(sat_levels_.size());
+}
+
+Zdd ZddRelationPartition::saturate(const Zdd& from) {
+  // Same generic fixpoint engine as RelationPartition::saturate, bound to
+  // ZDD cluster images and the ZddManager client memo. tick() is a no-op:
+  // there is no dynamic reordering on the ZDD side.
+  struct Driver {
+    ZddRelationPartition& p;
+    Zdd image_cluster(std::size_t c, const Zdd& s) {
+      return p.image_cluster(c, s);
+    }
+    Zdd unite(const Zdd& a, const Zdd& b) { return a | b; }
+    bool memo_get(std::size_t lvl, const Zdd& key, Zdd& out) {
+      return p.ctx_.manager().memo_get(p.sat_memo_base_ + lvl, key, out);
+    }
+    void memo_put(std::size_t lvl, const Zdd& key, const Zdd& r) {
+      p.ctx_.manager().memo_put(p.sat_memo_base_ + lvl, key, r);
+    }
+    void memo_reset() {
+      p.ctx_.manager().memo_release(p.sat_memo_base_, p.sat_levels_.size());
+    }
+    void tick() {}
+  } driver{*this};
+  return saturate_levels(driver, sat_levels_, from, sat_stats_);
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps
+// ---------------------------------------------------------------------------
+
+Zdd ZddRelationPartition::image_cluster(std::size_t c, const Zdd& from) {
+  Zdd out = ctx_.manager().empty();
+  for (int t : clusters_[c].members) out |= ctx_.image(from, t);
+  return out;
+}
+
+Zdd ZddRelationPartition::preimage_cluster(std::size_t c, const Zdd& of) {
+  Zdd out = ctx_.manager().empty();
+  for (int t : clusters_[c].members) out |= ctx_.preimage(of, t);
+  return out;
+}
+
+Zdd ZddRelationPartition::image(const Zdd& from) {
+  Zdd out = ctx_.manager().empty();
+  for (std::size_t step : order_) out |= image_cluster(step, from);
+  return out;
+}
+
+Zdd ZddRelationPartition::preimage(const Zdd& of) {
+  Zdd out = ctx_.manager().empty();
+  for (std::size_t step : order_) out |= preimage_cluster(step, of);
+  return out;
+}
+
+bool ZddRelationPartition::chained_step(Zdd& acc) {
+  bool grew = false;
+  for (std::size_t step : order_) {
+    Zdd next = acc | image_cluster(step, acc);
+    if (next != acc) {
+      acc = next;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+bool ZddRelationPartition::chained_step_backward(Zdd& acc) {
+  bool grew = false;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    Zdd next = acc | preimage_cluster(*it, acc);
+    if (next != acc) {
+      acc = next;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+Zdd ZddRelationPartition::backward_closure(const Zdd& seed, const Zdd& within) {
+  Zdd acc = seed & within;
+  for (;;) {
+    Zdd prev = acc;
+    chained_step_backward(acc);
+    acc &= within;
+    if (acc == prev) return acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ZddContext
+// ---------------------------------------------------------------------------
+
+ZddContext::ZddContext(const petri::Net& net)
+    : net_(net),
+      mgr_(std::make_unique<ZddManager>(static_cast<int>(net.num_places()))) {}
+
+Zdd ZddContext::initial() {
+  return mgr_->singleton(net_.initial_marking().marked_places());
+}
+
+Zdd ZddContext::marking_family(const petri::Marking& m) {
+  return mgr_->singleton(m.marked_places());
+}
+
+bool ZddContext::contains(const Zdd& set, const petri::Marking& m) {
+  return mgr_->member(set, m.marked_places());
+}
+
+Zdd ZddContext::image(const Zdd& from, int t) {
+  // Seed-identical pipeline (zdd_reach.cpp, eq. 2 of [18]): enabled
+  // sub-family with preset tokens consumed, then postset tokens produced.
+  Zdd fired = from;
+  for (int p : net_.preset(t)) fired = mgr_->subset1(fired, p);
+  if (fired.is_empty()) return fired;
+  for (int p : net_.postset(t)) fired = mgr_->assign1(fired, p);
+  return fired;
+}
+
+Zdd ZddContext::preimage(const Zdd& of, int t) {
+  // Invert the pipeline. A successor M' of an enabled M satisfies
+  //   t• ⊆ M',  M' ∩ (•t \ t•) = ∅,  M' agrees with M off •t ∪ t•,
+  // and M = (M' \ t•) ∪ •t ∪ (any subset of t• \ •t): assign1 is
+  // idempotent, so a predecessor may already mark a pure-produce place —
+  // firing is non-injective there and the preimage must branch both ways.
+  const auto& pre = net_.preset(t);
+  const auto& post = net_.postset(t);
+  auto in_pre = [&](int p) {
+    return std::find(pre.begin(), pre.end(), p) != pre.end();
+  };
+  auto in_post = [&](int p) {
+    return std::find(post.begin(), post.end(), p) != post.end();
+  };
+
+  // Keep only successors containing t•, stripping those tokens.
+  Zdd g = of;
+  for (int p : post) g = mgr_->subset1(g, p);
+  if (g.is_empty()) return g;
+  // Successors must not mark a consumed-and-not-reproduced place.
+  for (int p : pre) {
+    if (!in_post(p)) g = mgr_->subset0(g, p);
+  }
+  // Pure-produce places are optional in the predecessor (non-injectivity).
+  for (int p : post) {
+    if (!in_pre(p)) g |= mgr_->change(g, p);
+  }
+  // The predecessor marks every preset place. Every set in g provably lacks
+  // them (subset1 stripped •t ∩ t•, subset0 removed •t \ t•), so change()
+  // here is pure insertion.
+  for (int p : pre) g = mgr_->change(g, p);
+  return g;
+}
+
+Zdd ZddContext::image_all(const Zdd& from) {
+  Zdd out = mgr_->empty();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    out |= image(from, static_cast<int>(t));
+  }
+  return out;
+}
+
+Zdd ZddContext::preimage_all(const Zdd& of) {
+  Zdd out = mgr_->empty();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    out |= preimage(of, static_cast<int>(t));
+  }
+  return out;
+}
+
+Zdd ZddContext::enabled_states(const Zdd& set, int t) {
+  Zdd g = set;
+  for (int p : net_.preset(t)) g = mgr_->onset(g, p);
+  return g;
+}
+
+Zdd ZddContext::marked_states(const Zdd& set, int p) {
+  return mgr_->onset(set, p);
+}
+
+Zdd ZddContext::deadlocks(const Zdd& reached) {
+  Zdd some_enabled = mgr_->empty();
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+    some_enabled |= enabled_states(reached, static_cast<int>(t));
+  }
+  return reached - some_enabled;
+}
+
+ZddRelationPartition& ZddContext::partition() { return partition(part_opts_); }
+
+ZddRelationPartition& ZddContext::partition(const PartitionOptions& opts) {
+  // Same rebuild policy as SymbolicContext::partition: new caps rebuild,
+  // a mere schedule change reruns the (cheap) ordering pass. node_cap is
+  // carried but unused here (no materialized relations).
+  part_opts_ = opts;
+  if (!partition_ || partition_->options().node_cap != opts.node_cap ||
+      partition_->options().var_cap != opts.var_cap) {
+    partition_ = std::make_unique<ZddRelationPartition>(*this, opts);
+  } else if (partition_->options().schedule != opts.schedule ||
+             partition_->has_custom_order()) {
+    partition_->set_schedule(opts.schedule);
+  }
+  return *partition_;
+}
+
+Zdd ZddContext::preimage_best(const Zdd& of) { return partition().preimage(of); }
+
+ZddTraversalResult ZddContext::reachability(ImageMethod method) {
+  util::Timer timer;
+  Zdd reached = initial();
+  ZddTraversalResult result;
+  switch (method) {
+    case ImageMethod::kDirect:
+    case ImageMethod::kPartitionedTr:
+      throw std::invalid_argument(
+          "ZddContext::reachability: method is specific to the BDD marking "
+          "encoding; use mono, clustered, chained or saturation for the zdd "
+          "backend");
+    case ImageMethod::kSaturation: {
+      ZddRelationPartition& part = partition();
+      reached = part.saturate(reached);
+      result.iterations =
+          static_cast<int>(part.saturation_stats().applications);
+      break;
+    }
+    case ImageMethod::kChainedTr:
+    case ImageMethod::kChainedDirect: {
+      // One traversal either way: the ZDD image is already "direct" (no
+      // relations, no next-state variables), so both names run the chained
+      // sweep over the clusters.
+      ZddRelationPartition& part = partition();
+      bool grew = true;
+      while (grew) {
+        result.iterations++;
+        grew = part.chained_step(reached);
+      }
+      break;
+    }
+    case ImageMethod::kClusteredTr: {
+      ZddRelationPartition& part = partition();
+      Zdd frontier = reached;
+      while (!frontier.is_empty()) {
+        result.iterations++;
+        Zdd next = part.image(frontier);
+        frontier = next - reached;
+        reached |= frontier;
+      }
+      break;
+    }
+    case ImageMethod::kMonolithicTr: {
+      // The seed's monolithic per-transition BFS (zdd_reach.cpp) — kept
+      // bit-identical as the Table 4 [18] baseline the benches compare
+      // the clustered/saturated paths against.
+      Zdd frontier = reached;
+      while (!frontier.is_empty()) {
+        result.iterations++;
+        Zdd next = mgr_->empty();
+        for (std::size_t t = 0; t < net_.num_transitions(); ++t) {
+          next |= image(frontier, static_cast<int>(t));
+        }
+        frontier = next - reached;
+        reached |= frontier;
+      }
+      break;
+    }
+  }
+  result.num_markings = reached.count();
+  result.reached_nodes = reached.size();
+  result.peak_live_nodes = mgr_->peak_node_count();
+  result.cpu_ms = timer.elapsed_ms();
+  last_reached_ = reached;
+  return result;
+}
+
+void ZddContext::set_reached(const Zdd& reached) {
+  if (reached.is_valid() && reached.manager() != mgr_.get()) {
+    throw std::invalid_argument(
+        "ZddContext::set_reached: handle belongs to a different manager "
+        "(route it through manager().import_zdd first)");
+  }
+  last_reached_ = reached;
+}
+
+}  // namespace pnenc::symbolic

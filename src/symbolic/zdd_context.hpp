@@ -1,0 +1,232 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "petri/marking.hpp"
+#include "petri/net.hpp"
+#include "symbolic/schedule_core.hpp"
+#include "symbolic/zdd_reach.hpp"
+#include "zdd/zdd.hpp"
+
+namespace pnenc::symbolic {
+
+class ZddContext;
+
+/// Disjunctively partitioned ZDD transition application — the sparse-path
+/// sibling of RelationPartition (partition.hpp), sharing its clustering
+/// heuristic, quantification schedules and saturation engine through
+/// schedule_core.hpp.
+///
+/// Where the BDD partition materializes a relation R_c(P,Q) per cluster and
+/// applies it with a fused AndExists, a ZDD cluster stores only its member
+/// transition ids: firing is the subset1/change/assign pipeline of Yoneda
+/// et al. [18] applied per member, directly on the one-variable-per-place
+/// family — no next-state variables, no renaming, and the frame axiom is
+/// *structural* (a place absent from •t ∪ t• is simply never touched).
+/// Consequently only `var_cap` of PartitionOptions participates in
+/// clustering (`node_cap` bounds a relation that does not exist here), with
+/// "changed variables" meaning the places of •t Δ t•.
+///
+/// Schedules (kNaive/kEarly), retirement bookkeeping and the saturation
+/// level grouping are the shared backend-neutral code, so a ZDD partition
+/// over structurally equal clusters produces the same sweep order as the
+/// BDD one — which is what makes the cross-backend differential suite
+/// meaningful.
+class ZddRelationPartition {
+ public:
+  explicit ZddRelationPartition(ZddContext& ctx,
+                                const PartitionOptions& opts = {});
+  /// Releases this partition's saturation memo slots in the manager.
+  ~ZddRelationPartition();
+  ZddRelationPartition(const ZddRelationPartition&) = delete;
+  ZddRelationPartition& operator=(const ZddRelationPartition&) = delete;
+
+  [[nodiscard]] const PartitionOptions& options() const { return opts_; }
+  [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
+  /// Transition ids grouped into cluster `c` (in firing order).
+  [[nodiscard]] const std::vector<int>& members(std::size_t c) const {
+    return clusters_[c].members;
+  }
+  /// Places changed by cluster `c` (sorted): ∪ over members of •t Δ t•.
+  [[nodiscard]] const std::vector<int>& cluster_vars(std::size_t c) const {
+    return clusters_[c].vars;
+  }
+  /// Present support of cluster `c` (sorted places): everything the cluster
+  /// reads or writes, ∪ over members of •t ∪ t•.
+  [[nodiscard]] const std::vector<int>& cluster_support(std::size_t c) const {
+    return clusters_[c].psupport;
+  }
+
+  // ---- quantification schedule (see RelationPartition) -------------------
+  void set_schedule(ScheduleKind kind);
+  [[nodiscard]] ScheduleKind schedule_kind() const { return opts_.schedule; }
+  void set_schedule_order(std::vector<std::size_t> order);
+  [[nodiscard]] bool has_custom_order() const { return custom_order_; }
+  [[nodiscard]] const std::vector<std::size_t>& schedule_order() const {
+    return order_;
+  }
+  [[nodiscard]] const std::vector<int>& retired_after(std::size_t step) const {
+    return retired_[step];
+  }
+  [[nodiscard]] const ScheduleStats& schedule_stats() const { return stats_; }
+
+  // ---- sweeps ------------------------------------------------------------
+
+  /// Img(F) over all clusters (one subset/assign pipeline per member).
+  [[nodiscard]] zdd::Zdd image(const zdd::Zdd& from);
+  /// Pre(F) over all clusters. May include unreachable predecessors —
+  /// callers intersect with the reached family, exactly as on the BDD path.
+  [[nodiscard]] zdd::Zdd preimage(const zdd::Zdd& of);
+
+  /// Least fixpoint of `seed ∪ Pre(·)` intersected with `within` after
+  /// every sweep (see RelationPartition::backward_closure for why the
+  /// restriction is lossless on forward-closed `within`).
+  [[nodiscard]] zdd::Zdd backward_closure(const zdd::Zdd& seed,
+                                          const zdd::Zdd& within);
+
+  // ---- saturation --------------------------------------------------------
+
+  /// Least fixpoint of `from ∪ Img(·)` by saturation — the generic engine
+  /// of schedule_core.hpp over ZDD cluster images, with per-level results
+  /// memoized across calls in the manager's client memo (same contract as
+  /// RelationPartition::saturate).
+  [[nodiscard]] zdd::Zdd saturate(const zdd::Zdd& from);
+  [[nodiscard]] const SaturationStats& saturation_stats() const {
+    return sat_stats_;
+  }
+  [[nodiscard]] std::size_t num_sat_levels() const {
+    return sat_levels_.size();
+  }
+  [[nodiscard]] const std::vector<std::size_t>& sat_level_clusters(
+      std::size_t lvl) const {
+    return sat_levels_[lvl].clusters;
+  }
+  /// Place that names level group `lvl` (the group's shared topmost — i.e.
+  /// smallest, var id == level — supported place).
+  [[nodiscard]] int sat_level_top_var(std::size_t lvl) const {
+    return sat_levels_[lvl].top_var;
+  }
+
+  /// One chained sweep: acc ← acc ∪ Img_c(acc) per cluster in schedule
+  /// order, each cluster seeing its predecessors' additions. True iff grew.
+  bool chained_step(zdd::Zdd& acc);
+  /// Chained backward sweep in reverse schedule order.
+  bool chained_step_backward(zdd::Zdd& acc);
+
+ private:
+  struct Cluster {
+    std::vector<int> members;
+    std::vector<int> vars;      // ∪ •t Δ t• (sorted places)
+    std::vector<int> psupport;  // ∪ •t ∪ t• (sorted places)
+  };
+
+  [[nodiscard]] zdd::Zdd image_cluster(std::size_t c, const zdd::Zdd& from);
+  [[nodiscard]] zdd::Zdd preimage_cluster(std::size_t c, const zdd::Zdd& of);
+  [[nodiscard]] std::vector<std::vector<int>> psupports() const;
+  void rebuild_retirement();
+  void build_sat_levels();
+
+  ZddContext& ctx_;
+  PartitionOptions opts_;
+  std::vector<Cluster> clusters_;
+  std::vector<std::size_t> order_;
+  std::vector<std::vector<int>> retired_;
+  ScheduleStats stats_;
+  bool custom_order_ = false;
+  std::vector<SatLevelGroup> sat_levels_;
+  std::uint64_t sat_memo_base_ = 0;
+  SaturationStats sat_stats_;
+};
+
+/// Binds a Petri net to a ZddManager with one variable per place (var id ==
+/// place id == level): a marking is the set of its marked places, a state
+/// set is a family of sets. This is the sparse encoding the paper's Table 4
+/// compares against [18], lifted from the seed's monolithic BFS to the full
+/// clustered/chained/saturation traversal stack — the second instantiation
+/// of the DdBackend concept (see backend.hpp and docs/ARCHITECTURE.md).
+///
+/// The API deliberately mirrors SymbolicContext where the two meet the
+/// shared generic layers (reached_set/set_reached, count_markings,
+/// partition, reachability, deadlocks, initial), so those layers can be
+/// written once against the backend concept. There is no MarkingEncoding
+/// here — the family IS the encoding — and no next-state variables ever:
+/// preimages are subset/change algebra over the same variables.
+class ZddContext {
+ public:
+  explicit ZddContext(const petri::Net& net);
+
+  [[nodiscard]] zdd::ZddManager& manager() { return *mgr_; }
+  [[nodiscard]] const petri::Net& net() const { return net_; }
+
+  /// The one-marking family {M0}.
+  zdd::Zdd initial();
+  /// The family {marked places of m}.
+  zdd::Zdd marking_family(const petri::Marking& m);
+  /// True iff marking m is a member of the encoded set.
+  [[nodiscard]] bool contains(const zdd::Zdd& set, const petri::Marking& m);
+
+  /// One-transition image: enabled sub-family with •t consumed and t•
+  /// produced (subset1 chain, then assign1 chain) — eq. 2 of [18].
+  zdd::Zdd image(const zdd::Zdd& from, int t);
+  /// One-transition preimage: all M with •t ⊆ M whose successor under t is
+  /// in `of`. Includes unreachable predecessors; callers restrict to reach.
+  zdd::Zdd preimage(const zdd::Zdd& of, int t);
+  /// Union over all transitions.
+  zdd::Zdd image_all(const zdd::Zdd& from);
+  zdd::Zdd preimage_all(const zdd::Zdd& of);
+
+  /// Members of `set` in which transition t is enabled (•t all marked):
+  /// an onset filter chain — the ZDD form of `set ∧ E_t`.
+  zdd::Zdd enabled_states(const zdd::Zdd& set, int t);
+  /// Members of `set` in which place p is marked (`set ∧ [p]`).
+  zdd::Zdd marked_states(const zdd::Zdd& set, int p);
+  /// Reachable deadlocked markings: set − ∪_t enabled_states(set, t).
+  zdd::Zdd deadlocks(const zdd::Zdd& reached);
+
+  /// Clustered partition (built lazily, like SymbolicContext::partition).
+  ZddRelationPartition& partition();
+  ZddRelationPartition& partition(const PartitionOptions& opts);
+  void set_partition_options(const PartitionOptions& opts) {
+    part_opts_ = opts;
+  }
+  [[nodiscard]] const PartitionOptions& partition_options() const {
+    return part_opts_;
+  }
+
+  /// Partition-backed preimage (the best available backward step here —
+  /// identical as a function to preimage_all, which Debug witness rings
+  /// cross-check).
+  zdd::Zdd preimage_best(const zdd::Zdd& of);
+
+  /// Fixpoint traversal. Supported methods: kMonolithicTr (the seed's
+  /// monolithic per-transition BFS — the bench baseline), kClusteredTr
+  /// (frontier BFS over partition images), kChainedTr / kChainedDirect
+  /// (chained sweeps in schedule order) and kSaturation (the default).
+  /// kDirect and kPartitionedTr are BDD-encoding-specific and throw
+  /// std::invalid_argument. Iteration counts mirror the BDD semantics:
+  /// BFS levels, chained sweeps, or saturation cluster applications.
+  ZddTraversalResult reachability(ImageMethod method = ImageMethod::kSaturation);
+
+  /// Number of markings in an encoded set. Families map one set per
+  /// marking, so this is an exact count (no satcount approximation needed).
+  double count_markings(const zdd::Zdd& set) { return set.count(); }
+
+  /// The reachability family computed by the last reachability() call.
+  [[nodiscard]] const zdd::Zdd& reached_set() const { return last_reached_; }
+  /// Adopts an externally computed reachability family (handle must belong
+  /// to this context's manager) — the shard-side half of import_zdd, same
+  /// contract as SymbolicContext::set_reached.
+  void set_reached(const zdd::Zdd& reached);
+
+ private:
+  const petri::Net& net_;
+  std::unique_ptr<zdd::ZddManager> mgr_;
+  PartitionOptions part_opts_;
+  std::unique_ptr<ZddRelationPartition> partition_;
+  zdd::Zdd last_reached_;
+};
+
+}  // namespace pnenc::symbolic

@@ -1,46 +1,15 @@
 #include "symbolic/zdd_reach.hpp"
 
-#include <algorithm>
-
-#include "util/timer.hpp"
+#include "symbolic/zdd_context.hpp"
 
 namespace pnenc::symbolic {
 
-using zdd::Zdd;
-using zdd::ZddManager;
-
 ZddTraversalResult zdd_reachability(const petri::Net& net) {
-  util::Timer timer;
-  ZddManager mgr(static_cast<int>(net.num_places()));
-
-  Zdd reached = mgr.singleton(net.initial_marking().marked_places());
-  Zdd frontier = reached;
-
-  ZddTraversalResult result;
-  while (!frontier.is_empty()) {
-    result.iterations++;
-    Zdd next = mgr.empty();
-    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
-      const auto& pre = net.preset(static_cast<int>(t));
-      const auto& post = net.postset(static_cast<int>(t));
-      // Enabled sub-family, preset tokens consumed.
-      Zdd fired = frontier;
-      for (int p : pre) fired = mgr.subset1(fired, p);
-      if (fired.is_empty()) continue;
-      // Produce postset tokens (assign1 is idempotent wrt existing tokens,
-      // mirroring eq. 2's "1 if p ∈ t•" semantics).
-      for (int p : post) fired = mgr.assign1(fired, p);
-      next |= fired;
-    }
-    frontier = next - reached;
-    reached |= frontier;
-  }
-
-  result.num_markings = reached.count();
-  result.reached_nodes = reached.size();
-  result.peak_live_nodes = mgr.peak_node_count();
-  result.cpu_ms = timer.elapsed_ms();
-  return result;
+  // Thin wrapper kept for the original seed entry point and as the bench
+  // baseline: the monolithic per-transition BFS now lives in
+  // ZddContext::reachability(kMonolithicTr), bit-identical to the seed loop.
+  ZddContext ctx(net);
+  return ctx.reachability(ImageMethod::kMonolithicTr);
 }
 
 }  // namespace pnenc::symbolic

@@ -20,6 +20,10 @@ struct ZddTraversalResult {
 /// pipeline:
 ///   enabled  = sets containing •t          (subset1 chain)
 ///   successor = enabled − (•t \ t•) + t•    (change/assign chain)
+///
+/// This is the seed entry point, preserved as the monolithic-BFS baseline;
+/// it now delegates to ZddContext::reachability(kMonolithicTr). The full
+/// clustered/chained/saturation ZDD stack lives in zdd_context.hpp.
 ZddTraversalResult zdd_reachability(const petri::Net& net);
 
 }  // namespace pnenc::symbolic

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pnenc::zdd {
 
@@ -102,6 +104,16 @@ std::uint32_t ZddManager::mk(std::uint32_t var, std::uint32_t low,
     id = free_head_;
     free_head_ = nodes_[id].next;
   } else {
+    // Growth path: without this guard the 32-bit id would silently wrap past
+    // 2^32 (and id 0xFFFFFFFF would collide with kNil). Throwing here is
+    // clean — nothing has been linked yet and the recursive operators unwind
+    // before publishing anything — so handles stay valid afterwards.
+    if (nodes_.size() >= node_limit_) {
+      throw std::length_error(
+          "ZddManager: node arena exhausted (" + std::to_string(nodes_.size()) +
+          " slots, limit " + std::to_string(node_limit_) +
+          "); shard the workload across managers or raise set_node_limit");
+    }
     id = static_cast<std::uint32_t>(nodes_.size());
     nodes_.emplace_back();
   }
@@ -423,6 +435,80 @@ std::size_t ZddManager::dag_size(const Zdd& f) {
   return count;
 }
 
+bool ZddManager::member(const Zdd& f, const std::vector<int>& elems) const {
+  std::uint32_t id = f.id();
+  std::size_t i = 0;
+  while (id > kBase) {
+    const Node& n = nodes_[id];
+    int v = static_cast<int>(n.var);
+    if (i < elems.size() && elems[i] == v) {
+      id = n.high;
+      ++i;
+    } else if (i < elems.size() && elems[i] < v) {
+      // Variables only grow along a path, so elems[i] can no longer appear:
+      // no set below this node contains it.
+      return false;
+    } else {
+      id = n.low;
+    }
+  }
+  return id == kBase && i == elems.size();
+}
+
+bool ZddManager::pick_canonical(const Zdd& f, std::vector<int>& out) const {
+  out.clear();
+  std::uint32_t id = f.id();
+  if (id == kEmpty) return false;
+  // Follows low edges only; hits kBase iff ∅ is a member of the family
+  // rooted at `from` (the all-absent path).
+  auto contains_empty_set = [&](std::uint32_t from) {
+    while (from > kBase) from = nodes_[from].low;
+    return from == kBase;
+  };
+  // At each node the candidates are smallest(low) — which is either ∅ or
+  // starts with a variable LARGER than this one — and {var} ∪
+  // smallest(high). So ∅, when present, wins outright, and otherwise the
+  // high branch (never empty, by zero-suppression) always wins.
+  while (id > kBase) {
+    if (contains_empty_set(id)) return true;
+    const Node& n = nodes_[id];
+    out.push_back(static_cast<int>(n.var));
+    id = n.high;
+  }
+  return true;
+}
+
+std::uint32_t ZddManager::import_rec(
+    const ZddManager& src, std::uint32_t f,
+    std::unordered_map<std::uint32_t, Zdd>& copied) {
+  if (f <= kBase) return f;  // terminals share ids across managers
+  auto it = copied.find(f);
+  if (it != copied.end()) return it->second.id();
+  int v = src.node_var(f);
+  if (v >= num_vars()) {
+    throw std::invalid_argument(
+        "ZddManager::import_zdd: source variable " + std::to_string(v) +
+        " out of range (destination has " + std::to_string(num_vars()) +
+        " vars)");
+  }
+  // The memo holds handles so partially built subgraphs stay referenced for
+  // the whole import (mk returns unreferenced ids).
+  std::uint32_t low = import_rec(src, src.node_low(f), copied);
+  Zdd keep_low(this, low);
+  std::uint32_t high = import_rec(src, src.node_high(f), copied);
+  Zdd keep_high(this, high);
+  std::uint32_t r = mk(static_cast<std::uint32_t>(v), low, high);
+  copied.emplace(f, Zdd(this, r));
+  return r;
+}
+
+Zdd ZddManager::import_zdd(const Zdd& f) {
+  if (!f.is_valid()) return empty();
+  if (f.manager() == this) return f;
+  std::unordered_map<std::uint32_t, Zdd> copied;
+  return Zdd(this, import_rec(*f.manager(), f.id(), copied));
+}
+
 std::vector<std::vector<int>> ZddManager::all_sets(const Zdd& f) {
   std::vector<std::vector<int>> result;
   std::vector<int> current;
@@ -442,6 +528,42 @@ std::vector<std::vector<int>> ZddManager::all_sets(const Zdd& f) {
   for (auto& s : result) std::sort(s.begin(), s.end());
   std::sort(result.begin(), result.end());
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Node limit & client memo (contracts mirror BddManager's — see zdd.hpp)
+// ---------------------------------------------------------------------------
+
+void ZddManager::set_node_limit(std::size_t max_nodes) {
+  node_limit_ = std::min<std::size_t>(max_nodes, kNil);
+}
+
+std::uint64_t ZddManager::memo_reserve(std::uint64_t count) {
+  std::uint64_t first = memo_next_slot_;
+  memo_next_slot_ += count;
+  assert(memo_next_slot_ < (1ULL << 32) && "memo slot space exhausted");
+  return first;
+}
+
+bool ZddManager::memo_get(std::uint64_t slot, const Zdd& key, Zdd& out) {
+  auto it = memo_.find((slot << 32) | key.id());
+  if (it == memo_.end()) return false;
+  out = it->second.result;
+  return true;
+}
+
+void ZddManager::memo_put(std::uint64_t slot, const Zdd& key,
+                          const Zdd& result) {
+  memo_[(slot << 32) | key.id()] = MemoEntry{key, result};
+}
+
+void ZddManager::memo_clear() { memo_.clear(); }
+
+void ZddManager::memo_release(std::uint64_t first, std::uint64_t count) {
+  std::erase_if(memo_, [&](const auto& kv) {
+    std::uint64_t slot = kv.first >> 32;
+    return slot >= first && slot < first + count;
+  });
 }
 
 }  // namespace pnenc::zdd

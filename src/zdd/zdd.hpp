@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pnenc::zdd {
@@ -13,8 +14,16 @@ class ZddManager;
 /// Zero-suppressed decision diagrams (Minato) represent families of sparse
 /// sets compactly: a variable that is absent from every set on a path costs
 /// no node. This is the representation Yoneda et al. [18] advocate for
-/// one-variable-per-place Petri-net reachability sets, reproduced here for
-/// the paper's Table 4 comparison.
+/// one-variable-per-place Petri-net reachability sets; `--backend zdd`
+/// runs the full clustered/saturation traversal stack over it (see
+/// symbolic/zdd_context.hpp and docs/ARCHITECTURE.md, "Backend
+/// abstraction").
+///
+/// Handles are cheap value types (manager pointer + node id). Equality is
+/// structural-by-canonicity: two handles on the same manager denote the
+/// same family iff their ids are equal, exactly like bdd::Bdd — so the
+/// generic traversal code in symbolic/schedule_core.hpp can compare fixpoint
+/// iterates with operator== for either backend.
 class Zdd {
  public:
   Zdd() = default;
@@ -57,6 +66,21 @@ class Zdd {
 
 /// Shared-node ZDD manager with a fixed variable order (var id == level),
 /// unique subtables, computed cache and reference-counted GC.
+///
+/// Determinism: there is no dynamic reordering — var id IS the level,
+/// forever — so node structure, enumeration order (all_sets), counts and
+/// canonical picks are pure functions of the family, identical across
+/// managers and across runs. That is what makes import_zdd a raw structural
+/// copy (no renormalization step like BddManager::import_bdd's ITE pass)
+/// and lets sharded query workers reproduce the planner's answers bit for
+/// bit.
+///
+/// Thread-safety: none, by design, same contract as BddManager — every
+/// operation may touch the unique table, computed cache and refcounts, so
+/// one thread per manager. Cross-thread transfer of a family goes through
+/// import_zdd into the receiving thread's manager, which only READS the
+/// source arena (no handles created, no refcounts touched), so several
+/// destination managers may import from one quiescent source concurrently.
 class ZddManager {
  public:
   static constexpr std::uint32_t kEmpty = 0;  // ∅ — no sets
@@ -94,6 +118,36 @@ class ZddManager {
   /// Removes v from every set of f.
   Zdd assign0(const Zdd& f, int v);
 
+  /// True iff the set `elems` (sorted ascending, no duplicates) is a member
+  /// of the family. One root-to-terminal walk, O(|f| depth); read-only
+  /// (no nodes, no cache entries), so it is safe on a shared quiescent
+  /// manager the same way import_zdd's source walk is.
+  [[nodiscard]] bool member(const Zdd& f, const std::vector<int>& elems) const;
+
+  /// Canonical pick: writes the lexicographically smallest member set of f
+  /// (compare as sorted element vectors; the empty set ∅ is smallest of
+  /// all) into `out`, sorted ascending. Returns false iff f is empty.
+  /// Because the variable order is fixed, this is a pure function of the
+  /// family — bit-identical across managers and import_zdd copies — the
+  /// ZDD analogue of BddManager::pick_canonical, and what keeps witness
+  /// traces deterministic under --backend zdd.
+  bool pick_canonical(const Zdd& f, std::vector<int>& out) const;
+
+  /// Copies a family from another ZddManager into this one, returning the
+  /// equivalent handle here. Same-manager import is a passthrough.
+  ///
+  /// The source manager is only read (raw node structure; no handles are
+  /// created, no refcounts touched), so several destination managers may
+  /// import from one source concurrently as long as nothing mutates the
+  /// source — this is how the query layer ships a reached set to its
+  /// per-shard managers. Both managers use the fixed var==level order, so
+  /// the copy is a structural transliteration (memoized per call, O(|f|)
+  /// mk calls) and is already canonical here; every function-level
+  /// operation downstream (count, member, pick_canonical) returns the same
+  /// result as on the source. Throws std::invalid_argument if f uses a
+  /// variable this manager does not have.
+  Zdd import_zdd(const Zdd& f);
+
   [[nodiscard]] double count(const Zdd& f);
   [[nodiscard]] std::size_t dag_size(const Zdd& f);
   [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
@@ -104,6 +158,52 @@ class ZddManager {
 
   void gc();
 
+  /// Caps the node arena: an operation that would grow nodes_ past this
+  /// many slots throws std::length_error instead (mirroring
+  /// BddManager::set_node_limit, PR 4). The failed operation allocates
+  /// nothing further; previously created handles stay valid and the
+  /// manager remains usable (nodes completed earlier in the failed
+  /// operation are unreferenced and reclaimed by the next gc()).
+  ///
+  /// The cap is clamped to the hard arena bound of 2^32−1: id 0xFFFFFFFF
+  /// is kNil, so the arena must never hand it out as a real node id.
+  /// Defaults to that hard bound; tests inject a small cap to exercise the
+  /// guard, and the query layer's sharding exists to split workloads that
+  /// hit it.
+  void set_node_limit(std::size_t max_nodes);
+  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
+  /// Current arena size in slots (live + freed nodes + the 2 terminals) —
+  /// the quantity set_node_limit caps.
+  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
+
+  // ---- client memo -------------------------------------------------------
+  // A persistent, slot-namespaced (key → result) store for client
+  // structures, identical in contract to BddManager's: entries hold Zdd
+  // handles for both key and result, so the nodes stay referenced
+  // (GC-safe). The ZDD saturation traversal uses one slot per saturation
+  // level, through the same generic engine as the BDD path
+  // (symbolic/schedule_core.hpp).
+  //
+  // Slots namespace the keys: each client structure reserves a fresh range
+  // with memo_reserve so two structures can never read each other's
+  // entries. Every call is one hash-table operation, O(1) expected;
+  // one-thread-per-manager like all manager state.
+
+  /// Reserves `count` fresh memo slots; returns the first slot id.
+  std::uint64_t memo_reserve(std::uint64_t count);
+  /// Looks up (slot, key); true and sets `out` on a hit.
+  bool memo_get(std::uint64_t slot, const Zdd& key, Zdd& out);
+  /// Stores (slot, key) → result. Overwrites an existing entry.
+  void memo_put(std::uint64_t slot, const Zdd& key, const Zdd& result);
+  /// Drops every memo entry (releasing the node references it held).
+  void memo_clear();
+  /// Drops the entries of slots [first, first + count) — a client structure
+  /// releasing its namespace on destruction, so a short-lived client can't
+  /// pin its result nodes for the manager's whole lifetime.
+  void memo_release(std::uint64_t first, std::uint64_t count);
+  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
+
+  // ---- raw node access (used by Zdd, import_zdd and tests) ---------------
   void ref(std::uint32_t id);
   void deref(std::uint32_t id);
   [[nodiscard]] int node_var(std::uint32_t id) const { return static_cast<int>(nodes_[id].var); }
@@ -154,6 +254,8 @@ class ZddManager {
   std::uint32_t subset_rec(std::uint32_t f, std::uint32_t v, bool keep_one);
   std::uint32_t change_rec(std::uint32_t f, std::uint32_t v);
   double count_rec(std::uint32_t f, std::vector<double>& memo);
+  std::uint32_t import_rec(const ZddManager& src, std::uint32_t f,
+                           std::unordered_map<std::uint32_t, Zdd>& copied);
 
   void cache_put(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t result);
   bool cache_get(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t& result);
@@ -166,11 +268,22 @@ class ZddManager {
   }
 
   std::vector<Node> nodes_;
+  std::size_t node_limit_ = kNil;  // arena slot cap; id kNil is unusable
   std::uint32_t free_head_ = kNil;
   std::size_t live_nodes_ = 0;
   std::size_t peak_nodes_ = 0;
   std::vector<Subtable> subtables_;
   std::vector<CacheEntry> cache_;
+
+  // Client memo entries hold handles so the key and result nodes stay
+  // referenced. Declared after nodes_ so destruction releases the
+  // references while the arena still exists.
+  struct MemoEntry {
+    Zdd key;
+    Zdd result;
+  };
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  std::uint64_t memo_next_slot_ = 0;
 };
 
 }  // namespace pnenc::zdd

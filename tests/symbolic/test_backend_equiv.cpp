@@ -1,0 +1,202 @@
+// Cross-backend differential suite: the ZDD backend (zdd_context.hpp) must
+// agree with the BDD backend and the explicit-state oracle on every fixture
+// net — reachability counts per traversal method, reached-set membership
+// marking by marking, deadlock sets, and the full mixed query batch
+// (answers, counts, and trace bytes; serial and sharded). This is the
+// lockdown for the backend-abstraction refactor: the DdBackend concept
+// promises the generic layers behave identically over either diagram kind,
+// and this suite is where that promise is checked.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/explicit_reach.hpp"
+#include "query/query.hpp"
+#include "symbolic/backend.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/witness.hpp"
+#include "tests/testing/net_fixtures.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::MarkingEncoding;
+using petri::Net;
+using symbolic::ImageMethod;
+using symbolic::ZddContext;
+
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(AllNets, BackendEquivalence,
+                         ::testing::Range(0, pnenc::testing::kNumNets),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string n =
+                               pnenc::testing::net_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Every ZDD traversal method the backend supports must produce the oracle's
+// count, and the reached family must contain exactly the oracle's markings.
+TEST_P(BackendEquivalence, ZddMethodsMatchExplicitOracle) {
+  const int net_id = GetParam();
+  Net net = pnenc::testing::net_by_id(net_id);
+
+  petri::ExplicitOptions eopts;
+  eopts.keep_markings = true;
+  auto oracle = petri::explicit_reachability(net, eopts);
+  ASSERT_TRUE(oracle.complete);
+  ASSERT_EQ(oracle.num_markings, pnenc::testing::expected_markings(net_id));
+  const double expected = static_cast<double>(oracle.num_markings);
+
+  const ImageMethod methods[] = {
+      ImageMethod::kMonolithicTr, ImageMethod::kClusteredTr,
+      ImageMethod::kChainedTr, ImageMethod::kChainedDirect,
+      ImageMethod::kSaturation};
+  for (ImageMethod m : methods) {
+    ZddContext ctx(net);
+    auto r = ctx.reachability(m);
+    EXPECT_DOUBLE_EQ(r.num_markings, expected)
+        << "method " << static_cast<int>(m);
+    // Pointwise: every explicitly enumerated marking is in the family;
+    // with the counts equal, the sets are equal.
+    for (const petri::Marking& mk : oracle.markings) {
+      ASSERT_TRUE(ctx.contains(ctx.reached_set(), mk))
+          << "missing marking, method " << static_cast<int>(m);
+    }
+  }
+
+  // The BDD-marking-encoding methods must be rejected loudly.
+  ZddContext ctx(net);
+  EXPECT_THROW(ctx.reachability(ImageMethod::kDirect), std::invalid_argument);
+  EXPECT_THROW(ctx.reachability(ImageMethod::kPartitionedTr),
+               std::invalid_argument);
+}
+
+// The quantification schedule reorders cluster application; the fixpoint
+// cannot change. Also pins the deadlock set against the oracle's.
+TEST_P(BackendEquivalence, SchedulesAgreeAndDeadlocksMatchOracle) {
+  const int net_id = GetParam();
+  Net net = pnenc::testing::net_by_id(net_id);
+
+  petri::ExplicitOptions eopts;
+  eopts.collect_deadlocks = true;
+  auto oracle = petri::explicit_reachability(net, eopts);
+
+  double counts[2];
+  for (int k = 0; k < 2; ++k) {
+    ZddContext ctx(net);
+    symbolic::PartitionOptions popts;
+    popts.schedule = k == 0 ? symbolic::ScheduleKind::kNaive
+                            : symbolic::ScheduleKind::kEarly;
+    ctx.set_partition_options(popts);
+    counts[k] = ctx.reachability(ImageMethod::kSaturation).num_markings;
+
+    zdd::Zdd dead = ctx.deadlocks(ctx.reached_set());
+    EXPECT_DOUBLE_EQ(ctx.count_markings(dead),
+                     static_cast<double>(oracle.deadlocks.size()));
+    for (const petri::Marking& mk : oracle.deadlocks) {
+      EXPECT_TRUE(ctx.contains(dead, mk));
+    }
+  }
+  EXPECT_DOUBLE_EQ(counts[0], counts[1]);
+}
+
+TEST(BackendEquivalence, ZddSaturationMemoHitsOnSecondRun) {
+  Net net = pnenc::testing::net_by_id(1);  // phil-4
+  ZddContext ctx(net);
+  ctx.reachability(ImageMethod::kSaturation);
+  auto first = ctx.partition().saturation_stats();
+  EXPECT_GT(first.applications, 0u);
+
+  // Saturating the already-saturated set again must be answered entirely
+  // from the per-level memo — same contract the BDD partition keeps.
+  ctx.reachability(ImageMethod::kSaturation);
+  auto second = ctx.partition().saturation_stats();
+  EXPECT_EQ(second.memo_hits, 1u);  // top-level call itself hits
+  EXPECT_EQ(second.applications, 0u);
+}
+
+// The full mixed batch (20 queries, every kind, traces on) answered by the
+// BDD engine, the serial ZDD engine, and the sharded ZDD engine must agree
+// query by query: holds, exact count, and byte-identical trace renderings.
+TEST_P(BackendEquivalence, QueryBatchMatchesAcrossBackendsAndShards) {
+  const int net_id = GetParam();
+  Net net = pnenc::testing::net_by_id(net_id);
+  std::vector<query::Query> batch = pnenc::testing::mixed_query_batch(net);
+  for (query::Query& q : batch) q.want_trace = true;
+
+  // BDD reference: the configuration pnanalyze --queries runs under.
+  MarkingEncoding enc = build_encoding(net, "improved");
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;
+  symbolic::SymbolicContext bctx(net, enc, opts);
+  query::QueryEngine bdd_engine(bctx, {});
+  std::vector<query::QueryResult> bdd = bdd_engine.run(batch);
+
+  ZddContext zctx(net);
+  query::ZddQueryEngine zdd_serial(zctx, {});
+  std::vector<query::QueryResult> zser = zdd_serial.run(batch);
+
+  ZddContext zctx4(net);
+  query::QueryEngineOptions qopts;
+  qopts.jobs = 4;
+  query::ZddQueryEngine zdd_sharded(zctx4, qopts);
+  std::vector<query::QueryResult> zsh = zdd_sharded.run(batch);
+
+  ASSERT_EQ(bdd.size(), batch.size());
+  ASSERT_EQ(zser.size(), batch.size());
+  ASSERT_EQ(zsh.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("query " + batch[i].text);
+    EXPECT_EQ(zser[i].holds, bdd[i].holds);
+    EXPECT_DOUBLE_EQ(zser[i].count, bdd[i].count);
+    EXPECT_EQ(zser[i].has_trace, bdd[i].has_trace);
+    if (zser[i].has_trace && bdd[i].has_trace) {
+      EXPECT_EQ(symbolic::format_trace(net, zser[i].trace),
+                symbolic::format_trace(net, bdd[i].trace));
+    }
+    EXPECT_EQ(zsh[i].holds, zser[i].holds);
+    EXPECT_DOUBLE_EQ(zsh[i].count, zser[i].count);
+    EXPECT_EQ(zsh[i].has_trace, zser[i].has_trace);
+    if (zsh[i].has_trace && zser[i].has_trace) {
+      EXPECT_EQ(symbolic::format_trace(net, zsh[i].trace),
+                symbolic::format_trace(net, zser[i].trace));
+    }
+  }
+
+  // The total-count anchor against the explicit oracle: `reach true` is
+  // query 5 of the mixed batch and must count the whole reachability set.
+  EXPECT_DOUBLE_EQ(
+      zser[4].count,
+      static_cast<double>(pnenc::testing::expected_markings(net_id)));
+}
+
+// The structural chooser: fixtures span both answers, and the stats feeding
+// it are plain arithmetic over the net.
+TEST(BackendEquivalence, ChooserIsDrivenByStructuralSparsity) {
+  // fig1: 7 places, 1 marked → sparse but tiny ⇒ bdd.
+  EXPECT_EQ(symbolic::choose_backend(pnenc::testing::net_by_id(0)),
+            symbolic::BackendKind::kBdd);
+  // slot-4: 40 places but 12 marked (0.3 > 1/4) ⇒ bdd.
+  EXPECT_EQ(symbolic::choose_backend(pnenc::testing::net_by_id(2)),
+            symbolic::BackendKind::kBdd);
+  // dme-4: 28 places, 5 marked (0.179 ≤ 1/4) ⇒ zdd.
+  EXPECT_EQ(symbolic::choose_backend(pnenc::testing::net_by_id(3)),
+            symbolic::BackendKind::kZdd);
+  symbolic::SparsityStats s =
+      symbolic::sparsity_stats(pnenc::testing::net_by_id(0));
+  EXPECT_EQ(s.places, 7u);
+  EXPECT_EQ(s.transitions, 7u);
+  EXPECT_GT(s.mean_changed_width, 0.0);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,299 @@
+// Randomized ZDD property tests against the explicit set-of-sets oracle,
+// plus the manager-hardening surface the backend abstraction leans on:
+// the arena node limit (mirroring BddManager's PR-4 guard), the client
+// memo slots, cross-manager import, membership, and the canonical pick.
+// tests/zdd/test_zdd.cpp covers the core algebra example by example; this
+// suite sweeps it with random families and locks the newer API down.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "zdd/zdd.hpp"
+
+namespace pnenc {
+namespace {
+
+using zdd::Zdd;
+using zdd::ZddManager;
+
+using Family = std::set<std::vector<int>>;
+
+Family random_family(int nvars, int nsets, std::mt19937& rng) {
+  Family fam;
+  for (int i = 0; i < nsets; ++i) {
+    std::vector<int> s;
+    for (int v = 0; v < nvars; ++v) {
+      if (rng() & 1) s.push_back(v);
+    }
+    fam.insert(s);
+  }
+  return fam;
+}
+
+Zdd build(ZddManager& mgr, const Family& fam) {
+  Zdd f = mgr.empty();
+  for (const auto& s : fam) f |= mgr.singleton(s);
+  return f;
+}
+
+Family read_back(ZddManager& mgr, const Zdd& f) {
+  Family fam;
+  for (auto& s : mgr.all_sets(f)) fam.insert(s);
+  return fam;
+}
+
+// ---- explicit-oracle mirrors of the per-variable operators ----------------
+
+Family oracle_subset1(const Family& fam, int v) {
+  Family out;
+  for (auto s : fam) {
+    auto it = std::find(s.begin(), s.end(), v);
+    if (it == s.end()) continue;
+    s.erase(it);
+    out.insert(s);
+  }
+  return out;
+}
+
+Family oracle_subset0(const Family& fam, int v) {
+  Family out;
+  for (const auto& s : fam) {
+    if (std::find(s.begin(), s.end(), v) == s.end()) out.insert(s);
+  }
+  return out;
+}
+
+Family oracle_change(const Family& fam, int v) {
+  Family out;
+  for (auto s : fam) {
+    auto it = std::find(s.begin(), s.end(), v);
+    if (it == s.end()) {
+      s.insert(std::lower_bound(s.begin(), s.end(), v), v);
+    } else {
+      s.erase(it);
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+Family oracle_assign1(const Family& fam, int v) {
+  Family out;
+  for (auto s : fam) {
+    if (std::find(s.begin(), s.end(), v) == s.end()) {
+      s.insert(std::lower_bound(s.begin(), s.end(), v), v);
+    }
+    out.insert(s);
+  }
+  return out;
+}
+
+Family oracle_union(const Family& a, const Family& b) {
+  Family out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+Family oracle_intersect(const Family& a, const Family& b) {
+  Family out;
+  for (const auto& s : a) {
+    if (b.count(s)) out.insert(s);
+  }
+  return out;
+}
+
+Family oracle_diff(const Family& a, const Family& b) {
+  Family out;
+  for (const auto& s : a) {
+    if (!b.count(s)) out.insert(s);
+  }
+  return out;
+}
+
+// ---- randomized algebra sweep ---------------------------------------------
+
+TEST(ZddProps, RandomizedAlgebraMatchesExplicitOracle) {
+  std::mt19937 rng(20260808);
+  constexpr int kVars = 7;
+  for (int round = 0; round < 40; ++round) {
+    ZddManager mgr(kVars);
+    Family fa = random_family(kVars, 1 + static_cast<int>(rng() % 12), rng);
+    Family fb = random_family(kVars, 1 + static_cast<int>(rng() % 12), rng);
+    Zdd a = build(mgr, fa);
+    Zdd b = build(mgr, fb);
+
+    EXPECT_EQ(read_back(mgr, a | b), oracle_union(fa, fb));
+    EXPECT_EQ(read_back(mgr, a & b), oracle_intersect(fa, fb));
+    EXPECT_EQ(read_back(mgr, a - b), oracle_diff(fa, fb));
+    EXPECT_DOUBLE_EQ(a.count(), static_cast<double>(fa.size()));
+
+    for (int v = 0; v < kVars; ++v) {
+      EXPECT_EQ(read_back(mgr, mgr.subset1(a, v)), oracle_subset1(fa, v));
+      EXPECT_EQ(read_back(mgr, mgr.subset0(a, v)), oracle_subset0(fa, v));
+      EXPECT_EQ(read_back(mgr, mgr.change(a, v)), oracle_change(fa, v));
+      EXPECT_EQ(read_back(mgr, mgr.assign1(a, v)), oracle_assign1(fa, v));
+      // onset keeps exactly the sets containing v.
+      EXPECT_EQ(read_back(mgr, mgr.onset(a, v)),
+                oracle_diff(fa, oracle_subset0(fa, v)));
+      // assign0 is subset-without-v plus the v-removals: every set with v
+      // dropped.
+      EXPECT_EQ(read_back(mgr, mgr.assign0(a, v)),
+                oracle_union(oracle_subset0(fa, v), oracle_subset1(fa, v)));
+    }
+
+    // Membership agrees with the oracle on members and random non-members.
+    for (const auto& s : fa) EXPECT_TRUE(mgr.member(a, s));
+    for (int probe = 0; probe < 8; ++probe) {
+      std::vector<int> s;
+      for (int v = 0; v < kVars; ++v) {
+        if (rng() & 1) s.push_back(v);
+      }
+      EXPECT_EQ(mgr.member(a, s), fa.count(s) > 0);
+    }
+  }
+}
+
+TEST(ZddProps, PickCanonicalIsLexSmallestMember) {
+  std::mt19937 rng(7);
+  constexpr int kVars = 6;
+  for (int round = 0; round < 30; ++round) {
+    ZddManager mgr(kVars);
+    Family fam = random_family(kVars, 1 + static_cast<int>(rng() % 10), rng);
+    Zdd f = build(mgr, fam);
+    std::vector<int> pick;
+    ASSERT_TRUE(mgr.pick_canonical(f, pick));
+    // Lexicographically smallest member under the element-sequence order
+    // (∅ < {0,...} < {1,...}): exactly Family's std::set ordering minimum.
+    EXPECT_EQ(pick, *fam.begin());
+    // Determinism: a second pick — and a pick from a structurally imported
+    // copy in a fresh manager — returns the same set.
+    std::vector<int> again;
+    ASSERT_TRUE(mgr.pick_canonical(f, again));
+    EXPECT_EQ(pick, again);
+    ZddManager other(kVars);
+    std::vector<int> imported_pick;
+    ASSERT_TRUE(other.pick_canonical(other.import_zdd(f), imported_pick));
+    EXPECT_EQ(pick, imported_pick);
+  }
+  ZddManager mgr(kVars);
+  std::vector<int> pick{99};
+  EXPECT_FALSE(mgr.pick_canonical(mgr.empty(), pick));
+  // The empty SET is the smallest member whenever base ∈ f.
+  ASSERT_TRUE(mgr.pick_canonical(mgr.base() | mgr.singleton({2}), pick));
+  EXPECT_TRUE(pick.empty());
+}
+
+// ---- cross-manager import -------------------------------------------------
+
+TEST(ZddProps, ImportRoundTripPreservesFamily) {
+  std::mt19937 rng(11);
+  ZddManager src(8);
+  Family fam = random_family(8, 20, rng);
+  Zdd f = build(src, fam);
+
+  ZddManager dst(8);
+  Zdd g = dst.import_zdd(f);
+  EXPECT_EQ(read_back(dst, g), fam);
+  EXPECT_DOUBLE_EQ(g.count(), f.count());
+
+  // Round trip back into the source manager hits the original node (the
+  // unique table makes structural copies canonical).
+  EXPECT_EQ(src.import_zdd(g), f);
+}
+
+TEST(ZddProps, ImportSameManagerIsPassthrough) {
+  ZddManager mgr(4);
+  Zdd f = mgr.singleton({0, 2}) | mgr.singleton({3});
+  EXPECT_EQ(mgr.import_zdd(f), f);
+}
+
+TEST(ZddProps, ImportRejectsOutOfRangeVars) {
+  ZddManager wide(8);
+  Zdd f = wide.singleton({6});
+  ZddManager narrow(3);
+  EXPECT_THROW(narrow.import_zdd(f), std::invalid_argument);
+}
+
+// ---- arena node limit (PR-4 BddManager hardening, mirrored) ---------------
+
+TEST(ZddProps, NodeLimitThrowsLengthError) {
+  ZddManager mgr(16);
+  mgr.set_node_limit(mgr.arena_size() + 8);
+  std::mt19937 rng(3);
+  auto overflow = [&] {
+    Zdd f = mgr.empty();
+    for (int i = 0; i < 4096; ++i) {
+      std::vector<int> s;
+      for (int v = 0; v < 16; ++v) {
+        if (rng() & 1) s.push_back(v);
+      }
+      f |= mgr.singleton(s);
+    }
+  };
+  EXPECT_THROW(overflow(), std::length_error);
+}
+
+TEST(ZddProps, ManagerUsableAfterNodeLimitHit) {
+  ZddManager mgr(16);
+  mgr.set_node_limit(mgr.arena_size() + 8);
+  std::mt19937 rng(5);
+  try {
+    Zdd f = mgr.empty();
+    for (int i = 0; i < 4096; ++i) {
+      std::vector<int> s;
+      for (int v = 0; v < 16; ++v) {
+        if (rng() & 1) s.push_back(v);
+      }
+      f |= mgr.singleton(s);
+    }
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error&) {
+  }
+  // Raising the limit makes the same manager fully usable again — the
+  // guard must fail the operation, not poison the arena. SIZE_MAX clamps
+  // back to the hard arena bound.
+  mgr.set_node_limit(static_cast<std::size_t>(-1));
+  Family fam{{0, 5}, {2}, {}};
+  Zdd g = build(mgr, fam);
+  EXPECT_EQ(read_back(mgr, g), fam);
+}
+
+// ---- client memo slots ----------------------------------------------------
+
+TEST(ZddProps, MemoSlotsAreIsolatedAndReleasable) {
+  ZddManager mgr(6);
+  Zdd key = mgr.singleton({1, 4});
+  Zdd val1 = mgr.singleton({0});
+  Zdd val2 = mgr.singleton({2, 3});
+
+  std::uint64_t a = mgr.memo_reserve(2);
+  std::uint64_t b = mgr.memo_reserve(1);
+  ASSERT_NE(a, b);
+
+  Zdd out;
+  EXPECT_FALSE(mgr.memo_get(a, key, out));
+  mgr.memo_put(a, key, val1);
+  mgr.memo_put(b, key, val2);
+  ASSERT_TRUE(mgr.memo_get(a, key, out));
+  EXPECT_EQ(out, val1);
+  ASSERT_TRUE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(out, val2);  // same key, different slot: no cross-talk
+
+  // Releasing a slot range drops exactly its entries.
+  mgr.memo_release(a, 2);
+  EXPECT_FALSE(mgr.memo_get(a, key, out));
+  ASSERT_TRUE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(out, val2);
+
+  mgr.memo_clear();
+  EXPECT_FALSE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(mgr.memo_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace pnenc
