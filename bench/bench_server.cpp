@@ -1,0 +1,159 @@
+// Warm-start benchmarks: what snapshot persistence buys an analysis
+// session.
+//
+// Each measured unit is one FULL server session driven through
+// AnalysisServer over in-memory streams — exactly the `pnanalyze --serve`
+// code path minus process startup: open the net, answer the shared
+// 20-query mixed batch (the same batch bench_query_batch times), quit.
+// Two modes per net:
+//   cold — the snapshot directory is empty, so `open` pays the traversal
+//          and writes the snapshot (the wipe itself is excluded from the
+//          timing);
+//   warm — the snapshot is present, so `open` loads the reached set and
+//          the session never traverses.
+//
+// Before any timing, the cold and warm transcripts are verified
+// byte-identical apart from the `source=` word on the open line, and the
+// warm one must actually say source=snapshot — the bench aborts otherwise,
+// and the `identical_to_cold` counter records the check in
+// BENCH_server.json:
+//   ./bench_server --benchmark_filter=ServerSession \
+//       --benchmark_out=BENCH_server.json --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "petri/net.hpp"
+#include "query/query.hpp"
+#include "server/server.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace {
+
+using namespace pnenc;
+using bench::batch_net;
+using bench::batch_net_name;
+using pnenc::testing::mixed_query_batch;
+
+std::string bench_dir(int net_id) {
+  return std::string("/tmp/pnenc_bench_server/") + batch_net_name(net_id);
+}
+
+/// The snapshot file a BDD/improved session of this net reads and writes
+/// (the server's naming scheme: <net-hash-hex>-<backend>-<scheme>.pnss).
+std::string snapshot_file(int net_id, const petri::Net& net) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(petri::structural_hash(net)));
+  return bench_dir(net_id) + "/" + hex + "-bdd-improved.pnss";
+}
+
+/// Writes the mixed 20-query batch as a query file once per net and returns
+/// its path.
+std::string query_file(int net_id, const petri::Net& net) {
+  std::string dir = bench_dir(net_id);
+  std::string mk = "mkdir -p " + dir;
+  if (std::system(mk.c_str()) != 0) std::abort();
+  std::string path = dir + "/batch.queries";
+  std::ofstream out(path);
+  for (const query::Query& q : mixed_query_batch(net)) out << q.text << "\n";
+  return path;
+}
+
+std::string builtin_spec(int net_id) {
+  return std::string("builtin:") + batch_net_name(net_id);
+}
+
+/// One full session: open, batch, quit. Returns the transcript.
+std::string run_session(int net_id, const std::string& qfile, int jobs) {
+  server::ServerOptions opts;
+  opts.snapshot_dir = bench_dir(net_id);
+  opts.jobs = jobs;
+  std::istringstream in("open " + builtin_spec(net_id) + "\nbatch " + qfile +
+                        "\nquit\n");
+  std::ostringstream out;
+  if (server::run_server(in, out, opts) != 0) {
+    std::fprintf(stderr, "BENCH BUG: server session failed:\n%s\n",
+                 out.str().c_str());
+    std::abort();
+  }
+  return out.str();
+}
+
+/// Correctness gate: the warm transcript must come from the snapshot and
+/// must match the cold one byte-for-byte apart from the source= word.
+void verify_cold_vs_warm(const std::string& cold, const std::string& warm) {
+  std::istringstream cin_(cold), win(warm);
+  std::string cl, wl;
+  while (std::getline(cin_, cl)) {
+    if (!std::getline(win, wl)) std::abort();
+    if (cl.rfind("ok open ", 0) == 0) {
+      if (wl.find("source=snapshot") == std::string::npos ||
+          cl.find("source=traversal") == std::string::npos ||
+          cl.substr(0, cl.find(" source=")) !=
+              wl.substr(0, wl.find(" source="))) {
+        std::fprintf(stderr,
+                     "BENCH BUG: open lines diverge:\n  cold: %s\n  warm: %s\n",
+                     cl.c_str(), wl.c_str());
+        std::abort();
+      }
+    } else if (cl != wl) {
+      std::fprintf(stderr,
+                   "BENCH BUG: warm transcript differs from cold:\n"
+                   "  cold: %s\n  warm: %s\n",
+                   cl.c_str(), wl.c_str());
+      std::abort();
+    }
+  }
+  if (std::getline(win, wl)) std::abort();
+}
+
+/// mode: 0 = cold session (empty snapshot dir, traverses + saves),
+/// 1 = warm session (loads the snapshot, never traverses).
+void BM_ServerSession(benchmark::State& state) {
+  const int net_id = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  petri::Net net = batch_net(net_id);
+  const std::string qfile = query_file(net_id, net);
+  const std::string snap = snapshot_file(net_id, net);
+
+  // Verify once per net, independently of --benchmark_filter selection.
+  static bool verified[3] = {false, false, false};
+  if (!verified[net_id]) {
+    std::remove(snap.c_str());
+    std::string cold = run_session(net_id, qfile, 1);
+    std::string warm = run_session(net_id, qfile, 1);
+    verify_cold_vs_warm(cold, warm);
+    verified[net_id] = true;
+  }
+
+  for (auto _ : state) {
+    if (mode == 0) {
+      state.PauseTiming();
+      std::remove(snap.c_str());
+      state.ResumeTiming();
+    }
+    std::string transcript = run_session(net_id, qfile, 1);
+    benchmark::DoNotOptimize(transcript.data());
+  }
+  state.SetLabel(std::string(batch_net_name(net_id)) +
+                 (mode == 0 ? "/cold" : "/warm"));
+  state.counters["queries"] = 20;
+  state.counters["identical_to_cold"] = 1;
+}
+BENCHMARK(BM_ServerSession)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 //             [--schedule naive|early] [--autotune] [--stats]
 //             [--queries FILE] [--jobs N] [--trace]
 //             [--deadlocks] [--smcs] [--zdd] [--health]
+//   pnanalyze --serve [--snapshot-dir DIR] [--cache-size N]
+//             [--scheme S] [--jobs N]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
 // --backend picks the decision-diagram backend: bdd (the default — dense
@@ -33,81 +35,42 @@
 // docs/QUERIES.md; without --queries it prints a shortest deadlock trace
 // (implies --deadlocks). Traces are canonical: identical bytes for any
 // --method, --jobs, --backend, and variable-order history.
+//
+// --serve starts the warm-start analysis service instead of a one-shot
+// run: a stdin/stdout line protocol (open/query/batch/stats/close/quit —
+// see src/server/server.hpp) over an LRU cache of hot analysis sessions.
+// With --snapshot-dir, reached sets persist across processes: a second
+// server answers a batch on a previously analyzed net with zero traversal
+// work, byte-identically to the cold run.
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "encoding/encoding.hpp"
 #include "query/query.hpp"
+#include "query/query_report.hpp"
+#include "server/server.hpp"
 #include "symbolic/backend.hpp"
 #include "petri/classify.hpp"
 #include "petri/explicit_reach.hpp"
-#include "petri/generators.hpp"
-#include "petri/parser.hpp"
+#include "petri/net_spec.hpp"
 #include "smc/smc.hpp"
 #include "symbolic/analysis.hpp"
 #include "symbolic/symbolic.hpp"
 #include "symbolic/witness.hpp"
 #include "symbolic/zdd_reach.hpp"
+#include "util/parse.hpp"
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace pnenc;
-
-/// Checked integer parsing: the whole string must be a decimal number in
-/// [min, max]. std::atoi would silently turn "phil-abc" into size 0 — every
-/// malformed spec must be a loud error instead.
-int parse_int(const std::string& s, const std::string& what, int min_value,
-              int max_value) {
-  const char* begin = s.c_str();
-  char* end = nullptr;
-  errno = 0;
-  long v = std::strtol(begin, &end, 10);
-  if (s.empty() || end != begin + s.size() || errno == ERANGE ||
-      v < min_value || v > max_value) {
-    throw std::runtime_error("invalid " + what + " '" + s + "' (expected " +
-                             std::to_string(min_value) + ".." +
-                             std::to_string(max_value) + ")");
-  }
-  return static_cast<int>(v);
-}
-
-petri::Net load_net(const std::string& spec) {
-  if (spec.rfind("builtin:", 0) == 0) {
-    std::string name = spec.substr(8);
-    auto dash = name.find('-');
-    std::string family = name.substr(0, dash);
-    int n = 0;
-    if (dash != std::string::npos) {
-      try {
-        n = parse_int(name.substr(dash + 1), "net size", 1, 1000000);
-      } catch (const std::exception& e) {
-        throw std::runtime_error(std::string(e.what()) + " in builtin net '" +
-                                 name + "'");
-      }
-    }
-    if (family == "fig1") return petri::gen::fig1_net();
-    if (family == "phil") return petri::gen::philosophers(n);
-    if (family == "muller") return petri::gen::muller_pipeline(n);
-    if (family == "slot") return petri::gen::slotted_ring(n);
-    if (family == "dme") return petri::gen::dme_ring(n);
-    if (family == "dmecir") return petri::gen::dme_ring_circuit(n);
-    if (family == "reg") return petri::gen::register_net(n, 'a');
-    throw std::runtime_error("unknown builtin net: " + name);
-  }
-  std::ifstream in(spec);
-  if (!in) throw std::runtime_error("cannot open " + spec);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return petri::parse_net(text.str());
-}
+using util::parse_int_strict;
 
 int usage() {
   std::fprintf(stderr,
@@ -118,6 +81,8 @@ int usage() {
                "[--schedule naive|early] [--autotune] [--stats] "
                "[--queries FILE] [--jobs N] [--trace] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
+               "       pnanalyze --serve [--snapshot-dir DIR] "
+               "[--cache-size N] [--scheme S] [--jobs N]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
                "reg-N\n");
   return 2;
@@ -126,9 +91,7 @@ int usage() {
 /// Prints a trace in the docs/QUERIES.md line format, each line indented.
 void print_trace(const petri::Net& net, const symbolic::Trace& trace,
                  const char* indent) {
-  std::istringstream lines(symbolic::format_trace(net, trace));
-  std::string l;
-  while (std::getline(lines, l)) std::printf("%s%s\n", indent, l.c_str());
+  query::print_trace(std::cout, net, trace, indent);
 }
 
 /// Loads, answers, and prints a query batch — one code path for both
@@ -153,21 +116,9 @@ void run_query_batch(const petri::Net& net, typename Backend::Context& ctx,
   std::vector<query::QueryResult> answers = engine.run(queries);
   std::printf("answered %zu queries in %.1f ms (%d job%s)\n", answers.size(),
               qtimer.elapsed_ms(), jobs, jobs == 1 ? "" : "s");
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    std::printf("query %d [%s]: %s  (%.6g markings)  %s\n", queries[i].line,
-                query::kind_name(queries[i].kind),
-                answers[i].holds ? "yes" : "no", answers[i].count,
-                queries[i].text.c_str());
-    if (queries[i].want_trace) {
-      if (answers[i].has_trace) {
-        std::printf("  trace (%zu steps%s):\n", answers[i].trace.num_steps(),
-                    answers[i].trace.is_lasso() ? ", lasso" : "");
-        print_trace(net, answers[i].trace, "    ");
-      } else {
-        std::printf("  trace: none\n");
-      }
-    }
-  }
+  // One rendering for answer lines everywhere: the CLI, the serve loop, and
+  // the cross-backend differential tests all go through print_results.
+  query::print_results(std::cout, net, queries, answers);
 }
 
 /// The ZDD-backend analysis flow: same stages and line formats as the BDD
@@ -300,6 +251,7 @@ int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  std::string spec;
   std::string scheme = "improved";
   std::string backend_str = "bdd";
   symbolic::ImageMethod method = symbolic::ImageMethod::kDirect;
@@ -307,11 +259,27 @@ int main(int argc, char** argv) {
   symbolic::ScheduleKind schedule = symbolic::ScheduleKind::kEarly;
   bool want_deadlocks = false, want_smcs = false, want_zdd = false;
   bool want_health = false, want_autotune = false, want_stats = false;
-  bool want_trace = false;
+  bool want_trace = false, want_serve = false;
   std::string queries_file;
+  std::string snapshot_dir;
+  int cache_size = 4;
   int jobs = 1;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      if (!spec.empty()) return usage();  // at most one net spec
+      spec = argv[i];
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      want_serve = true;
+    } else if (!std::strcmp(argv[i], "--snapshot-dir") && i + 1 < argc) {
+      snapshot_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
+      try {
+        cache_size = parse_int_strict(argv[++i], "--cache-size value", 1, 1024);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--scheme") && i + 1 < argc) {
       scheme = argv[++i];
     } else if (!std::strcmp(argv[i], "--backend") && i + 1 < argc) {
       backend_str = argv[++i];
@@ -326,7 +294,7 @@ int main(int argc, char** argv) {
       queries_file = argv[++i];
     } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
       try {
-        jobs = parse_int(argv[++i], "--jobs value", 1, 1024);
+        jobs = parse_int_strict(argv[++i], "--jobs value", 1, 1024);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return usage();
@@ -381,8 +349,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (want_serve) {
+    server::ServerOptions sopts;
+    sopts.snapshot_dir = snapshot_dir;
+    sopts.cache_capacity = static_cast<std::size_t>(cache_size);
+    sopts.scheme = scheme;
+    sopts.jobs = jobs;
+    return server::run_server(std::cin, std::cout, sopts);
+  }
+  if (spec.empty()) return usage();
+
   try {
-    petri::Net net = load_net(argv[1]);
+    petri::Net net = petri::load_net_spec(spec);
     std::string problem = net.validate();
     if (!problem.empty()) {
       std::fprintf(stderr, "invalid net: %s\n", problem.c_str());

@@ -147,6 +147,19 @@ class BddManager {
   /// destination's order).
   Bdd import_bdd(const Bdd& f);
 
+  /// Raw node-table write API: returns the canonical (hash-consed) node
+  /// ⟨var, low, high⟩, exactly as the internal operators build nodes. This
+  /// is the loading half of the snapshot layer (snapshot/snapshot.cpp),
+  /// which rebuilds a saved diagram bottom-up — children first, so every
+  /// child is already a live handle here. The inputs ultimately come from
+  /// an untrusted file, so every structural precondition is *checked*, not
+  /// assumed: both children must belong to this manager, `var` must exist,
+  /// and var's level must lie strictly above each non-terminal child's top
+  /// level (otherwise the result would not be an ordered BDD). Violations
+  /// throw std::invalid_argument; an arena-cap hit throws std::length_error
+  /// (see set_node_limit) — never UB. low == high returns low, like mk().
+  Bdd make_node(int var, const Bdd& low, const Bdd& high);
+
   /// Cofactor f|_{var=value}.
   Bdd cofactor(const Bdd& f, int var, bool value);
   /// Cofactor by a cube of literal assignments (var, value) pairs.

@@ -116,6 +116,27 @@ Bdd BddManager::nvar(int v) {
   return Bdd(this, mk(static_cast<std::uint32_t>(v), kTrue, kFalse));
 }
 
+Bdd BddManager::make_node(int var, const Bdd& low, const Bdd& high) {
+  if (low.manager() != this || high.manager() != this) {
+    throw std::invalid_argument(
+        "make_node: child handle belongs to another manager (or is invalid)");
+  }
+  if (var < 0 || var >= num_vars()) {
+    throw std::invalid_argument("make_node: variable id " +
+                                std::to_string(var) + " out of range (" +
+                                std::to_string(num_vars()) + " variables)");
+  }
+  for (const Bdd* child : {&low, &high}) {
+    if (!child->is_terminal() &&
+        var2level_[var] >= level_of_node(child->id())) {
+      throw std::invalid_argument(
+          "make_node: child's level is not below variable " +
+          std::to_string(var) + "'s level — not an ordered BDD");
+    }
+  }
+  return Bdd(this, mk(static_cast<std::uint32_t>(var), low.id(), high.id()));
+}
+
 // ---------------------------------------------------------------------------
 // Unique table
 // ---------------------------------------------------------------------------

@@ -82,4 +82,13 @@ class Net {
   Marking initial_;
 };
 
+/// FNV-1a digest of the net's full structure: place/transition names, every
+/// arc, and the initial marking. Two nets hash equal iff they are the same
+/// net up to re-parsing (same ids, same names, same arcs, same M0) — the
+/// identity the snapshot cache and the serve loop key sessions by, so a
+/// reached set saved for one net can never be replayed against another.
+/// Pure and O(net size); stable across processes (no pointer or
+/// unordered-container iteration feeds the digest).
+[[nodiscard]] std::uint64_t structural_hash(const Net& net);
+
 }  // namespace pnenc::petri

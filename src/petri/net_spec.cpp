@@ -1,0 +1,44 @@
+#include "petri/net_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "petri/generators.hpp"
+#include "petri/parser.hpp"
+#include "util/parse.hpp"
+
+namespace pnenc::petri {
+
+Net load_net_spec(const std::string& spec) {
+  if (spec.rfind("builtin:", 0) == 0) {
+    std::string name = spec.substr(8);
+    auto dash = name.find('-');
+    std::string family = name.substr(0, dash);
+    int n = 0;
+    if (dash != std::string::npos) {
+      try {
+        n = util::parse_int_strict(name.substr(dash + 1), "net size", 1,
+                                   1000000);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(std::string(e.what()) + " in builtin net '" +
+                                 name + "'");
+      }
+    }
+    if (family == "fig1") return gen::fig1_net();
+    if (family == "phil") return gen::philosophers(n);
+    if (family == "muller") return gen::muller_pipeline(n);
+    if (family == "slot") return gen::slotted_ring(n);
+    if (family == "dme") return gen::dme_ring(n);
+    if (family == "dmecir") return gen::dme_ring_circuit(n);
+    if (family == "reg") return gen::register_net(n, 'a');
+    throw std::runtime_error("unknown builtin net: " + name);
+  }
+  std::ifstream in(spec);
+  if (!in) throw std::runtime_error("cannot open " + spec);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_net(text.str());
+}
+
+}  // namespace pnenc::petri

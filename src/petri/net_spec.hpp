@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace pnenc::petri {
+
+/// Resolves a net specification — either a path to a net file in the text
+/// format of petri/parser.hpp, or "builtin:NAME" for the generator gallery
+/// (fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N) — to a Net.
+/// Throws std::runtime_error with a user-facing message on unknown
+/// builtins, malformed sizes, or unreadable files. Shared by the pnanalyze
+/// command line and the serve loop's `open` command, so both spell nets
+/// identically.
+[[nodiscard]] Net load_net_spec(const std::string& spec);
+
+}  // namespace pnenc::petri

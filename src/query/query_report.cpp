@@ -1,0 +1,41 @@
+#include "query/query_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "symbolic/witness.hpp"
+
+namespace pnenc::query {
+
+void print_trace(std::ostream& out, const petri::Net& net,
+                 const symbolic::Trace& trace, const char* indent) {
+  std::istringstream lines(symbolic::format_trace(net, trace));
+  std::string l;
+  while (std::getline(lines, l)) out << indent << l << "\n";
+}
+
+void print_results(std::ostream& out, const petri::Net& net,
+                   const std::vector<Query>& queries,
+                   const std::vector<QueryResult>& answers) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // snprintf for the count: the "%.6g" spelling is part of the locked
+    // format (the CLI tests pattern-match these lines).
+    char count[32];
+    std::snprintf(count, sizeof count, "%.6g", answers[i].count);
+    out << "query " << queries[i].line << " [" << kind_name(queries[i].kind)
+        << "]: " << (answers[i].holds ? "yes" : "no") << "  (" << count
+        << " markings)  " << queries[i].text << "\n";
+    if (queries[i].want_trace) {
+      if (answers[i].has_trace) {
+        out << "  trace (" << answers[i].trace.num_steps() << " steps"
+            << (answers[i].trace.is_lasso() ? ", lasso" : "") << "):\n";
+        print_trace(out, net, answers[i].trace, "    ");
+      } else {
+        out << "  trace: none\n";
+      }
+    }
+  }
+}
+
+}  // namespace pnenc::query

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "query/query.hpp"
+
+namespace pnenc::query {
+
+/// Prints the per-query answer lines (and, for want_trace queries, the
+/// indented trace block) in the CLI's locked output format:
+///
+///   query <line> [<kind>]: yes|no  (<count> markings)  <original text>
+///     trace (<n> steps[, lasso]):
+///       <docs/QUERIES.md firing lines, indented>
+///
+/// This is the ONE rendering of a query batch — pnanalyze's --queries path
+/// and the serve loop's query/batch commands both call it, so the bytes
+/// cannot drift between them (the cold-vs-warm server comparison and the
+/// cross-backend differential tests both diff these lines verbatim).
+/// Deterministic by construction: everything printed is function-level
+/// QueryResult data; no timings, node counts, or order-dependent values.
+void print_results(std::ostream& out, const petri::Net& net,
+                   const std::vector<Query>& queries,
+                   const std::vector<QueryResult>& answers);
+
+/// Prints one trace in the docs/QUERIES.md line format, each line prefixed
+/// with `indent`.
+void print_trace(std::ostream& out, const petri::Net& net,
+                 const symbolic::Trace& trace, const char* indent);
+
+}  // namespace pnenc::query

@@ -1,0 +1,389 @@
+#include "server/server.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/net_spec.hpp"
+#include "query/query.hpp"
+#include "query/query_report.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pnenc::server {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_count(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// The partition-options component of a session key: two sessions may share
+/// a net hash and scheme but sweep differently shaped partitions, and their
+/// reached sets / engines must not be conflated.
+std::string options_key(const symbolic::PartitionOptions& p) {
+  return std::to_string(p.node_cap) + "n" + std::to_string(p.var_cap) + "v" +
+         (p.schedule == symbolic::ScheduleKind::kEarly ? "early" : "naive");
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits "cmd rest..." on the first whitespace run.
+std::pair<std::string, std::string> split_command(const std::string& line) {
+  std::size_t sp = line.find_first_of(" \t");
+  if (sp == std::string::npos) return {line, ""};
+  return {line.substr(0, sp), strip(line.substr(sp + 1))};
+}
+
+template <class Backend>
+void answer_queries(typename Backend::Context& ctx,
+                    const std::vector<query::Query>& queries, int jobs,
+                    std::ostream& out) {
+  query::QueryEngineOptions qopts;
+  qopts.jobs = jobs;
+  query::BasicQueryEngine<Backend> engine(ctx, qopts);
+  std::vector<query::QueryResult> answers = engine.run(queries);
+  query::print_results(out, ctx.net(), queries, answers);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+class AnalysisServer::SessionBase {
+ public:
+  virtual ~SessionBase() = default;
+
+  /// Warm-start decision, in order: snapshot (if a directory is configured
+  /// and a valid, matching snapshot exists), else traversal — writing the
+  /// snapshot back afterwards so the next process starts warm. Any snapshot
+  /// problem (missing file, corruption, net/scheme/option mismatch) is a
+  /// silent cache miss, never an error: the traversal is always a correct
+  /// fallback, and the rewrite replaces the bad file. Returns the source
+  /// label for the `open` response.
+  virtual std::string prepare(const std::string& snapshot_path) = 0;
+
+  [[nodiscard]] virtual const petri::Net& net() const = 0;
+  virtual double num_markings() = 0;
+  virtual void answer(const std::vector<query::Query>& queries, int jobs,
+                      std::ostream& out) = 0;
+
+  std::string key;
+  std::string spec;
+  std::string backend;
+  std::string scheme;  // "-" on zdd (no marking encoding exists)
+  std::uint64_t net_hash = 0;
+};
+
+template <>
+class AnalysisServer::Session<symbolic::BddBackend>
+    : public AnalysisServer::SessionBase {
+ public:
+  Session(petri::Net&& net, const std::string& scheme_name)
+      : net_(std::move(net)),
+        enc_(encoding::build_encoding(net_, scheme_name)) {
+    symbolic::SymbolicOptions sopts;
+    // Next-state variables on: saturation over the clustered partition is
+    // the traversal, and the partition-backed backward sweeps keep EF/trace
+    // chaining available to queries.
+    sopts.with_next_vars = true;
+    sopts.auto_reorder_threshold = 200000;
+    ctx_ = std::make_unique<symbolic::SymbolicContext>(net_, enc_, sopts);
+  }
+
+  std::string prepare(const std::string& snapshot_path) override {
+    if (!snapshot_path.empty()) {
+      try {
+        snapshot::load_snapshot(snapshot_path, *ctx_);
+        return "snapshot";
+      } catch (const snapshot::SnapshotError&) {
+      }
+    }
+    symbolic::BddBackend::ensure_reached(*ctx_);
+    if (!snapshot_path.empty()) {
+      try {
+        snapshot::save_snapshot(snapshot_path, *ctx_);
+      } catch (const snapshot::SnapshotError&) {
+        return "traversal (snapshot write failed)";
+      }
+    }
+    return "traversal";
+  }
+
+  const petri::Net& net() const override { return net_; }
+  double num_markings() override {
+    return ctx_->count_markings(ctx_->reached_set());
+  }
+  void answer(const std::vector<query::Query>& queries, int jobs,
+              std::ostream& out) override {
+    answer_queries<symbolic::BddBackend>(*ctx_, queries, jobs, out);
+  }
+
+ private:
+  // Order matters: the context holds references to net_ and enc_.
+  petri::Net net_;
+  encoding::MarkingEncoding enc_;
+  std::unique_ptr<symbolic::SymbolicContext> ctx_;
+};
+
+template <>
+class AnalysisServer::Session<symbolic::ZddBackend>
+    : public AnalysisServer::SessionBase {
+ public:
+  explicit Session(petri::Net&& net) : net_(std::move(net)) {
+    ctx_ = std::make_unique<symbolic::ZddContext>(net_);
+  }
+
+  std::string prepare(const std::string& snapshot_path) override {
+    if (!snapshot_path.empty()) {
+      try {
+        snapshot::load_snapshot(snapshot_path, *ctx_);
+        return "snapshot";
+      } catch (const snapshot::SnapshotError&) {
+      }
+    }
+    symbolic::ZddBackend::ensure_reached(*ctx_);
+    if (!snapshot_path.empty()) {
+      try {
+        snapshot::save_snapshot(snapshot_path, *ctx_);
+      } catch (const snapshot::SnapshotError&) {
+        return "traversal (snapshot write failed)";
+      }
+    }
+    return "traversal";
+  }
+
+  const petri::Net& net() const override { return net_; }
+  double num_markings() override {
+    return ctx_->count_markings(ctx_->reached_set());
+  }
+  void answer(const std::vector<query::Query>& queries, int jobs,
+              std::ostream& out) override {
+    answer_queries<symbolic::ZddBackend>(*ctx_, queries, jobs, out);
+  }
+
+ private:
+  petri::Net net_;
+  std::unique_ptr<symbolic::ZddContext> ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+AnalysisServer::AnalysisServer(std::istream& in, std::ostream& out,
+                               ServerOptions opts)
+    : in_(in), out_(out), opts_(std::move(opts)) {}
+
+AnalysisServer::~AnalysisServer() = default;
+
+AnalysisServer::SessionBase* AnalysisServer::find_session(
+    const std::string& key) {
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if ((*it)->key == key) {
+      sessions_.splice(sessions_.begin(), sessions_, it);
+      return sessions_.front().get();
+    }
+  }
+  return nullptr;
+}
+
+AnalysisServer::SessionBase* AnalysisServer::current() {
+  return sessions_.empty() ? nullptr : sessions_.front().get();
+}
+
+void AnalysisServer::cmd_open(const std::string& args) {
+  auto [spec, backend_str] = split_command(args);
+  if (spec.empty()) {
+    out_ << "error: usage: open <net-file|builtin:NAME> [bdd|zdd|auto]\n";
+    return;
+  }
+  if (backend_str.empty()) backend_str = "bdd";
+  if (backend_str != "bdd" && backend_str != "zdd" && backend_str != "auto") {
+    out_ << "error: unknown backend '" << backend_str
+         << "' (expected bdd, zdd or auto)\n";
+    return;
+  }
+
+  petri::Net net = petri::load_net_spec(spec);
+  std::string problem = net.validate();
+  if (!problem.empty()) {
+    out_ << "error: invalid net: " << problem << "\n";
+    return;
+  }
+  symbolic::BackendKind backend =
+      backend_str == "auto"
+          ? symbolic::choose_backend(net)
+          : (backend_str == "zdd" ? symbolic::BackendKind::kZdd
+                                  : symbolic::BackendKind::kBdd);
+  bool is_bdd = backend == symbolic::BackendKind::kBdd;
+
+  std::uint64_t hash = petri::structural_hash(net);
+  std::string scheme = is_bdd ? opts_.scheme : std::string();
+  std::string key = hex16(hash) + "|" + symbolic::backend_name(backend) +
+                    "|" + scheme + "|" + options_key({});
+
+  std::string source = "cache";
+  SessionBase* session = find_session(key);
+  if (session == nullptr) {
+    while (sessions_.size() >= opts_.cache_capacity && !sessions_.empty()) {
+      sessions_.pop_back();  // evict least recently used
+    }
+    std::unique_ptr<SessionBase> fresh;
+    if (is_bdd) {
+      fresh = std::make_unique<Session<symbolic::BddBackend>>(std::move(net),
+                                                              scheme);
+    } else {
+      fresh = std::make_unique<Session<symbolic::ZddBackend>>(std::move(net));
+    }
+    fresh->key = key;
+    fresh->spec = spec;
+    fresh->backend = symbolic::backend_name(backend);
+    fresh->scheme = is_bdd ? scheme : "-";
+    fresh->net_hash = hash;
+    std::string snapshot_path;
+    if (!opts_.snapshot_dir.empty()) {
+      snapshot_path = opts_.snapshot_dir + "/" + hex16(hash) + "-" +
+                      fresh->backend + (is_bdd ? "-" + scheme : "") + ".pnss";
+    }
+    source = fresh->prepare(snapshot_path);
+    sessions_.push_front(std::move(fresh));
+    session = sessions_.front().get();
+  }
+  out_ << "ok open " << session->spec << " backend=" << session->backend
+       << " places=" << session->net().num_places()
+       << " transitions=" << session->net().num_transitions()
+       << " markings=" << fmt_count(session->num_markings())
+       << " source=" << source << "\n";
+}
+
+void AnalysisServer::cmd_query(const std::string& args) {
+  SessionBase* session = current();
+  if (session == nullptr) {
+    out_ << "error: no open session (use: open <net-file|builtin:NAME>)\n";
+    return;
+  }
+  if (args.empty()) {
+    out_ << "error: usage: query <query-line>\n";
+    return;
+  }
+  std::vector<query::Query> queries = query::parse_queries(args);
+  if (queries.empty()) {
+    out_ << "error: no query on line\n";
+    return;
+  }
+  session->answer(queries, /*jobs=*/1, out_);
+}
+
+void AnalysisServer::cmd_batch(const std::string& args) {
+  SessionBase* session = current();
+  if (session == nullptr) {
+    out_ << "error: no open session (use: open <net-file|builtin:NAME>)\n";
+    return;
+  }
+  if (args.empty()) {
+    out_ << "error: usage: batch <query-file>\n";
+    return;
+  }
+  std::ifstream qin(args);
+  if (!qin) {
+    out_ << "error: cannot open " << args << "\n";
+    return;
+  }
+  std::ostringstream text;
+  text << qin.rdbuf();
+  std::vector<query::Query> queries = query::parse_queries(text.str());
+  session->answer(queries, opts_.jobs, out_);
+  out_ << "ok batch " << queries.size() << " queries\n";
+}
+
+void AnalysisServer::cmd_stats() {
+  out_ << "stats sessions=" << sessions_.size()
+       << " capacity=" << opts_.cache_capacity << " snapshot_dir="
+       << (opts_.snapshot_dir.empty() ? "(none)" : opts_.snapshot_dir)
+       << " jobs=" << opts_.jobs << "\n";
+  std::size_t i = 1;
+  for (auto& s : sessions_) {
+    out_ << "session " << i << " " << s->spec << " backend=" << s->backend
+         << " scheme=" << s->scheme << " hash=" << hex16(s->net_hash)
+         << " markings=" << fmt_count(s->num_markings())
+         << (i == 1 ? " current" : "") << "\n";
+    ++i;
+  }
+}
+
+void AnalysisServer::cmd_close() {
+  if (sessions_.empty()) {
+    out_ << "error: no open session\n";
+    return;
+  }
+  out_ << "ok close " << sessions_.front()->spec << "\n";
+  sessions_.pop_front();
+}
+
+bool AnalysisServer::handle_line(const std::string& raw) {
+  std::string line = strip(raw);
+  if (line.empty() || line[0] == '#') return true;
+  auto [cmd, args] = split_command(line);
+  try {
+    if (cmd == "quit") {
+      out_ << "ok quit\n";
+      return false;
+    } else if (cmd == "open") {
+      cmd_open(args);
+    } else if (cmd == "query") {
+      cmd_query(args);
+    } else if (cmd == "batch") {
+      cmd_batch(args);
+    } else if (cmd == "stats") {
+      cmd_stats();
+    } else if (cmd == "close") {
+      cmd_close();
+    } else {
+      out_ << "error: unknown command '" << cmd
+           << "' (commands: open, query, batch, stats, close, quit)\n";
+    }
+  } catch (const std::exception& e) {
+    // A failed command must not take the server down — the cached sessions
+    // are exactly the state a long-lived service exists to keep.
+    out_ << "error: " << e.what() << "\n";
+  }
+  return true;
+}
+
+int AnalysisServer::run() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    bool keep_going = handle_line(line);
+    out_.flush();  // interactive pipes: responses must not sit in a buffer
+    if (!keep_going) break;
+  }
+  return 0;
+}
+
+int run_server(std::istream& in, std::ostream& out,
+               const ServerOptions& opts) {
+  return AnalysisServer(in, out, opts).run();
+}
+
+}  // namespace pnenc::server

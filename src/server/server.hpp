@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "symbolic/backend.hpp"
+
+namespace pnenc::server {
+
+/// Configuration for the warm-start analysis service behind
+/// `pnanalyze --serve` (docs/ARCHITECTURE.md, "Snapshot persistence and the
+/// analysis server").
+struct ServerOptions {
+  /// Directory consulted before any traversal and populated after every
+  /// cold one (snapshot files named <net-hash>-<backend>[-<scheme>].pnss).
+  /// Empty disables persistence: every session miss traverses.
+  std::string snapshot_dir;
+  /// Max resident sessions; opening a new net beyond this evicts the least
+  /// recently used session (its manager and reached set are destroyed —
+  /// cheap to rebuild from its snapshot if the directory is set).
+  std::size_t cache_capacity = 4;
+  /// Marking-encoding scheme for BDD-backed sessions.
+  std::string scheme = "improved";
+  /// Shard workers for the `batch` command (manager-per-shard with work
+  /// stealing, exactly like `pnanalyze --queries --jobs N`).
+  int jobs = 1;
+};
+
+/// Line-oriented analysis service over an istream/ostream pair — stdin and
+/// stdout under `pnanalyze --serve`, stringstreams in the protocol tests.
+/// One command per line; every command produces at least one response line;
+/// errors are reported as "error: ..." and never terminate the loop (a
+/// malformed query mid-session must not take down the sessions built so
+/// far).
+///
+/// Commands:
+///   open <net-file|builtin:NAME> [bdd|zdd|auto]
+///       Makes a session for the net current. Sessions are cached LRU,
+///       keyed by (structural net hash, backend, scheme, partition
+///       options): reopening a cached net is instant (source=cache), a
+///       fresh net first tries its snapshot (source=snapshot) and only then
+///       traverses (source=traversal), writing the snapshot back on a cold
+///       miss so the NEXT process is warm.
+///   query <query-line>      one query (src/query/query.hpp line format,
+///                           `trace` modifier included) on the current
+///                           session
+///   batch <file>            a whole query file through the sharded engine
+///   stats                   cache shape: session list, MRU first
+///   close                   drops the current session from the cache
+///   quit                    ends the loop (as does EOF)
+///
+/// Query/batch answer lines are printed by query::print_results — the same
+/// bytes as `pnanalyze --queries`, with no timings — so a cold session and
+/// a snapshot-warmed session produce byte-identical transcripts (the
+/// BENCH_server cold-vs-warm check diffs exactly this).
+class AnalysisServer {
+ public:
+  AnalysisServer(std::istream& in, std::ostream& out, ServerOptions opts);
+  ~AnalysisServer();
+
+  /// Reads commands until quit/EOF. Returns 0 (protocol errors are
+  /// per-command responses, not exit codes).
+  int run();
+
+  /// Handles one command line; returns false when the loop should end
+  /// (quit). Exposed so tests can drive the server without streams.
+  bool handle_line(const std::string& line);
+
+  [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
+
+ private:
+  class SessionBase;
+  template <class Backend>
+  class Session;
+
+  void cmd_open(const std::string& args);
+  void cmd_query(const std::string& args);
+  void cmd_batch(const std::string& args);
+  void cmd_stats();
+  void cmd_close();
+
+  /// Moves the keyed session to the front (MRU) if cached; returns it or
+  /// null.
+  SessionBase* find_session(const std::string& key);
+  /// The current session (MRU front), or null if none is open.
+  SessionBase* current();
+
+  std::istream& in_;
+  std::ostream& out_;
+  ServerOptions opts_;
+  /// MRU-ordered: front is the current session, back the eviction victim.
+  /// Sessions are heap-allocated and never moved — a session owns its Net
+  /// and MarkingEncoding, and its SymbolicContext holds references to both,
+  /// so their addresses must be stable for the session's whole life.
+  std::list<std::unique_ptr<SessionBase>> sessions_;
+};
+
+/// Convenience wrapper: construct and run.
+int run_server(std::istream& in, std::ostream& out, const ServerOptions& opts);
+
+}  // namespace pnenc::server

@@ -1,0 +1,705 @@
+#include "snapshot/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "petri/net.hpp"
+
+namespace pnenc::snapshot {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire format (little-endian throughout)
+//
+//   bytes 0..3   magic "PNSS"
+//   bytes 4..7   format version (kSnapshotVersion)
+//   then exactly four frames, each ⟨tag u32, payload_len u64, payload⟩:
+//     META  flags u32 (must be 0), backend u8, net_hash u64, num_vars u32,
+//           node_count u32, root u32, marking-count double (u64 bit image),
+//           scheme_len u32, scheme bytes
+//     VORD  num_vars × u32 — level2var, the variable order at save time
+//     NODE  node_count × ⟨var u32, low u32, high u32⟩ — the reached set's
+//           DAG, one entry per non-terminal node, deepest level first.
+//           Child fields are *snapshot indices*: 0 and 1 are the terminals
+//           (false/true for BDDs, ∅/{∅} for ZDDs), entry i is index i+2,
+//           and every child index is < i+2 — parents strictly follow their
+//           children, so loading is a single forward pass with no fixup.
+//     CKSM  u64 — FNV-1a 64 of every byte before this frame's tag
+//   and nothing after the CKSM payload.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+constexpr std::uint32_t kTagMeta = fourcc('M', 'E', 'T', 'A');
+constexpr std::uint32_t kTagVord = fourcc('V', 'O', 'R', 'D');
+constexpr std::uint32_t kTagNode = fourcc('N', 'O', 'D', 'E');
+constexpr std::uint32_t kTagCksm = fourcc('C', 'K', 'S', 'M');
+constexpr unsigned char kMagic[4] = {'P', 'N', 'S', 'S'};
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    if (c >= 0x20 && c < 0x7F) s[static_cast<std::size_t>(i)] = c;
+  }
+  return s;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const unsigned char* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void frame(std::uint32_t tag, const Writer& payload) {
+    u32(tag);
+    u64(payload.buf_.size());
+    buf_.insert(buf_.end(), payload.buf_.begin(), payload.buf_.end());
+  }
+  [[nodiscard]] const std::vector<unsigned char>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<unsigned char> take() { return std::move(buf_); }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked little-endian cursor; every overrun names what it was
+/// reading, so a truncated file reports *where* it ends, not just that it
+/// does.
+class Reader {
+ public:
+  Reader(const unsigned char* p, std::size_t n) : p_(p), n_(n) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return p_[off_++];
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[off_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off_ += 8;
+    return v;
+  }
+  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
+  std::string str(std::size_t len, const char* what) {
+    need(len, what);
+    std::string s(reinterpret_cast<const char*>(p_ + off_), len);
+    off_ += len;
+    return s;
+  }
+  [[nodiscard]] std::size_t offset() const { return off_; }
+  [[nodiscard]] std::size_t remaining() const { return n_ - off_; }
+  void need(std::size_t k, const char* what) const {
+    if (n_ - off_ < k) {
+      throw SnapshotError(std::string("truncated snapshot: unexpected end of "
+                                      "data while reading ") +
+                          what);
+    }
+  }
+
+ private:
+  const unsigned char* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+/// decode_meta's working form: the public meta plus the pieces node
+/// rebuilding needs (root index and the located NODE payload).
+struct Parsed {
+  SnapshotMeta meta;
+  std::uint32_t root = 0;
+  std::size_t node_payload_offset = 0;
+};
+
+/// Full byte-level validation: framing, checksum, then META/VORD contents
+/// and NODE sizing. No manager is touched; everything a snapshot can get
+/// wrong *on its own* (as opposed to against a particular net/context) is
+/// rejected here.
+Parsed parse_snapshot(const std::vector<unsigned char>& bytes) {
+  std::vector<SnapshotFrame> frames = snapshot_frames(bytes);
+
+  // Checksum before content: a bit flip anywhere in the payload surfaces as
+  // exactly one message, not as whichever downstream validator trips first.
+  const SnapshotFrame& cksm = frames[3];
+  Reader cr(bytes.data() + cksm.payload_offset, cksm.payload_len);
+  std::uint64_t stored = cr.u64("CKSM digest");
+  std::uint64_t actual = fnv1a64(bytes.data(), cksm.header_offset);
+  if (stored != actual) {
+    throw SnapshotError("snapshot checksum mismatch: file records " +
+                        hex16(stored) + ", payload hashes to " +
+                        hex16(actual) + " — the snapshot is corrupted");
+  }
+
+  Parsed out;
+  out.meta.version = kSnapshotVersion;
+
+  const SnapshotFrame& metaf = frames[0];
+  Reader mr(bytes.data() + metaf.payload_offset, metaf.payload_len);
+  std::uint32_t flags = mr.u32("META flags");
+  if (flags != 0) {
+    throw SnapshotError("unsupported snapshot flags 0x" + hex16(flags) +
+                        " (version 1 defines none)");
+  }
+  std::uint8_t backend = mr.u8("META backend id");
+  switch (backend) {
+    case 0:
+      out.meta.backend = symbolic::BackendKind::kBdd;
+      break;
+    case 1:
+      out.meta.backend = symbolic::BackendKind::kZdd;
+      break;
+    default:
+      throw SnapshotError("unknown backend id " + std::to_string(backend) +
+                          " in META frame (0 = bdd, 1 = zdd)");
+  }
+  out.meta.net_hash = mr.u64("META net hash");
+  out.meta.num_vars = mr.u32("META variable count");
+  out.meta.node_count = mr.u32("META node count");
+  out.root = mr.u32("META root index");
+  out.meta.num_markings = mr.f64("META marking count");
+  std::uint32_t scheme_len = mr.u32("META scheme length");
+  if (scheme_len > mr.remaining()) {
+    throw SnapshotError(
+        "malformed META frame: scheme length " + std::to_string(scheme_len) +
+        " exceeds the " + std::to_string(mr.remaining()) +
+        " bytes left in the frame");
+  }
+  out.meta.scheme = mr.str(scheme_len, "META scheme string");
+  if (mr.remaining() != 0) {
+    throw SnapshotError("malformed META frame: " +
+                        std::to_string(mr.remaining()) +
+                        " trailing bytes after the scheme string");
+  }
+  if (out.root >= out.meta.node_count + 2) {
+    throw SnapshotError(
+        "malformed META frame: root index " + std::to_string(out.root) +
+        " out of range for " + std::to_string(out.meta.node_count) +
+        " nodes plus 2 terminals");
+  }
+
+  const SnapshotFrame& vord = frames[1];
+  if (vord.payload_len != std::size_t{4} * out.meta.num_vars) {
+    throw SnapshotError(
+        "malformed VORD frame: length " + std::to_string(vord.payload_len) +
+        " does not match " + std::to_string(out.meta.num_vars) +
+        " variables (expected " + std::to_string(4 * out.meta.num_vars) +
+        " bytes)");
+  }
+  Reader vr(bytes.data() + vord.payload_offset, vord.payload_len);
+  out.meta.level2var.resize(out.meta.num_vars);
+  std::vector<bool> seen(out.meta.num_vars, false);
+  for (std::uint32_t l = 0; l < out.meta.num_vars; ++l) {
+    std::uint32_t v = vr.u32("VORD entry");
+    if (v >= out.meta.num_vars || seen[v]) {
+      throw SnapshotError(
+          "malformed VORD frame: entries are not a permutation of 0.." +
+          std::to_string(out.meta.num_vars - 1) + " (offending value " +
+          std::to_string(v) + " at level " + std::to_string(l) + ")");
+    }
+    seen[v] = true;
+    out.meta.level2var[l] = static_cast<int>(v);
+  }
+
+  const SnapshotFrame& node = frames[2];
+  if (node.payload_len != std::size_t{12} * out.meta.node_count) {
+    throw SnapshotError(
+        "malformed NODE frame: length " + std::to_string(node.payload_len) +
+        " does not match " + std::to_string(out.meta.node_count) +
+        " node entries (expected " +
+        std::to_string(std::size_t{12} * out.meta.node_count) + " bytes)");
+  }
+  out.node_payload_offset = node.payload_offset;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Collects the non-terminal nodes under `root`, ordered deepest level
+/// first and ascending by node id within a level — the write order that
+/// makes every entry's children precede it, and that is a pure function of
+/// the manager's node table (so identical context state encodes to
+/// identical bytes). `level_of` maps a node id to its level.
+template <class LevelOf, class LowOf, class HighOf>
+std::vector<std::uint32_t> collect_bottom_up(std::uint32_t root, int num_levels,
+                                             LevelOf level_of, LowOf low_of,
+                                             HighOf high_of) {
+  std::vector<std::vector<std::uint32_t>> by_level(
+      static_cast<std::size_t>(num_levels));
+  std::vector<std::uint32_t> stack;
+  std::unordered_map<std::uint32_t, bool> visited;
+  if (root > 1) stack.push_back(root);
+  while (!stack.empty()) {
+    std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (visited[id]) continue;
+    visited[id] = true;
+    by_level[static_cast<std::size_t>(level_of(id))].push_back(id);
+    for (std::uint32_t child : {low_of(id), high_of(id)}) {
+      if (child > 1 && !visited[child]) stack.push_back(child);
+    }
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(visited.size());
+  for (int l = num_levels - 1; l >= 0; --l) {
+    auto& bucket = by_level[static_cast<std::size_t>(l)];
+    std::sort(bucket.begin(), bucket.end());
+    order.insert(order.end(), bucket.begin(), bucket.end());
+  }
+  return order;
+}
+
+template <class VarOf, class LowOf, class HighOf>
+std::vector<unsigned char> encode_impl(
+    symbolic::BackendKind kind, std::uint64_t net_hash,
+    const std::string& scheme, int num_vars,
+    const std::vector<int>& level2var, double num_markings,
+    const std::vector<std::uint32_t>& order, std::uint32_t root_id,
+    VarOf var_of, LowOf low_of, HighOf high_of) {
+  std::unordered_map<std::uint32_t, std::uint32_t> index;
+  index.reserve(order.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) index[order[i]] = i + 2;
+  auto snap_index = [&](std::uint32_t id) -> std::uint32_t {
+    return id <= 1 ? id : index.at(id);
+  };
+
+  Writer meta;
+  meta.u32(0);  // flags
+  meta.u8(kind == symbolic::BackendKind::kBdd ? 0 : 1);
+  meta.u64(net_hash);
+  meta.u32(static_cast<std::uint32_t>(num_vars));
+  meta.u32(static_cast<std::uint32_t>(order.size()));
+  meta.u32(snap_index(root_id));
+  meta.f64(num_markings);
+  meta.u32(static_cast<std::uint32_t>(scheme.size()));
+  meta.bytes(reinterpret_cast<const unsigned char*>(scheme.data()),
+             scheme.size());
+
+  Writer vord;
+  for (int l = 0; l < num_vars; ++l) {
+    vord.u32(static_cast<std::uint32_t>(level2var[static_cast<std::size_t>(l)]));
+  }
+
+  Writer node;
+  for (std::uint32_t id : order) {
+    node.u32(static_cast<std::uint32_t>(var_of(id)));
+    node.u32(snap_index(low_of(id)));
+    node.u32(snap_index(high_of(id)));
+  }
+
+  Writer out;
+  out.bytes(kMagic, 4);
+  out.u32(kSnapshotVersion);
+  out.frame(kTagMeta, meta);
+  out.frame(kTagVord, vord);
+  out.frame(kTagNode, node);
+  Writer cksm;
+  cksm.u64(fnv1a64(out.data().data(), out.size()));
+  out.frame(kTagCksm, cksm);
+  return out.take();
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("cannot open snapshot file '" + path + "'");
+  }
+  in.seekg(0, std::ios::end);
+  auto len = in.tellg();
+  if (len < 0) {
+    throw SnapshotError("cannot determine size of snapshot file '" + path +
+                        "'");
+  }
+  in.seekg(0, std::ios::beg);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(len));
+  if (len > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), len);
+  }
+  if (!in) {
+    throw SnapshotError("failed reading snapshot file '" + path + "'");
+  }
+  return bytes;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<unsigned char>& bytes) {
+  // Temp-then-rename: a reader either sees the complete previous snapshot
+  // or the complete new one, never a torn write — the property the serve
+  // loop's snapshot directory relies on.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError("cannot create snapshot temp file '" + tmp + "'");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw SnapshotError("failed writing snapshot temp file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("failed to move snapshot into place at '" + path +
+                        "'");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<SnapshotFrame> snapshot_frames(
+    const std::vector<unsigned char>& bytes) {
+  Reader r(bytes.data(), bytes.size());
+  r.need(4, "magic");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    throw SnapshotError(
+        "not a pnenc snapshot (bad magic; expected \"PNSS\")");
+  }
+  r.str(4, "magic");
+  std::uint32_t version = r.u32("format version");
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+
+  constexpr std::uint32_t expected[4] = {kTagMeta, kTagVord, kTagNode,
+                                         kTagCksm};
+  std::vector<SnapshotFrame> frames;
+  for (int i = 0; i < 4; ++i) {
+    SnapshotFrame f;
+    f.header_offset = r.offset();
+    f.tag = r.u32("frame tag");
+    if (f.tag != expected[i]) {
+      throw SnapshotError("unexpected frame '" + tag_name(f.tag) +
+                          "' where '" + tag_name(expected[i]) +
+                          "' was required (frames must appear in the order "
+                          "META, VORD, NODE, CKSM)");
+    }
+    std::uint64_t len = r.u64("frame length");
+    if (len > r.remaining()) {
+      throw SnapshotError("truncated snapshot: frame '" + tag_name(f.tag) +
+                          "' declares " + std::to_string(len) +
+                          " payload bytes but only " +
+                          std::to_string(r.remaining()) + " remain");
+    }
+    f.payload_offset = r.offset();
+    f.payload_len = static_cast<std::size_t>(len);
+    r.str(f.payload_len, "frame payload");
+    frames.push_back(f);
+  }
+  if (frames[3].payload_len != 8) {
+    throw SnapshotError("malformed CKSM frame: payload is " +
+                        std::to_string(frames[3].payload_len) +
+                        " bytes (a CKSM digest is exactly 8)");
+  }
+  if (r.remaining() != 0) {
+    throw SnapshotError("malformed snapshot: " +
+                        std::to_string(r.remaining()) +
+                        " trailing bytes after the CKSM frame");
+  }
+  return frames;
+}
+
+SnapshotMeta decode_meta(const std::vector<unsigned char>& bytes) {
+  return parse_snapshot(bytes).meta;
+}
+
+std::vector<unsigned char> encode_snapshot(symbolic::SymbolicContext& ctx) {
+  const bdd::Bdd& reached = ctx.reached_set();
+  if (!reached.is_valid()) {
+    throw SnapshotError(
+        "context has no reached set to snapshot — run reachability() first");
+  }
+  bdd::BddManager& mgr = ctx.manager();
+  std::vector<int> level2var(static_cast<std::size_t>(mgr.num_vars()));
+  for (int l = 0; l < mgr.num_vars(); ++l) {
+    level2var[static_cast<std::size_t>(l)] = mgr.var_at_level(l);
+  }
+  std::vector<std::uint32_t> order = collect_bottom_up(
+      reached.id(), mgr.num_vars(),
+      [&](std::uint32_t id) { return mgr.level_of_var(mgr.node_var(id)); },
+      [&](std::uint32_t id) { return mgr.node_low(id); },
+      [&](std::uint32_t id) { return mgr.node_high(id); });
+  return encode_impl(
+      symbolic::BackendKind::kBdd, petri::structural_hash(ctx.net()),
+      ctx.enc().scheme, mgr.num_vars(), level2var,
+      ctx.count_markings(reached), order, reached.id(),
+      [&](std::uint32_t id) { return mgr.node_var(id); },
+      [&](std::uint32_t id) { return mgr.node_low(id); },
+      [&](std::uint32_t id) { return mgr.node_high(id); });
+}
+
+std::vector<unsigned char> encode_snapshot(symbolic::ZddContext& ctx) {
+  const zdd::Zdd& reached = ctx.reached_set();
+  if (!reached.is_valid()) {
+    throw SnapshotError(
+        "context has no reached set to snapshot — run reachability() first");
+  }
+  zdd::ZddManager& mgr = ctx.manager();
+  // The ZDD order is fixed: var == level, always.
+  std::vector<int> level2var(static_cast<std::size_t>(mgr.num_vars()));
+  for (int l = 0; l < mgr.num_vars(); ++l) {
+    level2var[static_cast<std::size_t>(l)] = l;
+  }
+  std::vector<std::uint32_t> order = collect_bottom_up(
+      reached.id(), mgr.num_vars(),
+      [&](std::uint32_t id) { return mgr.node_var(id); },
+      [&](std::uint32_t id) { return mgr.node_low(id); },
+      [&](std::uint32_t id) { return mgr.node_high(id); });
+  return encode_impl(
+      symbolic::BackendKind::kZdd, petri::structural_hash(ctx.net()),
+      /*scheme=*/"", mgr.num_vars(), level2var, ctx.count_markings(reached),
+      order, reached.id(),
+      [&](std::uint32_t id) { return mgr.node_var(id); },
+      [&](std::uint32_t id) { return mgr.node_low(id); },
+      [&](std::uint32_t id) { return mgr.node_high(id); });
+}
+
+bdd::Bdd decode_snapshot(const std::vector<unsigned char>& bytes,
+                         bdd::BddManager& mgr, SnapshotMeta& meta) {
+  Parsed p = parse_snapshot(bytes);
+  meta = p.meta;
+  if (p.meta.backend != symbolic::BackendKind::kBdd) {
+    throw SnapshotError("snapshot was written by the '" +
+                        std::string(symbolic::backend_name(p.meta.backend)) +
+                        "' backend and cannot load into a BddManager");
+  }
+  if (static_cast<int>(p.meta.num_vars) != mgr.num_vars()) {
+    throw SnapshotError(
+        "variable count mismatch: snapshot has " +
+        std::to_string(p.meta.num_vars) + " variables, manager has " +
+        std::to_string(mgr.num_vars()));
+  }
+  // Install the recorded order first: the table was written under it, and
+  // make_node's level-ordering check assumes the destination agrees.
+  mgr.set_var_order(p.meta.level2var);
+
+  // Replay the table bottom-up. `built` holds live handles for every entry,
+  // so nothing is GC-able mid-rebuild, and on a throw the vector unwinds and
+  // the partial nodes become garbage for the next gc() — the manager stays
+  // fully usable either way.
+  std::vector<bdd::Bdd> built;
+  built.reserve(p.meta.node_count + 2);
+  built.push_back(mgr.bdd_false());
+  built.push_back(mgr.bdd_true());
+  Reader nr(bytes.data() + p.node_payload_offset,
+            std::size_t{12} * p.meta.node_count);
+  for (std::uint32_t i = 0; i < p.meta.node_count; ++i) {
+    std::uint32_t var = nr.u32("NODE entry variable");
+    std::uint32_t low = nr.u32("NODE entry low child");
+    std::uint32_t high = nr.u32("NODE entry high child");
+    if (low >= i + 2 || high >= i + 2) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          " references a later node — the table is not "
+                          "bottom-up");
+    }
+    if (low == high) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          " has identical children — not a canonical ROBDD "
+                          "node");
+    }
+    try {
+      built.push_back(
+          mgr.make_node(static_cast<int>(var), built[low], built[high]));
+    } catch (const std::invalid_argument& e) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          ": " + e.what());
+    }
+  }
+  return built[p.root];
+}
+
+zdd::Zdd decode_snapshot(const std::vector<unsigned char>& bytes,
+                         zdd::ZddManager& mgr, SnapshotMeta& meta) {
+  Parsed p = parse_snapshot(bytes);
+  meta = p.meta;
+  if (p.meta.backend != symbolic::BackendKind::kZdd) {
+    throw SnapshotError("snapshot was written by the '" +
+                        std::string(symbolic::backend_name(p.meta.backend)) +
+                        "' backend and cannot load into a ZddManager");
+  }
+  if (static_cast<int>(p.meta.num_vars) != mgr.num_vars()) {
+    throw SnapshotError(
+        "variable count mismatch: snapshot has " +
+        std::to_string(p.meta.num_vars) + " variables, manager has " +
+        std::to_string(mgr.num_vars()));
+  }
+  for (std::uint32_t l = 0; l < p.meta.num_vars; ++l) {
+    if (p.meta.level2var[l] != static_cast<int>(l)) {
+      throw SnapshotError(
+          "malformed VORD frame: a ZDD snapshot must record the identity "
+          "order (var == level), but level " + std::to_string(l) +
+          " records variable " + std::to_string(p.meta.level2var[l]));
+    }
+  }
+
+  std::vector<zdd::Zdd> built;
+  built.reserve(p.meta.node_count + 2);
+  built.push_back(mgr.empty());
+  built.push_back(mgr.base());
+  Reader nr(bytes.data() + p.node_payload_offset,
+            std::size_t{12} * p.meta.node_count);
+  for (std::uint32_t i = 0; i < p.meta.node_count; ++i) {
+    std::uint32_t var = nr.u32("NODE entry variable");
+    std::uint32_t low = nr.u32("NODE entry low child");
+    std::uint32_t high = nr.u32("NODE entry high child");
+    if (low >= i + 2 || high >= i + 2) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          " references a later node — the table is not "
+                          "bottom-up");
+    }
+    if (high == 0) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          " has an empty high child — a canonical ZDD "
+                          "zero-suppresses such nodes");
+    }
+    try {
+      built.push_back(
+          mgr.make_node(static_cast<int>(var), built[low], built[high]));
+    } catch (const std::invalid_argument& e) {
+      throw SnapshotError("malformed NODE frame: entry " + std::to_string(i) +
+                          ": " + e.what());
+    }
+  }
+  return built[p.root];
+}
+
+void save_snapshot(const std::string& path, symbolic::SymbolicContext& ctx) {
+  write_file_atomic(path, encode_snapshot(ctx));
+}
+
+void save_snapshot(const std::string& path, symbolic::ZddContext& ctx) {
+  write_file_atomic(path, encode_snapshot(ctx));
+}
+
+SnapshotMeta read_snapshot_meta(const std::string& path) {
+  return decode_meta(read_file(path));
+}
+
+void load_snapshot(const std::string& path, symbolic::SymbolicContext& ctx) {
+  std::vector<unsigned char> bytes = read_file(path);
+  SnapshotMeta meta = decode_meta(bytes);
+  if (meta.backend != symbolic::BackendKind::kBdd) {
+    throw SnapshotError("snapshot '" + path + "' was written by the '" +
+                        std::string(symbolic::backend_name(meta.backend)) +
+                        "' backend, but this context runs 'bdd'");
+  }
+  std::uint64_t want = petri::structural_hash(ctx.net());
+  if (meta.net_hash != want) {
+    throw SnapshotError("snapshot '" + path +
+                        "' was written for a different net (snapshot net "
+                        "hash " + hex16(meta.net_hash) + ", this net " +
+                        hex16(want) + ")");
+  }
+  if (meta.scheme != ctx.enc().scheme) {
+    throw SnapshotError("snapshot '" + path + "' uses encoding scheme '" +
+                        meta.scheme + "', but this context encodes with '" +
+                        ctx.enc().scheme + "'");
+  }
+  if (static_cast<int>(meta.num_vars) != ctx.manager().num_vars()) {
+    throw SnapshotError(
+        "snapshot '" + path + "' has " + std::to_string(meta.num_vars) +
+        " variables, but this context's manager has " +
+        std::to_string(ctx.manager().num_vars()) +
+        " (the with_next_vars option must match the saving run)");
+  }
+  bdd::Bdd root = decode_snapshot(bytes, ctx.manager(), meta);
+  double got = ctx.count_markings(root);
+  if (got != meta.num_markings) {
+    throw SnapshotError(
+        "snapshot '" + path + "' failed its marking-count cross-check: file "
+        "records " + std::to_string(meta.num_markings) +
+        " markings, the rebuilt set counts " + std::to_string(got));
+  }
+  ctx.set_reached(root);
+}
+
+void load_snapshot(const std::string& path, symbolic::ZddContext& ctx) {
+  std::vector<unsigned char> bytes = read_file(path);
+  SnapshotMeta meta = decode_meta(bytes);
+  if (meta.backend != symbolic::BackendKind::kZdd) {
+    throw SnapshotError("snapshot '" + path + "' was written by the '" +
+                        std::string(symbolic::backend_name(meta.backend)) +
+                        "' backend, but this context runs 'zdd'");
+  }
+  std::uint64_t want = petri::structural_hash(ctx.net());
+  if (meta.net_hash != want) {
+    throw SnapshotError("snapshot '" + path +
+                        "' was written for a different net (snapshot net "
+                        "hash " + hex16(meta.net_hash) + ", this net " +
+                        hex16(want) + ")");
+  }
+  zdd::Zdd root = decode_snapshot(bytes, ctx.manager(), meta);
+  double got = ctx.count_markings(root);
+  if (got != meta.num_markings) {
+    throw SnapshotError(
+        "snapshot '" + path + "' failed its marking-count cross-check: file "
+        "records " + std::to_string(meta.num_markings) +
+        " markings, the rebuilt set counts " + std::to_string(got));
+  }
+  ctx.set_reached(root);
+}
+
+}  // namespace pnenc::snapshot

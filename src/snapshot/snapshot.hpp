@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "symbolic/backend.hpp"
+
+namespace pnenc::snapshot {
+
+/// Every way a snapshot can be malformed — truncation, bit rot, a wrong
+/// magic/version, a mismatched net/scheme/backend, or a payload that fails
+/// structural validation — is reported as a SnapshotError with a message
+/// naming the offending frame or field. The destination manager is either
+/// untouched (all byte-level validation happens before any node is built)
+/// or left fully usable (node construction unwinds like any failed
+/// operation). Arena-cap hits during rebuild propagate as the managers'
+/// usual std::length_error.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// On-disk format version this build writes and the only one it reads.
+/// Versioning rule (docs/ARCHITECTURE.md): any layout change — a new or
+/// reordered frame, a new META field, a different node-entry width — bumps
+/// this and readers reject everything else loudly; there is no silent
+/// best-effort parse of foreign versions.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Metadata recovered from a snapshot's META/VORD frames — everything
+/// needed to decide reuse *before* rebuilding a single node.
+struct SnapshotMeta {
+  std::uint32_t version = 0;
+  symbolic::BackendKind backend = symbolic::BackendKind::kBdd;
+  /// petri::structural_hash of the net the reached set was computed for.
+  std::uint64_t net_hash = 0;
+  /// Marking-encoding scheme ("sparse"/"dense"/"improved"); empty on zdd.
+  std::string scheme;
+  std::uint32_t num_vars = 0;
+  std::uint32_t node_count = 0;
+  /// Exact marking count recorded at save time; re-verified after load, so
+  /// a structurally valid but semantically wrong table cannot slip through.
+  double num_markings = 0.0;
+  /// The manager variable order at save time: level2var[l] = variable at
+  /// level l. Installed into the destination manager on load (identity on
+  /// zdd, where var == level always).
+  std::vector<int> level2var;
+};
+
+/// The FNV-1a 64 digest the trailing checksum frame carries (exposed so the
+/// corruption tests and the fuzzer can craft inputs with *valid* checksums
+/// and exercise the structural validators behind it).
+[[nodiscard]] std::uint64_t fnv1a64(const unsigned char* data,
+                                    std::size_t len);
+
+/// One frame of a snapshot byte stream: tag (FourCC), where its payload
+/// lives, and how long it is. snapshot_frames walks the framing only
+/// (magic, version, tag/length chain, checksum coverage — no payload
+/// parsing) and throws SnapshotError on any structural violation. This is
+/// the introspection surface the corruption suite and the fuzzer use to aim
+/// mutations at specific frames.
+struct SnapshotFrame {
+  std::uint32_t tag = 0;
+  std::size_t header_offset = 0;   ///< offset of the tag word
+  std::size_t payload_offset = 0;  ///< offset of the first payload byte
+  std::size_t payload_len = 0;
+};
+[[nodiscard]] std::vector<SnapshotFrame> snapshot_frames(
+    const std::vector<unsigned char>& bytes);
+
+// ---------------------------------------------------------------------------
+// Byte-level encode/decode
+// ---------------------------------------------------------------------------
+
+/// Serializes the context's reached set (plus the metadata above) into the
+/// framed format. Throws SnapshotError if the context has not computed a
+/// reached set yet. Deterministic: the same context state produces the same
+/// bytes (nodes are written level by level, deepest level first, ascending
+/// node id within a level — so every child precedes its parents and the
+/// loader needs zero pointer fixup).
+[[nodiscard]] std::vector<unsigned char> encode_snapshot(
+    symbolic::SymbolicContext& ctx);
+[[nodiscard]] std::vector<unsigned char> encode_snapshot(
+    symbolic::ZddContext& ctx);
+
+/// Parses and fully validates the byte stream (framing, checksum, META and
+/// VORD contents) without touching any manager. Throws SnapshotError on any
+/// malformation.
+[[nodiscard]] SnapshotMeta decode_meta(const std::vector<unsigned char>& bytes);
+
+/// Rebuilds the saved diagram inside `mgr` and returns its root. Validates
+/// everything decode_meta does first, then: requires mgr.num_vars() ==
+/// meta.num_vars, installs the recorded variable order (BddManager::
+/// set_var_order; a no-op identity check on zdd), and replays the node
+/// table bottom-up through make_node — each entry may reference only
+/// terminals or earlier entries, every violation throws before the entry is
+/// built. On any throw the manager keeps all prior handles valid and stays
+/// usable (partial rebuild nodes are unreferenced and reclaimed by gc).
+[[nodiscard]] bdd::Bdd decode_snapshot(const std::vector<unsigned char>& bytes,
+                                       bdd::BddManager& mgr,
+                                       SnapshotMeta& meta);
+[[nodiscard]] zdd::Zdd decode_snapshot(const std::vector<unsigned char>& bytes,
+                                       zdd::ZddManager& mgr,
+                                       SnapshotMeta& meta);
+
+// ---------------------------------------------------------------------------
+// File-level API
+// ---------------------------------------------------------------------------
+
+/// Writes the context's reached set to `path`. The write is atomic at the
+/// filesystem level (temp file + rename), so a crashed or concurrent writer
+/// can never leave a half-written snapshot where a reader will find it.
+void save_snapshot(const std::string& path, symbolic::SymbolicContext& ctx);
+void save_snapshot(const std::string& path, symbolic::ZddContext& ctx);
+
+/// Reads and validates a snapshot's metadata without rebuilding nodes.
+[[nodiscard]] SnapshotMeta read_snapshot_meta(const std::string& path);
+
+/// Full context rehydration: validates the snapshot against the context
+/// (backend kind, petri::structural_hash of the net, encoding scheme,
+/// variable count — a with_next_vars mismatch surfaces here), rebuilds the
+/// reached set inside the context's manager under the recorded variable
+/// order, re-verifies the recorded marking count, and adopts the set via
+/// set_reached — after which Analyzer / CtlChecker / QueryEngine built on
+/// the context answer without any traversal (the warm-start path of
+/// `pnanalyze --serve`). Throws SnapshotError on any mismatch or
+/// malformation, leaving the context usable and its reached set unchanged.
+void load_snapshot(const std::string& path, symbolic::SymbolicContext& ctx);
+void load_snapshot(const std::string& path, symbolic::ZddContext& ctx);
+
+}  // namespace pnenc::snapshot

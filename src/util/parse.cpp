@@ -1,0 +1,24 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnenc::util {
+
+int parse_int_strict(const std::string& s, const std::string& what,
+                     int min_value, int max_value) {
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(begin, &end, 10);
+  if (s.empty() || end != begin + s.size() || errno == ERANGE ||
+      v < min_value || v > max_value) {
+    throw std::runtime_error("invalid " + what + " '" + s + "' (expected " +
+                             std::to_string(min_value) + ".." +
+                             std::to_string(max_value) + ")");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace pnenc::util

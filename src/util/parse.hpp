@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+namespace pnenc::util {
+
+/// Checked integer parsing: the whole string must be a decimal number in
+/// [min_value, max_value]. std::atoi would silently turn "phil-abc" into
+/// size 0 — every malformed value must be a loud error instead. Throws
+/// std::runtime_error naming `what` and the accepted range. Shared by the
+/// pnanalyze flag parser and the serve loop's command reader.
+int parse_int_strict(const std::string& s, const std::string& what,
+                     int min_value, int max_value);
+
+}  // namespace pnenc::util

@@ -81,6 +81,27 @@ int ZddManager::new_var() {
   return v;
 }
 
+Zdd ZddManager::make_node(int var, const Zdd& low, const Zdd& high) {
+  if (low.manager() != this || high.manager() != this) {
+    throw std::invalid_argument(
+        "make_node: child handle belongs to another manager (or is invalid)");
+  }
+  if (var < 0 || var >= num_vars()) {
+    throw std::invalid_argument("make_node: variable id " +
+                                std::to_string(var) + " out of range (" +
+                                std::to_string(num_vars()) + " variables)");
+  }
+  for (const Zdd* child : {&low, &high}) {
+    // top() is kVarTerminal (max u32) on terminals, so they always pass.
+    if (top(child->id()) <= static_cast<std::uint32_t>(var)) {
+      throw std::invalid_argument(
+          "make_node: child's top variable is not below variable " +
+          std::to_string(var) + " — not an ordered ZDD");
+    }
+  }
+  return Zdd(this, mk(static_cast<std::uint32_t>(var), low.id(), high.id()));
+}
+
 std::size_t ZddManager::hash_pair(std::uint32_t low, std::uint32_t high,
                                   std::size_t nbuckets) {
   std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;

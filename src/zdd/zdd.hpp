@@ -148,6 +148,16 @@ class ZddManager {
   /// variable this manager does not have.
   Zdd import_zdd(const Zdd& f);
 
+  /// Raw node-table write API: the canonical (hash-consed) node
+  /// ⟨var, low, high⟩, the ZDD sibling of BddManager::make_node and the
+  /// loading half of the snapshot layer. Checked, not assumed (the inputs
+  /// come from an untrusted file): children must belong to this manager,
+  /// `var` must exist, and var must lie strictly above each non-terminal
+  /// child's top variable (var id == level here). Violations throw
+  /// std::invalid_argument; an arena-cap hit throws std::length_error —
+  /// never UB. high == ∅ returns low (the zero-suppression rule of mk()).
+  Zdd make_node(int var, const Zdd& low, const Zdd& high);
+
   [[nodiscard]] double count(const Zdd& f);
   [[nodiscard]] std::size_t dag_size(const Zdd& f);
   [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }

@@ -1,0 +1,225 @@
+// Protocol suite for the analysis server behind `pnanalyze --serve`
+// (label: snapshot). Drives AnalysisServer over stringstreams — the same
+// code path the binary wires to stdin/stdout — covering the happy path,
+// error recovery mid-session, the stats shape, LRU eviction at capacity,
+// and the cold-then-warm snapshot round trip whose query transcripts must
+// be byte-identical.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace pnenc {
+namespace {
+
+std::string serve(const std::string& commands,
+                  const server::ServerOptions& opts = {}) {
+  std::istringstream in(commands);
+  std::ostringstream out;
+  EXPECT_EQ(server::run_server(in, out, opts), 0);
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string l;
+  while (std::getline(in, l)) lines.push_back(l);
+  return lines;
+}
+
+TEST(Serve, HappyPath) {
+  std::string out = serve(
+      "open builtin:fig1\n"
+      "query reach p4\n"
+      "query trace ef p6 & p7\n"
+      "close\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[0],
+            "ok open builtin:fig1 backend=bdd places=7 transitions=7 "
+            "markings=8 source=traversal");
+  EXPECT_EQ(lines[1], "query 1 [reach]: yes  (2 markings)  reach p4");
+  // The traced EF answer is the canonical 3-step witness the CLI tests
+  // lock; identical bytes here proves serve shares the rendering.
+  EXPECT_EQ(lines[2], "query 1 [ef]: yes  (8 markings)  trace ef p6 & p7");
+  EXPECT_EQ(lines[3], "  trace (3 steps):");
+  EXPECT_EQ(lines[4], "    1 t1 +p2 +p3 -p1");
+  EXPECT_EQ(lines[5], "    2 t3 +p6 -p2");
+  EXPECT_EQ(lines[6], "    3 t4 +p7 -p3");
+  EXPECT_EQ(lines[7], "ok close builtin:fig1");
+  EXPECT_EQ(lines[8], "ok quit");
+}
+
+TEST(Serve, ZddBackendSession) {
+  std::string out = serve(
+      "open builtin:fig1 zdd\n"
+      "query deadlock\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  EXPECT_EQ(lines[0],
+            "ok open builtin:fig1 backend=zdd places=7 transitions=7 "
+            "markings=8 source=traversal");
+  EXPECT_EQ(lines[1], "query 1 [deadlock]: no  (0 markings)  deadlock");
+}
+
+TEST(Serve, ErrorsDoNotKillTheSession) {
+  std::string out = serve(
+      "open builtin:fig1\n"
+      "bogus command\n"
+      "query reach nosuchplace\n"
+      "open builtin:nosuchnet\n"
+      "batch /nonexistent.queries\n"
+      "query reach p4\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[1],
+            "error: unknown command 'bogus' (commands: open, query, batch, "
+            "stats, close, quit)");
+  EXPECT_EQ(lines[2].rfind("error:", 0), 0u);  // unknown place
+  EXPECT_EQ(lines[3], "error: unknown builtin net: nosuchnet");
+  EXPECT_EQ(lines[4], "error: cannot open /nonexistent.queries");
+  // The session survived all four failures and still answers.
+  EXPECT_EQ(lines[5], "query 1 [reach]: yes  (2 markings)  reach p4");
+  EXPECT_EQ(lines[6], "ok quit");
+}
+
+TEST(Serve, CommandsWithoutSessionAreErrors) {
+  std::string out = serve(
+      "query reach p1\n"
+      "batch whatever\n"
+      "close\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            "error: no open session (use: open <net-file|builtin:NAME>)");
+  EXPECT_EQ(lines[1],
+            "error: no open session (use: open <net-file|builtin:NAME>)");
+  EXPECT_EQ(lines[2], "error: no open session");
+}
+
+TEST(Serve, StatsShapeAndCacheHits) {
+  std::string out = serve(
+      "open builtin:fig1\n"
+      "open builtin:phil-4\n"
+      "open builtin:fig1\n"
+      "stats\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 7u);
+  // Third open re-uses the cached fig1 session.
+  EXPECT_NE(lines[2].find("source=cache"), std::string::npos);
+  EXPECT_EQ(lines[3], "stats sessions=2 capacity=4 snapshot_dir=(none) jobs=1");
+  // MRU first: fig1 (current), then phil-4.
+  EXPECT_EQ(lines[4].rfind("session 1 builtin:fig1 backend=bdd "
+                           "scheme=improved hash=", 0), 0u);
+  EXPECT_NE(lines[4].find("markings=8 current"), std::string::npos);
+  EXPECT_EQ(lines[5].rfind("session 2 builtin:phil-4 ", 0), 0u);
+  EXPECT_NE(lines[5].find("markings=466"), std::string::npos);
+  EXPECT_EQ(lines[5].find("current"), std::string::npos);
+}
+
+TEST(Serve, LruEvictionAtCapacity) {
+  server::ServerOptions opts;
+  opts.cache_capacity = 2;
+  std::string out = serve(
+      "open builtin:fig1\n"
+      "open builtin:phil-4\n"
+      "open builtin:dme-4\n"   // evicts fig1 (LRU)
+      "stats\n"
+      "open builtin:fig1\n"    // cold again — eviction really dropped it
+      "stats\n"
+      "quit\n",
+      opts);
+  std::vector<std::string> lines = lines_of(out);
+  EXPECT_NE(lines[2].find("source=traversal"), std::string::npos);
+  EXPECT_EQ(lines[3], "stats sessions=2 capacity=2 snapshot_dir=(none) jobs=1");
+  EXPECT_EQ(lines[4].rfind("session 1 builtin:dme-4 ", 0), 0u);
+  EXPECT_EQ(lines[5].rfind("session 2 builtin:phil-4 ", 0), 0u);
+  // Reopening fig1 traverses again (not cache) and evicts phil-4.
+  EXPECT_NE(lines[6].find("source=traversal"), std::string::npos);
+  EXPECT_EQ(lines[8].rfind("session 1 builtin:fig1 ", 0), 0u);
+  EXPECT_EQ(lines[9].rfind("session 2 builtin:dme-4 ", 0), 0u);
+}
+
+TEST(Serve, ColdThenWarmTranscriptsAreByteIdentical) {
+  std::string dir = ::testing::TempDir() + "pnenc_serve_snapdir";
+  // Stale snapshots from a previous run would make the "cold" side warm.
+  std::string mk = "rm -rf " + dir + " && mkdir -p " + dir;
+  ASSERT_EQ(std::system(mk.c_str()), 0);
+
+  // A query file exercising every query kind, traces included.
+  std::string qfile = dir + "/fig1.queries";
+  {
+    std::ofstream q(qfile);
+    q << "reach p4\n"
+      << "trace ef p6 & p7\n"
+      << "ag p1 | p2 | p3\n"
+      << "trace eg true\n"
+      << "af p1\n"
+      << "ex p4\n"
+      << "deadlock\n"
+      << "live t3\n";
+  }
+
+  server::ServerOptions opts;
+  opts.snapshot_dir = dir;
+  opts.jobs = 2;
+  std::string commands =
+      "open builtin:fig1\n"
+      "batch " + qfile + "\n"
+      "open builtin:fig1 zdd\n"
+      "batch " + qfile + "\n"
+      "quit\n";
+
+  // Cold server process: traverses, writes snapshots.
+  std::string cold = serve(commands, opts);
+  std::vector<std::string> cold_lines = lines_of(cold);
+  EXPECT_NE(cold_lines[0].find("source=traversal"), std::string::npos);
+
+  // Warm server process: loads both snapshots; everything after the
+  // source= difference must be byte-identical.
+  std::string warm = serve(commands, opts);
+  std::vector<std::string> warm_lines = lines_of(warm);
+  ASSERT_EQ(warm_lines.size(), cold_lines.size());
+  for (std::size_t i = 0; i < cold_lines.size(); ++i) {
+    if (cold_lines[i].rfind("ok open ", 0) == 0) {
+      EXPECT_NE(warm_lines[i].find("source=snapshot"), std::string::npos)
+          << "line " << i << ": " << warm_lines[i];
+      EXPECT_EQ(warm_lines[i].substr(0, warm_lines[i].find(" source=")),
+                cold_lines[i].substr(0, cold_lines[i].find(" source=")));
+    } else {
+      EXPECT_EQ(warm_lines[i], cold_lines[i]) << "line " << i;
+    }
+  }
+  std::remove(qfile.c_str());
+}
+
+TEST(Serve, BlankLinesAndCommentsAreIgnored) {
+  std::string out = serve(
+      "\n"
+      "# a comment\n"
+      "   \n"
+      "open builtin:fig1\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ok open builtin:fig1 ", 0), 0u);
+}
+
+TEST(Serve, EofEndsTheLoop) {
+  std::string out = serve("open builtin:fig1\n");  // no quit
+  EXPECT_EQ(lines_of(out).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pnenc

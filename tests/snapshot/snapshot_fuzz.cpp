@@ -1,0 +1,140 @@
+// Deterministic snapshot fuzzer (standalone binary, NOT a gtest suite —
+// CMakeLists removes it from the tests glob and registers it directly,
+// label: snapshot).
+//
+//   snapshot_fuzz [seed] [iterations]
+//
+// Starting from a valid fig1 snapshot, each iteration applies a random
+// mutation recipe — bit flips, byte splices, truncations, duplicated or
+// deleted ranges, or a wholly random buffer — and pushes the result through
+// the FULL decode path (decode_meta, then decode_snapshot into a fresh
+// manager). The pass criterion is the snapshot layer's safety contract:
+// every outcome is either a clean accept or a SnapshotError /
+// std::length_error rejection. Any other exception, or a crash/sanitizer
+// report, fails the run. The seed is fixed by default so CI failures
+// reproduce exactly; pass a different seed to widen the search.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "snapshot/snapshot.hpp"
+#include "symbolic/backend.hpp"
+
+using pnenc::snapshot::SnapshotError;
+
+namespace {
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes mutate(const Bytes& good, std::mt19937& rng) {
+  std::uniform_int_distribution<int> pick(0, 5);
+  std::uniform_int_distribution<int> byte(0, 255);
+  Bytes b = good;
+  switch (pick(rng)) {
+    case 0: {  // 1..8 random bit flips
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      int flips = 1 + pick(rng);
+      for (int i = 0; i < flips; ++i) {
+        b[pos(rng)] ^= static_cast<unsigned char>(1u << (byte(rng) & 7));
+      }
+      return b;
+    }
+    case 1: {  // overwrite a random range with random bytes
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 32));
+      for (std::size_t i = 0; i < len; ++i) {
+        b[start + i] = static_cast<unsigned char>(byte(rng));
+      }
+      return b;
+    }
+    case 2: {  // truncate
+      std::uniform_int_distribution<std::size_t> pos(0, b.size());
+      b.resize(pos(rng));
+      return b;
+    }
+    case 3: {  // duplicate a range (grows the buffer)
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 16));
+      b.insert(b.begin() + static_cast<std::ptrdiff_t>(start),
+               b.begin() + static_cast<std::ptrdiff_t>(start),
+               b.begin() + static_cast<std::ptrdiff_t>(start + len));
+      return b;
+    }
+    case 4: {  // delete a range
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 16));
+      b.erase(b.begin() + static_cast<std::ptrdiff_t>(start),
+              b.begin() + static_cast<std::ptrdiff_t>(start + len));
+      return b;
+    }
+    default: {  // fully random buffer, sometimes with a valid prologue
+      std::uniform_int_distribution<std::size_t> len(0, 512);
+      Bytes junk(len(rng));
+      for (auto& x : junk) x = static_cast<unsigned char>(byte(rng));
+      if (junk.size() >= 8 && (byte(rng) & 1)) {
+        const unsigned char prologue[8] = {'P', 'N', 'S', 'S', 1, 0, 0, 0};
+        std::copy(prologue, prologue + 8, junk.begin());
+      }
+      return junk;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned seed = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+                           : 20260808u;
+  int iterations = argc > 2 ? std::atoi(argv[2]) : 2000;
+
+  using namespace pnenc;
+  petri::Net net = petri::gen::fig1_net();
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicOptions sopts;
+  sopts.with_next_vars = true;
+  symbolic::SymbolicContext ctx(net, enc, sopts);
+  ctx.reachability(symbolic::ImageMethod::kSaturation);
+  Bytes good = snapshot::encode_snapshot(ctx);
+
+  std::mt19937 rng(seed);
+  int accepted = 0, rejected = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    Bytes input = mutate(good, rng);
+    try {
+      snapshot::SnapshotMeta meta = snapshot::decode_meta(input);
+      // Meta parsed: drive the node rebuild too, into a fresh manager sized
+      // to the snapshot's own declaration (mismatches must throw, not UB).
+      bdd::BddManager mgr(static_cast<int>(meta.num_vars));
+      mgr.set_node_limit(1u << 20);  // cap runaway tables from evil counts
+      if (meta.backend == symbolic::BackendKind::kBdd) {
+        (void)snapshot::decode_snapshot(input, mgr, meta);
+      } else {
+        zdd::ZddManager zmgr(static_cast<int>(meta.num_vars));
+        (void)snapshot::decode_snapshot(input, zmgr, meta);
+      }
+      ++accepted;
+    } catch (const SnapshotError&) {
+      ++rejected;
+    } catch (const std::length_error&) {
+      ++rejected;  // arena cap — the documented resource guard
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "snapshot_fuzz: FOREIGN EXCEPTION at seed=%u iter=%d: %s\n",
+                   seed, iter, e.what());
+      return 1;
+    }
+  }
+  std::printf("snapshot_fuzz: %d inputs (seed %u): %d rejected, %d accepted, "
+              "0 crashes\n",
+              iterations, seed, rejected, accepted);
+  return 0;
+}

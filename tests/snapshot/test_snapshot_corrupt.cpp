@@ -1,0 +1,382 @@
+// Corruption suite for the snapshot layer (label: snapshot).
+//
+// The contract: NO malformed input reaches undefined behavior. Every
+// truncation, bit flip, wrong-version/net/scheme/backend file, structurally
+// evil node table (with a *valid* checksum, so the structural validators —
+// not just the digest — are what's exercised), and pure-random buffer is
+// rejected with a SnapshotError whose message names the problem, and the
+// destination context stays fully usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "snapshot/snapshot.hpp"
+#include "symbolic/backend.hpp"
+#include "tests/testing/net_fixtures.hpp"
+
+namespace pnenc {
+namespace {
+
+using Bytes = std::vector<unsigned char>;
+
+symbolic::SymbolicOptions bdd_options() {
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;
+  return opts;
+}
+
+/// A tiny valid BDD snapshot (fig1/improved) every corruption starts from.
+struct Fixture {
+  Fixture()
+      : net(petri::gen::fig1_net()),
+        enc(encoding::build_encoding(net, "improved")),
+        ctx(net, enc, bdd_options()) {
+    ctx.reachability(symbolic::ImageMethod::kSaturation);
+    bytes = snapshot::encode_snapshot(ctx);
+  }
+  petri::Net net;
+  encoding::MarkingEncoding enc;
+  symbolic::SymbolicContext ctx;
+  Bytes bytes;
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+/// Recomputes the trailing checksum after a deliberate payload patch, so
+/// the test reaches the validator BEHIND the digest.
+void fix_checksum(Bytes& b) {
+  std::vector<snapshot::SnapshotFrame> frames = snapshot::snapshot_frames(b);
+  std::uint64_t h = snapshot::fnv1a64(b.data(), frames[3].header_offset);
+  for (int i = 0; i < 8; ++i) {
+    b[frames[3].payload_offset + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>((h >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u32(Bytes& b, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Writes bytes to a temp file and runs the full load path into a fresh
+/// context, expecting a SnapshotError; then proves the context is still
+/// usable by traversing it and checking fig1's marking count.
+void expect_load_rejected(const Bytes& b, bool check_usable = false) {
+  std::string path = ::testing::TempDir() + "pnenc_corrupt.pnss";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+  }
+  Fixture& f = fixture();
+  symbolic::SymbolicContext dst(f.net, f.enc, bdd_options());
+  EXPECT_THROW(snapshot::load_snapshot(path, dst), snapshot::SnapshotError);
+  EXPECT_FALSE(dst.reached_set().is_valid());
+  if (check_usable) {
+    auto r = dst.reachability(symbolic::ImageMethod::kSaturation);
+    EXPECT_EQ(r.num_markings, 8.0);
+  }
+  std::remove(path.c_str());
+}
+
+std::string message_of(const Bytes& b) {
+  try {
+    (void)snapshot::decode_meta(b);
+  } catch (const snapshot::SnapshotError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SnapshotCorrupt, EveryTruncationIsRejected) {
+  const Bytes& good = fixture().bytes;
+  ASSERT_GT(good.size(), 60u);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    Bytes cut(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)snapshot::decode_meta(cut), snapshot::SnapshotError)
+        << "prefix of length " << len << " was accepted";
+  }
+  // Frame boundaries specifically exercise the full load path (file → fresh
+  // context), proving the destination survives each.
+  std::vector<snapshot::SnapshotFrame> frames =
+      snapshot::snapshot_frames(good);
+  for (const snapshot::SnapshotFrame& f : frames) {
+    for (std::size_t cut_at : {f.header_offset, f.payload_offset,
+                               f.payload_offset + f.payload_len - 1}) {
+      Bytes cut(good.begin(),
+                good.begin() + static_cast<std::ptrdiff_t>(cut_at));
+      expect_load_rejected(cut, /*check_usable=*/true);
+    }
+  }
+}
+
+TEST(SnapshotCorrupt, EverySingleBitFlipIsRejected) {
+  const Bytes& good = fixture().bytes;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = good;
+      bad[i] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_THROW((void)snapshot::decode_meta(bad), snapshot::SnapshotError)
+          << "bit " << bit << " of byte " << i << " flipped undetected";
+    }
+  }
+  // Spot-check the full load path (and context usability) on one flip per
+  // region: magic, version, META payload, NODE payload, CKSM digest.
+  std::vector<snapshot::SnapshotFrame> frames =
+      snapshot::snapshot_frames(good);
+  for (std::size_t off : {std::size_t{0}, std::size_t{4},
+                          frames[0].payload_offset + 6,
+                          frames[2].payload_offset + 5,
+                          frames[3].payload_offset}) {
+    Bytes bad = good;
+    bad[off] ^= 0x10;
+    expect_load_rejected(bad, /*check_usable=*/true);
+  }
+}
+
+TEST(SnapshotCorrupt, ErrorMessagesAreDescriptive) {
+  const Bytes& good = fixture().bytes;
+  {
+    Bytes bad = good;
+    bad[0] = 'X';
+    EXPECT_NE(message_of(bad).find("bad magic"), std::string::npos);
+  }
+  {
+    Bytes bad = good;
+    bad[4] = 99;  // version
+    EXPECT_NE(message_of(bad).find("unsupported snapshot version 99"),
+              std::string::npos);
+  }
+  {
+    Bytes bad = good;
+    bad[good.size() - 1] ^= 0xFF;  // CKSM digest byte
+    EXPECT_NE(message_of(bad).find("checksum mismatch"), std::string::npos);
+  }
+  {
+    Bytes bad = good;
+    bad[bad.size() - 20] = 'X';  // CKSM tag ('C' of the last frame header)
+    EXPECT_NE(message_of(bad).find("unexpected frame"), std::string::npos);
+  }
+  {
+    Bytes bad = good;
+    bad.push_back(0);  // trailing byte after CKSM
+    EXPECT_NE(message_of(bad).find("trailing bytes"), std::string::npos);
+  }
+}
+
+TEST(SnapshotCorrupt, ChecksummedSemanticPatchesAreRejected) {
+  const Bytes& good = fixture().bytes;
+  std::vector<snapshot::SnapshotFrame> frames =
+      snapshot::snapshot_frames(good);
+  std::size_t meta_off = frames[0].payload_offset;
+  std::size_t node_off = frames[2].payload_offset;
+  ASSERT_GE(frames[2].payload_len, 24u);  // at least two node entries
+
+  // Unknown backend id (META byte after the u32 flags).
+  {
+    Bytes bad = good;
+    bad[meta_off + 4] = 7;
+    fix_checksum(bad);
+    EXPECT_NE(message_of(bad).find("unknown backend id 7"),
+              std::string::npos);
+  }
+  // Nonzero flags.
+  {
+    Bytes bad = good;
+    bad[meta_off] = 1;
+    fix_checksum(bad);
+    EXPECT_NE(message_of(bad).find("unsupported snapshot flags"),
+              std::string::npos);
+  }
+  // Root index out of range.
+  {
+    Bytes bad = good;
+    put_u32(bad, meta_off + 4 + 1 + 8 + 4 + 4, 0xFFFFu);
+    fix_checksum(bad);
+    EXPECT_NE(message_of(bad).find("root index"), std::string::npos);
+    expect_load_rejected(bad);
+  }
+  // VORD not a permutation (level 0 and 1 both map to variable 0).
+  {
+    Bytes bad = good;
+    put_u32(bad, frames[1].payload_offset, 0);
+    put_u32(bad, frames[1].payload_offset + 4, 0);
+    fix_checksum(bad);
+    EXPECT_NE(message_of(bad).find("not a permutation"), std::string::npos);
+    expect_load_rejected(bad);
+  }
+  // Forward reference: entry 0's low child points at entry 5 (index 7).
+  {
+    Bytes bad = good;
+    put_u32(bad, node_off + 4, 7);
+    fix_checksum(bad);
+    Bytes b = bad;
+    symbolic::SymbolicContext dst(fixture().net, fixture().enc,
+                                  bdd_options());
+    snapshot::SnapshotMeta meta;
+    try {
+      (void)snapshot::decode_snapshot(b, dst.manager(), meta);
+      FAIL() << "forward reference accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("references a later node"),
+                std::string::npos);
+    }
+  }
+  // Non-canonical entry: low == high.
+  {
+    Bytes bad = good;
+    put_u32(bad, node_off + 4, 1);
+    put_u32(bad, node_off + 8, 1);
+    fix_checksum(bad);
+    symbolic::SymbolicContext dst(fixture().net, fixture().enc,
+                                  bdd_options());
+    snapshot::SnapshotMeta meta;
+    try {
+      (void)snapshot::decode_snapshot(bad, dst.manager(), meta);
+      FAIL() << "low == high accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("identical children"),
+                std::string::npos);
+    }
+  }
+  // Variable id out of range (make_node's range check, surfaced as
+  // SnapshotError with the entry index).
+  {
+    Bytes bad = good;
+    put_u32(bad, node_off, 0xFFFFu);
+    fix_checksum(bad);
+    expect_load_rejected(bad, /*check_usable=*/true);
+  }
+  // Marking-count cross-check: structurally fine, semantically wrong count.
+  {
+    Bytes bad = good;
+    // META count double sits after flags+backend+hash+nvars+ncount+root.
+    std::size_t count_off = meta_off + 4 + 1 + 8 + 4 + 4 + 4;
+    bad[count_off] ^= 0x01;
+    fix_checksum(bad);
+    std::string path = ::testing::TempDir() + "pnenc_badcount.pnss";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bad.data()),
+                static_cast<std::streamsize>(bad.size()));
+    }
+    symbolic::SymbolicContext dst(fixture().net, fixture().enc,
+                                  bdd_options());
+    try {
+      snapshot::load_snapshot(path, dst);
+      FAIL() << "wrong marking count accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("marking-count cross-check"),
+                std::string::npos);
+    }
+    EXPECT_FALSE(dst.reached_set().is_valid());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotCorrupt, WrongNetSchemeAndBackendAreRejected) {
+  Fixture& f = fixture();
+  std::string path = ::testing::TempDir() + "pnenc_mismatch.pnss";
+
+  // Wrong net: a phil-4 snapshot refused by a fig1 context.
+  petri::Net other = petri::gen::philosophers(4);
+  encoding::MarkingEncoding oenc = encoding::build_encoding(other, "improved");
+  symbolic::SymbolicContext octx(other, oenc, bdd_options());
+  octx.reachability(symbolic::ImageMethod::kSaturation);
+  snapshot::save_snapshot(path, octx);
+  {
+    symbolic::SymbolicContext dst(f.net, f.enc, bdd_options());
+    try {
+      snapshot::load_snapshot(path, dst);
+      FAIL() << "wrong net accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("different net"),
+                std::string::npos);
+    }
+  }
+
+  // Wrong scheme: saved improved, loaded into a sparse-encoded context.
+  snapshot::save_snapshot(path, f.ctx);
+  {
+    encoding::MarkingEncoding senc = encoding::build_encoding(f.net, "sparse");
+    symbolic::SymbolicContext dst(f.net, senc, bdd_options());
+    try {
+      snapshot::load_snapshot(path, dst);
+      FAIL() << "wrong scheme accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("scheme"), std::string::npos);
+    }
+  }
+
+  // Wrong backend, both directions.
+  {
+    symbolic::ZddContext zdst(f.net);
+    try {
+      snapshot::load_snapshot(path, zdst);  // BDD file into ZDD context
+      FAIL() << "bdd snapshot accepted by zdd context";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("backend"), std::string::npos);
+    }
+    symbolic::ZddContext zsrc(f.net);
+    zsrc.reachability(symbolic::ImageMethod::kSaturation);
+    snapshot::save_snapshot(path, zsrc);
+    symbolic::SymbolicContext dst(f.net, f.enc, bdd_options());
+    try {
+      snapshot::load_snapshot(path, dst);  // ZDD file into BDD context
+      FAIL() << "zdd snapshot accepted by bdd context";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("backend"), std::string::npos);
+    }
+  }
+
+  // Missing file: descriptive, not UB.
+  {
+    symbolic::SymbolicContext dst(f.net, f.enc, bdd_options());
+    try {
+      snapshot::load_snapshot("/nonexistent/dir/x.pnss", dst);
+      FAIL() << "missing file accepted";
+    } catch (const snapshot::SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorrupt, RandomBuffersNeverCrash) {
+  std::mt19937 rng(987654321);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 512);
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes junk(len(rng));
+    for (auto& b : junk) b = static_cast<unsigned char>(byte(rng));
+    // Half the runs get the valid magic+version prologue so the walk gets
+    // past the header and into the frame chain.
+    if (iter % 2 == 0 && junk.size() >= 8) {
+      const unsigned char prologue[8] = {'P', 'N', 'S', 'S', 1, 0, 0, 0};
+      std::copy(prologue, prologue + 8, junk.begin());
+    }
+    try {
+      (void)snapshot::decode_meta(junk);
+    } catch (const snapshot::SnapshotError&) {
+      ++rejected;
+    }
+  }
+  // Random buffers essentially never parse; what matters is that every
+  // rejection was a SnapshotError, not a crash or a foreign exception.
+  EXPECT_EQ(rejected, 500);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -1,0 +1,259 @@
+// Round-trip property suite for the snapshot layer (label: snapshot).
+//
+// The contract under test: save_snapshot / load_snapshot reproduce the
+// reached set EXACTLY — the loaded diagram denotes the same boolean
+// function / family (checked by importing it back into the source manager,
+// where canonicity makes function equality a node-id comparison), the
+// recorded metadata matches, and a query engine running on the loaded
+// context produces byte-identical answer and trace output to one running
+// on the original — across all four fixture nets, both backends, all
+// encoding schemes, random variable-order permutations, and sifted
+// managers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "query/query.hpp"
+#include "query/query_report.hpp"
+#include "snapshot/snapshot.hpp"
+#include "symbolic/backend.hpp"
+#include "tests/testing/net_fixtures.hpp"
+#include "tests/testing/query_batches.hpp"
+
+namespace pnenc {
+namespace {
+
+using testing::expected_markings;
+using testing::kNumNets;
+using testing::mixed_query_batch;
+using testing::net_by_id;
+using testing::net_name;
+
+std::string temp_snapshot_path(const std::string& tag) {
+  return ::testing::TempDir() + "pnenc_" + tag + ".pnss";
+}
+
+symbolic::SymbolicOptions bdd_options() {
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;
+  return opts;
+}
+
+/// Renders the fixture's 20-query mixed batch (every query traced) on a
+/// context — the byte string the round-trip must preserve.
+template <class Backend>
+std::string query_transcript(typename Backend::Context& ctx, int jobs) {
+  std::vector<query::Query> queries = mixed_query_batch(ctx.net());
+  for (query::Query& q : queries) q.want_trace = true;
+  query::QueryEngineOptions qopts;
+  qopts.jobs = jobs;
+  query::BasicQueryEngine<Backend> engine(ctx, qopts);
+  std::vector<query::QueryResult> answers = engine.run(queries);
+  std::ostringstream out;
+  query::print_results(out, ctx.net(), queries, answers);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// BDD round trips
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotProps, BddRoundTripAllFixturesAllSchemes) {
+  for (int id = 0; id < kNumNets; ++id) {
+    for (const char* scheme : testing::kSchemes) {
+      SCOPED_TRACE(std::string(net_name(id)) + " / " + scheme);
+      petri::Net net = net_by_id(id);
+      encoding::MarkingEncoding enc = encoding::build_encoding(net, scheme);
+      symbolic::SymbolicContext src(net, enc, bdd_options());
+      src.reachability(symbolic::ImageMethod::kSaturation);
+
+      std::string path = temp_snapshot_path(std::string("bdd_") +
+                                            net_name(id) + "_" + scheme);
+      snapshot::save_snapshot(path, src);
+
+      // Metadata comes back as written.
+      snapshot::SnapshotMeta meta = snapshot::read_snapshot_meta(path);
+      EXPECT_EQ(meta.backend, symbolic::BackendKind::kBdd);
+      EXPECT_EQ(meta.net_hash, petri::structural_hash(net));
+      EXPECT_EQ(meta.scheme, scheme);
+      EXPECT_EQ(static_cast<int>(meta.num_vars), src.manager().num_vars());
+      EXPECT_EQ(meta.num_markings,
+                static_cast<double>(expected_markings(id)));
+
+      // Load into a fresh, never-traversed context.
+      symbolic::SymbolicContext dst(net, enc, bdd_options());
+      snapshot::load_snapshot(path, dst);
+      ASSERT_TRUE(dst.reached_set().is_valid());
+      EXPECT_EQ(dst.count_markings(dst.reached_set()),
+                static_cast<double>(expected_markings(id)));
+
+      // Function identity: importing the loaded set back into the source
+      // manager must hit the exact same canonical node.
+      bdd::Bdd back = src.manager().import_bdd(dst.reached_set());
+      EXPECT_EQ(back, src.reached_set());
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(SnapshotProps, BddQueryTranscriptsIdenticalAfterLoad) {
+  // fig1 and phil-4 keep the traced 20-query batch fast; jobs=2 on the
+  // warm side routes the loaded set through make_shard's import path too.
+  for (int id = 0; id < 2; ++id) {
+    SCOPED_TRACE(net_name(id));
+    petri::Net net = net_by_id(id);
+    encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+    symbolic::SymbolicContext src(net, enc, bdd_options());
+    src.reachability(symbolic::ImageMethod::kSaturation);
+    std::string cold = query_transcript<symbolic::BddBackend>(src, 1);
+
+    std::string path = temp_snapshot_path(std::string("bddq_") + net_name(id));
+    snapshot::save_snapshot(path, src);
+    symbolic::SymbolicContext dst(net, enc, bdd_options());
+    snapshot::load_snapshot(path, dst);
+    EXPECT_EQ(query_transcript<symbolic::BddBackend>(dst, 1), cold);
+    EXPECT_EQ(query_transcript<symbolic::BddBackend>(dst, 2), cold);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotProps, BddRoundTripUnderRandomVariableOrders) {
+  // The snapshot records the source's variable order and installs it in the
+  // destination — so a scrambled source and a differently scrambled
+  // destination must still round-trip to the identical function.
+  petri::Net net = net_by_id(1);  // phil-4
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    symbolic::SymbolicContext src(net, enc, bdd_options());
+    src.reachability(symbolic::ImageMethod::kSaturation);
+    int nv = src.manager().num_vars();
+    std::vector<int> order(static_cast<std::size_t>(nv));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    src.manager().set_var_order(order);
+
+    std::string path =
+        temp_snapshot_path("bdd_order_" + std::to_string(round));
+    snapshot::save_snapshot(path, src);
+    snapshot::SnapshotMeta meta = snapshot::read_snapshot_meta(path);
+    EXPECT_EQ(meta.level2var, order);
+
+    symbolic::SymbolicContext dst(net, enc, bdd_options());
+    // Pre-scramble the destination differently: load must override.
+    std::vector<int> other = order;
+    std::shuffle(other.begin(), other.end(), rng);
+    dst.manager().set_var_order(other);
+    snapshot::load_snapshot(path, dst);
+    for (int l = 0; l < nv; ++l) {
+      EXPECT_EQ(dst.manager().var_at_level(l),
+                order[static_cast<std::size_t>(l)]);
+    }
+    EXPECT_EQ(src.manager().import_bdd(dst.reached_set()),
+              src.reached_set());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotProps, BddRoundTripAfterSifting) {
+  petri::Net net = net_by_id(1);  // phil-4
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicContext src(net, enc, bdd_options());
+  src.reachability(symbolic::ImageMethod::kSaturation);
+  src.manager().reorder_sift();
+  std::string cold = query_transcript<symbolic::BddBackend>(src, 1);
+
+  std::string path = temp_snapshot_path("bdd_sifted");
+  snapshot::save_snapshot(path, src);
+  symbolic::SymbolicContext dst(net, enc, bdd_options());
+  snapshot::load_snapshot(path, dst);
+  EXPECT_EQ(src.manager().import_bdd(dst.reached_set()), src.reached_set());
+  EXPECT_EQ(query_transcript<symbolic::BddBackend>(dst, 1), cold);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotProps, EncodeIsDeterministic) {
+  petri::Net net = net_by_id(0);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicContext ctx(net, enc, bdd_options());
+  ctx.reachability(symbolic::ImageMethod::kSaturation);
+  EXPECT_EQ(snapshot::encode_snapshot(ctx), snapshot::encode_snapshot(ctx));
+
+  symbolic::ZddContext zctx(net);
+  zctx.reachability(symbolic::ImageMethod::kSaturation);
+  EXPECT_EQ(snapshot::encode_snapshot(zctx), snapshot::encode_snapshot(zctx));
+}
+
+TEST(SnapshotProps, SaveWithoutReachedSetThrows) {
+  petri::Net net = net_by_id(0);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicContext ctx(net, enc, bdd_options());
+  EXPECT_THROW(snapshot::encode_snapshot(ctx), snapshot::SnapshotError);
+  symbolic::ZddContext zctx(net);
+  EXPECT_THROW(snapshot::encode_snapshot(zctx), snapshot::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// ZDD round trips
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotProps, ZddRoundTripAllFixtures) {
+  for (int id = 0; id < kNumNets; ++id) {
+    SCOPED_TRACE(net_name(id));
+    petri::Net net = net_by_id(id);
+    symbolic::ZddContext src(net);
+    src.reachability(symbolic::ImageMethod::kSaturation);
+
+    std::string path =
+        temp_snapshot_path(std::string("zdd_") + net_name(id));
+    snapshot::save_snapshot(path, src);
+    snapshot::SnapshotMeta meta = snapshot::read_snapshot_meta(path);
+    EXPECT_EQ(meta.backend, symbolic::BackendKind::kZdd);
+    EXPECT_EQ(meta.net_hash, petri::structural_hash(net));
+    EXPECT_EQ(meta.scheme, "");
+    EXPECT_EQ(meta.num_markings, static_cast<double>(expected_markings(id)));
+
+    symbolic::ZddContext dst(net);
+    snapshot::load_snapshot(path, dst);
+    ASSERT_TRUE(dst.reached_set().is_valid());
+    EXPECT_EQ(dst.count_markings(dst.reached_set()),
+              static_cast<double>(expected_markings(id)));
+    zdd::Zdd back = src.manager().import_zdd(dst.reached_set());
+    EXPECT_EQ(back, src.reached_set());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotProps, ZddQueryTranscriptsIdenticalAfterLoad) {
+  petri::Net net = net_by_id(0);  // fig1
+  symbolic::ZddContext src(net);
+  src.reachability(symbolic::ImageMethod::kSaturation);
+  std::string cold = query_transcript<symbolic::ZddBackend>(src, 1);
+
+  std::string path = temp_snapshot_path("zddq_fig1");
+  snapshot::save_snapshot(path, src);
+  symbolic::ZddContext dst(net);
+  snapshot::load_snapshot(path, dst);
+  EXPECT_EQ(query_transcript<symbolic::ZddBackend>(dst, 1), cold);
+  EXPECT_EQ(query_transcript<symbolic::ZddBackend>(dst, 2), cold);
+
+  // And the two backends agree with each other on the same batch (the
+  // cross-backend invariant, now through the snapshot path).
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+  symbolic::SymbolicContext bsrc(net, enc, bdd_options());
+  bsrc.reachability(symbolic::ImageMethod::kSaturation);
+  EXPECT_EQ(query_transcript<symbolic::BddBackend>(bsrc, 1), cold);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pnenc
