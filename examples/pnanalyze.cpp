@@ -10,8 +10,12 @@
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //   pnanalyze --serve [--snapshot-dir DIR] [--cache-size N]
 //             [--scheme S] [--jobs N]
+//   pnanalyze --corpus DIR [--corpus-out FILE]
 //
 // builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
+// Net files are dispatched by extension: `.pnml` is read by the MCC-style
+// P/T PNML reader (src/petri/pnml.hpp), anything else by the plain-text
+// parser.
 // --backend picks the decision-diagram backend: bdd (the default — dense
 // marking encodings, the paper's contribution), zdd (sparse one-variable-
 // per-place families), or auto (the structural decision guide of
@@ -42,6 +46,11 @@
 // With --snapshot-dir, reached sets persist across processes: a second
 // server answers a batch on a previously analyzed net with zero traversal
 // work, byte-identically to the cold run.
+//
+// --corpus DIR sweeps every *.net / *.pnml file in DIR through the
+// decision-guide analysis and emits one JSON row per net (schema:
+// src/corpus/corpus.hpp) to stdout or --corpus-out FILE. Per-net failures
+// become error rows; the sweep itself always completes.
 
 #include <cstdio>
 #include <cstring>
@@ -50,6 +59,7 @@
 #include <sstream>
 #include <string>
 
+#include "corpus/corpus.hpp"
 #include "encoding/encoding.hpp"
 #include "query/query.hpp"
 #include "query/query_report.hpp"
@@ -83,8 +93,10 @@ int usage() {
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "       pnanalyze --serve [--snapshot-dir DIR] "
                "[--cache-size N] [--scheme S] [--jobs N]\n"
+               "       pnanalyze --corpus DIR [--corpus-out FILE]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
-               "reg-N\n");
+               "reg-N; net files: plain text, or PNML via the .pnml "
+               "extension\n");
   return 2;
 }
 
@@ -262,6 +274,7 @@ int main(int argc, char** argv) {
   bool want_trace = false, want_serve = false;
   std::string queries_file;
   std::string snapshot_dir;
+  std::string corpus_dir, corpus_out;
   int cache_size = 4;
   int jobs = 1;
   for (int i = 1; i < argc; ++i) {
@@ -272,6 +285,10 @@ int main(int argc, char** argv) {
       want_serve = true;
     } else if (!std::strcmp(argv[i], "--snapshot-dir") && i + 1 < argc) {
       snapshot_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--corpus") && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--corpus-out") && i + 1 < argc) {
+      corpus_out = argv[++i];
     } else if (!std::strcmp(argv[i], "--cache-size") && i + 1 < argc) {
       try {
         cache_size = parse_int_strict(argv[++i], "--cache-size value", 1, 1024);
@@ -347,6 +364,30 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  if (!corpus_dir.empty()) {
+    // Corpus sweep: one JSON row per net, failures isolated per net (the
+    // sweep's own exit code only reflects harness-level problems like an
+    // unreadable directory — hostile nets are error rows, not failures).
+    try {
+      if (corpus_out.empty()) {
+        corpus::run_corpus(corpus_dir, std::cout);
+      } else {
+        std::ofstream out(corpus_out);
+        if (!out) {
+          throw std::runtime_error("cannot open " + corpus_out +
+                                   " for writing");
+        }
+        int failures = corpus::run_corpus(corpus_dir, out);
+        std::printf("corpus: wrote %s (%d error row%s)\n", corpus_out.c_str(),
+                    failures, failures == 1 ? "" : "s");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   if (want_serve) {

@@ -19,6 +19,12 @@ int main() {
   //    use a generator, or parse the plain-text format:
   petri::Net net = petri::parse_net(
       "place p1 1\n"
+      "place p2\n"
+      "place p3\n"
+      "place p4\n"
+      "place p5\n"
+      "place p6\n"
+      "place p7\n"
       "trans t1 : p1 -> p2 p3\n"
       "trans t2 : p1 -> p4 p5\n"
       "trans t3 : p2 -> p6\n"

@@ -1,0 +1,155 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/net_spec.hpp"
+#include "symbolic/backend.hpp"
+#include "util/timer.hpp"
+
+namespace pnenc::corpus {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// JSON string escaping (RFC 8259): quotes, backslashes, and control
+/// characters. Error messages flow through here verbatim, so this is what
+/// keeps a hostile filename or parser message from corrupting a row.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// "%.6g" — the same count rendering the CLI uses, locale-independent.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+struct AnalysisNumbers {
+  double markings = 0.0;
+  double deadlocks = 0.0;
+  std::size_t peak_nodes = 0;
+};
+
+/// The per-net analysis, templated the same way the serve loop's sessions
+/// are. Saturation is the decision guide's traversal on both backends.
+template <class Backend>
+AnalysisNumbers analyze(typename Backend::Context& ctx) {
+  AnalysisNumbers out;
+  auto r = ctx.reachability(symbolic::ImageMethod::kSaturation);
+  out.markings = r.num_markings;
+  out.peak_nodes = r.peak_live_nodes;
+  out.deadlocks = ctx.count_markings(ctx.deadlocks(ctx.reached_set()));
+  return out;
+}
+
+void error_row(const std::string& display_name, const std::string& message,
+               std::ostream& out) {
+  out << "{\"file\":\"" << json_escape(display_name)
+      << "\",\"status\":\"error\",\"error\":\"" << json_escape(message)
+      << "\"}\n";
+}
+
+}  // namespace
+
+bool corpus_row(const std::string& path, const std::string& display_name,
+                std::ostream& out) {
+  util::Timer timer;
+  try {
+    petri::Net net = petri::load_net_spec(path);
+    std::string problem = net.validate();
+    if (!problem.empty()) {
+      throw std::runtime_error("invalid net: " + problem);
+    }
+    symbolic::SparsityStats ss = symbolic::sparsity_stats(net);
+    symbolic::BackendKind backend = symbolic::choose_backend(ss);
+    AnalysisNumbers nums;
+    if (backend == symbolic::BackendKind::kBdd) {
+      encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+      symbolic::SymbolicOptions sopts;
+      sopts.with_next_vars = true;
+      sopts.auto_reorder_threshold = 200000;
+      symbolic::SymbolicContext ctx(net, enc, sopts);
+      nums = analyze<symbolic::BddBackend>(ctx);
+    } else {
+      symbolic::ZddContext ctx(net);
+      nums = analyze<symbolic::ZddBackend>(ctx);
+    }
+    out << "{\"file\":\"" << json_escape(display_name)
+        << "\",\"status\":\"ok\",\"places\":" << net.num_places()
+        << ",\"transitions\":" << net.num_transitions() << ",\"backend\":\""
+        << symbolic::backend_name(backend)
+        << "\",\"method\":\"saturation\",\"schedule\":\"early\",\"wall_ms\":"
+        << fmt_double(timer.elapsed_ms())
+        << ",\"peak_nodes\":" << nums.peak_nodes
+        << ",\"markings\":" << fmt_double(nums.markings)
+        << ",\"deadlocks\":" << fmt_double(nums.deadlocks) << "}\n";
+    return true;
+  } catch (const std::exception& e) {
+    error_row(display_name, e.what(), out);
+    return false;
+  } catch (...) {
+    error_row(display_name, "unknown failure", out);
+    return false;
+  }
+}
+
+int run_corpus(const std::string& dir, std::ostream& out) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot read corpus directory " + dir + ": " +
+                             ec.message());
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    std::string ext = entry.path().extension().string();
+    std::transform(ext.begin(), ext.end(), ext.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (ext == ".net" || ext == ".pnml") files.push_back(entry.path());
+  }
+  if (files.empty()) {
+    throw std::runtime_error("no net files (*.net, *.pnml) in " + dir);
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  int failures = 0;
+  for (const fs::path& f : files) {
+    if (!corpus_row(f.string(), f.filename().string(), out)) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace pnenc::corpus

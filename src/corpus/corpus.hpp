@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace pnenc::corpus {
+
+/// The corpus harness behind `pnanalyze --corpus DIR`: runs the standard
+/// decision-guide analysis (backend via symbolic::choose_backend, method
+/// saturation, early schedule — the same choices the CLI and serve loop
+/// make) over every net file in a directory and emits one JSON object per
+/// line (JSON Lines). Row schema (docs/ARCHITECTURE.md, "Net ingestion"):
+///
+///   {"file":"fig1.net","status":"ok","places":7,"transitions":7,
+///    "backend":"bdd","method":"saturation","schedule":"early",
+///    "wall_ms":1.23,"peak_nodes":101,"markings":8,"deadlocks":0}
+///   {"file":"weighted.pnml","status":"error",
+///    "error":"pnml parse error at line 12: arc inscription weight 2 ..."}
+///
+/// Failures are isolated per net: any exception while loading, validating
+/// or analyzing one file becomes that file's error row, and the sweep
+/// continues — one hostile input cannot kill a corpus run.
+
+/// Emits the row for a single net file to `out` (never throws; failures
+/// become the error row). `display_name` is what the "file" field carries —
+/// the corpus runner passes the bare filename so rows are machine-portable.
+/// Returns true if the row is an ok row.
+bool corpus_row(const std::string& path, const std::string& display_name,
+                std::ostream& out);
+
+/// Sweeps every *.net / *.pnml regular file in `dir` (sorted by filename,
+/// so output order is deterministic), writing one row per net. Throws
+/// std::runtime_error if the directory cannot be read or contains no net
+/// files — an empty sweep is a misconfiguration, not a clean result.
+/// Returns the number of error rows.
+int run_corpus(const std::string& dir, std::ostream& out);
+
+}  // namespace pnenc::corpus

@@ -1,11 +1,36 @@
 #include "petri/net.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace pnenc::petri {
 
+namespace {
+
+/// Names live in the plain-text format of petri/parser.hpp, where tokens
+/// split on whitespace and `#` starts a comment — a name containing either
+/// would serialize via write_net into a file that re-parses as a different
+/// (or invalid) net. Rejecting at construction keeps every Net
+/// round-trippable by contract, whichever front end built it.
+void check_name(const char* kind, const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument(std::string(kind) + " name must not be empty");
+  }
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '#') {
+      throw std::invalid_argument(
+          std::string(kind) + " name '" + name +
+          "' contains whitespace or '#' (not representable in the text "
+          "net format)");
+    }
+  }
+}
+
+}  // namespace
+
 int Net::add_place(const std::string& name, bool initially_marked) {
+  check_name("place", name);
   int p = static_cast<int>(place_names_.size());
   place_names_.push_back(name);
   pre_p_.emplace_back();
@@ -21,6 +46,7 @@ int Net::add_place(const std::string& name, bool initially_marked) {
 }
 
 int Net::add_transition(const std::string& name) {
+  check_name("transition", name);
   int t = static_cast<int>(transition_names_.size());
   transition_names_.push_back(name);
   pre_t_.emplace_back();
@@ -93,12 +119,29 @@ bool Net::is_deadlock(const Marking& m) const {
 }
 
 std::string Net::validate() const {
+  // A repeated arc (the same place twice in •t or t•) would contribute ±2
+  // to incidence(), silently corrupting the P-invariant computation in
+  // src/linalg / src/smc — a structural error, not a representable net.
+  auto first_duplicate = [](const std::vector<int>& arcs) {
+    std::vector<int> sorted = arcs;
+    std::sort(sorted.begin(), sorted.end());
+    auto it = std::adjacent_find(sorted.begin(), sorted.end());
+    return it == sorted.end() ? -1 : *it;
+  };
   for (std::size_t t = 0; t < num_transitions(); ++t) {
     if (pre_t_[t].empty()) {
       return "transition " + transition_names_[t] + " has no input place";
     }
     if (post_t_[t].empty()) {
       return "transition " + transition_names_[t] + " has no output place";
+    }
+    if (int p = first_duplicate(pre_t_[t]); p >= 0) {
+      return "duplicate input arc " + place_names_[p] + " -> " +
+             transition_names_[t];
+    }
+    if (int p = first_duplicate(post_t_[t]); p >= 0) {
+      return "duplicate output arc " + transition_names_[t] + " -> " +
+             place_names_[p];
     }
   }
   return "";

@@ -18,6 +18,10 @@ class Net {
   Net() = default;
 
   // ---- construction ------------------------------------------------------
+  // Names must be non-empty and free of whitespace and '#' — anything else
+  // could not survive a write_net/parse_net round trip (tokens split on
+  // whitespace, '#' opens a comment). Violations throw
+  // std::invalid_argument.
   int add_place(const std::string& name, bool initially_marked = false);
   int add_transition(const std::string& name);
   /// Arc place → transition.
@@ -71,7 +75,9 @@ class Net {
   [[nodiscard]] bool is_deadlock(const Marking& m) const;
 
   /// Checks structural sanity: every transition has at least one input and
-  /// one output place. Returns a description of the first violation, or "".
+  /// one output place, and no arc is repeated (a duplicate entry in •t or
+  /// t• would put ±2 into incidence() and corrupt P-invariant analysis).
+  /// Returns a description of the first violation, or "".
   [[nodiscard]] std::string validate() const;
 
  private:

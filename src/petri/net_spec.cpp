@@ -1,14 +1,32 @@
 #include "petri/net_spec.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "petri/generators.hpp"
 #include "petri/parser.hpp"
+#include "petri/pnml.hpp"
 #include "util/parse.hpp"
 
 namespace pnenc::petri {
+
+namespace {
+
+/// Case-insensitive ".pnml" extension test — the dispatch key between the
+/// two file front ends.
+bool has_pnml_extension(const std::string& path) {
+  const std::string ext = ".pnml";
+  if (path.size() < ext.size()) return false;
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    char c = path[path.size() - ext.size() + i];
+    if (std::tolower(static_cast<unsigned char>(c)) != ext[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Net load_net_spec(const std::string& spec) {
   if (spec.rfind("builtin:", 0) == 0) {
@@ -38,6 +56,11 @@ Net load_net_spec(const std::string& spec) {
   if (!in) throw std::runtime_error("cannot open " + spec);
   std::ostringstream text;
   text << in.rdbuf();
+  // One dispatch point for every consumer — the CLI, query batches, the
+  // serve loop's `open`, snapshots and the corpus runner all spell net
+  // files identically: extension `.pnml` selects the PNML reader, anything
+  // else the plain-text parser.
+  if (has_pnml_extension(spec)) return parse_pnml(text.str());
   return parse_net(text.str());
 }
 

@@ -6,12 +6,15 @@
 
 namespace pnenc::petri {
 
-/// Resolves a net specification — either a path to a net file in the text
-/// format of petri/parser.hpp, or "builtin:NAME" for the generator gallery
-/// (fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N) — to a Net.
-/// Throws std::runtime_error with a user-facing message on unknown
-/// builtins, malformed sizes, or unreadable files. Shared by the pnanalyze
-/// command line and the serve loop's `open` command, so both spell nets
+/// Resolves a net specification — a path to a net file (extension `.pnml`
+/// selects the PNML reader of petri/pnml.hpp, anything else the text
+/// format of petri/parser.hpp), or "builtin:NAME" for the generator
+/// gallery (fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N) — to a
+/// Net. Throws std::runtime_error with a user-facing message on unknown
+/// builtins, malformed sizes, or unreadable files (ParseError/PnmlError,
+/// both std::runtime_error subclasses, carry line numbers for malformed
+/// file contents). Shared by the pnanalyze command line, the corpus
+/// runner, and the serve loop's `open` command, so all spell nets
 /// identically.
 [[nodiscard]] Net load_net_spec(const std::string& spec);
 

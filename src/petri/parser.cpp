@@ -1,8 +1,8 @@
 #include "petri/parser.hpp"
 
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace pnenc::petri {
 
@@ -17,8 +17,7 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 [[noreturn]] void fail(int lineno, const std::string& message) {
-  throw std::runtime_error("net parse error at line " +
-                           std::to_string(lineno) + ": " + message);
+  throw ParseError(lineno, message);
 }
 
 }  // namespace
@@ -26,13 +25,7 @@ std::vector<std::string> tokenize(const std::string& line) {
 Net parse_net(const std::string& text) {
   Net net;
   std::unordered_map<std::string, int> place_ids;
-  auto place_of = [&](const std::string& name) {
-    auto it = place_ids.find(name);
-    if (it != place_ids.end()) return it->second;
-    int p = net.add_place(name);
-    place_ids.emplace(name, p);
-    return p;
-  };
+  std::unordered_set<std::string> trans_names;
 
   std::istringstream is(text);
   std::string line;
@@ -45,29 +38,79 @@ Net parse_net(const std::string& text) {
     if (tok.empty()) continue;
 
     if (tok[0] == "place") {
-      if (tok.size() < 2 || tok.size() > 3) fail(lineno, "place <name> [1]");
+      if (tok.size() < 2 || tok.size() > 3) fail(lineno, "place <name> [0|1]");
       if (place_ids.count(tok[1])) fail(lineno, "duplicate place " + tok[1]);
-      bool marked = tok.size() == 3 && tok[2] == "1";
-      place_ids.emplace(tok[1], net.add_place(tok[1], marked));
+      bool marked = false;
+      if (tok.size() == 3) {
+        // Anything but an explicit 0/1 is a loud error: `place p 2` used to
+        // silently mean *unmarked*, turning weighted-net inputs and typos
+        // into wrong answers instead of rejections.
+        if (tok[2] == "1") {
+          marked = true;
+        } else if (tok[2] != "0") {
+          fail(lineno, "place marking must be 0 or 1, got '" + tok[2] + "'");
+        }
+      }
+      try {
+        place_ids.emplace(tok[1], net.add_place(tok[1], marked));
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
     } else if (tok[0] == "trans") {
       // trans <name> : in... -> out...
       if (tok.size() < 4 || tok[2] != ":") {
         fail(lineno, "trans <name> : in... -> out...");
       }
-      int t = net.add_transition(tok[1]);
+      if (!trans_names.insert(tok[1]).second) {
+        fail(lineno, "duplicate transition " + tok[1]);
+      }
+      // Places must be declared before use: auto-creating them here would
+      // turn a typo'd name into a fresh unmarked place and a silently
+      // different net.
+      auto place_of = [&](const std::string& name) {
+        auto it = place_ids.find(name);
+        if (it == place_ids.end()) {
+          fail(lineno, "unknown place '" + name +
+                           "' (places must be declared before use)");
+        }
+        return it->second;
+      };
+      int t;
+      try {
+        t = net.add_transition(tok[1]);
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
       std::size_t i = 3;
       bool saw_arrow = false;
+      std::unordered_set<int> seen_in, seen_out;
       for (; i < tok.size(); ++i) {
         if (tok[i] == "->") {
           saw_arrow = true;
           ++i;
           break;
         }
-        net.add_input_arc(place_of(tok[i]), t);
+        int p = place_of(tok[i]);
+        if (!seen_in.insert(p).second) {
+          fail(lineno, "duplicate input arc " + tok[i] + " -> " + tok[1]);
+        }
+        net.add_input_arc(p, t);
       }
       if (!saw_arrow) fail(lineno, "missing -> in trans line");
       for (; i < tok.size(); ++i) {
-        net.add_output_arc(t, place_of(tok[i]));
+        int p = place_of(tok[i]);
+        if (!seen_out.insert(p).second) {
+          fail(lineno, "duplicate output arc " + tok[1] + " -> " + tok[i]);
+        }
+        net.add_output_arc(t, p);
+      }
+      // Net::validate() rejects source/sink transitions; catching them here
+      // keeps the parser's guarantee that every net it returns validates.
+      if (seen_in.empty()) {
+        fail(lineno, "transition " + tok[1] + " has no input place");
+      }
+      if (seen_out.empty()) {
+        fail(lineno, "transition " + tok[1] + " has no output place");
       }
     } else {
       fail(lineno, "unknown directive " + tok[0]);

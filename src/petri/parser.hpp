@@ -1,23 +1,52 @@
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "petri/net.hpp"
 
 namespace pnenc::petri {
 
+/// Typed rejection of a malformed plain-text net: what() reads
+/// "net parse error at line N: ...", and line() exposes the 1-based line
+/// number. The PNML reader's PnmlError (petri/pnml.hpp) derives from this,
+/// so "any ingestion failure" is one catch — the contract the parser
+/// fuzzer and the corpus harness's per-net error rows rely on.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("net parse error at line " + std::to_string(line) +
+                           ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const { return line_; }
+
+ protected:
+  ParseError(int line, const std::string& prefix, const std::string& message)
+      : std::runtime_error(prefix + " at line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+
+ private:
+  int line_;
+};
+
 /// Parses the library's plain-text net format:
 ///
 ///     # comment
-///     place <name> [1]          — trailing 1 marks the place initially
+///     place <name> [0|1]        — trailing 1 marks the place initially
 ///     trans <name> : p1 p2 -> p3 p4
 ///
-/// Places may also be declared implicitly by first use in a `trans` line
-/// (initially unmarked). Throws std::runtime_error with a line number on
-/// malformed input.
+/// Every place must be declared by a `place` line before a `trans` line
+/// uses it — implicit creation would silently mask typos in hand-written
+/// nets. Rejected with a line-numbered ParseError: unknown directives,
+/// malformed lines, marking tokens other than 0/1, duplicate place or
+/// transition names, duplicate arcs within a trans line (e.g.
+/// `trans t : a a -> b`), and undeclared place references.
 Net parse_net(const std::string& text);
 
-/// Serializes a net in the same format (round-trips through parse_net).
+/// Serializes a net in the same format (round-trips through parse_net;
+/// names are round-trip-safe by Net's construction-time contract).
 std::string write_net(const Net& net);
 
 }  // namespace pnenc::petri

@@ -1,0 +1,464 @@
+#include "petri/pnml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pnenc::petri {
+
+namespace {
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips any namespace prefix: "pnml:place" -> "place".
+std::string local_name(const std::string& qname) {
+  auto colon = qname.rfind(':');
+  return colon == std::string::npos ? qname : qname.substr(colon + 1);
+}
+
+struct Attr {
+  std::string name;
+  std::string value;
+};
+
+struct Tag {
+  std::string name;  // local name, prefix stripped
+  std::vector<Attr> attrs;
+  bool closing = false;       // </x>
+  bool self_closing = false;  // <x/>
+  int line = 1;
+
+  [[nodiscard]] const std::string* attr(const char* key) const {
+    for (const Attr& a : attrs) {
+      if (a.name == key) return &a.value;
+    }
+    return nullptr;
+  }
+};
+
+/// Minimal XML tokenizer, tolerant in features (declarations, comments,
+/// DOCTYPE, CDATA, namespace prefixes, arbitrary unknown elements) but
+/// strict on structure: malformed tags, unterminated constructs and
+/// mismatched nesting are line-numbered PnmlErrors, never silent
+/// acceptance.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  char get() {
+    char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  [[nodiscard]] bool starts_with(const char* lit) const {
+    return s_.compare(pos_, std::char_traits<char>::length(lit), lit) == 0;
+  }
+
+  /// Advances past `close`, optionally capturing the bytes before it.
+  /// Fails (at the construct's opening line) if `close` never appears.
+  void skip_until(const char* close, const char* what, std::string* capture) {
+    int start = line_;
+    std::size_t len = std::char_traits<char>::length(close);
+    while (!eof()) {
+      if (starts_with(close)) {
+        for (std::size_t i = 0; i < len; ++i) get();
+        return;
+      }
+      char c = get();
+      if (capture) capture->push_back(c);
+    }
+    throw PnmlError(start, std::string("unterminated ") + what);
+  }
+
+  /// Reads one tag, positioned on '<' (which must not open a comment,
+  /// declaration or CDATA section — the caller dispatches those).
+  Tag read_tag() {
+    Tag tag;
+    tag.line = line_;
+    get();  // '<'
+    if (peek() == '/') {
+      get();
+      tag.closing = true;
+    }
+    std::string qname;
+    while (!eof() && !is_space(peek()) && peek() != '>' && peek() != '/') {
+      qname.push_back(get());
+    }
+    if (qname.empty()) throw PnmlError(tag.line, "malformed tag");
+    tag.name = local_name(qname);
+    for (;;) {
+      while (!eof() && is_space(peek())) get();
+      if (eof()) throw PnmlError(tag.line, "unterminated tag <" + qname + ">");
+      char c = peek();
+      if (c == '>') {
+        get();
+        break;
+      }
+      if (c == '/') {
+        get();
+        while (!eof() && is_space(peek())) get();
+        if (peek() != '>') {
+          throw PnmlError(line_, "malformed tag <" + qname + ">: expected "
+                                 "'>' after '/'");
+        }
+        get();
+        tag.self_closing = true;
+        break;
+      }
+      if (tag.closing) {
+        throw PnmlError(line_, "attributes in closing tag </" + qname + ">");
+      }
+      std::string aname;
+      while (!eof() && !is_space(peek()) && peek() != '=' && peek() != '>' &&
+             peek() != '/') {
+        aname.push_back(get());
+      }
+      if (aname.empty()) {
+        throw PnmlError(line_, "malformed attribute in <" + qname + ">");
+      }
+      while (!eof() && is_space(peek())) get();
+      if (peek() != '=') {
+        throw PnmlError(line_, "attribute '" + aname + "' in <" + qname +
+                                   "> is missing '=value'");
+      }
+      get();
+      while (!eof() && is_space(peek())) get();
+      char quote = peek();
+      if (quote != '"' && quote != '\'') {
+        throw PnmlError(line_, "attribute '" + aname + "' value must be "
+                               "quoted");
+      }
+      get();
+      int vline = line_;
+      std::string raw;
+      while (!eof() && peek() != quote) raw.push_back(get());
+      if (eof()) {
+        throw PnmlError(vline, "unterminated value of attribute '" + aname +
+                                   "'");
+      }
+      get();
+      tag.attrs.push_back({aname, decode_entities(raw, vline)});
+    }
+    return tag;
+  }
+
+  /// Decodes the five predefined XML entities plus decimal/hex character
+  /// references into bytes. Unknown or malformed entities are errors —
+  /// silently passing "&bogus;" through would fabricate a name that was
+  /// never in the document.
+  static std::string decode_entities(const std::string& raw, int line) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      std::size_t semi = raw.find(';', i + 1);
+      if (semi == std::string::npos || semi - i > 12) {
+        throw PnmlError(line, "malformed entity reference");
+      }
+      std::string name = raw.substr(i + 1, semi - i - 1);
+      if (name == "amp") {
+        out.push_back('&');
+      } else if (name == "lt") {
+        out.push_back('<');
+      } else if (name == "gt") {
+        out.push_back('>');
+      } else if (name == "quot") {
+        out.push_back('"');
+      } else if (name == "apos") {
+        out.push_back('\'');
+      } else if (!name.empty() && name[0] == '#') {
+        int base = 10;
+        std::string digits = name.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        char* end = nullptr;
+        long code = std::strtol(digits.c_str(), &end, base);
+        if (digits.empty() || *end != '\0' || code <= 0 || code > 255) {
+          throw PnmlError(line, "unsupported character reference &" + name +
+                                    ";");
+        }
+        out.push_back(static_cast<char>(code));
+      } else {
+        throw PnmlError(line, "unknown entity &" + name + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+struct PlaceDecl {
+  std::string id;
+  int line;
+  long marking = 0;
+};
+
+struct TransDecl {
+  std::string id;
+  int line;
+};
+
+struct ArcDecl {
+  std::string id;  // may be empty: arc ids are optional in the wild
+  std::string src;
+  std::string dst;
+  int line;
+};
+
+struct Open {
+  std::string name;
+  int line;
+};
+
+/// Event-driven semantic pass: collects declarations during the scan and
+/// builds the Net once the document is consumed, so initialMarking /
+/// inscription children can arrive in any order relative to other content.
+class PnmlBuilder {
+ public:
+  explicit PnmlBuilder(const std::string& text) : sc_(text) {}
+
+  Net run() {
+    scan();
+    return build();
+  }
+
+ private:
+  [[noreturn]] static void fail(int line, const std::string& m) {
+    throw PnmlError(line, m);
+  }
+
+  void scan() {
+    while (!sc_.eof()) {
+      if (sc_.peek() != '<') {
+        char c = sc_.get();
+        if (!stack_.empty() && stack_.back().name == "text") {
+          text_buf_.push_back(c);
+        }
+        continue;
+      }
+      if (sc_.starts_with("<!--")) {
+        sc_.skip_until("-->", "comment", nullptr);
+      } else if (sc_.starts_with("<![CDATA[")) {
+        std::string data;
+        sc_.skip_until("]]>", "CDATA section", &data);
+        if (!stack_.empty() && stack_.back().name == "text") {
+          // Strip the "<![CDATA[" opener the capture included.
+          text_buf_ += data.substr(9);
+        }
+      } else if (sc_.starts_with("<?")) {
+        sc_.skip_until("?>", "processing instruction", nullptr);
+      } else if (sc_.starts_with("<!")) {
+        sc_.skip_until(">", "declaration", nullptr);
+      } else {
+        Tag tag = sc_.read_tag();
+        if (tag.closing) {
+          on_end(tag);
+        } else {
+          on_start(tag);
+        }
+      }
+    }
+    if (!stack_.empty()) {
+      fail(stack_.back().line, "unclosed <" + stack_.back().name + ">");
+    }
+  }
+
+  void on_start(const Tag& tag) {
+    const std::string& n = tag.name;
+    if (n == "net") {
+      if (++nets_seen_ > 1) {
+        fail(tag.line, "multiple <net> elements are unsupported");
+      }
+    } else if (n == "place") {
+      if (cur_place_ >= 0) fail(tag.line, "nested <place>");
+      const std::string* id = tag.attr("id");
+      if (!id) fail(tag.line, "<place> missing id attribute");
+      register_id(*id, "place", tag.line);
+      places_.push_back({*id, tag.line, 0});
+      if (!tag.self_closing) {
+        cur_place_ = static_cast<int>(places_.size()) - 1;
+      }
+    } else if (n == "transition") {
+      const std::string* id = tag.attr("id");
+      if (!id) fail(tag.line, "<transition> missing id attribute");
+      register_id(*id, "transition", tag.line);
+      trans_.push_back({*id, tag.line});
+    } else if (n == "arc") {
+      if (cur_arc_ >= 0) fail(tag.line, "nested <arc>");
+      const std::string* src = tag.attr("source");
+      const std::string* dst = tag.attr("target");
+      if (!src) fail(tag.line, "<arc> missing source attribute");
+      if (!dst) fail(tag.line, "<arc> missing target attribute");
+      const std::string* id = tag.attr("id");
+      if (id) register_id(*id, "arc", tag.line);
+      arcs_.push_back({id ? *id : "", *src, *dst, tag.line});
+      if (!tag.self_closing) {
+        cur_arc_ = static_cast<int>(arcs_.size()) - 1;
+      }
+    } else if (n == "text") {
+      text_buf_.clear();
+    }
+    if (!tag.self_closing) stack_.push_back({n, tag.line});
+  }
+
+  void on_end(const Tag& tag) {
+    const std::string& n = tag.name;
+    if (stack_.empty()) fail(tag.line, "unexpected </" + n + ">");
+    if (stack_.back().name != n) {
+      fail(tag.line, "mismatched </" + n + "> (open element is <" +
+                         stack_.back().name + "> from line " +
+                         std::to_string(stack_.back().line) + ")");
+    }
+    if (n == "text" && stack_.size() >= 2) {
+      on_text(stack_[stack_.size() - 2].name, trim(text_buf_),
+              stack_.back().line);
+    }
+    stack_.pop_back();
+    if (n == "place") cur_place_ = -1;
+    if (n == "arc") cur_arc_ = -1;
+  }
+
+  /// A closed <text> element, dispatched on its parent. Unknown parents
+  /// (<name>, tool annotations) are ignored.
+  void on_text(const std::string& parent, const std::string& value,
+               int line) {
+    if (parent == "initialMarking" && cur_place_ >= 0) {
+      long m = parse_number(value, "initialMarking", line);
+      if (m < 0 || m > 1) {
+        fail(line, "initial marking " + value + " on place '" +
+                       places_[cur_place_].id +
+                       "' exceeds the 1-safe bound (only 0 or 1 supported)");
+      }
+      places_[cur_place_].marking = m;
+    } else if (parent == "inscription" && cur_arc_ >= 0) {
+      long w = parse_number(value, "arc inscription", line);
+      if (w != 1) {
+        fail(line, "arc inscription weight " + value +
+                       " is unsupported (only weight-1 arcs of 1-safe "
+                       "P/T nets)");
+      }
+    }
+  }
+
+  long parse_number(const std::string& value, const char* what, int line) {
+    std::string v = trim(value);
+    char* end = nullptr;
+    long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end == v.c_str() || *end != '\0') {
+      fail(line, std::string(what) + " is not a number: '" + v + "'");
+    }
+    return n;
+  }
+
+  void register_id(const std::string& id, const char* kind, int line) {
+    auto [it, fresh] = ids_.emplace(id, kind);
+    if (!fresh) {
+      fail(line, "duplicate id '" + id + "' (already declared as a " +
+                     it->second + ")");
+    }
+  }
+
+  Net build() {
+    if (places_.empty() && trans_.empty()) {
+      fail(1, "no <place> or <transition> elements found — not a P/T net "
+              "document");
+    }
+    Net net;
+    std::unordered_map<std::string, int> place_of, trans_of;
+    for (const PlaceDecl& p : places_) {
+      try {
+        place_of.emplace(p.id, net.add_place(p.id, p.marking == 1));
+      } catch (const std::invalid_argument& e) {
+        fail(p.line, e.what());
+      }
+    }
+    for (const TransDecl& t : trans_) {
+      try {
+        trans_of.emplace(t.id, net.add_transition(t.id));
+      } catch (const std::invalid_argument& e) {
+        fail(t.line, e.what());
+      }
+    }
+    std::unordered_set<std::string> arc_pairs;
+    for (const ArcDecl& a : arcs_) {
+      std::string label = a.id.empty() ? a.src + " -> " + a.dst : a.id;
+      if (!arc_pairs.insert(a.src + '\0' + a.dst).second) {
+        fail(a.line, "duplicate arc " + a.src + " -> " + a.dst);
+      }
+      auto sp = place_of.find(a.src);
+      auto st = trans_of.find(a.src);
+      auto dp = place_of.find(a.dst);
+      auto dt = trans_of.find(a.dst);
+      if (sp == place_of.end() && st == trans_of.end()) {
+        fail(a.line,
+             "arc '" + label + "' references unknown id '" + a.src + "'");
+      }
+      if (dp == place_of.end() && dt == trans_of.end()) {
+        fail(a.line,
+             "arc '" + label + "' references unknown id '" + a.dst + "'");
+      }
+      if (sp != place_of.end() && dt != trans_of.end()) {
+        net.add_input_arc(sp->second, dt->second);
+      } else if (st != trans_of.end() && dp != place_of.end()) {
+        net.add_output_arc(st->second, dp->second);
+      } else {
+        fail(a.line, "arc '" + label + "' connects two " +
+                         (sp != place_of.end() ? "places" : "transitions"));
+      }
+    }
+    // Net::validate() rejects source/sink transitions; catching them here
+    // keeps the parser's guarantee that every net it returns validates.
+    for (std::size_t i = 0; i < trans_.size(); ++i) {
+      if (net.preset(static_cast<int>(i)).empty()) {
+        fail(trans_[i].line,
+             "transition '" + trans_[i].id + "' has no input arc");
+      }
+      if (net.postset(static_cast<int>(i)).empty()) {
+        fail(trans_[i].line,
+             "transition '" + trans_[i].id + "' has no output arc");
+      }
+    }
+    return net;
+  }
+
+  Scanner sc_;
+  std::vector<Open> stack_;
+  std::vector<PlaceDecl> places_;
+  std::vector<TransDecl> trans_;
+  std::vector<ArcDecl> arcs_;
+  std::unordered_map<std::string, const char*> ids_;
+  std::string text_buf_;
+  int nets_seen_ = 0;
+  int cur_place_ = -1;
+  int cur_arc_ = -1;
+};
+
+}  // namespace
+
+Net parse_pnml(const std::string& text) { return PnmlBuilder(text).run(); }
+
+}  // namespace pnenc::petri

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+#include "petri/parser.hpp"
+
+namespace pnenc::petri {
+
+/// Typed rejection of a PNML document: what() reads
+/// "pnml parse error at line N: ...". Derives from ParseError so one catch
+/// covers both ingestion front ends (the error taxonomy is documented in
+/// docs/ARCHITECTURE.md, "Net ingestion").
+class PnmlError : public ParseError {
+ public:
+  PnmlError(int line, const std::string& message)
+      : ParseError(line, "pnml parse error", message) {}
+};
+
+/// Parses the PNML subset used by Model-Checking-Contest-style P/T model
+/// sets into a Net, with no external XML library: a small tolerant
+/// tokenizer that tracks line numbers, skips declarations, comments,
+/// DOCTYPE and CDATA sections, ignores namespace prefixes and unknown
+/// elements (<name>, <graphics>, <toolspecific>, ...), and understands
+///
+///     <net> <page>                       (pages optional, nestable)
+///       <place id="p1">
+///         <initialMarking><text>1</text></initialMarking>
+///       </place>
+///       <transition id="t1"/>
+///       <arc id="a1" source="p1" target="t1">
+///         <inscription><text>1</text></inscription>
+///       </arc>
+///
+/// The `id` attribute is the place/transition name (Net's name rules
+/// apply). Anything outside the supported 1-safe semantics is rejected
+/// with a line-numbered PnmlError rather than silently misread:
+///   - arc inscription weight != 1 (weighted P/T nets are unsupported)
+///   - initialMarking outside {0, 1} (non-safe initial markings)
+///   - arcs whose source/target reference no declared id (dangling refs)
+///   - duplicate place/transition/arc ids, duplicate (source, target) arcs
+///   - arcs connecting two places or two transitions
+///   - structurally broken XML (mismatched/unclosed tags, malformed
+///     attributes, unterminated comments)
+/// A document with no places and no transitions is also rejected — it is
+/// almost certainly not a P/T PNML file.
+Net parse_pnml(const std::string& text);
+
+}  // namespace pnenc::petri

@@ -1,0 +1,197 @@
+// Corpus harness suite: sweeps the committed tests/nets/ fixtures through
+// run_corpus and pins the row schema, the per-net numbers, and the error
+// isolation that keeps hostile fixtures from aborting a sweep.
+//
+// PNENC_TEST_NETS_DIR is injected by CMake and points at tests/nets/ in the
+// source tree.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace pnenc {
+namespace {
+
+using corpus::corpus_row;
+using corpus::run_corpus;
+
+// Minimal validator for the flat one-level JSON objects corpus_row emits:
+// string / number keys only, no nesting. Returns the key->raw-value map and
+// fails the test on malformed syntax.
+std::map<std::string, std::string> parse_row(const std::string& row) {
+  std::map<std::string, std::string> fields;
+  size_t i = 0;
+  auto expect = [&](char c) {
+    ASSERT_LT(i, row.size()) << row;
+    ASSERT_EQ(row[i], c) << "at offset " << i << " in: " << row;
+    ++i;
+  };
+  auto read_string = [&]() {
+    std::string s;
+    expect('"');
+    while (i < row.size() && row[i] != '"') {
+      if (row[i] == '\\') {
+        ++i;
+        EXPECT_LT(i, row.size());
+      }
+      s += row[i++];
+    }
+    expect('"');
+    return s;
+  };
+  expect('{');
+  while (i < row.size() && row[i] != '}') {
+    std::string key = read_string();
+    expect(':');
+    std::string value;
+    if (row[i] == '"') {
+      value = read_string();
+    } else {
+      while (i < row.size() && row[i] != ',' && row[i] != '}') {
+        char c = row[i];
+        EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                    c == '+' || c == '.' || c == 'e' || c == 'E')
+            << "bad numeric literal in: " << row;
+        value += c;
+        ++i;
+      }
+    }
+    EXPECT_EQ(fields.count(key), 0u) << "duplicate key " << key;
+    fields[key] = value;
+    if (row[i] == ',') ++i;
+  }
+  expect('}');
+  EXPECT_EQ(i, row.size()) << "trailing bytes in: " << row;
+  return fields;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Corpus, SweepsFixtureDirectory) {
+  std::ostringstream out;
+  int errors = run_corpus(PNENC_TEST_NETS_DIR, out);
+  std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 8u) << out.str();
+  EXPECT_EQ(errors, 4);
+
+  // Rows come out sorted by filename — stable across directory_iterator
+  // ordering differences.
+  std::vector<std::string> files;
+  std::map<std::string, std::map<std::string, std::string>> rows;
+  for (const std::string& line : lines) {
+    auto fields = parse_row(line);
+    ASSERT_TRUE(fields.count("file")) << line;
+    ASSERT_TRUE(fields.count("status")) << line;
+    files.push_back(fields["file"]);
+    rows[fields["file"]] = fields;
+  }
+  EXPECT_EQ(files,
+            (std::vector<std::string>{"badname.pnml", "dangling.pnml",
+                                      "dup_id.pnml", "fig1.net",
+                                      "forkjoin.pnml", "handshake.net",
+                                      "pipeline26.pnml", "weighted.pnml"}));
+
+  // Ok rows: full analysis schema with the known reachability numbers.
+  for (const char* name :
+       {"fig1.net", "forkjoin.pnml", "handshake.net", "pipeline26.pnml"}) {
+    const auto& row = rows[name];
+    ASSERT_EQ(row.at("status"), "ok") << name;
+    for (const char* key : {"places", "transitions", "backend", "method",
+                            "schedule", "wall_ms", "peak_nodes", "markings",
+                            "deadlocks"}) {
+      EXPECT_TRUE(row.count(key)) << name << " missing " << key;
+    }
+    EXPECT_EQ(row.at("method"), "saturation") << name;
+    EXPECT_EQ(row.count("error"), 0u) << name;
+  }
+  EXPECT_EQ(rows["fig1.net"].at("places"), "7");
+  EXPECT_EQ(rows["fig1.net"].at("transitions"), "7");
+  EXPECT_EQ(rows["fig1.net"].at("markings"), "8");
+  EXPECT_EQ(rows["fig1.net"].at("deadlocks"), "0");
+  EXPECT_EQ(rows["fig1.net"].at("backend"), "bdd");
+  EXPECT_EQ(rows["forkjoin.pnml"].at("markings"), "8");
+  EXPECT_EQ(rows["handshake.net"].at("markings"), "3");
+  EXPECT_EQ(rows["handshake.net"].at("deadlocks"), "1");
+  // pipeline26 is sparse and wide — the structural guide routes it to ZDD.
+  EXPECT_EQ(rows["pipeline26.pnml"].at("backend"), "zdd");
+  EXPECT_EQ(rows["pipeline26.pnml"].at("markings"), "26");
+  EXPECT_EQ(rows["pipeline26.pnml"].at("deadlocks"), "1");
+
+  // Hostile fixtures: error rows carrying the front end's line-numbered
+  // message, and nothing else aborted.
+  struct Expected {
+    const char* file;
+    const char* fragment;
+  };
+  for (const Expected& e : std::initializer_list<Expected>{
+           {"badname.pnml", "pnml parse error at line 6"},
+           {"dangling.pnml", "pnml parse error at line 11"},
+           {"dup_id.pnml", "pnml parse error at line 8"},
+           {"weighted.pnml", "pnml parse error at line 12"}}) {
+    const auto& row = rows[e.file];
+    ASSERT_EQ(row.at("status"), "error") << e.file;
+    ASSERT_TRUE(row.count("error")) << e.file;
+    EXPECT_NE(row.at("error").find(e.fragment), std::string::npos)
+        << e.file << ": " << row.at("error");
+    EXPECT_EQ(row.count("markings"), 0u) << e.file;
+  }
+}
+
+TEST(Corpus, SingleRowIsolatesFailure) {
+  std::ostringstream out;
+  EXPECT_FALSE(
+      corpus_row(std::string(PNENC_TEST_NETS_DIR) + "/weighted.pnml",
+                 "weighted.pnml", out));
+  auto fields = parse_row(split_lines(out.str()).at(0));
+  EXPECT_EQ(fields.at("status"), "error");
+
+  std::ostringstream ok;
+  EXPECT_TRUE(corpus_row(std::string(PNENC_TEST_NETS_DIR) + "/fig1.net",
+                         "fig1.net", ok));
+  EXPECT_EQ(parse_row(split_lines(ok.str()).at(0)).at("markings"), "8");
+}
+
+TEST(Corpus, MissingFileBecomesErrorRowNotThrow) {
+  std::ostringstream out;
+  EXPECT_FALSE(corpus_row("no/such/net.net", "net.net", out));
+  auto fields = parse_row(split_lines(out.str()).at(0));
+  EXPECT_EQ(fields.at("status"), "error");
+  EXPECT_TRUE(fields.count("error"));
+}
+
+TEST(Corpus, RejectsMissingAndEmptyDirectories) {
+  std::ostringstream out;
+  EXPECT_THROW(run_corpus("no/such/dir", out), std::runtime_error);
+  // The repo root holds no *.net / *.pnml files at the top level, so the
+  // sweep finds nothing and must say so instead of printing zero rows.
+  EXPECT_THROW(run_corpus(std::string(PNENC_TEST_NETS_DIR) + "/..", out),
+               std::runtime_error);
+}
+
+TEST(Corpus, EscapesErrorStrings) {
+  // An error message with a quote must not break the JSON row. Force one by
+  // pointing at a file whose parse error embeds a quoted token.
+  std::ostringstream out;
+  corpus_row(std::string(PNENC_TEST_NETS_DIR) + "/dangling.pnml",
+             "dangling.pnml", out);
+  std::string row = split_lines(out.str()).at(0);
+  auto fields = parse_row(row);  // parse_row fails the test on broken JSON
+  EXPECT_NE(fields.at("error").find("ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnenc

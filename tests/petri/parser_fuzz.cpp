@@ -1,0 +1,183 @@
+// Deterministic parser fuzzer (standalone binary, NOT a gtest suite —
+// CMakeLists removes it from the tests glob and registers it directly,
+// label: corpus).
+//
+//   parser_fuzz [seed] [iterations]
+//
+// Starting from two valid seeds — a text net (write_net of philosophers(2))
+// and a PNML document of the same shape — each iteration applies a random
+// mutation recipe (bit flips, range overwrites, truncations, duplicated or
+// deleted ranges, line shuffles, or a wholly random buffer) and pushes the
+// result through the matching front end: parse_net for text, parse_pnml for
+// XML, and a coin-flip cross-feed so each parser also sees the other's
+// dialect. The pass criterion is the ingestion safety contract: every
+// outcome is either a clean parse (which must then survive validate() and,
+// for text, a write_net -> parse_net round trip) or a ParseError rejection
+// (PnmlError derives from it). Any other exception, or a crash/sanitizer
+// report, fails the run. The seed is fixed by default so CI failures
+// reproduce exactly; pass a different seed to widen the search.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "petri/generators.hpp"
+#include "petri/parser.hpp"
+#include "petri/pnml.hpp"
+
+using pnenc::petri::Net;
+using pnenc::petri::ParseError;
+
+namespace {
+
+std::string pnml_seed() {
+  return "<?xml version=\"1.0\"?>\n"
+         "<pnml>\n"
+         "  <net id=\"fuzz\">\n"
+         "    <place id=\"p1\"><initialMarking><text>1</text>"
+         "</initialMarking></place>\n"
+         "    <place id=\"p2\"/>\n"
+         "    <place id=\"p3\"/>\n"
+         "    <transition id=\"t1\"/>\n"
+         "    <transition id=\"t2\"/>\n"
+         "    <arc id=\"a1\" source=\"p1\" target=\"t1\">"
+         "<inscription><text>1</text></inscription></arc>\n"
+         "    <arc id=\"a2\" source=\"t1\" target=\"p2\"/>\n"
+         "    <arc id=\"a3\" source=\"p2\" target=\"t2\"/>\n"
+         "    <arc id=\"a4\" source=\"t2\" target=\"p3\"/>\n"
+         "  </net>\n"
+         "</pnml>\n";
+}
+
+std::string mutate(const std::string& good, std::mt19937& rng) {
+  std::uniform_int_distribution<int> pick(0, 6);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::string b = good;
+  switch (pick(rng)) {
+    case 0: {  // 1..8 random byte corruptions
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      int hits = 1 + pick(rng);
+      for (int i = 0; i < hits; ++i) {
+        b[pos(rng)] = static_cast<char>(byte(rng));
+      }
+      return b;
+    }
+    case 1: {  // overwrite a random range with random bytes
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 32));
+      for (std::size_t i = 0; i < len; ++i) {
+        b[start + i] = static_cast<char>(byte(rng));
+      }
+      return b;
+    }
+    case 2: {  // truncate
+      std::uniform_int_distribution<std::size_t> pos(0, b.size());
+      b.resize(pos(rng));
+      return b;
+    }
+    case 3: {  // duplicate a range (re-declared names, repeated arcs, ...)
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 24));
+      b.insert(start, b.substr(start, len));
+      return b;
+    }
+    case 4: {  // delete a range
+      std::uniform_int_distribution<std::size_t> pos(0, b.size() - 1);
+      std::size_t start = pos(rng);
+      std::size_t len = std::min(b.size() - start, std::size_t(pos(rng) % 24));
+      b.erase(start, len);
+      return b;
+    }
+    case 5: {  // shuffle lines (out-of-order declarations, split tags)
+      std::vector<std::string> lines;
+      std::size_t at = 0;
+      while (at < b.size()) {
+        std::size_t nl = b.find('\n', at);
+        if (nl == std::string::npos) nl = b.size();
+        lines.push_back(b.substr(at, nl - at));
+        at = nl + 1;
+      }
+      std::shuffle(lines.begin(), lines.end(), rng);
+      std::string out;
+      for (const auto& l : lines) {
+        out += l;
+        out += '\n';
+      }
+      return out;
+    }
+    default: {  // fully random buffer, sometimes with a plausible prologue
+      std::uniform_int_distribution<std::size_t> len(0, 512);
+      std::string junk(len(rng), '\0');
+      for (auto& x : junk) x = static_cast<char>(byte(rng));
+      if (byte(rng) & 1) junk.insert(0, (byte(rng) & 1) ? "<pnml>" : "place ");
+      return junk;
+    }
+  }
+}
+
+// A clean parse must yield a net the rest of the stack can trust.
+void check_accepted(const Net& net, bool text_format) {
+  std::string err = net.validate();
+  if (!err.empty()) {
+    throw std::logic_error("parser accepted an invalid net: " + err);
+  }
+  if (text_format) {
+    Net again = pnenc::petri::parse_net(pnenc::petri::write_net(net));
+    if (pnenc::petri::structural_hash(again) !=
+        pnenc::petri::structural_hash(net)) {
+      throw std::logic_error("write_net/parse_net round trip diverged");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned seed = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+                           : 20260808u;
+  int iterations = argc > 2 ? std::atoi(argv[2]) : 3000;
+
+  using namespace pnenc;
+  const std::string text_good = petri::write_net(petri::gen::philosophers(2));
+  const std::string xml_good = pnml_seed();
+
+  std::mt19937 rng(seed);
+  int accepted = 0, rejected = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Alternate seed corpus; occasionally cross-feed so each front end sees
+    // the other's dialect (a PNML doc is just a comment-free rejection to
+    // the text parser, and vice versa — but only if the guards hold).
+    bool xml_input = (iter & 1) != 0;
+    bool cross = (rng() & 7u) == 0;
+    const std::string& base = xml_input ? xml_good : text_good;
+    bool to_pnml = cross ? !xml_input : xml_input;
+    std::string input = mutate(base, rng);
+    try {
+      if (to_pnml) {
+        Net net = petri::parse_pnml(input);
+        check_accepted(net, /*text_format=*/false);
+      } else {
+        Net net = petri::parse_net(input);
+        check_accepted(net, /*text_format=*/true);
+      }
+      ++accepted;
+    } catch (const ParseError&) {
+      ++rejected;  // covers PnmlError too — the documented rejection type
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "parser_fuzz: FOREIGN EXCEPTION at seed=%u iter=%d: %s\n",
+                   seed, iter, e.what());
+      return 1;
+    }
+  }
+  std::printf("parser_fuzz: %d inputs (seed %u): %d rejected, %d accepted, "
+              "0 crashes\n",
+              iterations, seed, rejected, accepted);
+  return 0;
+}

@@ -204,6 +204,47 @@ TEST(Serve, ColdThenWarmTranscriptsAreByteIdentical) {
   std::remove(qfile.c_str());
 }
 
+TEST(Serve, OpensPnmlFilesThroughLoadNetSpec) {
+  // `open` goes through load_net_spec, so the PNML front end works in serve
+  // sessions with no server-side changes — this pins that wiring, plus the
+  // error isolation when the PNML is rejected.
+  std::string path = ::testing::TempDir() + "pnenc_serve_net.pnml";
+  {
+    std::ofstream f(path);
+    f << "<pnml><net id=\"ring\">"
+         "<place id=\"p1\"><initialMarking><text>1</text></initialMarking>"
+         "</place><place id=\"p2\"/>"
+         "<transition id=\"t1\"/><transition id=\"t2\"/>"
+         "<arc id=\"a1\" source=\"p1\" target=\"t1\"/>"
+         "<arc id=\"a2\" source=\"t1\" target=\"p2\"/>"
+         "<arc id=\"a3\" source=\"p2\" target=\"t2\"/>"
+         "<arc id=\"a4\" source=\"t2\" target=\"p1\"/>"
+         "</net></pnml>";
+  }
+  std::string bad = ::testing::TempDir() + "pnenc_serve_bad.pnml";
+  {
+    std::ofstream f(bad);
+    f << "<pnml><net id=\"w\"><place id=\"p\">\n"
+         "<initialMarking><text>2</text></initialMarking>\n"
+         "</place></net></pnml>";
+  }
+  std::string out = serve(
+      "open " + bad + "\n" +
+      "open " + path + "\n" +
+      "query reach p2\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("error:"), std::string::npos);
+  EXPECT_NE(lines[0].find("pnml parse error at line 2"), std::string::npos);
+  EXPECT_EQ(lines[1].rfind("ok open " + path, 0), 0u);
+  EXPECT_NE(lines[1].find("places=2 transitions=2 markings=2"),
+            std::string::npos);
+  EXPECT_EQ(lines[2], "query 1 [reach]: yes  (1 markings)  reach p2");
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
 TEST(Serve, BlankLinesAndCommentsAreIgnored) {
   std::string out = serve(
       "\n"
