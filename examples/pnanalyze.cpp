@@ -146,6 +146,10 @@ int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
               net.num_places());
 
   symbolic::ZddContext ctx(net);
+  // Same growth policy as the BDD path: the shared kernel gives the ZDD
+  // manager sifting too, so long traversals get reorder-on-growth via the
+  // saturation/sweep tick() hook.
+  ctx.manager().set_auto_reorder(200000);
   symbolic::PartitionOptions popts;
   if (want_autotune) {
     popts = symbolic::autotune_zdd_options(net);
@@ -209,6 +213,16 @@ int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
           "invocation (use --method clustered|chained|saturation, or "
           "--health)\n");
     }
+    zdd::ZddManager& mgr = ctx.manager();
+    util::TablePrinter mtab({"live nodes", "peak nodes", "cache lookups",
+                             "cache hits", "gc runs", "reorder runs"});
+    mtab.add_row({std::to_string(mgr.live_node_count()),
+                  std::to_string(mgr.peak_node_count()),
+                  std::to_string(mgr.cache_lookups()),
+                  std::to_string(mgr.cache_hits()),
+                  std::to_string(mgr.gc_runs()),
+                  std::to_string(mgr.reorder_runs())});
+    std::fputs(mtab.render("manager counters").c_str(), stdout);
   }
 
   if (want_deadlocks) {
@@ -547,6 +561,16 @@ int main(int argc, char** argv) {
             "invocation (use --method clustered|chained, or --health with a "
             "TR method)\n");
       }
+      bdd::BddManager& mgr = ctx.manager();
+      util::TablePrinter mtab({"live nodes", "peak nodes", "cache lookups",
+                               "cache hits", "gc runs", "reorder runs"});
+      mtab.add_row({std::to_string(mgr.live_node_count()),
+                    std::to_string(mgr.peak_node_count()),
+                    std::to_string(mgr.cache_lookups()),
+                    std::to_string(mgr.cache_hits()),
+                    std::to_string(mgr.gc_runs()),
+                    std::to_string(mgr.reorder_runs())});
+      std::fputs(mtab.render("manager counters").c_str(), stdout);
     }
 
     if (want_deadlocks) {

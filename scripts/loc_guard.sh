@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Backend line-count guard.
+#
+# The shared DD kernel (src/dd/) exists so that src/bdd/ and src/zdd/ hold
+# *policy* only — reduction rules and diagram-specific algorithms — while
+# arena, unique tables, op cache, GC, reordering and the client memo live
+# once, in the kernel. Immediately before the extraction the two backend
+# directories totalled 2491 lines; this guard fails CI if they ever grow
+# back to that size, which is the cheap tripwire against mechanism code
+# quietly re-accreting in the policy layers instead of going into src/dd/.
+#
+# If you trip this legitimately (a genuinely diagram-specific algorithm),
+# raise BASELINE in the same commit and say why in its message.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=2491
+
+total=$(cat src/bdd/*.hpp src/bdd/*.cpp src/zdd/*.hpp src/zdd/*.cpp | wc -l)
+
+echo "src/bdd/ + src/zdd/: ${total} lines (pre-kernel-extraction baseline: ${BASELINE})"
+if [ "${total}" -ge "${BASELINE}" ]; then
+  echo "error: backend layers have grown back to their pre-extraction size." >&2
+  echo "Mechanism code belongs in src/dd/ — see docs/ARCHITECTURE.md." >&2
+  exit 1
+fi
+echo "OK: backends are ${BASELINE}-${total} = $((BASELINE - total)) lines under the baseline."

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dd/dd_kernel.hpp"
+
 namespace pnenc::bdd {
 
 class BddManager;
@@ -72,11 +74,13 @@ class Bdd {
   std::uint32_t id_ = 0;
 };
 
-/// Shared-node ROBDD manager: unique subtables per variable, a lossy
-/// computed-op cache, reference-counted garbage collection, and dynamic
-/// variable reordering by sifting.
+/// Shared-node ROBDD manager on the common DD kernel (dd/dd_kernel.hpp):
+/// the kernel supplies the node arena, unique subtables, computed cache,
+/// refcounted GC, client memo and sifting-based reordering; this class
+/// supplies the BDD policy (the low == high reduction rule) and the boolean
+/// operator set.
 ///
-/// Design notes (see DESIGN.md §5):
+/// Design notes (see DESIGN.md §5 and docs/ARCHITECTURE.md, "DD kernel"):
 ///  * Nodes live in a flat arena indexed by 32-bit ids; ids are stable for
 ///    the lifetime of a (referenced) node, across GC and reordering.
 ///  * Garbage collection and reordering only run from public entry points
@@ -84,25 +88,14 @@ class Bdd {
 ///    operation are never invalidated.
 ///  * Reordering swaps adjacent levels in place (Rudell's sifting), which
 ///    preserves the function denoted by every live node.
-class BddManager {
+class BddManager : public dd::DdKernel<BddManager> {
  public:
   static constexpr std::uint32_t kFalse = 0;
   static constexpr std::uint32_t kTrue = 1;
-  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
   /// @param num_vars  initial number of variables (more can be added).
   explicit BddManager(int num_vars = 0);
   ~BddManager();
-
-  BddManager(const BddManager&) = delete;
-  BddManager& operator=(const BddManager&) = delete;
-
-  // ---- variables -------------------------------------------------------
-  /// Adds a fresh variable at the bottom of the order; returns its id.
-  int new_var();
-  [[nodiscard]] int num_vars() const { return static_cast<int>(var2level_.size()); }
-  [[nodiscard]] int level_of_var(int var) const { return var2level_[var]; }
-  [[nodiscard]] int var_at_level(int level) const { return level2var_[level]; }
 
   // ---- constants and literals ------------------------------------------
   [[nodiscard]] Bdd bdd_true() { return Bdd(this, kTrue); }
@@ -213,8 +206,6 @@ class BddManager {
   [[nodiscard]] std::size_t dag_size(const Bdd& f);
   /// Combined DAG size of several roots (shared nodes counted once).
   [[nodiscard]] std::size_t dag_size(const std::vector<Bdd>& roots);
-  [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
-  [[nodiscard]] std::size_t peak_node_count() const { return peak_nodes_; }
 
   [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& assignment);
 
@@ -222,122 +213,36 @@ class BddManager {
   [[nodiscard]] std::string to_dot(const Bdd& f,
                                    const std::vector<std::string>& var_names);
 
-  // ---- memory management -------------------------------------------------
-  /// Collects all unreferenced nodes. Must not be called while an operation
-  /// is in flight (asserted).
-  void gc();
-  /// Runs one full sifting pass over all variables. Preserves the function
-  /// of every live handle. Returns the node count after reordering.
-  std::size_t reorder_sift();
-  /// Installs an explicit variable order: `level2var[l]` is the variable to
-  /// place at level l (must be a permutation of 0..num_vars-1). Implemented
-  /// as a sequence of adjacent-level swaps, so it preserves the function and
-  /// identity of every live handle, like reorder_sift. Returns the node
-  /// count afterwards. Primarily a test/benchmark hook for exercising the
-  /// symbolic layer under adversarial orders.
-  std::size_t set_var_order(const std::vector<int>& level2var);
-  /// Enables reorder-on-growth: reorder_sift() runs inside maybe_reorder()
-  /// whenever live nodes exceed the threshold (which then doubles).
-  void set_auto_reorder(std::size_t first_threshold);
-  /// Hook for long-running clients (the traversal loop): triggers GC and/or
-  /// sifting according to the configured thresholds.
-  void maybe_reorder();
-
-  /// Caps the node arena at `max_nodes` slots (terminals included); an
-  /// allocation that would grow the arena past the cap throws
-  /// std::length_error. The throw happens before any node state is touched
-  /// and the recursive operators unwind cleanly, so existing handles stay
-  /// valid and the manager remains usable (nodes completed earlier in the
-  /// failed operation are unreferenced and reclaimed by the next gc()).
-  /// The cap is clamped to the hard arena bound of 2^32−1: id 0xFFFFFFFF is
-  /// kNil, so the arena must never hand it out as a real node id. Defaults
-  /// to that hard bound; tests inject a small cap to exercise the guard,
-  /// and the query layer's sharding exists to split workloads that hit it.
-  void set_node_limit(std::size_t max_nodes);
-  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
-  /// Current arena size in slots (live + freed nodes + the 2 terminals) —
-  /// the quantity set_node_limit caps.
-  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
-
-  /// Invalidates every computed-cache entry (the unique table is untouched,
-  /// so canonicity is preserved). Used by benchmarks to measure cold-cache
-  /// operation cost; results stay correct either way.
-  void clear_op_cache();
-
-  [[nodiscard]] std::uint64_t cache_lookups() const { return cache_lookups_; }
-  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
-  [[nodiscard]] std::uint64_t reorder_runs() const { return reorder_runs_; }
-
-  // ---- client memo (keyed fixpoint results) ------------------------------
-  //
-  // A small exact memo table for *set-level* results that must survive GC
-  // and reordering — unlike the lossy computed-op cache, entries hold Bdd
-  // handles for both key and result, so the nodes stay referenced (GC-safe)
-  // and keep their identity across sifting (reorder-safe). The saturation
-  // traversal uses one slot per saturation level to memoize "this input set,
-  // saturated at this level".
-  //
-  // Slots namespace the keys: each client structure reserves a fresh range
-  // with memo_reserve so two structures (e.g. a rebuilt RelationPartition)
-  // can never read each other's entries.
-  //
-  // Complexity: every memo call is one hash-table operation, O(1) expected.
-  // Thread-safety: like all manager state, the memo follows the
-  // one-thread-per-manager rule (no internal locking); cross-thread sharing
-  // of results goes through import_bdd into the other thread's manager.
-
-  /// Reserves `count` fresh memo slots; returns the first slot id.
-  std::uint64_t memo_reserve(std::uint64_t count);
+  // ---- client memo (handle-typed views over the kernel's raw memo) -------
   /// Looks up (slot, key); true and sets `out` on a hit.
   bool memo_get(std::uint64_t slot, const Bdd& key, Bdd& out);
   /// Stores (slot, key) → result. Overwrites an existing entry.
   void memo_put(std::uint64_t slot, const Bdd& key, const Bdd& result);
-  /// Drops every memo entry (releasing the node references it held).
-  void memo_clear();
-  /// Drops the entries of slots [first, first + count) — a client structure
-  /// releasing its namespace on destruction, so a short-lived client can't
-  /// pin its result nodes for the manager's whole lifetime.
-  void memo_release(std::uint64_t first, std::uint64_t count);
-  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
-
-  // ---- raw node access (used by Bdd and tests) ---------------------------
-  [[nodiscard]] int node_var(std::uint32_t id) const { return nodes_[id].var; }
-  [[nodiscard]] std::uint32_t node_low(std::uint32_t id) const {
-    return nodes_[id].low;
-  }
-  [[nodiscard]] std::uint32_t node_high(std::uint32_t id) const {
-    return nodes_[id].high;
-  }
-  void ref(std::uint32_t id);
-  void deref(std::uint32_t id);
 
  private:
   friend class Bdd;
+  friend class dd::DdKernel<BddManager>;
 
-  struct Node {
-    std::uint32_t var;   // variable id; kVarTerminal on terminals
-    std::uint32_t low;   // else child
-    std::uint32_t high;  // then child
-    std::uint32_t next;  // unique-table chain / free list link
-    std::uint32_t ref;   // external + internal reference count
-  };
-  static constexpr std::uint32_t kVarTerminal = 0xFFFFFFFFu;
-  static constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+  // ---- kernel policy hooks ----------------------------------------------
+  static constexpr const char* kName = "BddManager";
+  static constexpr const char* kDiagramName = "BDD";
+  /// BDD reduction rule: a node whose branches agree is redundant.
+  static bool mk_reduce(std::uint32_t /*var*/, std::uint32_t low,
+                        std::uint32_t high, std::uint32_t& out) {
+    if (low == high) {
+      out = low;
+      return true;
+    }
+    return false;
+  }
+  /// A child that does not test the swapped-up variable w is its own
+  /// w-cofactor on both branches.
+  static std::uint32_t swap_absent_high(std::uint32_t child) { return child; }
 
-  struct Subtable {
-    std::vector<std::uint32_t> buckets;  // heads of chains, kNil-terminated
-    std::size_t count = 0;
-  };
-
-  struct CacheEntry {
-    std::uint32_t op = 0xFFFFFFFFu;
-    std::uint32_t a = 0, b = 0, c = 0;
-    std::uint32_t result = 0;
-  };
-
+  // Op tags for the shared computed cache; the 0x100 base keeps the BDD
+  // range disjoint from the ZDD instantiation's 0x200 range.
   enum Op : std::uint32_t {
-    kOpIte = 1,
+    kOpIte = 0x101,
     kOpAnd,
     kOpOr,
     kOpXor,
@@ -348,16 +253,6 @@ class BddManager {
     kOpPermute,
     kOpToggle,
   };
-
-  // node construction
-  std::uint32_t mk(std::uint32_t var, std::uint32_t low, std::uint32_t high);
-  std::uint32_t alloc_node(std::uint32_t var, std::uint32_t low,
-                           std::uint32_t high);
-  void subtable_insert(std::uint32_t var, std::uint32_t id);
-  void subtable_remove(std::uint32_t var, std::uint32_t id);
-  void subtable_maybe_grow(std::uint32_t var);
-  static std::size_t hash_pair(std::uint32_t low, std::uint32_t high,
-                               std::size_t nbuckets);
 
   // recursive workers (raw ids; no GC may run while these are active)
   std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
@@ -373,56 +268,6 @@ class BddManager {
   std::uint32_t toggle_rec(std::uint32_t f, int v);
   double satcount_rec(std::uint32_t f, const std::vector<double>& suffix,
                       std::vector<double>& memo);
-
-  // computed cache
-  void cache_put(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
-                 std::uint32_t result);
-  bool cache_get(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t c,
-                 std::uint32_t& result);
-  void cache_clear();
-
-  // GC helpers
-  void deref_recursive(std::uint32_t id);
-  void free_node(std::uint32_t id);
-
-  // reordering helpers
-  std::size_t swap_levels(int level);  // swaps level and level+1
-  void sift_var(int var);
-
-  [[nodiscard]] int level_of_node(std::uint32_t id) const {
-    return var2level_[nodes_[id].var];
-  }
-
-  std::vector<Node> nodes_;
-  std::size_t node_limit_ = kNil;  // arena slot cap; id kNil is unusable
-  std::uint32_t free_head_ = kNil;
-  std::size_t live_nodes_ = 0;
-  std::size_t peak_nodes_ = 0;
-
-  std::vector<Subtable> subtables_;  // indexed by variable id
-  std::vector<int> var2level_;
-  std::vector<int> level2var_;
-
-  std::vector<CacheEntry> cache_;
-  std::uint64_t cache_lookups_ = 0;
-  std::uint64_t cache_hits_ = 0;
-
-  // Client memo: key = (slot << 32) | node id. The stored handles keep both
-  // the key node and the result alive. Declared after nodes_ so destruction
-  // releases the references while the arena still exists.
-  struct MemoEntry {
-    Bdd key;
-    Bdd result;
-  };
-  std::unordered_map<std::uint64_t, MemoEntry> memo_;
-  std::uint64_t memo_next_slot_ = 0;
-
-  int op_depth_ = 0;  // asserts GC/reorder never runs mid-operation
-  std::size_t gc_threshold_ = 1u << 20;
-  std::size_t reorder_threshold_ = 0;  // 0 = auto reorder disabled
-  std::uint64_t gc_runs_ = 0;
-  std::uint64_t reorder_runs_ = 0;
-  std::uint32_t permute_tag_ = 0;  // distinguishes cached permute calls
 };
 
 }  // namespace pnenc::bdd

@@ -172,31 +172,8 @@ std::vector<std::vector<bool>> BddManager::all_sat(
 }
 
 // ---------------------------------------------------------------------------
-// Size and DOT export
+// DOT export
 // ---------------------------------------------------------------------------
-
-std::size_t BddManager::dag_size(const Bdd& f) {
-  return dag_size(std::vector<Bdd>{f});
-}
-
-std::size_t BddManager::dag_size(const std::vector<Bdd>& roots) {
-  std::vector<char> seen(nodes_.size(), 0);
-  std::vector<std::uint32_t> stack;
-  for (const Bdd& r : roots) {
-    if (r.is_valid()) stack.push_back(r.id());
-  }
-  std::size_t count = 0;
-  while (!stack.empty()) {
-    std::uint32_t id = stack.back();
-    stack.pop_back();
-    if (id <= kTrue || seen[id]) continue;
-    seen[id] = 1;
-    count++;
-    stack.push_back(nodes_[id].low);
-    stack.push_back(nodes_[id].high);
-  }
-  return count;
-}
 
 std::string BddManager::to_dot(const Bdd& f,
                                const std::vector<std::string>& var_names) {

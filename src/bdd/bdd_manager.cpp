@@ -1,10 +1,8 @@
-#include <algorithm>
 #include <cassert>
-#include <cstring>
-#include <stdexcept>
-#include <string>
 
 #include "bdd/bdd.hpp"
+
+#include <stdexcept>
 
 namespace pnenc::bdd {
 
@@ -83,28 +81,16 @@ bool Bdd::eval(const std::vector<bool>& assignment) const {
 }
 
 // ---------------------------------------------------------------------------
-// Manager: construction, variables
+// Manager: construction, literals, checked node building
 // ---------------------------------------------------------------------------
+// The arena, unique tables, cache, GC and reordering all live in the shared
+// kernel (dd/dd_kernel.hpp); what remains here is the handle-facing surface.
 
 BddManager::BddManager(int num_vars) {
-  nodes_.reserve(1u << 14);
-  // Terminal nodes occupy ids 0 and 1 and are permanently referenced.
-  nodes_.push_back(Node{kVarTerminal, kFalse, kFalse, kNil, kRefSaturated});
-  nodes_.push_back(Node{kVarTerminal, kTrue, kTrue, kNil, kRefSaturated});
-  cache_.resize(1u << 16);
   for (int i = 0; i < num_vars; ++i) new_var();
 }
 
 BddManager::~BddManager() = default;
-
-int BddManager::new_var() {
-  int v = static_cast<int>(var2level_.size());
-  var2level_.push_back(v);
-  level2var_.push_back(v);
-  subtables_.emplace_back();
-  subtables_.back().buckets.assign(16, kNil);
-  return v;
-}
 
 Bdd BddManager::var(int v) {
   assert(v >= 0 && v < num_vars());
@@ -121,295 +107,36 @@ Bdd BddManager::make_node(int var, const Bdd& low, const Bdd& high) {
     throw std::invalid_argument(
         "make_node: child handle belongs to another manager (or is invalid)");
   }
-  if (var < 0 || var >= num_vars()) {
-    throw std::invalid_argument("make_node: variable id " +
-                                std::to_string(var) + " out of range (" +
-                                std::to_string(num_vars()) + " variables)");
+  return Bdd(this, checked_mk(var, low.id(), high.id()));
+}
+
+std::size_t BddManager::dag_size(const Bdd& f) {
+  return dag_size(std::vector<Bdd>{f});
+}
+
+std::size_t BddManager::dag_size(const std::vector<Bdd>& roots) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(roots.size());
+  for (const Bdd& r : roots) {
+    if (r.is_valid()) ids.push_back(r.id());
   }
-  for (const Bdd* child : {&low, &high}) {
-    if (!child->is_terminal() &&
-        var2level_[var] >= level_of_node(child->id())) {
-      throw std::invalid_argument(
-          "make_node: child's level is not below variable " +
-          std::to_string(var) + "'s level — not an ordered BDD");
-    }
-  }
-  return Bdd(this, mk(static_cast<std::uint32_t>(var), low.id(), high.id()));
+  return dag_size_raw(ids);
 }
 
 // ---------------------------------------------------------------------------
-// Unique table
+// Client memo: handle-typed view over the kernel's raw-id memo
 // ---------------------------------------------------------------------------
-
-std::size_t BddManager::hash_pair(std::uint32_t low, std::uint32_t high,
-                                  std::size_t nbuckets) {
-  std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return static_cast<std::size_t>(h) & (nbuckets - 1);
-}
-
-std::uint32_t BddManager::mk(std::uint32_t var, std::uint32_t low,
-                             std::uint32_t high) {
-  if (low == high) return low;
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(low, high, st.buckets.size());
-  for (std::uint32_t id = st.buckets[b]; id != kNil; id = nodes_[id].next) {
-    const Node& n = nodes_[id];
-    if (n.low == low && n.high == high) return id;
-  }
-  std::uint32_t id = alloc_node(var, low, high);
-  // Re-hash: alloc may not change buckets, but growth below might; insert
-  // first, grow afterwards (grow rehashes everything).
-  Node& n = nodes_[id];
-  n.next = st.buckets[b];
-  st.buckets[b] = id;
-  st.count++;
-  subtable_maybe_grow(var);
-  return id;
-}
-
-std::uint32_t BddManager::alloc_node(std::uint32_t var, std::uint32_t low,
-                                     std::uint32_t high) {
-  std::uint32_t id;
-  if (free_head_ != kNil) {
-    // Reusing a freed slot never grows the arena, so the cap does not apply.
-    id = free_head_;
-    free_head_ = nodes_[id].next;
-  } else {
-    // Growth path: without this guard the 32-bit id would silently wrap past
-    // 2^32 (and id 0xFFFFFFFF would collide with kNil). Throwing here is
-    // clean — nothing has been linked yet and the recursive operators unwind
-    // through their RAII guards — so handles stay valid afterwards.
-    if (nodes_.size() >= node_limit_) {
-      throw std::length_error(
-          "BddManager: node arena exhausted (" + std::to_string(nodes_.size()) +
-          " slots, limit " + std::to_string(node_limit_) +
-          "); shard the workload across managers or raise set_node_limit");
-    }
-    id = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-  }
-  Node& n = nodes_[id];
-  n.var = var;
-  n.low = low;
-  n.high = high;
-  n.next = kNil;
-  n.ref = 0;
-  ref(low);
-  ref(high);
-  live_nodes_++;
-  if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
-  return id;
-}
-
-void BddManager::subtable_insert(std::uint32_t var, std::uint32_t id) {
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-  nodes_[id].next = st.buckets[b];
-  st.buckets[b] = id;
-  st.count++;
-  subtable_maybe_grow(var);
-}
-
-void BddManager::subtable_remove(std::uint32_t var, std::uint32_t id) {
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-  std::uint32_t* link = &st.buckets[b];
-  while (*link != kNil) {
-    if (*link == id) {
-      *link = nodes_[id].next;
-      st.count--;
-      return;
-    }
-    link = &nodes_[*link].next;
-  }
-  assert(false && "node not found in its subtable");
-}
-
-void BddManager::subtable_maybe_grow(std::uint32_t var) {
-  Subtable& st = subtables_[var];
-  if (st.count <= st.buckets.size() * 2) return;
-  std::vector<std::uint32_t> old = std::move(st.buckets);
-  st.buckets.assign(old.size() * 4, kNil);
-  for (std::uint32_t head : old) {
-    for (std::uint32_t id = head; id != kNil;) {
-      std::uint32_t next = nodes_[id].next;
-      std::size_t b =
-          hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-      nodes_[id].next = st.buckets[b];
-      st.buckets[b] = id;
-      id = next;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Reference counting and garbage collection
-// ---------------------------------------------------------------------------
-
-void BddManager::ref(std::uint32_t id) {
-  Node& n = nodes_[id];
-  if (n.ref != kRefSaturated) n.ref++;
-}
-
-void BddManager::deref(std::uint32_t id) {
-  Node& n = nodes_[id];
-  if (n.ref != kRefSaturated) {
-    assert(n.ref > 0);
-    n.ref--;
-  }
-}
-
-void BddManager::deref_recursive(std::uint32_t id) {
-  // Iterative cascade: decrement, and free nodes whose count reaches zero.
-  std::vector<std::uint32_t> stack{id};
-  while (!stack.empty()) {
-    std::uint32_t cur = stack.back();
-    stack.pop_back();
-    Node& n = nodes_[cur];
-    if (n.ref == kRefSaturated) continue;
-    assert(n.ref > 0);
-    if (--n.ref == 0) {
-      stack.push_back(n.low);
-      stack.push_back(n.high);
-      subtable_remove(n.var, cur);
-      free_node(cur);
-    }
-  }
-}
-
-void BddManager::free_node(std::uint32_t id) {
-  Node& n = nodes_[id];
-  n.var = kVarTerminal;
-  n.low = kNil;
-  n.high = kNil;
-  n.next = free_head_;
-  free_head_ = id;
-  assert(live_nodes_ > 0);
-  live_nodes_--;
-}
-
-void BddManager::gc() {
-  assert(op_depth_ == 0 && "GC must not run during an operation");
-  gc_runs_++;
-  // Sweep: nodes with zero references are dead; removing one may kill its
-  // children, so iterate with a worklist seeded by every currently-dead node.
-  std::vector<std::uint32_t> dead;
-  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
-    if (n.var != kVarTerminal && n.ref == 0) dead.push_back(id);
-  }
-  for (std::uint32_t id : dead) {
-    // May already have been freed as a child cascade; detect via var field.
-    if (nodes_[id].var == kVarTerminal) continue;
-    if (nodes_[id].ref != 0) continue;
-    Node& n = nodes_[id];
-    std::uint32_t low = n.low, high = n.high;
-    subtable_remove(n.var, id);
-    free_node(id);
-    deref_recursive(low);
-    deref_recursive(high);
-  }
-  cache_clear();
-}
-
-// ---------------------------------------------------------------------------
-// Computed cache
-// ---------------------------------------------------------------------------
-
-void BddManager::cache_put(Op op, std::uint32_t a, std::uint32_t b,
-                           std::uint32_t c, std::uint32_t result) {
-  std::uint64_t h = a;
-  h = h * 0x9e3779b97f4a7c15ULL + b;
-  h = h * 0x9e3779b97f4a7c15ULL + c;
-  h = h * 0x9e3779b97f4a7c15ULL + op;
-  h ^= h >> 29;
-  CacheEntry& e = cache_[h & (cache_.size() - 1)];
-  e.op = op;
-  e.a = a;
-  e.b = b;
-  e.c = c;
-  e.result = result;
-}
-
-bool BddManager::cache_get(Op op, std::uint32_t a, std::uint32_t b,
-                           std::uint32_t c, std::uint32_t& result) {
-  cache_lookups_++;
-  std::uint64_t h = a;
-  h = h * 0x9e3779b97f4a7c15ULL + b;
-  h = h * 0x9e3779b97f4a7c15ULL + c;
-  h = h * 0x9e3779b97f4a7c15ULL + op;
-  h ^= h >> 29;
-  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
-  if (e.op == op && e.a == a && e.b == b && e.c == c) {
-    cache_hits_++;
-    result = e.result;
-    return true;
-  }
-  return false;
-}
-
-void BddManager::cache_clear() {
-  for (auto& e : cache_) e.op = 0xFFFFFFFFu;
-}
-
-void BddManager::clear_op_cache() {
-  assert(op_depth_ == 0);
-  cache_clear();
-}
-
-// ---------------------------------------------------------------------------
-// Client memo
-// ---------------------------------------------------------------------------
-
-std::uint64_t BddManager::memo_reserve(std::uint64_t count) {
-  std::uint64_t first = memo_next_slot_;
-  memo_next_slot_ += count;
-  assert(memo_next_slot_ < (1ULL << 32) && "memo slot space exhausted");
-  return first;
-}
 
 bool BddManager::memo_get(std::uint64_t slot, const Bdd& key, Bdd& out) {
-  auto it = memo_.find((slot << 32) | key.id());
-  if (it == memo_.end()) return false;
-  out = it->second.result;
+  std::uint32_t result;
+  if (!memo_get_raw(slot, key.id(), result)) return false;
+  out = Bdd(this, result);
   return true;
 }
 
 void BddManager::memo_put(std::uint64_t slot, const Bdd& key,
                           const Bdd& result) {
-  memo_[(slot << 32) | key.id()] = MemoEntry{key, result};
-}
-
-void BddManager::memo_clear() { memo_.clear(); }
-
-void BddManager::memo_release(std::uint64_t first, std::uint64_t count) {
-  std::erase_if(memo_, [&](const auto& kv) {
-    std::uint64_t slot = kv.first >> 32;
-    return slot >= first && slot < first + count;
-  });
-}
-
-void BddManager::set_node_limit(std::size_t max_nodes) {
-  node_limit_ = std::min<std::size_t>(max_nodes, kNil);
-}
-
-void BddManager::set_auto_reorder(std::size_t first_threshold) {
-  reorder_threshold_ = first_threshold;
-}
-
-void BddManager::maybe_reorder() {
-  assert(op_depth_ == 0);
-  if (live_nodes_ > gc_threshold_) {
-    gc();
-    gc_threshold_ = std::max(gc_threshold_, live_nodes_ * 2);
-  }
-  if (reorder_threshold_ != 0 && live_nodes_ > reorder_threshold_) {
-    reorder_sift();
-    reorder_threshold_ = std::max(reorder_threshold_, live_nodes_ * 2);
-  }
+  memo_put_raw(slot, key.id(), result.id());
 }
 
 }  // namespace pnenc::bdd

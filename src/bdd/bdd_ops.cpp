@@ -6,20 +6,8 @@
 
 namespace pnenc::bdd {
 
-namespace {
-/// RAII guard asserting that GC/reordering cannot interleave with an
-/// in-flight recursive operation.
-class OpGuard {
- public:
-  explicit OpGuard(int& depth) : depth_(depth) { ++depth_; }
-  ~OpGuard() { --depth_; }
-  OpGuard(const OpGuard&) = delete;
-  OpGuard& operator=(const OpGuard&) = delete;
-
- private:
-  int& depth_;
-};
-}  // namespace
+// The OpGuard RAII type (asserting GC/reordering cannot interleave with an
+// in-flight recursive operation) comes from the shared kernel.
 
 // ---------------------------------------------------------------------------
 // ITE

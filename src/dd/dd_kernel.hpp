@@ -1,0 +1,733 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pnenc::dd {
+
+/// Shared decision-diagram kernel: the mechanism half of BddManager and
+/// ZddManager, factored out so the two engines are one implementation of
+///
+///  * the flat u32 node arena (ids stable for the lifetime of a referenced
+///    node, across GC and reordering) with the free-list and the
+///    set_node_limit overflow guard,
+///  * per-variable unique subtables (hash chains, kNil-terminated),
+///  * the lossy direct-mapped computed-op cache with hit/lookup counters,
+///  * reference-counted garbage collection (deref cascade + full sweep),
+///  * the slot-namespaced client memo (exact, GC- and reorder-safe),
+///  * variable levels (var2level/level2var), adjacent-level swaps, Rudell
+///    sifting, explicit order installation and reorder-on-growth,
+///  * the checked raw-table make_node used by the snapshot loader.
+///
+/// The policy half — what makes a diagram a BDD or a ZDD — is supplied by
+/// the derived class (CRTP) through four hooks, which it befriends to the
+/// kernel:
+///
+///   static constexpr const char* kName;         // "BddManager" / ...
+///   static constexpr const char* kDiagramName;  // "BDD" / "ZDD"
+///   // The reduction rule of mk(): true and sets `out` when ⟨var,low,high⟩
+///   // must not become a node (BDD: low == high → low; ZDD zero-suppression:
+///   // high == ∅ → low).
+///   static bool mk_reduce(std::uint32_t var, std::uint32_t low,
+///                         std::uint32_t high, std::uint32_t& out);
+///   // Cofactor-by-absence for swap_levels: the "child tests w = true"
+///   // branch of a child that does NOT test w (BDD: the child itself; ZDD:
+///   // ∅, since no set below it contains w).
+///   static std::uint32_t swap_absent_high(std::uint32_t child);
+///
+/// Everything else — the recursive operators, handle types, and the public
+/// vocabulary (bdd_and vs zdd_union) — stays in the derived class; the
+/// kernel never calls back into operator semantics. Terminal nodes occupy
+/// ids 0 and 1 in both instantiations and are created by the kernel
+/// constructor.
+///
+/// Thread-safety: none, by design — one thread per manager, exactly as
+/// before the extraction. Cross-thread transfer goes through the derived
+/// import_* into the receiving thread's manager, which only READS the source
+/// arena via the const raw accessors here.
+template <class Derived>
+class DdKernel {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  DdKernel(const DdKernel&) = delete;
+  DdKernel& operator=(const DdKernel&) = delete;
+
+  // ---- variables ---------------------------------------------------------
+  /// Adds a fresh variable at the bottom of the order; returns its id.
+  int new_var() {
+    int v = static_cast<int>(var2level_.size());
+    var2level_.push_back(v);
+    level2var_.push_back(v);
+    subtables_.emplace_back();
+    subtables_.back().buckets.assign(16, kNil);
+    return v;
+  }
+  [[nodiscard]] int num_vars() const {
+    return static_cast<int>(var2level_.size());
+  }
+  [[nodiscard]] int level_of_var(int var) const { return var2level_[var]; }
+  [[nodiscard]] int var_at_level(int level) const { return level2var_[level]; }
+
+  // ---- arena accounting --------------------------------------------------
+  [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
+  [[nodiscard]] std::size_t peak_node_count() const { return peak_nodes_; }
+
+  /// Caps the node arena at `max_nodes` slots (terminals included); an
+  /// allocation that would grow the arena past the cap throws
+  /// std::length_error. The throw happens before any node state is touched
+  /// and the recursive operators unwind cleanly, so existing handles stay
+  /// valid and the manager remains usable (nodes completed earlier in the
+  /// failed operation are unreferenced and reclaimed by the next gc()).
+  /// The cap is clamped to the hard arena bound of 2^32−1: id 0xFFFFFFFF is
+  /// kNil, so the arena must never hand it out as a real node id. Defaults
+  /// to that hard bound; tests inject a small cap to exercise the guard,
+  /// and the query layer's sharding exists to split workloads that hit it.
+  void set_node_limit(std::size_t max_nodes) {
+    node_limit_ = std::min<std::size_t>(max_nodes, kNil);
+  }
+  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
+  /// Current arena size in slots (live + freed nodes + the 2 terminals) —
+  /// the quantity set_node_limit caps.
+  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
+
+  // ---- garbage collection & cache ---------------------------------------
+  /// Collects all unreferenced nodes. Must not be called while an operation
+  /// is in flight (asserted).
+  void gc() {
+    assert(op_depth_ == 0 && "GC must not run during an operation");
+    gc_runs_++;
+    // Sweep: nodes with zero references are dead; removing one may kill its
+    // children, so iterate with a worklist seeded by every currently-dead
+    // node.
+    std::vector<std::uint32_t> dead;
+    for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (n.var != kVarTerminal && n.ref == 0) dead.push_back(id);
+    }
+    for (std::uint32_t id : dead) {
+      // May already have been freed as a child cascade; detect via var field.
+      if (nodes_[id].var == kVarTerminal) continue;
+      if (nodes_[id].ref != 0) continue;
+      Node& n = nodes_[id];
+      std::uint32_t low = n.low, high = n.high;
+      subtable_remove(n.var, id);
+      free_node(id);
+      deref_recursive(low);
+      deref_recursive(high);
+    }
+    cache_clear();
+  }
+
+  /// Invalidates every computed-cache entry (the unique table is untouched,
+  /// so canonicity is preserved). Used by benchmarks to measure cold-cache
+  /// operation cost; results stay correct either way.
+  void clear_op_cache() {
+    assert(op_depth_ == 0);
+    cache_clear();
+  }
+
+  [[nodiscard]] std::uint64_t cache_lookups() const { return cache_lookups_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
+  [[nodiscard]] std::uint64_t reorder_runs() const { return reorder_runs_; }
+
+  // ---- dynamic reordering ------------------------------------------------
+  /// Runs one full sifting pass over all variables. Preserves the function
+  /// of every live handle. Returns the node count after reordering.
+  std::size_t reorder_sift() {
+    assert(op_depth_ == 0);
+    reorder_runs_++;
+    // Dead nodes distort the size signal sifting optimizes; collect first.
+    gc();
+    // Sift variables in decreasing order of subtable population — the
+    // standard heuristic: fat levels first.
+    std::vector<int> order(num_vars());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return subtables_[a].count > subtables_[b].count;
+    });
+    for (int v : order) {
+      if (subtables_[v].count > 0) sift_var(v);
+    }
+    // Node ids were freed/reallocated during the swaps; drop the op cache so
+    // no stale entry can alias a recycled id.
+    cache_clear();
+    return live_nodes_;
+  }
+
+  /// Installs an explicit variable order: `level2var[l]` is the variable to
+  /// place at level l (must be a permutation of 0..num_vars-1). Implemented
+  /// as a sequence of adjacent-level swaps, so it preserves the function and
+  /// identity of every live handle, like reorder_sift. Returns the node
+  /// count afterwards. Also how sharded workers inherit a planner's order
+  /// before a structural import.
+  std::size_t set_var_order(const std::vector<int>& level2var) {
+    assert(op_depth_ == 0);
+    const int n = num_vars();
+    assert(static_cast<int>(level2var.size()) == n);
+#ifndef NDEBUG
+    {
+      std::vector<char> seen(static_cast<std::size_t>(n), 0);
+      for (int v : level2var) {
+        assert(v >= 0 && v < n && !seen[v] &&
+               "level2var must be a permutation");
+        seen[v] = 1;
+      }
+    }
+#endif
+    gc();  // don't pay swap costs for dead nodes
+    // Selection by adjacent swaps: bubble each target variable up to its
+    // level, left to right. Everything already placed stays put.
+    for (int target = 0; target < n; ++target) {
+      int p = var2level_[level2var[target]];
+      assert(p >= target);
+      while (p > target) {
+        swap_levels(p - 1);
+        --p;
+      }
+    }
+    cache_clear();
+    return live_nodes_;
+  }
+
+  /// Enables reorder-on-growth: reorder_sift() runs inside maybe_reorder()
+  /// whenever live nodes exceed the threshold (which then doubles).
+  void set_auto_reorder(std::size_t first_threshold) {
+    reorder_threshold_ = first_threshold;
+  }
+
+  /// Hook for long-running clients (the traversal loop): triggers GC and/or
+  /// sifting according to the configured thresholds.
+  void maybe_reorder() {
+    assert(op_depth_ == 0);
+    if (live_nodes_ > gc_threshold_) {
+      gc();
+      gc_threshold_ = std::max(gc_threshold_, live_nodes_ * 2);
+    }
+    if (reorder_threshold_ != 0 && live_nodes_ > reorder_threshold_) {
+      reorder_sift();
+      reorder_threshold_ = std::max(reorder_threshold_, live_nodes_ * 2);
+    }
+  }
+
+  // ---- client memo (keyed fixpoint results) ------------------------------
+  //
+  // A small exact memo table for *set-level* results that must survive GC
+  // and reordering — unlike the lossy computed-op cache, the kernel holds a
+  // reference on both the key and the result node, so they stay live
+  // (GC-safe) and keep their identity across sifting (reorder-safe). The
+  // saturation traversal uses one slot per saturation level to memoize
+  // "this input set, saturated at this level".
+  //
+  // Slots namespace the keys: each client structure reserves a fresh range
+  // with memo_reserve so two structures (e.g. a rebuilt RelationPartition)
+  // can never read each other's entries.
+  //
+  // Complexity: every memo call is one hash-table operation, O(1) expected.
+  // Thread-safety: one thread per manager, like all kernel state. The
+  // derived manager exposes the handle-typed memo_get/memo_put over the
+  // raw-id primitives here.
+
+  /// Reserves `count` fresh memo slots; returns the first slot id.
+  std::uint64_t memo_reserve(std::uint64_t count) {
+    std::uint64_t first = memo_next_slot_;
+    memo_next_slot_ += count;
+    assert(memo_next_slot_ < (1ULL << 32) && "memo slot space exhausted");
+    return first;
+  }
+  /// Drops every memo entry (releasing the node references it held).
+  void memo_clear() {
+    for (auto& [k, e] : memo_) {
+      deref(e.key);
+      deref(e.result);
+    }
+    memo_.clear();
+  }
+  /// Drops the entries of slots [first, first + count) — a client structure
+  /// releasing its namespace on destruction, so a short-lived client can't
+  /// pin its result nodes for the manager's whole lifetime.
+  void memo_release(std::uint64_t first, std::uint64_t count) {
+    for (auto it = memo_.begin(); it != memo_.end();) {
+      std::uint64_t slot = it->first >> 32;
+      if (slot >= first && slot < first + count) {
+        deref(it->second.key);
+        deref(it->second.result);
+        it = memo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
+
+  // ---- raw node access (used by handles, import walks and tests) ---------
+  [[nodiscard]] int node_var(std::uint32_t id) const {
+    return static_cast<int>(nodes_[id].var);
+  }
+  [[nodiscard]] std::uint32_t node_low(std::uint32_t id) const {
+    return nodes_[id].low;
+  }
+  [[nodiscard]] std::uint32_t node_high(std::uint32_t id) const {
+    return nodes_[id].high;
+  }
+  void ref(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.ref != kRefSaturated) n.ref++;
+  }
+  void deref(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.ref != kRefSaturated) {
+      assert(n.ref > 0);
+      n.ref--;
+    }
+  }
+
+ protected:
+  struct Node {
+    std::uint32_t var;   // variable id; kVarTerminal on terminals
+    std::uint32_t low;   // else child
+    std::uint32_t high;  // then child
+    std::uint32_t next;  // unique-table chain / free list link
+    std::uint32_t ref;   // external + internal reference count
+  };
+  static constexpr std::uint32_t kVarTerminal = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+
+  struct Subtable {
+    std::vector<std::uint32_t> buckets;  // heads of chains, kNil-terminated
+    std::size_t count = 0;
+  };
+
+  struct CacheEntry {
+    std::uint32_t op = 0xFFFFFFFFu;
+    std::uint32_t a = 0, b = 0, c = 0;
+    std::uint32_t result = 0;
+  };
+
+  /// RAII guard asserting that GC/reordering cannot interleave with an
+  /// in-flight recursive operation.
+  class OpGuard {
+   public:
+    explicit OpGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~OpGuard() { --depth_; }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+
+   private:
+    int& depth_;
+  };
+
+  DdKernel() {
+    nodes_.reserve(1u << 14);
+    // Terminal nodes occupy ids 0 and 1 and are permanently referenced.
+    nodes_.push_back(Node{kVarTerminal, 0, 0, kNil, kRefSaturated});
+    nodes_.push_back(Node{kVarTerminal, 1, 1, kNil, kRefSaturated});
+    cache_.resize(1u << 16);
+  }
+  ~DdKernel() = default;
+
+  [[nodiscard]] static bool is_terminal(std::uint32_t id) { return id <= 1; }
+  [[nodiscard]] int level_of_node(std::uint32_t id) const {
+    return var2level_[nodes_[id].var];
+  }
+
+  // ---- node construction -------------------------------------------------
+  /// The hash-consing constructor: applies the derived reduction rule, then
+  /// probes the unique subtable and allocates on a miss. Returned ids are
+  /// unreferenced (wrap in a handle or ref() to keep them).
+  std::uint32_t mk(std::uint32_t var, std::uint32_t low, std::uint32_t high) {
+    std::uint32_t reduced;
+    if (Derived::mk_reduce(var, low, high, reduced)) return reduced;
+    Subtable& st = subtables_[var];
+    std::size_t b = hash_pair(low, high, st.buckets.size());
+    for (std::uint32_t id = st.buckets[b]; id != kNil; id = nodes_[id].next) {
+      const Node& n = nodes_[id];
+      if (n.low == low && n.high == high) return id;
+    }
+    std::uint32_t id = alloc_node(var, low, high);
+    // Re-hash: alloc may not change buckets, but growth below might; insert
+    // first, grow afterwards (grow rehashes everything).
+    Node& n = nodes_[id];
+    n.next = st.buckets[b];
+    st.buckets[b] = id;
+    st.count++;
+    subtable_maybe_grow(var);
+    return id;
+  }
+
+  /// mk() behind the full input-validation the snapshot loader needs: `var`
+  /// must exist and must sit strictly above each non-terminal child's level
+  /// (otherwise the result would not be an ordered diagram). The inputs
+  /// ultimately come from an untrusted file, so violations throw
+  /// std::invalid_argument — never UB. The derived make_node adds the
+  /// handle-ownership check (the kernel never sees handle types).
+  std::uint32_t checked_mk(int var, std::uint32_t low, std::uint32_t high) {
+    if (var < 0 || var >= num_vars()) {
+      throw std::invalid_argument("make_node: variable id " +
+                                  std::to_string(var) + " out of range (" +
+                                  std::to_string(num_vars()) + " variables)");
+    }
+    for (std::uint32_t child : {low, high}) {
+      if (!is_terminal(child) && var2level_[var] >= level_of_node(child)) {
+        throw std::invalid_argument(
+            "make_node: child's level is not below variable " +
+            std::to_string(var) + "'s level — not an ordered " +
+            Derived::kDiagramName);
+      }
+    }
+    return mk(static_cast<std::uint32_t>(var), low, high);
+  }
+
+  std::uint32_t alloc_node(std::uint32_t var, std::uint32_t low,
+                           std::uint32_t high) {
+    std::uint32_t id;
+    if (free_head_ != kNil) {
+      // Reusing a freed slot never grows the arena, so the cap doesn't apply.
+      id = free_head_;
+      free_head_ = nodes_[id].next;
+    } else {
+      // Growth path: without this guard the 32-bit id would silently wrap
+      // past 2^32 (and id 0xFFFFFFFF would collide with kNil). Throwing here
+      // is clean — nothing has been linked yet and the recursive operators
+      // unwind through their RAII guards — so handles stay valid afterwards.
+      if (nodes_.size() >= node_limit_) {
+        throw std::length_error(
+            std::string(Derived::kName) + ": node arena exhausted (" +
+            std::to_string(nodes_.size()) + " slots, limit " +
+            std::to_string(node_limit_) +
+            "); shard the workload across managers or raise set_node_limit");
+      }
+      id = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    Node& n = nodes_[id];
+    n.var = var;
+    n.low = low;
+    n.high = high;
+    n.next = kNil;
+    n.ref = 0;
+    ref(low);
+    ref(high);
+    live_nodes_++;
+    if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
+    return id;
+  }
+
+  // ---- unique subtables --------------------------------------------------
+  static std::size_t hash_pair(std::uint32_t low, std::uint32_t high,
+                               std::size_t nbuckets) {
+    std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & (nbuckets - 1);
+  }
+
+  void subtable_insert(std::uint32_t var, std::uint32_t id) {
+    Subtable& st = subtables_[var];
+    std::size_t b =
+        hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+    nodes_[id].next = st.buckets[b];
+    st.buckets[b] = id;
+    st.count++;
+    subtable_maybe_grow(var);
+  }
+
+  void subtable_remove(std::uint32_t var, std::uint32_t id) {
+    Subtable& st = subtables_[var];
+    std::size_t b =
+        hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+    std::uint32_t* link = &st.buckets[b];
+    while (*link != kNil) {
+      if (*link == id) {
+        *link = nodes_[id].next;
+        st.count--;
+        return;
+      }
+      link = &nodes_[*link].next;
+    }
+    assert(false && "node not found in its subtable");
+  }
+
+  void subtable_maybe_grow(std::uint32_t var) {
+    Subtable& st = subtables_[var];
+    if (st.count <= st.buckets.size() * 2) return;
+    std::vector<std::uint32_t> old = std::move(st.buckets);
+    st.buckets.assign(old.size() * 4, kNil);
+    for (std::uint32_t head : old) {
+      for (std::uint32_t id = head; id != kNil;) {
+        std::uint32_t next = nodes_[id].next;
+        std::size_t b =
+            hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
+        nodes_[id].next = st.buckets[b];
+        st.buckets[b] = id;
+        id = next;
+      }
+    }
+  }
+
+  // ---- computed cache ----------------------------------------------------
+  // Direct-mapped and lossy: a colliding entry is simply overwritten, so a
+  // miss only costs a recomputation. Ops are tagged with per-derived enum
+  // values drawn from disjoint ranges (BDD 0x1xx, ZDD 0x2xx) so the two
+  // instantiations can never alias an op tag, even in shared tooling.
+  void cache_put(std::uint32_t op, std::uint32_t a, std::uint32_t b,
+                 std::uint32_t c, std::uint32_t result) {
+    std::uint64_t h = a;
+    h = h * 0x9e3779b97f4a7c15ULL + b;
+    h = h * 0x9e3779b97f4a7c15ULL + c;
+    h = h * 0x9e3779b97f4a7c15ULL + op;
+    h ^= h >> 29;
+    CacheEntry& e = cache_[h & (cache_.size() - 1)];
+    e.op = op;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.result = result;
+  }
+
+  bool cache_get(std::uint32_t op, std::uint32_t a, std::uint32_t b,
+                 std::uint32_t c, std::uint32_t& result) {
+    cache_lookups_++;
+    std::uint64_t h = a;
+    h = h * 0x9e3779b97f4a7c15ULL + b;
+    h = h * 0x9e3779b97f4a7c15ULL + c;
+    h = h * 0x9e3779b97f4a7c15ULL + op;
+    h ^= h >> 29;
+    const CacheEntry& e = cache_[h & (cache_.size() - 1)];
+    if (e.op == op && e.a == a && e.b == b && e.c == c) {
+      cache_hits_++;
+      result = e.result;
+      return true;
+    }
+    return false;
+  }
+
+  void cache_clear() {
+    for (auto& e : cache_) e.op = 0xFFFFFFFFu;
+  }
+
+  // ---- GC helpers --------------------------------------------------------
+  void deref_recursive(std::uint32_t id) {
+    // Iterative cascade: decrement, and free nodes whose count reaches zero.
+    std::vector<std::uint32_t> stack{id};
+    while (!stack.empty()) {
+      std::uint32_t cur = stack.back();
+      stack.pop_back();
+      Node& n = nodes_[cur];
+      if (n.ref == kRefSaturated) continue;
+      assert(n.ref > 0);
+      if (--n.ref == 0) {
+        stack.push_back(n.low);
+        stack.push_back(n.high);
+        subtable_remove(n.var, cur);
+        free_node(cur);
+      }
+    }
+  }
+
+  void free_node(std::uint32_t id) {
+    Node& n = nodes_[id];
+    n.var = kVarTerminal;
+    n.low = kNil;
+    n.high = kNil;
+    n.next = free_head_;
+    free_head_ = id;
+    assert(live_nodes_ > 0);
+    live_nodes_--;
+  }
+
+  // ---- reordering helpers ------------------------------------------------
+  // Swapping levels j and j+1 mutates, in place, every node of the upper
+  // variable u that depends on the lower variable w:
+  //
+  //   f = u'·f0 + u·f1   expands on w into
+  //   f = w'·(u'·f0|w=0 + u·f1|w=0) + w·(u'·f0|w=1 + u·f1|w=1)
+  //
+  // so the node is relabelled to w with freshly built u-children. Node
+  // identity (and hence the function denoted by every live id) is preserved.
+  // The same algebra holds for ZDD families with "f|w=1" read as "sets
+  // containing w, with w removed": a child that does not test w contributes
+  // ∅ there, which is exactly what swap_absent_high supplies. An affected
+  // node has a child that tests w, so its rebuilt then-branch is never ∅ and
+  // zero-suppression cannot fire on the relabelled node (asserted below via
+  // mk_reduce, which also asserts e != t for BDDs).
+  std::size_t swap_levels(int level) {  // swaps level and level+1
+    assert(op_depth_ == 0 && "reordering must not run during an operation");
+    assert(level >= 0 && level + 1 < num_vars());
+    const std::uint32_t u = static_cast<std::uint32_t>(level2var_[level]);
+    const std::uint32_t w = static_cast<std::uint32_t>(level2var_[level + 1]);
+
+    // Collect the u-nodes that test w before mutating anything.
+    std::vector<std::uint32_t> affected;
+    for (std::uint32_t head : subtables_[u].buckets) {
+      for (std::uint32_t id = head; id != kNil; id = nodes_[id].next) {
+        const Node& n = nodes_[id];
+        if (nodes_[n.low].var == w || nodes_[n.high].var == w) {
+          affected.push_back(id);
+        }
+      }
+    }
+
+    for (std::uint32_t id : affected) subtable_remove(u, id);
+
+    for (std::uint32_t id : affected) {
+      std::uint32_t f0 = nodes_[id].low, f1 = nodes_[id].high;
+      std::uint32_t f00 = (nodes_[f0].var == w) ? nodes_[f0].low : f0;
+      std::uint32_t f01 = (nodes_[f0].var == w) ? nodes_[f0].high
+                                                : Derived::swap_absent_high(f0);
+      std::uint32_t f10 = (nodes_[f1].var == w) ? nodes_[f1].low : f1;
+      std::uint32_t f11 = (nodes_[f1].var == w) ? nodes_[f1].high
+                                                : Derived::swap_absent_high(f1);
+
+      // mk() may grow the node arena; re-index nodes_[id] only afterwards
+      // (a Node reference held across mk() would dangle on reallocation).
+      std::uint32_t e = mk(u, f00, f10);  // f|w=0
+      std::uint32_t t = mk(u, f01, f11);  // f|w=1
+#ifndef NDEBUG
+      std::uint32_t red;
+      assert(!Derived::mk_reduce(w, e, t, red) &&
+             "swapped node must still depend on the lower variable");
+#endif
+
+      ref(e);
+      ref(t);
+      Node& n = nodes_[id];
+      n.var = w;
+      n.low = e;
+      n.high = t;
+      subtable_insert(w, id);
+      deref_recursive(f0);
+      deref_recursive(f1);
+    }
+
+    std::swap(level2var_[level], level2var_[level + 1]);
+    var2level_[u] = level + 1;
+    var2level_[w] = level;
+    return live_nodes_;
+  }
+
+  // Sifting (Rudell): move each variable through the whole order, keep the
+  // position with the fewest live nodes.
+  void sift_var(int v) {
+    const int n = num_vars();
+    std::size_t best = live_nodes_;
+    int best_pos = var2level_[v];
+    const std::size_t limit = live_nodes_ * 2 + 64;
+
+    int p = var2level_[v];
+    // Down phase: toward the bottom of the order.
+    while (p < n - 1) {
+      swap_levels(p);
+      ++p;
+      if (live_nodes_ < best) {
+        best = live_nodes_;
+        best_pos = p;
+      }
+      if (live_nodes_ > limit) break;
+    }
+    // Up phase: all the way to the top (abort only once past the best spot).
+    while (p > 0) {
+      --p;
+      swap_levels(p);
+      if (live_nodes_ <= best) {
+        best = live_nodes_;
+        best_pos = p;
+      }
+      if (live_nodes_ > limit && p <= best_pos) break;
+    }
+    // Settle at the best position.
+    while (p < best_pos) {
+      swap_levels(p);
+      ++p;
+    }
+    while (p > best_pos) {
+      --p;
+      swap_levels(p);
+    }
+  }
+
+  // ---- raw client-memo primitives ---------------------------------------
+  bool memo_get_raw(std::uint64_t slot, std::uint32_t key,
+                    std::uint32_t& out) const {
+    auto it = memo_.find((slot << 32) | key);
+    if (it == memo_.end()) return false;
+    out = it->second.result;
+    return true;
+  }
+
+  void memo_put_raw(std::uint64_t slot, std::uint32_t key,
+                    std::uint32_t result) {
+    // Reference the new pair before releasing a displaced one so an
+    // overwrite with the same ids can never drop a count to zero.
+    ref(key);
+    ref(result);
+    auto [it, inserted] =
+        memo_.try_emplace((slot << 32) | key, MemoEntry{key, result});
+    if (!inserted) {
+      deref(it->second.key);
+      deref(it->second.result);
+      it->second = MemoEntry{key, result};
+    }
+  }
+
+  // ---- shared inspection helpers ----------------------------------------
+  /// Combined DAG size of several roots (shared nodes counted once,
+  /// terminals excluded).
+  std::size_t dag_size_raw(const std::vector<std::uint32_t>& roots) const {
+    std::vector<char> seen(nodes_.size(), 0);
+    std::vector<std::uint32_t> stack = roots;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (is_terminal(id) || seen[id]) continue;
+      seen[id] = 1;
+      count++;
+      stack.push_back(nodes_[id].low);
+      stack.push_back(nodes_[id].high);
+    }
+    return count;
+  }
+
+  // ---- state -------------------------------------------------------------
+  std::vector<Node> nodes_;
+  std::size_t node_limit_ = kNil;  // arena slot cap; id kNil is unusable
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_nodes_ = 0;
+
+  std::vector<Subtable> subtables_;  // indexed by variable id
+  std::vector<int> var2level_;
+  std::vector<int> level2var_;
+
+  std::vector<CacheEntry> cache_;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t cache_hits_ = 0;
+
+  // Client memo: key = (slot << 32) | node id. The kernel holds one
+  // reference on the key node and one on the result node per entry; they are
+  // released on clear/release/overwrite. Nothing to do at destruction — the
+  // arena dies with the manager.
+  struct MemoEntry {
+    std::uint32_t key;
+    std::uint32_t result;
+  };
+  std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  std::uint64_t memo_next_slot_ = 0;
+
+  int op_depth_ = 0;  // asserts GC/reorder never runs mid-operation
+  std::size_t gc_threshold_ = 1u << 20;
+  std::size_t reorder_threshold_ = 0;  // 0 = auto reorder disabled
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t reorder_runs_ = 0;
+};
+
+}  // namespace pnenc::dd

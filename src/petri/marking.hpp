@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace pnenc::petri {
 
 /// A marking of a safe Petri net: one bit per place.
@@ -49,12 +51,8 @@ class Marking {
   bool operator<(const Marking& o) const { return words_ < o.words_; }
 
   [[nodiscard]] std::size_t hash() const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::uint64_t w : words_) {
-      h ^= w;
-      h *= 0x100000001b3ULL;
-      h ^= h >> 31;
-    }
+    std::uint64_t h = util::kFnv1aOffsetBasis;
+    for (std::uint64_t w : words_) h = util::fnv1a64_mix_word(h, w);
     return static_cast<std::size_t>(h);
   }
 

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace pnenc::petri {
 
 namespace {
@@ -148,35 +150,24 @@ std::string Net::validate() const {
 }
 
 std::uint64_t structural_hash(const Net& net) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  auto mix_byte = [&h](std::uint8_t b) {
-    h ^= b;
-    h *= 0x100000001b3ULL;  // FNV prime
-  };
-  auto mix_u64 = [&](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
-  };
-  auto mix_str = [&](const std::string& s) {
-    mix_u64(s.size());
-    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
-  };
-  mix_str("pnenc-net-v1");
-  mix_u64(net.num_places());
-  mix_u64(net.num_transitions());
+  util::Fnv1a64 h;
+  h.mix_str("pnenc-net-v1");
+  h.mix_u64(net.num_places());
+  h.mix_u64(net.num_transitions());
   for (std::size_t p = 0; p < net.num_places(); ++p) {
-    mix_str(net.place_name(static_cast<int>(p)));
-    mix_byte(net.initial_marking().test(p) ? 1 : 0);
+    h.mix_str(net.place_name(static_cast<int>(p)));
+    h.mix_byte(net.initial_marking().test(p) ? 1 : 0);
   }
   for (std::size_t t = 0; t < net.num_transitions(); ++t) {
-    mix_str(net.transition_name(static_cast<int>(t)));
+    h.mix_str(net.transition_name(static_cast<int>(t)));
     const std::vector<int>& pre = net.preset(static_cast<int>(t));
     const std::vector<int>& post = net.postset(static_cast<int>(t));
-    mix_u64(pre.size());
-    for (int p : pre) mix_u64(static_cast<std::uint64_t>(p));
-    mix_u64(post.size());
-    for (int p : post) mix_u64(static_cast<std::uint64_t>(p));
+    h.mix_u64(pre.size());
+    for (int p : pre) h.mix_u64(static_cast<std::uint64_t>(p));
+    h.mix_u64(post.size());
+    for (int p : post) h.mix_u64(static_cast<std::uint64_t>(p));
   }
-  return h;
+  return h.digest();
 }
 
 }  // namespace pnenc::petri

@@ -53,6 +53,18 @@ std::pair<std::string, std::string> split_command(const std::string& line) {
   return {line.substr(0, sp), strip(line.substr(sp + 1))};
 }
 
+/// Both managers expose the same counter surface (it lives in the shared DD
+/// kernel), so one formatter serves both session types.
+template <class Manager>
+std::string kernel_counters(const Manager& mgr) {
+  return " nodes=" + std::to_string(mgr.live_node_count()) +
+         " peak=" + std::to_string(mgr.peak_node_count()) +
+         " cache=" + std::to_string(mgr.cache_hits()) + "/" +
+         std::to_string(mgr.cache_lookups()) +
+         " gc=" + std::to_string(mgr.gc_runs()) +
+         " reorder=" + std::to_string(mgr.reorder_runs());
+}
+
 template <class Backend>
 void answer_queries(typename Backend::Context& ctx,
                     const std::vector<query::Query>& queries, int jobs,
@@ -85,6 +97,11 @@ class AnalysisServer::SessionBase {
 
   [[nodiscard]] virtual const petri::Net& net() const = 0;
   virtual double num_markings() = 0;
+  /// The session manager's kernel counters, formatted as the tail of a
+  /// `stats` session line: " nodes=L peak=P cache=H/N gc=G reorder=R".
+  /// Identical shape for both backends — the counters live in the shared DD
+  /// kernel.
+  virtual std::string manager_counters() = 0;
   virtual void answer(const std::vector<query::Query>& queries, int jobs,
                       std::ostream& out) = 0;
 
@@ -134,6 +151,9 @@ class AnalysisServer::Session<symbolic::BddBackend>
   double num_markings() override {
     return ctx_->count_markings(ctx_->reached_set());
   }
+  std::string manager_counters() override {
+    return kernel_counters(ctx_->manager());
+  }
   void answer(const std::vector<query::Query>& queries, int jobs,
               std::ostream& out) override {
     answer_queries<symbolic::BddBackend>(*ctx_, queries, jobs, out);
@@ -176,6 +196,9 @@ class AnalysisServer::Session<symbolic::ZddBackend>
   const petri::Net& net() const override { return net_; }
   double num_markings() override {
     return ctx_->count_markings(ctx_->reached_set());
+  }
+  std::string manager_counters() override {
+    return kernel_counters(ctx_->manager());
   }
   void answer(const std::vector<query::Query>& queries, int jobs,
               std::ostream& out) override {
@@ -327,7 +350,7 @@ void AnalysisServer::cmd_stats() {
     out_ << "session " << i << " " << s->spec << " backend=" << s->backend
          << " scheme=" << s->scheme << " hash=" << hex16(s->net_hash)
          << " markings=" << fmt_count(s->num_markings())
-         << (i == 1 ? " current" : "") << "\n";
+         << (i == 1 ? " current" : "") << s->manager_counters() << "\n";
     ++i;
   }
 }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "petri/net.hpp"
+#include "util/hash.hpp"
 
 namespace pnenc::snapshot {
 
@@ -400,12 +401,7 @@ void write_file_atomic(const std::string& path,
 // ---------------------------------------------------------------------------
 
 std::uint64_t fnv1a64(const unsigned char* data, std::size_t len) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::fnv1a64(data, len);
 }
 
 std::vector<SnapshotFrame> snapshot_frames(
@@ -498,14 +494,17 @@ std::vector<unsigned char> encode_snapshot(symbolic::ZddContext& ctx) {
         "context has no reached set to snapshot — run reachability() first");
   }
   zdd::ZddManager& mgr = ctx.manager();
-  // The ZDD order is fixed: var == level, always.
+  // Record the live variable order, exactly like the BDD writer: the shared
+  // kernel gives ZDD managers set_var_order/reorder_sift, so identity can no
+  // longer be assumed (old identity-order files stay readable — the decoder
+  // installs whatever VORD says).
   std::vector<int> level2var(static_cast<std::size_t>(mgr.num_vars()));
   for (int l = 0; l < mgr.num_vars(); ++l) {
-    level2var[static_cast<std::size_t>(l)] = l;
+    level2var[static_cast<std::size_t>(l)] = mgr.var_at_level(l);
   }
   std::vector<std::uint32_t> order = collect_bottom_up(
       reached.id(), mgr.num_vars(),
-      [&](std::uint32_t id) { return mgr.node_var(id); },
+      [&](std::uint32_t id) { return mgr.level_of_var(mgr.node_var(id)); },
       [&](std::uint32_t id) { return mgr.node_low(id); },
       [&](std::uint32_t id) { return mgr.node_high(id); });
   return encode_impl(
@@ -586,14 +585,11 @@ zdd::Zdd decode_snapshot(const std::vector<unsigned char>& bytes,
         std::to_string(p.meta.num_vars) + " variables, manager has " +
         std::to_string(mgr.num_vars()));
   }
-  for (std::uint32_t l = 0; l < p.meta.num_vars; ++l) {
-    if (p.meta.level2var[l] != static_cast<int>(l)) {
-      throw SnapshotError(
-          "malformed VORD frame: a ZDD snapshot must record the identity "
-          "order (var == level), but level " + std::to_string(l) +
-          " records variable " + std::to_string(p.meta.level2var[l]));
-    }
-  }
+  // Install the recorded order first, exactly as the BDD decoder does: the
+  // table was written under it and make_node's level-ordering check assumes
+  // the destination agrees. (Pre-kernel files always recorded the identity
+  // order, which this installs as a no-op.)
+  mgr.set_var_order(p.meta.level2var);
 
   std::vector<zdd::Zdd> built;
   built.reserve(p.meta.node_count + 2);

@@ -45,8 +45,8 @@ struct SnapshotMeta {
   /// a structurally valid but semantically wrong table cannot slip through.
   double num_markings = 0.0;
   /// The manager variable order at save time: level2var[l] = variable at
-  /// level l. Installed into the destination manager on load (identity on
-  /// zdd, where var == level always).
+  /// level l. Installed into the destination manager on load, for both
+  /// backends (pre-kernel ZDD files always recorded the identity order).
   std::vector<int> level2var;
 };
 
@@ -93,8 +93,8 @@ struct SnapshotFrame {
 
 /// Rebuilds the saved diagram inside `mgr` and returns its root. Validates
 /// everything decode_meta does first, then: requires mgr.num_vars() ==
-/// meta.num_vars, installs the recorded variable order (BddManager::
-/// set_var_order; a no-op identity check on zdd), and replays the node
+/// meta.num_vars, installs the recorded variable order (the shared kernel's
+/// set_var_order, on either backend), and replays the node
 /// table bottom-up through make_node — each entry may reference only
 /// terminals or earlier entries, every violation throws before the entry is
 /// built. On any throw the manager keeps all prior handles valid and stays

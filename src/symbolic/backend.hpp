@@ -182,9 +182,16 @@ struct ZddBackend {
   }
 
   static std::unique_ptr<Context> make_shard(Context& ctx) {
-    // No variable order to inherit: the ZDD order is fixed (var == level),
-    // which is also why import_zdd is a raw structural copy.
+    // Mirror of the BDD shard setup: inherit the planner's variable order
+    // (possibly sifted mid-traversal) so the structural-import fast path of
+    // import_zdd applies and shard node counts match the planner's.
     auto sctx = std::make_unique<Context>(ctx.net());
+    zdd::ZddManager& planner = ctx.manager();
+    std::vector<int> level2var(planner.num_vars());
+    for (int l = 0; l < planner.num_vars(); ++l) {
+      level2var[l] = planner.var_at_level(l);
+    }
+    sctx->manager().set_var_order(level2var);
     sctx->set_partition_options(ctx.partition_options());
     sctx->set_reached(sctx->manager().import_zdd(ctx.reached_set()));
     return sctx;

@@ -148,29 +148,39 @@ void ZddRelationPartition::set_schedule_order(std::vector<std::size_t> order) {
 // ---------------------------------------------------------------------------
 
 void ZddRelationPartition::build_sat_levels() {
+  ZddManager& mgr = ctx_.manager();
   const std::size_t k = clusters_.size();
 
-  // Topmost supported place of each cluster. Var id == level here, so the
-  // root-most supported variable is simply the smallest place id, and —
-  // unlike the BDD grouping, which snapshots levels that a later reorder
-  // may shuffle — this grouping can never age.
+  // Topmost supported place of each cluster: the support place closest to
+  // the ZDD root under the manager's *current* variable order (the kernel
+  // now gives the ZDD side the same set_var_order / reorder_sift surface as
+  // the BDD side, so var id == level no longer holds in general). Like the
+  // BDD grouping, the snapshot is frozen afterwards — later dynamic reorders
+  // preserve node identity/function, so a frozen grouping stays correct (any
+  // grouping yields the same least fixpoint; only the speed profile ages).
   std::vector<int> top_of(k, -1);
-  std::vector<int> depth_of(k, static_cast<int>(ctx_.net().num_places()));
+  std::vector<int> depth_of(k, mgr.num_vars());  // support-free: deepest
   for (std::size_t c = 0; c < k; ++c) {
-    if (!clusters_[c].psupport.empty()) {
-      top_of[c] = clusters_[c].psupport.front();  // sorted ascending
-      depth_of[c] = top_of[c];
+    int best_level = -1;
+    for (int v : clusters_[c].psupport) {
+      int level = mgr.level_of_var(v);
+      if (best_level < 0 || level < best_level) {
+        best_level = level;
+        top_of[c] = v;
+      }
     }
+    if (best_level >= 0) depth_of[c] = best_level;
   }
 
   sat_levels_ = build_sat_level_groups(top_of, depth_of);
-  sat_memo_base_ = ctx_.manager().memo_reserve(sat_levels_.size());
+  sat_memo_base_ = mgr.memo_reserve(sat_levels_.size());
 }
 
 Zdd ZddRelationPartition::saturate(const Zdd& from) {
   // Same generic fixpoint engine as RelationPartition::saturate, bound to
-  // ZDD cluster images and the ZddManager client memo. tick() is a no-op:
-  // there is no dynamic reordering on the ZDD side.
+  // ZDD cluster images and the ZddManager client memo. tick() gives the
+  // shared kernel its growth hook, exactly as on the BDD side: GC and (when
+  // enabled via set_auto_reorder) sifting between cluster applications.
   struct Driver {
     ZddRelationPartition& p;
     Zdd image_cluster(std::size_t c, const Zdd& s) {
@@ -186,7 +196,7 @@ Zdd ZddRelationPartition::saturate(const Zdd& from) {
     void memo_reset() {
       p.ctx_.manager().memo_release(p.sat_memo_base_, p.sat_levels_.size());
     }
-    void tick() {}
+    void tick() { p.ctx_.manager().maybe_reorder(); }
   } driver{*this};
   return saturate_levels(driver, sat_levels_, from, sat_stats_);
 }

@@ -104,8 +104,9 @@ class ZddRelationPartition {
       std::size_t lvl) const {
     return sat_levels_[lvl].clusters;
   }
-  /// Place that names level group `lvl` (the group's shared topmost — i.e.
-  /// smallest, var id == level — supported place).
+  /// Place that names level group `lvl`: the group's shared topmost
+  /// supported place under the variable order current at partition build
+  /// time (the grouping is frozen; later reorders don't regroup).
   [[nodiscard]] int sat_level_top_var(std::size_t lvl) const {
     return sat_levels_[lvl].top_var;
   }
@@ -142,7 +143,9 @@ class ZddRelationPartition {
 };
 
 /// Binds a Petri net to a ZddManager with one variable per place (var id ==
-/// place id == level): a marking is the set of its marked places, a state
+/// place id; the *level* of each variable is whatever order the manager
+/// currently holds — identity by default, anything after set_var_order /
+/// reorder_sift): a marking is the set of its marked places, a state
 /// set is a family of sets. This is the sparse encoding the paper's Table 4
 /// compares against [18], lifted from the seed's monolithic BFS to the full
 /// clustered/chained/saturation traversal stack — the second instantiation

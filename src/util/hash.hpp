@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pnenc::util {
+
+// FNV-1a (64-bit), the one hash family the project uses for persistent
+// digests. Three sites share these definitions: petri::structural_hash (net
+// identity stamped into snapshots), snapshot::fnv1a64 (frame checksums in
+// the .pnss format), and petri::Marking::hash (the explicit-state hash
+// table). The exact output of the first two is an on-disk compatibility
+// surface — tests/util/test_hash.cpp pins known digests so a change here
+// (or a fourth hand-rolled copy drifting from these) fails loudly instead
+// of silently orphaning every saved snapshot.
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Classic byte-stream FNV-1a 64.
+[[nodiscard]] inline std::uint64_t fnv1a64(const unsigned char* data,
+                                           std::size_t len) {
+  std::uint64_t h = kFnv1aOffsetBasis;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// One step of the word-wise FNV-1a variant used by Marking::hash: folds a
+/// whole 64-bit word per multiply and adds a shift-xor avalanche, trading
+/// the byte loop's distribution for speed on long bitset words.
+[[nodiscard]] inline std::uint64_t fnv1a64_mix_word(std::uint64_t h,
+                                                    std::uint64_t w) {
+  h ^= w;
+  h *= kFnv1aPrime;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Streaming byte-wise FNV-1a 64 with the length-prefixed framing helpers
+/// structural_hash needs (mix_str frames a string as length + bytes so
+/// "ab","c" and "a","bc" cannot collide).
+class Fnv1a64 {
+ public:
+  void mix_byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnv1aPrime;
+  }
+  /// Little-endian, fixed eight bytes — digests must not depend on host
+  /// endianness.
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void mix_str(const std::string& s) {
+    mix_u64(s.size());
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  }
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffsetBasis;
+};
+
+}  // namespace pnenc::util

@@ -63,22 +63,33 @@ double Zdd::count() const { return mgr_->count(*this); }
 std::size_t Zdd::size() const { return mgr_->dag_size(*this); }
 
 // ---------------------------------------------------------------------------
-// Manager core
+// Manager: construction, singletons, checked node building
 // ---------------------------------------------------------------------------
+// The arena, unique tables, cache, GC, client memo and reordering all live in
+// the shared kernel (dd/dd_kernel.hpp); this file is the ZDD set algebra.
 
 ZddManager::ZddManager(int num_vars) {
-  nodes_.reserve(1u << 14);
-  nodes_.push_back(Node{kVarTerminal, kEmpty, kEmpty, kNil, kRefSaturated});
-  nodes_.push_back(Node{kVarTerminal, kBase, kBase, kNil, kRefSaturated});
-  cache_.resize(1u << 16);
   for (int i = 0; i < num_vars; ++i) new_var();
 }
 
-int ZddManager::new_var() {
-  int v = num_vars();
-  subtables_.emplace_back();
-  subtables_.back().buckets.assign(16, kNil);
-  return v;
+ZddManager::~ZddManager() = default;
+
+Zdd ZddManager::singleton(const std::vector<int>& elems) {
+  // Build bottom-up: the element placed deepest in the current order becomes
+  // the bottom node, so the chain is ordered under any installed level map.
+  std::vector<int> sorted = elems;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    return level_of_var(a) > level_of_var(b);
+  });
+  std::uint32_t f = kBase;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    int v = sorted[i];
+    assert(v >= 0 && v < num_vars());
+    assert((i == 0 || level_of_var(sorted[i - 1]) > level_of_var(v)) &&
+           "singleton elements must be distinct");
+    f = mk(static_cast<std::uint32_t>(v), kEmpty, f);
+  }
+  return Zdd(this, f);
 }
 
 Zdd ZddManager::make_node(int var, const Zdd& low, const Zdd& high) {
@@ -86,322 +97,177 @@ Zdd ZddManager::make_node(int var, const Zdd& low, const Zdd& high) {
     throw std::invalid_argument(
         "make_node: child handle belongs to another manager (or is invalid)");
   }
-  if (var < 0 || var >= num_vars()) {
-    throw std::invalid_argument("make_node: variable id " +
-                                std::to_string(var) + " out of range (" +
-                                std::to_string(num_vars()) + " variables)");
-  }
-  for (const Zdd* child : {&low, &high}) {
-    // top() is kVarTerminal (max u32) on terminals, so they always pass.
-    if (top(child->id()) <= static_cast<std::uint32_t>(var)) {
-      throw std::invalid_argument(
-          "make_node: child's top variable is not below variable " +
-          std::to_string(var) + " — not an ordered ZDD");
-    }
-  }
-  return Zdd(this, mk(static_cast<std::uint32_t>(var), low.id(), high.id()));
-}
-
-std::size_t ZddManager::hash_pair(std::uint32_t low, std::uint32_t high,
-                                  std::size_t nbuckets) {
-  std::uint64_t h = (static_cast<std::uint64_t>(low) << 32) | high;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return static_cast<std::size_t>(h) & (nbuckets - 1);
-}
-
-std::uint32_t ZddManager::mk(std::uint32_t var, std::uint32_t low,
-                             std::uint32_t high) {
-  if (high == kEmpty) return low;  // zero-suppression rule
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(low, high, st.buckets.size());
-  for (std::uint32_t id = st.buckets[b]; id != kNil; id = nodes_[id].next) {
-    const Node& n = nodes_[id];
-    if (n.low == low && n.high == high) return id;
-  }
-  std::uint32_t id;
-  if (free_head_ != kNil) {
-    id = free_head_;
-    free_head_ = nodes_[id].next;
-  } else {
-    // Growth path: without this guard the 32-bit id would silently wrap past
-    // 2^32 (and id 0xFFFFFFFF would collide with kNil). Throwing here is
-    // clean — nothing has been linked yet and the recursive operators unwind
-    // before publishing anything — so handles stay valid afterwards.
-    if (nodes_.size() >= node_limit_) {
-      throw std::length_error(
-          "ZddManager: node arena exhausted (" + std::to_string(nodes_.size()) +
-          " slots, limit " + std::to_string(node_limit_) +
-          "); shard the workload across managers or raise set_node_limit");
-    }
-    id = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-  }
-  Node& n = nodes_[id];
-  n.var = var;
-  n.low = low;
-  n.high = high;
-  n.ref = 0;
-  ref(low);
-  ref(high);
-  live_nodes_++;
-  if (live_nodes_ > peak_nodes_) peak_nodes_ = live_nodes_;
-  n.next = st.buckets[b];
-  st.buckets[b] = id;
-  st.count++;
-  subtable_maybe_grow(var);
-  return id;
-}
-
-void ZddManager::subtable_insert(std::uint32_t var, std::uint32_t id) {
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-  nodes_[id].next = st.buckets[b];
-  st.buckets[b] = id;
-  st.count++;
-}
-
-void ZddManager::subtable_remove(std::uint32_t var, std::uint32_t id) {
-  Subtable& st = subtables_[var];
-  std::size_t b = hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-  std::uint32_t* link = &st.buckets[b];
-  while (*link != kNil) {
-    if (*link == id) {
-      *link = nodes_[id].next;
-      st.count--;
-      return;
-    }
-    link = &nodes_[*link].next;
-  }
-  assert(false && "zdd node not in its subtable");
-}
-
-void ZddManager::subtable_maybe_grow(std::uint32_t var) {
-  Subtable& st = subtables_[var];
-  if (st.count <= st.buckets.size() * 2) return;
-  std::vector<std::uint32_t> old = std::move(st.buckets);
-  st.buckets.assign(old.size() * 4, kNil);
-  for (std::uint32_t head : old) {
-    for (std::uint32_t id = head; id != kNil;) {
-      std::uint32_t next = nodes_[id].next;
-      std::size_t b =
-          hash_pair(nodes_[id].low, nodes_[id].high, st.buckets.size());
-      nodes_[id].next = st.buckets[b];
-      st.buckets[b] = id;
-      id = next;
-    }
-  }
-}
-
-void ZddManager::ref(std::uint32_t id) {
-  Node& n = nodes_[id];
-  if (n.ref != kRefSaturated) n.ref++;
-}
-
-void ZddManager::deref(std::uint32_t id) {
-  Node& n = nodes_[id];
-  if (n.ref != kRefSaturated) {
-    assert(n.ref > 0);
-    n.ref--;
-  }
-}
-
-void ZddManager::deref_recursive(std::uint32_t id) {
-  std::vector<std::uint32_t> stack{id};
-  while (!stack.empty()) {
-    std::uint32_t cur = stack.back();
-    stack.pop_back();
-    Node& n = nodes_[cur];
-    if (n.ref == kRefSaturated) continue;
-    assert(n.ref > 0);
-    if (--n.ref == 0) {
-      stack.push_back(n.low);
-      stack.push_back(n.high);
-      subtable_remove(n.var, cur);
-      free_node(cur);
-    }
-  }
-}
-
-void ZddManager::free_node(std::uint32_t id) {
-  Node& n = nodes_[id];
-  n.var = kVarTerminal;
-  n.low = kNil;
-  n.high = kNil;
-  n.next = free_head_;
-  free_head_ = id;
-  live_nodes_--;
-}
-
-void ZddManager::gc() {
-  std::vector<std::uint32_t> dead;
-  for (std::uint32_t id = 2; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
-    if (n.var != kVarTerminal && n.ref == 0) dead.push_back(id);
-  }
-  for (std::uint32_t id : dead) {
-    if (nodes_[id].var == kVarTerminal || nodes_[id].ref != 0) continue;
-    Node& n = nodes_[id];
-    std::uint32_t low = n.low, high = n.high;
-    subtable_remove(n.var, id);
-    free_node(id);
-    deref_recursive(low);
-    deref_recursive(high);
-  }
-  cache_clear();
+  return Zdd(this, checked_mk(var, low.id(), high.id()));
 }
 
 // ---------------------------------------------------------------------------
-// Computed cache
+// Set algebra: union, intersection, difference
 // ---------------------------------------------------------------------------
-
-void ZddManager::cache_put(Op op, std::uint32_t a, std::uint32_t b,
-                           std::uint32_t result) {
-  std::uint64_t h = a;
-  h = h * 0x9e3779b97f4a7c15ULL + b;
-  h = h * 0x9e3779b97f4a7c15ULL + op;
-  h ^= h >> 29;
-  CacheEntry& e = cache_[h & (cache_.size() - 1)];
-  e.op = op;
-  e.a = a;
-  e.b = b;
-  e.result = result;
-}
-
-bool ZddManager::cache_get(Op op, std::uint32_t a, std::uint32_t b,
-                           std::uint32_t& result) {
-  std::uint64_t h = a;
-  h = h * 0x9e3779b97f4a7c15ULL + b;
-  h = h * 0x9e3779b97f4a7c15ULL + op;
-  h ^= h >> 29;
-  const CacheEntry& e = cache_[h & (cache_.size() - 1)];
-  if (e.op == op && e.a == a && e.b == b) {
-    result = e.result;
-    return true;
-  }
-  return false;
-}
-
-void ZddManager::cache_clear() {
-  for (auto& e : cache_) e.op = 0xFFFFFFFFu;
-}
-
-// ---------------------------------------------------------------------------
-// Set algebra
-// ---------------------------------------------------------------------------
+// All three branch on node *levels* (top_level), never on raw variable ids,
+// so they stay correct under any variable order installed by set_var_order or
+// found by reorder_sift. Child fields are copied to locals before recursive
+// mk calls can reallocate the arena.
 
 std::uint32_t ZddManager::union_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kEmpty) return g;
   if (g == kEmpty) return f;
   if (f == g) return f;
-  std::uint32_t a = std::min(f, g), b = std::max(f, g);
-  std::uint32_t cached;
-  if (cache_get(kOpUnion, a, b, cached)) return cached;
-  std::uint32_t tf = top(f), tg = top(g);
+  // Union is symmetric: canonicalize the cache key.
+  const std::uint32_t a = std::min(f, g), b = std::max(f, g);
   std::uint32_t r;
-  if (tf < tg) {
-    r = mk(tf, union_rec(nodes_[f].low, g), nodes_[f].high);
-  } else if (tg < tf) {
-    r = mk(tg, union_rec(f, nodes_[g].low), nodes_[g].high);
+  if (cache_get(kOpUnion, a, b, 0, r)) return r;
+  const int lf = top_level(f), lg = top_level(g);
+  if (lf < lg) {
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    r = mk(fv, union_rec(f0, g), f1);
+  } else if (lg < lf) {
+    const std::uint32_t gv = nodes_[g].var, g0 = nodes_[g].low,
+                        g1 = nodes_[g].high;
+    r = mk(gv, union_rec(f, g0), g1);
   } else {
-    r = mk(tf, union_rec(nodes_[f].low, nodes_[g].low),
-           union_rec(nodes_[f].high, nodes_[g].high));
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    const std::uint32_t g0 = nodes_[g].low, g1 = nodes_[g].high;
+    const std::uint32_t r0 = union_rec(f0, g0);
+    const std::uint32_t r1 = union_rec(f1, g1);
+    r = mk(fv, r0, r1);
   }
-  cache_put(kOpUnion, a, b, r);
+  cache_put(kOpUnion, a, b, 0, r);
   return r;
 }
 
 std::uint32_t ZddManager::intersect_rec(std::uint32_t f, std::uint32_t g) {
   if (f == kEmpty || g == kEmpty) return kEmpty;
   if (f == g) return f;
-  std::uint32_t a = std::min(f, g), b = std::max(f, g);
-  std::uint32_t cached;
-  if (cache_get(kOpIntersect, a, b, cached)) return cached;
-  std::uint32_t tf = top(f), tg = top(g);
+  const std::uint32_t a = std::min(f, g), b = std::max(f, g);
   std::uint32_t r;
-  if (tf < tg) {
+  if (cache_get(kOpIntersect, a, b, 0, r)) return r;
+  const int lf = top_level(f), lg = top_level(g);
+  if (lf < lg) {
+    // No set of g contains f's top variable; drop f's then-branch.
     r = intersect_rec(nodes_[f].low, g);
-  } else if (tg < tf) {
+  } else if (lg < lf) {
     r = intersect_rec(f, nodes_[g].low);
   } else {
-    r = mk(tf, intersect_rec(nodes_[f].low, nodes_[g].low),
-           intersect_rec(nodes_[f].high, nodes_[g].high));
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    const std::uint32_t g0 = nodes_[g].low, g1 = nodes_[g].high;
+    const std::uint32_t r0 = intersect_rec(f0, g0);
+    const std::uint32_t r1 = intersect_rec(f1, g1);
+    r = mk(fv, r0, r1);
   }
-  cache_put(kOpIntersect, a, b, r);
+  cache_put(kOpIntersect, a, b, 0, r);
   return r;
 }
 
 std::uint32_t ZddManager::diff_rec(std::uint32_t f, std::uint32_t g) {
-  if (f == kEmpty || f == g) return kEmpty;
+  if (f == kEmpty) return kEmpty;
   if (g == kEmpty) return f;
-  std::uint32_t cached;
-  if (cache_get(kOpDiff, f, g, cached)) return cached;
-  std::uint32_t tf = top(f), tg = top(g);
+  if (f == g) return kEmpty;
   std::uint32_t r;
-  if (tf < tg) {
-    r = mk(tf, diff_rec(nodes_[f].low, g), nodes_[f].high);
-  } else if (tg < tf) {
+  if (cache_get(kOpDiff, f, g, 0, r)) return r;
+  const int lf = top_level(f), lg = top_level(g);
+  if (lf < lg) {
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    r = mk(fv, diff_rec(f0, g), f1);
+  } else if (lg < lf) {
     r = diff_rec(f, nodes_[g].low);
   } else {
-    r = mk(tf, diff_rec(nodes_[f].low, nodes_[g].low),
-           diff_rec(nodes_[f].high, nodes_[g].high));
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    const std::uint32_t g0 = nodes_[g].low, g1 = nodes_[g].high;
+    const std::uint32_t r0 = diff_rec(f0, g0);
+    const std::uint32_t r1 = diff_rec(f1, g1);
+    r = mk(fv, r0, r1);
   }
-  cache_put(kOpDiff, f, g, r);
-  return r;
-}
-
-std::uint32_t ZddManager::subset_rec(std::uint32_t f, std::uint32_t v,
-                                     bool keep_one) {
-  std::uint32_t tf = top(f);
-  if (tf > v) return keep_one ? kEmpty : f;  // v occurs in no set of f
-  Op op = keep_one ? kOpSubset1 : kOpSubset0;
-  std::uint32_t cached;
-  if (cache_get(op, f, v, cached)) return cached;
-  std::uint32_t r;
-  if (tf == v) {
-    r = keep_one ? nodes_[f].high : nodes_[f].low;
-  } else {
-    r = mk(tf, subset_rec(nodes_[f].low, v, keep_one),
-           subset_rec(nodes_[f].high, v, keep_one));
-  }
-  cache_put(op, f, v, r);
-  return r;
-}
-
-std::uint32_t ZddManager::change_rec(std::uint32_t f, std::uint32_t v) {
-  std::uint32_t tf = top(f);
-  if (f == kEmpty) return kEmpty;
-  std::uint32_t cached;
-  if (cache_get(kOpChange, f, v, cached)) return cached;
-  std::uint32_t r;
-  if (tf > v) {
-    r = mk(v, kEmpty, f);
-  } else if (tf == v) {
-    r = mk(v, nodes_[f].high, nodes_[f].low);
-  } else {
-    r = mk(tf, change_rec(nodes_[f].low, v), change_rec(nodes_[f].high, v));
-  }
-  cache_put(kOpChange, f, v, r);
+  cache_put(kOpDiff, f, g, 0, r);
   return r;
 }
 
 Zdd ZddManager::zdd_union(const Zdd& f, const Zdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  OpGuard guard(op_depth_);
   return Zdd(this, union_rec(f.id(), g.id()));
 }
+
 Zdd ZddManager::zdd_intersect(const Zdd& f, const Zdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  OpGuard guard(op_depth_);
   return Zdd(this, intersect_rec(f.id(), g.id()));
 }
+
 Zdd ZddManager::zdd_diff(const Zdd& f, const Zdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  OpGuard guard(op_depth_);
   return Zdd(this, diff_rec(f.id(), g.id()));
 }
+
+// ---------------------------------------------------------------------------
+// Single-variable operators: subset0 / subset1 / change and friends
+// ---------------------------------------------------------------------------
+
+std::uint32_t ZddManager::subset_rec(std::uint32_t f, std::uint32_t v,
+                                     bool keep_one) {
+  const int lv = level_of_var(static_cast<int>(v));
+  if (top_level(f) > lv) {
+    // f's entire DAG sits below v's level, so no set in f contains v.
+    return keep_one ? kEmpty : f;
+  }
+  const std::uint32_t op = keep_one ? kOpSubset1 : kOpSubset0;
+  std::uint32_t r;
+  if (cache_get(op, f, v, 0, r)) return r;
+  const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                      f1 = nodes_[f].high;
+  if (fv == v) {
+    r = keep_one ? f1 : f0;
+  } else {
+    const std::uint32_t r0 = subset_rec(f0, v, keep_one);
+    const std::uint32_t r1 = subset_rec(f1, v, keep_one);
+    r = mk(fv, r0, r1);
+  }
+  cache_put(op, f, v, 0, r);
+  return r;
+}
+
+std::uint32_t ZddManager::change_rec(std::uint32_t f, std::uint32_t v) {
+  if (f == kEmpty) return kEmpty;
+  const int lv = level_of_var(static_cast<int>(v));
+  if (top_level(f) > lv) {
+    // v is absent from every set: toggling inserts it above f's top.
+    return mk(v, kEmpty, f);
+  }
+  std::uint32_t r;
+  if (cache_get(kOpChange, f, v, 0, r)) return r;
+  const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                      f1 = nodes_[f].high;
+  if (fv == v) {
+    r = mk(v, f1, f0);
+  } else {
+    const std::uint32_t r0 = change_rec(f0, v);
+    const std::uint32_t r1 = change_rec(f1, v);
+    r = mk(fv, r0, r1);
+  }
+  cache_put(kOpChange, f, v, 0, r);
+  return r;
+}
+
 Zdd ZddManager::subset1(const Zdd& f, int v) {
+  assert(f.manager() == this && v >= 0 && v < num_vars());
+  OpGuard guard(op_depth_);
   return Zdd(this, subset_rec(f.id(), static_cast<std::uint32_t>(v), true));
 }
+
 Zdd ZddManager::subset0(const Zdd& f, int v) {
+  assert(f.manager() == this && v >= 0 && v < num_vars());
+  OpGuard guard(op_depth_);
   return Zdd(this, subset_rec(f.id(), static_cast<std::uint32_t>(v), false));
 }
+
 Zdd ZddManager::change(const Zdd& f, int v) {
+  assert(f.manager() == this && v >= 0 && v < num_vars());
+  OpGuard guard(op_depth_);
   return Zdd(this, change_rec(f.id(), static_cast<std::uint32_t>(v)));
 }
 
@@ -415,128 +281,95 @@ Zdd ZddManager::assign0(const Zdd& f, int v) {
   return zdd_union(subset0(f, v), subset1(f, v));
 }
 
-Zdd ZddManager::singleton(const std::vector<int>& elems) {
-  std::vector<int> sorted = elems;
-  std::sort(sorted.begin(), sorted.end(), std::greater<int>());
-  std::uint32_t f = kBase;
-  for (int v : sorted) f = mk(static_cast<std::uint32_t>(v), kEmpty, f);
-  return Zdd(this, f);
-}
-
 // ---------------------------------------------------------------------------
-// Counting, enumeration, size
+// Queries: count, membership, canonical pick, enumeration
 // ---------------------------------------------------------------------------
 
 double ZddManager::count_rec(std::uint32_t f, std::vector<double>& memo) {
   if (f == kEmpty) return 0.0;
   if (f == kBase) return 1.0;
   if (memo[f] >= 0.0) return memo[f];
-  memo[f] = count_rec(nodes_[f].low, memo) + count_rec(nodes_[f].high, memo);
+  const Node& n = nodes_[f];
+  memo[f] = count_rec(n.low, memo) + count_rec(n.high, memo);
   return memo[f];
 }
 
 double ZddManager::count(const Zdd& f) {
+  assert(f.manager() == this);
   std::vector<double> memo(nodes_.size(), -1.0);
   return count_rec(f.id(), memo);
 }
 
 std::size_t ZddManager::dag_size(const Zdd& f) {
-  std::vector<char> seen(nodes_.size(), 0);
-  std::vector<std::uint32_t> stack{f.id()};
-  std::size_t count = 0;
-  while (!stack.empty()) {
-    std::uint32_t id = stack.back();
-    stack.pop_back();
-    if (id <= kBase || seen[id]) continue;
-    seen[id] = 1;
-    count++;
-    stack.push_back(nodes_[id].low);
-    stack.push_back(nodes_[id].high);
-  }
-  return count;
+  if (!f.is_valid()) return 0;
+  return dag_size_raw({f.id()});
 }
 
 bool ZddManager::member(const Zdd& f, const std::vector<int>& elems) const {
+  assert(f.manager() == this);
+  std::vector<char> want(static_cast<std::size_t>(num_vars()), 0);
+  for (int v : elems) {
+    if (v < 0 || v >= num_vars()) return false;
+    want[v] = 1;
+  }
+  // One descent: a variable the walk never tests is absent from every set on
+  // the path (zero-suppression), so a wanted-but-untested variable shows up
+  // as found < elems.size(). Decisions are per variable id, so the installed
+  // level order cannot change the answer.
   std::uint32_t id = f.id();
-  std::size_t i = 0;
-  while (id > kBase) {
+  std::size_t found = 0;
+  while (!is_terminal(id)) {
     const Node& n = nodes_[id];
-    int v = static_cast<int>(n.var);
-    if (i < elems.size() && elems[i] == v) {
+    if (want[n.var]) {
+      ++found;
       id = n.high;
-      ++i;
-    } else if (i < elems.size() && elems[i] < v) {
-      // Variables only grow along a path, so elems[i] can no longer appear:
-      // no set below this node contains it.
-      return false;
     } else {
       id = n.low;
     }
   }
-  return id == kBase && i == elems.size();
+  return id == kBase && found == elems.size();
 }
 
 bool ZddManager::pick_canonical(const Zdd& f, std::vector<int>& out) const {
-  out.clear();
-  std::uint32_t id = f.id();
-  if (id == kEmpty) return false;
-  // Follows low edges only; hits kBase iff ∅ is a member of the family
-  // rooted at `from` (the all-absent path).
-  auto contains_empty_set = [&](std::uint32_t from) {
-    while (from > kBase) from = nodes_[from].low;
-    return from == kBase;
-  };
-  // At each node the candidates are smallest(low) — which is either ∅ or
-  // starts with a variable LARGER than this one — and {var} ∪
-  // smallest(high). So ∅, when present, wins outright, and otherwise the
-  // high branch (never empty, by zero-suppression) always wins.
-  while (id > kBase) {
-    if (contains_empty_set(id)) return true;
+  assert(f.manager() == this);
+  if (f.id() == kEmpty) return false;
+  // Bottom-up: smallest(id) = the lexicographically least member of the
+  // family at `id`, as an ascending-sorted vector. A canonical ZDD node's
+  // then-branch is never ∅ (zero-suppression), so smallest(high) always
+  // exists; the else-branch may be ∅, in which case the least member must
+  // contain the node's variable. Comparison uses element values only — node
+  // levels never enter — which makes the pick order-independent.
+  std::unordered_map<std::uint32_t, std::vector<int>> memo;
+  auto rec = [&](auto&& self, std::uint32_t id) -> const std::vector<int>& {
+    static const std::vector<int> kEmptySet;
+    if (id == kBase) return kEmptySet;
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
     const Node& n = nodes_[id];
-    out.push_back(static_cast<int>(n.var));
-    id = n.high;
-  }
+    std::vector<int> candidate = self(self, n.high);
+    candidate.insert(std::lower_bound(candidate.begin(), candidate.end(),
+                                      static_cast<int>(n.var)),
+                     static_cast<int>(n.var));
+    if (n.low != kEmpty) {
+      const std::vector<int>& left = self(self, n.low);
+      if (left < candidate) candidate = left;
+    }
+    return memo.emplace(id, std::move(candidate)).first->second;
+  };
+  out = rec(rec, f.id());
   return true;
 }
 
-std::uint32_t ZddManager::import_rec(
-    const ZddManager& src, std::uint32_t f,
-    std::unordered_map<std::uint32_t, Zdd>& copied) {
-  if (f <= kBase) return f;  // terminals share ids across managers
-  auto it = copied.find(f);
-  if (it != copied.end()) return it->second.id();
-  int v = src.node_var(f);
-  if (v >= num_vars()) {
-    throw std::invalid_argument(
-        "ZddManager::import_zdd: source variable " + std::to_string(v) +
-        " out of range (destination has " + std::to_string(num_vars()) +
-        " vars)");
-  }
-  // The memo holds handles so partially built subgraphs stay referenced for
-  // the whole import (mk returns unreferenced ids).
-  std::uint32_t low = import_rec(src, src.node_low(f), copied);
-  Zdd keep_low(this, low);
-  std::uint32_t high = import_rec(src, src.node_high(f), copied);
-  Zdd keep_high(this, high);
-  std::uint32_t r = mk(static_cast<std::uint32_t>(v), low, high);
-  copied.emplace(f, Zdd(this, r));
-  return r;
-}
-
-Zdd ZddManager::import_zdd(const Zdd& f) {
-  if (!f.is_valid()) return empty();
-  if (f.manager() == this) return f;
-  std::unordered_map<std::uint32_t, Zdd> copied;
-  return Zdd(this, import_rec(*f.manager(), f.id(), copied));
-}
-
 std::vector<std::vector<int>> ZddManager::all_sets(const Zdd& f) {
+  assert(f.manager() == this);
   std::vector<std::vector<int>> result;
   std::vector<int> current;
   auto rec = [&](auto&& self, std::uint32_t id) -> void {
     if (id == kEmpty) return;
     if (id == kBase) {
-      result.push_back(current);
+      std::vector<int> set = current;
+      std::sort(set.begin(), set.end());
+      result.push_back(std::move(set));
       return;
     }
     const Node& n = nodes_[id];
@@ -546,45 +379,92 @@ std::vector<std::vector<int>> ZddManager::all_sets(const Zdd& f) {
     current.pop_back();
   };
   rec(rec, f.id());
-  for (auto& s : result) std::sort(s.begin(), s.end());
   std::sort(result.begin(), result.end());
   return result;
 }
 
 // ---------------------------------------------------------------------------
-// Node limit & client memo (contracts mirror BddManager's — see zdd.hpp)
+// Cross-manager import
 // ---------------------------------------------------------------------------
 
-void ZddManager::set_node_limit(std::size_t max_nodes) {
-  node_limit_ = std::min<std::size_t>(max_nodes, kNil);
+std::uint32_t ZddManager::import_rec(
+    const ZddManager& src, std::uint32_t f,
+    std::unordered_map<std::uint32_t, Zdd>& copied) {
+  if (is_terminal(f)) return f;
+  auto it = copied.find(f);
+  if (it != copied.end()) return it->second.id();
+  const int var = src.node_var(f);
+  if (var >= num_vars()) {
+    throw std::invalid_argument(
+        "ZddManager::import_zdd: source variable " + std::to_string(var) +
+        " out of range (destination has " + std::to_string(num_vars()) +
+        " vars)");
+  }
+  const std::uint32_t low = import_rec(src, src.node_low(f), copied);
+  const std::uint32_t high = import_rec(src, src.node_high(f), copied);
+  const std::uint32_t r = mk(static_cast<std::uint32_t>(var), low, high);
+  // The memo holds a handle so every copied interior node stays referenced
+  // until the import completes.
+  copied.emplace(f, Zdd(this, r));
+  return r;
 }
 
-std::uint64_t ZddManager::memo_reserve(std::uint64_t count) {
-  std::uint64_t first = memo_next_slot_;
-  memo_next_slot_ += count;
-  assert(memo_next_slot_ < (1ULL << 32) && "memo slot space exhausted");
-  return first;
+Zdd ZddManager::import_zdd(const Zdd& f) {
+  if (!f.is_valid()) return empty();
+  ZddManager* src = f.manager();
+  if (src == this) return f;
+
+  // Fast path: identical variable orders make the copy a pure structural
+  // transliteration — every source node maps to the node with the same
+  // ⟨var, low', high'⟩ here.
+  bool same_order = src->num_vars() == num_vars();
+  for (int l = 0; same_order && l < num_vars(); ++l) {
+    same_order = src->var_at_level(l) == var_at_level(l);
+  }
+  if (same_order) {
+    std::unordered_map<std::uint32_t, Zdd> copied;
+    return Zdd(this, import_rec(*src, f.id(), copied));
+  }
+
+  // General path: renormalize node by node. import(⟨v, l, h⟩) =
+  // import(l) ∪ change(import(h), v) rebuilds the same family under this
+  // manager's order; the handle memo keeps intermediates alive.
+  std::unordered_map<std::uint32_t, Zdd> memo;
+  auto rec = [&](auto&& self, std::uint32_t id) -> Zdd {
+    if (id == kEmpty) return empty();
+    if (id == kBase) return base();
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const int var = src->node_var(id);
+    if (var >= num_vars()) {
+      throw std::invalid_argument(
+          "ZddManager::import_zdd: source variable " + std::to_string(var) +
+          " out of range (destination has " + std::to_string(num_vars()) +
+          " vars)");
+    }
+    Zdd low = self(self, src->node_low(id));
+    Zdd high = self(self, src->node_high(id));
+    Zdd result = zdd_union(low, change(high, var));
+    memo.emplace(id, result);
+    return result;
+  };
+  return rec(rec, f.id());
 }
+
+// ---------------------------------------------------------------------------
+// Client memo: handle-typed view over the kernel's raw-id memo
+// ---------------------------------------------------------------------------
 
 bool ZddManager::memo_get(std::uint64_t slot, const Zdd& key, Zdd& out) {
-  auto it = memo_.find((slot << 32) | key.id());
-  if (it == memo_.end()) return false;
-  out = it->second.result;
+  std::uint32_t result;
+  if (!memo_get_raw(slot, key.id(), result)) return false;
+  out = Zdd(this, result);
   return true;
 }
 
 void ZddManager::memo_put(std::uint64_t slot, const Zdd& key,
                           const Zdd& result) {
-  memo_[(slot << 32) | key.id()] = MemoEntry{key, result};
-}
-
-void ZddManager::memo_clear() { memo_.clear(); }
-
-void ZddManager::memo_release(std::uint64_t first, std::uint64_t count) {
-  std::erase_if(memo_, [&](const auto& kv) {
-    std::uint64_t slot = kv.first >> 32;
-    return slot >= first && slot < first + count;
-  });
+  memo_put_raw(slot, key.id(), result.id());
 }
 
 }  // namespace pnenc::zdd

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dd/dd_kernel.hpp"
+
 namespace pnenc::zdd {
 
 class ZddManager;
@@ -23,7 +25,9 @@ class ZddManager;
 /// structural-by-canonicity: two handles on the same manager denote the
 /// same family iff their ids are equal, exactly like bdd::Bdd — so the
 /// generic traversal code in symbolic/schedule_core.hpp can compare fixpoint
-/// iterates with operator== for either backend.
+/// iterates with operator== for either backend. Like Bdd handles, a Zdd
+/// keeps its DAG alive across GC and dynamic reordering; reordering mutates
+/// nodes in place, so handles keep denoting the same family.
 class Zdd {
  public:
   Zdd() = default;
@@ -64,16 +68,25 @@ class Zdd {
   std::uint32_t id_ = 0;
 };
 
-/// Shared-node ZDD manager with a fixed variable order (var id == level),
-/// unique subtables, computed cache and reference-counted GC.
+/// Shared-node ZDD manager on the common DD kernel (dd/dd_kernel.hpp): the
+/// kernel supplies the node arena, unique subtables, computed cache,
+/// refcounted GC, client memo, variable levels and sifting-based
+/// reordering; this class supplies the ZDD policy (Minato's
+/// zero-suppression rule, high == ∅ → low) and the set-algebra operator
+/// set.
 ///
-/// Determinism: there is no dynamic reordering — var id IS the level,
-/// forever — so node structure, enumeration order (all_sets), counts and
-/// canonical picks are pure functions of the family, identical across
-/// managers and across runs. That is what makes import_zdd a raw structural
-/// copy (no renormalization step like BddManager::import_bdd's ITE pass)
-/// and lets sharded query workers reproduce the planner's answers bit for
-/// bit.
+/// Variable order: each variable id carries a *level* (level_of_var /
+/// var_at_level), initially the identity, and the full reordering surface
+/// of BddManager — reorder_sift, set_var_order, set_auto_reorder /
+/// maybe_reorder — is available here too. All operators branch on levels,
+/// so they stay correct under any installed order.
+///
+/// Determinism: counts, membership, enumeration (all_sets, which sorts its
+/// output) and pick_canonical are *function-level* — pure functions of the
+/// family, independent of the current variable order — so they come out
+/// bit-identical across managers under different orders, before/after
+/// sifting, and across import_zdd copies. That is what lets sharded query
+/// workers reproduce the planner's answers bit for bit.
 ///
 /// Thread-safety: none, by design, same contract as BddManager — every
 /// operation may touch the unique table, computed cache and refcounts, so
@@ -81,19 +94,13 @@ class Zdd {
 /// import_zdd into the receiving thread's manager, which only READS the
 /// source arena (no handles created, no refcounts touched), so several
 /// destination managers may import from one quiescent source concurrently.
-class ZddManager {
+class ZddManager : public dd::DdKernel<ZddManager> {
  public:
   static constexpr std::uint32_t kEmpty = 0;  // ∅ — no sets
   static constexpr std::uint32_t kBase = 1;   // {∅} — just the empty set
-  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
   explicit ZddManager(int num_vars = 0);
-
-  ZddManager(const ZddManager&) = delete;
-  ZddManager& operator=(const ZddManager&) = delete;
-
-  int new_var();
-  [[nodiscard]] int num_vars() const { return static_cast<int>(subtables_.size()); }
+  ~ZddManager();
 
   [[nodiscard]] Zdd empty() { return Zdd(this, kEmpty); }
   [[nodiscard]] Zdd base() { return Zdd(this, kBase); }
@@ -118,19 +125,23 @@ class ZddManager {
   /// Removes v from every set of f.
   Zdd assign0(const Zdd& f, int v);
 
-  /// True iff the set `elems` (sorted ascending, no duplicates) is a member
-  /// of the family. One root-to-terminal walk, O(|f| depth); read-only
-  /// (no nodes, no cache entries), so it is safe on a shared quiescent
-  /// manager the same way import_zdd's source walk is.
+  /// True iff the set `elems` (no duplicates) is a member of the family.
+  /// One root-to-terminal walk, O(|elems| + depth); read-only (no nodes, no
+  /// cache entries), so it is safe on a shared quiescent manager the same
+  /// way import_zdd's source walk is. Membership is decided per variable
+  /// id, not per level, so the answer is order-independent.
   [[nodiscard]] bool member(const Zdd& f, const std::vector<int>& elems) const;
 
   /// Canonical pick: writes the lexicographically smallest member set of f
-  /// (compare as sorted element vectors; the empty set ∅ is smallest of
-  /// all) into `out`, sorted ascending. Returns false iff f is empty.
-  /// Because the variable order is fixed, this is a pure function of the
-  /// family — bit-identical across managers and import_zdd copies — the
-  /// ZDD analogue of BddManager::pick_canonical, and what keeps witness
-  /// traces deterministic under --backend zdd.
+  /// (compare as ascending-sorted element vectors; the empty set ∅ is
+  /// smallest of all) into `out`, sorted ascending. Returns false iff f is
+  /// empty. Selection is by variable id, never by node level, so the
+  /// result is a pure function of the family — bit-identical across
+  /// managers with different variable orders, before/after sifting, and
+  /// across import_zdd copies — the ZDD analogue of
+  /// BddManager::pick_canonical, and what keeps witness traces
+  /// deterministic under --backend zdd. Cost: one memoized bottom-up pass,
+  /// O(|f|·width) worst case; read-only like member().
   bool pick_canonical(const Zdd& f, std::vector<int>& out) const;
 
   /// Copies a family from another ZddManager into this one, returning the
@@ -140,110 +151,67 @@ class ZddManager {
   /// created, no refcounts touched), so several destination managers may
   /// import from one source concurrently as long as nothing mutates the
   /// source — this is how the query layer ships a reached set to its
-  /// per-shard managers. Both managers use the fixed var==level order, so
+  /// per-shard managers. When both managers hold the same variable order
   /// the copy is a structural transliteration (memoized per call, O(|f|)
-  /// mk calls) and is already canonical here; every function-level
-  /// operation downstream (count, member, pick_canonical) returns the same
-  /// result as on the source. Throws std::invalid_argument if f uses a
-  /// variable this manager does not have.
+  /// mk calls); under different orders it renormalizes per source node as
+  /// import(f) = import(low) ∪ change(import(high), var), which rebuilds
+  /// the identical family under this manager's order. Either way every
+  /// function-level operation downstream (count, member, pick_canonical)
+  /// returns the same result as on the source. Throws std::invalid_argument
+  /// if f uses a variable this manager does not have.
   Zdd import_zdd(const Zdd& f);
 
   /// Raw node-table write API: the canonical (hash-consed) node
   /// ⟨var, low, high⟩, the ZDD sibling of BddManager::make_node and the
   /// loading half of the snapshot layer. Checked, not assumed (the inputs
   /// come from an untrusted file): children must belong to this manager,
-  /// `var` must exist, and var must lie strictly above each non-terminal
-  /// child's top variable (var id == level here). Violations throw
+  /// `var` must exist, and var's level must lie strictly above each
+  /// non-terminal child's top level. Violations throw
   /// std::invalid_argument; an arena-cap hit throws std::length_error —
   /// never UB. high == ∅ returns low (the zero-suppression rule of mk()).
   Zdd make_node(int var, const Zdd& low, const Zdd& high);
 
   [[nodiscard]] double count(const Zdd& f);
   [[nodiscard]] std::size_t dag_size(const Zdd& f);
-  [[nodiscard]] std::size_t live_node_count() const { return live_nodes_; }
-  [[nodiscard]] std::size_t peak_node_count() const { return peak_nodes_; }
 
-  /// Explicit enumeration of all sets (test-sized families only).
+  /// Explicit enumeration of all sets (test-sized families only). Each set
+  /// comes out sorted ascending and the result is sorted, so the output is
+  /// order-independent.
   [[nodiscard]] std::vector<std::vector<int>> all_sets(const Zdd& f);
 
-  void gc();
-
-  /// Caps the node arena: an operation that would grow nodes_ past this
-  /// many slots throws std::length_error instead (mirroring
-  /// BddManager::set_node_limit, PR 4). The failed operation allocates
-  /// nothing further; previously created handles stay valid and the
-  /// manager remains usable (nodes completed earlier in the failed
-  /// operation are unreferenced and reclaimed by the next gc()).
-  ///
-  /// The cap is clamped to the hard arena bound of 2^32−1: id 0xFFFFFFFF
-  /// is kNil, so the arena must never hand it out as a real node id.
-  /// Defaults to that hard bound; tests inject a small cap to exercise the
-  /// guard, and the query layer's sharding exists to split workloads that
-  /// hit it.
-  void set_node_limit(std::size_t max_nodes);
-  [[nodiscard]] std::size_t node_limit() const { return node_limit_; }
-  /// Current arena size in slots (live + freed nodes + the 2 terminals) —
-  /// the quantity set_node_limit caps.
-  [[nodiscard]] std::size_t arena_size() const { return nodes_.size(); }
-
-  // ---- client memo -------------------------------------------------------
-  // A persistent, slot-namespaced (key → result) store for client
-  // structures, identical in contract to BddManager's: entries hold Zdd
-  // handles for both key and result, so the nodes stay referenced
-  // (GC-safe). The ZDD saturation traversal uses one slot per saturation
-  // level, through the same generic engine as the BDD path
-  // (symbolic/schedule_core.hpp).
-  //
-  // Slots namespace the keys: each client structure reserves a fresh range
-  // with memo_reserve so two structures can never read each other's
-  // entries. Every call is one hash-table operation, O(1) expected;
-  // one-thread-per-manager like all manager state.
-
-  /// Reserves `count` fresh memo slots; returns the first slot id.
-  std::uint64_t memo_reserve(std::uint64_t count);
+  // ---- client memo (handle-typed views over the kernel's raw memo) -------
   /// Looks up (slot, key); true and sets `out` on a hit.
   bool memo_get(std::uint64_t slot, const Zdd& key, Zdd& out);
   /// Stores (slot, key) → result. Overwrites an existing entry.
   void memo_put(std::uint64_t slot, const Zdd& key, const Zdd& result);
-  /// Drops every memo entry (releasing the node references it held).
-  void memo_clear();
-  /// Drops the entries of slots [first, first + count) — a client structure
-  /// releasing its namespace on destruction, so a short-lived client can't
-  /// pin its result nodes for the manager's whole lifetime.
-  void memo_release(std::uint64_t first, std::uint64_t count);
-  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
-
-  // ---- raw node access (used by Zdd, import_zdd and tests) ---------------
-  void ref(std::uint32_t id);
-  void deref(std::uint32_t id);
-  [[nodiscard]] int node_var(std::uint32_t id) const { return static_cast<int>(nodes_[id].var); }
-  [[nodiscard]] std::uint32_t node_low(std::uint32_t id) const { return nodes_[id].low; }
-  [[nodiscard]] std::uint32_t node_high(std::uint32_t id) const { return nodes_[id].high; }
 
  private:
-  struct Node {
-    std::uint32_t var;
-    std::uint32_t low;   // sets without var
-    std::uint32_t high;  // sets with var (var removed)
-    std::uint32_t next;
-    std::uint32_t ref;
-  };
-  static constexpr std::uint32_t kVarTerminal = 0xFFFFFFFFu;
-  static constexpr std::uint32_t kRefSaturated = 0xFFFFFFFFu;
+  friend class Zdd;
+  friend class dd::DdKernel<ZddManager>;
 
-  struct Subtable {
-    std::vector<std::uint32_t> buckets;
-    std::size_t count = 0;
-  };
+  // ---- kernel policy hooks ----------------------------------------------
+  static constexpr const char* kName = "ZddManager";
+  static constexpr const char* kDiagramName = "ZDD";
+  /// Minato's zero-suppression rule: a node whose then-branch is ∅ adds no
+  /// set, so it reduces to its else-branch.
+  static bool mk_reduce(std::uint32_t /*var*/, std::uint32_t low,
+                        std::uint32_t high, std::uint32_t& out) {
+    if (high == kEmpty) {
+      out = low;
+      return true;
+    }
+    return false;
+  }
+  /// A child that does not test the swapped-up variable w contains no set
+  /// with w, so its "sets containing w" cofactor is ∅.
+  static std::uint32_t swap_absent_high(std::uint32_t /*child*/) {
+    return kEmpty;
+  }
 
-  struct CacheEntry {
-    std::uint32_t op = 0xFFFFFFFFu;
-    std::uint32_t a = 0, b = 0;
-    std::uint32_t result = 0;
-  };
-
+  // Op tags for the shared computed cache; the 0x200 base keeps the ZDD
+  // range disjoint from the BDD instantiation's 0x100 range.
   enum Op : std::uint32_t {
-    kOpUnion = 1,
+    kOpUnion = 0x201,
     kOpIntersect,
     kOpDiff,
     kOpSubset0,
@@ -251,13 +219,7 @@ class ZddManager {
     kOpChange,
   };
 
-  std::uint32_t mk(std::uint32_t var, std::uint32_t low, std::uint32_t high);
-  void subtable_insert(std::uint32_t var, std::uint32_t id);
-  void subtable_remove(std::uint32_t var, std::uint32_t id);
-  void subtable_maybe_grow(std::uint32_t var);
-  static std::size_t hash_pair(std::uint32_t low, std::uint32_t high,
-                               std::size_t nbuckets);
-
+  // recursive workers (raw ids; no GC may run while these are active)
   std::uint32_t union_rec(std::uint32_t f, std::uint32_t g);
   std::uint32_t intersect_rec(std::uint32_t f, std::uint32_t g);
   std::uint32_t diff_rec(std::uint32_t f, std::uint32_t g);
@@ -267,33 +229,10 @@ class ZddManager {
   std::uint32_t import_rec(const ZddManager& src, std::uint32_t f,
                            std::unordered_map<std::uint32_t, Zdd>& copied);
 
-  void cache_put(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t result);
-  bool cache_get(Op op, std::uint32_t a, std::uint32_t b, std::uint32_t& result);
-  void cache_clear();
-  void deref_recursive(std::uint32_t id);
-  void free_node(std::uint32_t id);
-
-  [[nodiscard]] std::uint32_t top(std::uint32_t f) const {
-    return (f <= kBase) ? kVarTerminal : nodes_[f].var;
+  /// Level of a node's top variable; terminals sit below every level.
+  [[nodiscard]] int top_level(std::uint32_t f) const {
+    return is_terminal(f) ? num_vars() : level_of_node(f);
   }
-
-  std::vector<Node> nodes_;
-  std::size_t node_limit_ = kNil;  // arena slot cap; id kNil is unusable
-  std::uint32_t free_head_ = kNil;
-  std::size_t live_nodes_ = 0;
-  std::size_t peak_nodes_ = 0;
-  std::vector<Subtable> subtables_;
-  std::vector<CacheEntry> cache_;
-
-  // Client memo entries hold handles so the key and result nodes stay
-  // referenced. Declared after nodes_ so destruction releases the
-  // references while the arena still exists.
-  struct MemoEntry {
-    Zdd key;
-    Zdd result;
-  };
-  std::unordered_map<std::uint64_t, MemoEntry> memo_;
-  std::uint64_t memo_next_slot_ = 0;
 };
 
 }  // namespace pnenc::zdd

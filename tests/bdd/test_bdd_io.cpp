@@ -1,4 +1,5 @@
-// DOT export, handle ergonomics, and manager bookkeeping.
+// DOT export and handle ergonomics. Manager counter bookkeeping moved to
+// the shared kernel suite (tests/kernel/test_kernel_props.cpp).
 
 #include <gtest/gtest.h>
 
@@ -67,34 +68,6 @@ TEST(BddHandles, SelfAssignmentIsSafe) {
   EXPECT_TRUE(f.is_valid());
   std::vector<bool> a{true, true};
   EXPECT_TRUE(f.eval(a));
-}
-
-TEST(BddManagerStats, CacheAndGcCountersAdvance) {
-  BddManager mgr(6);
-  Bdd f = mgr.bdd_false();
-  for (int i = 0; i < 6; ++i) f |= mgr.var(i) & mgr.var((i + 1) % 6);
-  std::uint64_t lookups = mgr.cache_lookups();
-  // Recompute the same conjunctions: hits must rise.
-  Bdd g = mgr.bdd_false();
-  for (int i = 0; i < 6; ++i) g |= mgr.var(i) & mgr.var((i + 1) % 6);
-  EXPECT_EQ(f, g);
-  EXPECT_GT(mgr.cache_lookups(), lookups);
-  EXPECT_GT(mgr.cache_hits(), 0u);
-  std::uint64_t gcs = mgr.gc_runs();
-  mgr.gc();
-  EXPECT_EQ(mgr.gc_runs(), gcs + 1);
-}
-
-TEST(BddManagerStats, PeakNodesMonotone) {
-  BddManager mgr(8);
-  std::size_t peak0 = mgr.peak_node_count();
-  Bdd f = mgr.bdd_true();
-  for (int i = 0; i < 8; ++i) f &= mgr.var(i) ^ mgr.var((i + 3) % 8);
-  EXPECT_GE(mgr.peak_node_count(), peak0);
-  std::size_t peak1 = mgr.peak_node_count();
-  mgr.gc();
-  EXPECT_EQ(mgr.peak_node_count(), peak1);  // peak survives GC
-  EXPECT_LE(mgr.live_node_count(), peak1);
 }
 
 TEST(BddVars, NewVarExtendsTheOrderAtTheBottom) {

@@ -1,6 +1,6 @@
-// Cross-manager structural copy (BddManager::import_bdd) and the node-arena
-// overflow guard (set_node_limit / the std::length_error alloc_node throws
-// instead of silently wrapping its 32-bit ids past kNil).
+// Cross-manager structural copy (BddManager::import_bdd). The node-arena
+// overflow guard moved to the shared kernel suite
+// (tests/kernel/test_kernel_props.cpp), which runs it over both managers.
 
 #include <gtest/gtest.h>
 
@@ -80,66 +80,6 @@ TEST(BddTransfer, MissingDestinationVariableThrows) {
   BddManager a(4), b(2);
   Bdd fa = a.var(3) | a.var(0);
   EXPECT_THROW((void)b.import_bdd(fa), std::invalid_argument);
-}
-
-TEST(BddArenaLimit, DefaultLimitIsTheHardIdBound) {
-  BddManager mgr(2);
-  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
-  // set_node_limit clamps: id 0xFFFFFFFF is kNil and must stay unusable.
-  mgr.set_node_limit(~std::size_t{0});
-  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
-}
-
-TEST(BddArenaLimit, GrowthPastInjectedLimitThrowsLengthError) {
-  const int nvars = 16;
-  BddManager mgr(nvars);
-  Bdd f = mgr.var(0) & mgr.var(1);  // a small function to keep alive
-  mgr.set_node_limit(mgr.arena_size() + 4);
-  auto blow_up = [&] {
-    std::mt19937 rng(1);
-    Bdd acc = mgr.bdd_false();
-    for (int round = 0; round < 64; ++round) {
-      acc |= bdd_from_table(mgr, random_table(nvars, rng), nvars);
-    }
-    return acc;
-  };
-  EXPECT_THROW(blow_up(), std::length_error);
-  try {
-    blow_up();
-    FAIL() << "expected std::length_error";
-  } catch (const std::length_error& e) {
-    EXPECT_NE(std::string(e.what()).find("node arena exhausted"),
-              std::string::npos);
-  }
-}
-
-TEST(BddArenaLimit, ManagerStaysUsableAfterTheThrow) {
-  const int nvars = 16;
-  BddManager mgr(nvars);
-  Bdd f = mgr.var(0) & mgr.var(1);
-  std::size_t before = mgr.arena_size();
-  mgr.set_node_limit(before + 8);
-  std::mt19937 rng(2);
-  bool threw = false;
-  try {
-    Bdd acc = mgr.bdd_false();
-    for (int round = 0; round < 64; ++round) {
-      acc |= bdd_from_table(mgr, random_table(nvars, rng), nvars);
-    }
-  } catch (const std::length_error&) {
-    threw = true;
-  }
-  ASSERT_TRUE(threw);
-  // Existing handles survived the unwind…
-  std::vector<bool> assign(nvars, true);
-  EXPECT_TRUE(mgr.eval(f, assign));
-  // …and after a gc reclaims the aborted operation's unreferenced nodes,
-  // the freed slots are reusable without growing the arena past the cap.
-  mgr.gc();
-  Bdd g = mgr.var(2) & mgr.var(3) & mgr.var(4);
-  assign[4] = false;
-  EXPECT_FALSE(mgr.eval(g, assign));
-  EXPECT_LE(mgr.arena_size(), before + 8);
 }
 
 }  // namespace

@@ -1,0 +1,383 @@
+// Shared DD-kernel property suite (label: kernel). Every test here runs
+// twice, once per instantiation of dd::DdKernel — BddManager and ZddManager
+// — through a small traits adapter that maps the common scenarios onto each
+// engine's vocabulary. This replaces the near-duplicate per-backend copies
+// that used to live in tests/bdd/test_bdd_transfer.cpp (BddArenaLimit),
+// tests/bdd/test_bdd_io.cpp (BddManagerStats) and tests/zdd/
+// test_zdd_props.cpp (node limit / memo slots): mechanism properties are
+// kernel properties, so they are asserted against the kernel, for both
+// policies.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "zdd/zdd.hpp"
+
+namespace pnenc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Traits: the policy-specific spelling of shared scenarios
+// ---------------------------------------------------------------------------
+
+template <class M>
+struct Engine;
+
+template <>
+struct Engine<bdd::BddManager> {
+  using Manager = bdd::BddManager;
+  using Handle = bdd::Bdd;
+  static constexpr const char* kManagerName = "BddManager";
+
+  static Handle zero(Manager& m) { return m.bdd_false(); }
+  // Terminal children for make_node: ⟨v, false, true⟩ is a literal.
+  static Handle term_low(Manager& m) { return m.bdd_false(); }
+  static Handle term_high(Manager& m) { return m.bdd_true(); }
+  static Handle merge(Manager& m, const Handle& a, const Handle& b) {
+    return m.bdd_or(a, b);
+  }
+  /// The minterm "exactly the places in `s` are true" — the BDD encoding of
+  /// one explicit set over nvars variables.
+  static Handle one_set(Manager& m, const std::vector<char>& s) {
+    Handle f = m.bdd_true();
+    for (int v = 0; v < static_cast<int>(s.size()); ++v) {
+      f = m.bdd_and(f, s[v] ? m.var(v) : m.nvar(v));
+    }
+    return f;
+  }
+  static bool contains(Manager& m, const Handle& f,
+                       const std::vector<char>& s) {
+    std::vector<bool> a(s.begin(), s.end());
+    return m.eval(f, a);
+  }
+  static Handle import_into(Manager& m, const Handle& f) {
+    return m.import_bdd(f);
+  }
+};
+
+template <>
+struct Engine<zdd::ZddManager> {
+  using Manager = zdd::ZddManager;
+  using Handle = zdd::Zdd;
+  static constexpr const char* kManagerName = "ZddManager";
+
+  static Handle zero(Manager& m) { return m.empty(); }
+  static Handle term_low(Manager& m) { return m.empty(); }
+  static Handle term_high(Manager& m) { return m.base(); }
+  static Handle merge(Manager& m, const Handle& a, const Handle& b) {
+    return m.zdd_union(a, b);
+  }
+  static Handle one_set(Manager& m, const std::vector<char>& s) {
+    std::vector<int> elems;
+    for (int v = 0; v < static_cast<int>(s.size()); ++v) {
+      if (s[v]) elems.push_back(v);
+    }
+    return m.singleton(elems);
+  }
+  static bool contains(Manager& m, const Handle& f,
+                       const std::vector<char>& s) {
+    std::vector<int> elems;
+    for (int v = 0; v < static_cast<int>(s.size()); ++v) {
+      if (s[v]) elems.push_back(v);
+    }
+    return m.member(f, elems);
+  }
+  static Handle import_into(Manager& m, const Handle& f) {
+    return m.import_zdd(f);
+  }
+};
+
+constexpr int kVars = 10;
+
+template <class E>
+std::vector<char> random_set(std::mt19937& rng) {
+  std::vector<char> s(kVars);
+  for (auto& b : s) b = static_cast<char>(rng() & 1);
+  return s;
+}
+
+/// A random collection of explicit sets plus its symbolic image.
+template <class E>
+typename E::Handle build_family(typename E::Manager& m, std::mt19937& rng,
+                                int count,
+                                std::set<std::vector<char>>* explicit_out) {
+  typename E::Handle acc = E::zero(m);
+  for (int i = 0; i < count; ++i) {
+    std::vector<char> s = random_set<E>(rng);
+    if (explicit_out != nullptr) explicit_out->insert(s);
+    acc = E::merge(m, acc, E::one_set(m, s));
+  }
+  return acc;
+}
+
+/// Full-truth-table semantic signature: which of the 2^kVars explicit sets
+/// the diagram contains. Order- and manager-independent by construction, so
+/// it is the cross-store comparison both backends share.
+template <class E>
+std::set<std::vector<char>> signature(typename E::Manager& m,
+                                      const typename E::Handle& f) {
+  std::set<std::vector<char>> sig;
+  for (unsigned mask = 0; mask < (1u << kVars); ++mask) {
+    std::vector<char> s(kVars);
+    for (int v = 0; v < kVars; ++v) s[v] = (mask >> v) & 1;
+    if (E::contains(m, f, s)) sig.insert(s);
+  }
+  return sig;
+}
+
+template <class M>
+class KernelProps : public ::testing::Test {};
+
+struct Names {
+  template <class M>
+  static std::string GetName(int) {
+    return Engine<M>::kManagerName;
+  }
+};
+
+using Managers = ::testing::Types<bdd::BddManager, zdd::ZddManager>;
+TYPED_TEST_SUITE(KernelProps, Managers, Names);
+
+// ---------------------------------------------------------------------------
+// Arena cap guard
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KernelProps, DefaultNodeLimitIsTheHardIdBound) {
+  TypeParam mgr(2);
+  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
+  // set_node_limit clamps: id 0xFFFFFFFF is kNil and must stay unusable.
+  mgr.set_node_limit(~std::size_t{0});
+  EXPECT_EQ(mgr.node_limit(), 0xFFFFFFFFu);
+}
+
+TYPED_TEST(KernelProps, ArenaOverflowThrowsAndManagerStaysUsable) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(7);
+
+  // Something to keep alive across the failed operation.
+  std::vector<char> pinned_set = random_set<E>(rng);
+  typename E::Handle pinned = E::one_set(mgr, pinned_set);
+
+  mgr.set_node_limit(mgr.arena_size() + 8);
+  auto blow_up = [&] {
+    typename E::Handle acc = E::zero(mgr);
+    for (int i = 0; i < 4096; ++i) {
+      acc = E::merge(mgr, acc, E::one_set(mgr, random_set<E>(rng)));
+    }
+  };
+  try {
+    blow_up();
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node arena exhausted"), std::string::npos) << what;
+    // The policy name makes the message actionable in mixed-backend logs.
+    EXPECT_NE(what.find(E::kManagerName), std::string::npos) << what;
+  }
+
+  // The guard failed the operation, not the manager: prior handles survive
+  // the unwind, and raising the limit restores full service.
+  EXPECT_TRUE(E::contains(mgr, pinned, pinned_set));
+  mgr.set_node_limit(~std::size_t{0});
+  std::set<std::vector<char>> explicit_sets;
+  typename E::Handle fresh = build_family<E>(mgr, rng, 12, &explicit_sets);
+  for (const auto& s : explicit_sets) {
+    EXPECT_TRUE(E::contains(mgr, fresh, s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GC and the client memo
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KernelProps, GcPreservesLiveMemoEntries) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(11);
+
+  typename E::Handle key = E::one_set(mgr, random_set<E>(rng));
+  std::set<std::vector<char>> val_sets;
+  typename E::Handle val = build_family<E>(mgr, rng, 6, &val_sets);
+
+  std::uint64_t slot = mgr.memo_reserve(1);
+  mgr.memo_put(slot, key, val);
+  ASSERT_GE(mgr.memo_entries(), 1u);
+
+  // Drop the only external reference to the value; the memo's internal
+  // references must keep its DAG alive through a full collection. The first
+  // gc sweeps the build's intermediate garbage; from then on the live count
+  // must be stable — repeated collections cannot eat memo-pinned nodes.
+  val = typename E::Handle();
+  mgr.gc();
+  std::size_t live_with_memo = mgr.live_node_count();
+  mgr.gc();
+  EXPECT_EQ(mgr.live_node_count(), live_with_memo);
+
+  typename E::Handle out;
+  ASSERT_TRUE(mgr.memo_get(slot, key, out));
+  for (const auto& s : val_sets) {
+    EXPECT_TRUE(E::contains(mgr, out, s));
+  }
+
+  // Releasing the slot drops the pins; the next GC reclaims the value DAG.
+  out = typename E::Handle();
+  mgr.memo_release(slot, 1);
+  EXPECT_EQ(mgr.memo_entries(), 0u);
+  mgr.gc();
+  EXPECT_LT(mgr.live_node_count(), live_with_memo);
+}
+
+TYPED_TEST(KernelProps, MemoSlotsAreIsolatedAndReleasable) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(13);
+
+  typename E::Handle key = E::one_set(mgr, random_set<E>(rng));
+  typename E::Handle val1 = E::one_set(mgr, random_set<E>(rng));
+  typename E::Handle val2 = E::one_set(mgr, random_set<E>(rng));
+
+  std::uint64_t a = mgr.memo_reserve(2);
+  std::uint64_t b = mgr.memo_reserve(1);
+  ASSERT_NE(a, b);
+
+  typename E::Handle out;
+  EXPECT_FALSE(mgr.memo_get(a, key, out));
+  mgr.memo_put(a, key, val1);
+  mgr.memo_put(b, key, val2);
+  ASSERT_TRUE(mgr.memo_get(a, key, out));
+  EXPECT_EQ(out, val1);
+  ASSERT_TRUE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(out, val2);  // same key, different slot: no cross-talk
+
+  // Overwriting an entry with itself must not unbalance the refcounts.
+  mgr.memo_put(a, key, val1);
+  ASSERT_TRUE(mgr.memo_get(a, key, out));
+  EXPECT_EQ(out, val1);
+
+  mgr.memo_release(a, 2);
+  EXPECT_FALSE(mgr.memo_get(a, key, out));
+  ASSERT_TRUE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(out, val2);
+
+  mgr.memo_clear();
+  EXPECT_FALSE(mgr.memo_get(b, key, out));
+  EXPECT_EQ(mgr.memo_entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reordering and cross-store import
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KernelProps, ImportBetweenSiftedAndDefaultOrderStores) {
+  using E = Engine<TypeParam>;
+  using Manager = typename E::Manager;
+  std::mt19937 rng(17);
+
+  Manager src(kVars);
+  std::set<std::vector<char>> sets;
+  typename E::Handle f = build_family<E>(src, rng, 20, &sets);
+  std::set<std::vector<char>> want = signature<E>(src, f);
+
+  // Scramble the source: an explicit permutation, then a sifting pass.
+  std::vector<int> order(kVars);
+  for (int i = 0; i < kVars; ++i) order[i] = (i * 3 + 1) % kVars;
+  src.set_var_order(order);
+  src.reorder_sift();
+  EXPECT_EQ(signature<E>(src, f), want);  // reordering preserved the function
+
+  // Import into a default-order store...
+  Manager dst(kVars);
+  typename E::Handle g = E::import_into(dst, f);
+  EXPECT_EQ(signature<E>(dst, g), want);
+
+  // ...and back into a differently-permuted store.
+  Manager dst2(kVars);
+  std::vector<int> rev(kVars);
+  for (int i = 0; i < kVars; ++i) rev[i] = kVars - 1 - i;
+  dst2.set_var_order(rev);
+  typename E::Handle h = E::import_into(dst2, g);
+  EXPECT_EQ(signature<E>(dst2, h), want);
+}
+
+TYPED_TEST(KernelProps, CountersAdvance) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(19);
+
+  std::size_t peak0 = mgr.peak_node_count();
+  typename E::Handle f = build_family<E>(mgr, rng, 16, nullptr);
+  EXPECT_GE(mgr.peak_node_count(), peak0);
+
+  // Replaying the same op stream must hit the computed cache.
+  std::uint64_t lookups = mgr.cache_lookups();
+  std::mt19937 rng2(19);
+  typename E::Handle g = build_family<E>(mgr, rng2, 16, nullptr);
+  EXPECT_EQ(f, g);
+  EXPECT_GT(mgr.cache_lookups(), lookups);
+  EXPECT_GT(mgr.cache_hits(), 0u);
+
+  // clear_op_cache drops entries (results stay correct), gc/reorder count.
+  mgr.clear_op_cache();
+  std::uint64_t gcs = mgr.gc_runs();
+  mgr.gc();
+  EXPECT_EQ(mgr.gc_runs(), gcs + 1);
+  std::uint64_t reorders = mgr.reorder_runs();
+  mgr.reorder_sift();
+  EXPECT_EQ(mgr.reorder_runs(), reorders + 1);
+
+  std::size_t peak1 = mgr.peak_node_count();
+  mgr.gc();
+  EXPECT_EQ(mgr.peak_node_count(), peak1);  // peak survives GC
+  EXPECT_LE(mgr.live_node_count(), peak1);
+}
+
+// ---------------------------------------------------------------------------
+// make_node rejection taxonomy
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KernelProps, MakeNodeRejectionTaxonomy) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(4);
+  typename E::Handle lo = E::term_low(mgr);
+  typename E::Handle hi = E::term_high(mgr);
+
+  // Variable id out of range.
+  try {
+    mgr.make_node(4, lo, hi);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("variable id 4 out of range"),
+              std::string::npos);
+  }
+  EXPECT_THROW(mgr.make_node(-1, lo, hi), std::invalid_argument);
+
+  // Child from a foreign manager.
+  TypeParam other(4);
+  typename E::Handle foreign = E::term_high(other);
+  EXPECT_THROW(mgr.make_node(2, lo, foreign), std::invalid_argument);
+
+  // Child level not strictly below the variable's level: both equal levels
+  // and inverted levels must be rejected, or the table stops being ordered.
+  typename E::Handle n2 = mgr.make_node(2, lo, hi);
+  try {
+    mgr.make_node(2, n2, hi);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not an ordered"), std::string::npos);
+  }
+  EXPECT_THROW(mgr.make_node(3, n2, hi), std::invalid_argument);
+
+  // A valid parent above the child builds fine.
+  typename E::Handle ok = mgr.make_node(1, n2, hi);
+  EXPECT_EQ(mgr.node_var(ok.id()), 1);
+}
+
+}  // namespace
+}  // namespace pnenc

@@ -126,6 +126,30 @@ TEST(Serve, StatsShapeAndCacheHits) {
   EXPECT_EQ(lines[5].rfind("session 2 builtin:phil-4 ", 0), 0u);
   EXPECT_NE(lines[5].find("markings=466"), std::string::npos);
   EXPECT_EQ(lines[5].find("current"), std::string::npos);
+  // Every session line ends with the shared-kernel manager counters.
+  for (std::size_t i : {std::size_t{4}, std::size_t{5}}) {
+    EXPECT_NE(lines[i].find(" nodes="), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(" peak="), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(" cache="), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(" gc="), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find(" reorder="), std::string::npos) << lines[i];
+  }
+}
+
+TEST(Serve, StatsCountersCoverZddSessions) {
+  std::string out = serve(
+      "open builtin:fig1 zdd\n"
+      "stats\n"
+      "quit\n");
+  std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 4u);
+  // The ZDD manager reports through the same kernel counter surface as the
+  // BDD one — identical line shape, backend=zdd.
+  EXPECT_EQ(lines[2].rfind("session 1 builtin:fig1 backend=zdd ", 0), 0u)
+      << lines[2];
+  EXPECT_NE(lines[2].find(" nodes="), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find(" cache="), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find(" reorder="), std::string::npos) << lines[2];
 }
 
 TEST(Serve, LruEvictionAtCapacity) {

@@ -1,9 +1,9 @@
-// Randomized ZDD property tests against the explicit set-of-sets oracle,
-// plus the manager-hardening surface the backend abstraction leans on:
-// the arena node limit (mirroring BddManager's PR-4 guard), the client
-// memo slots, cross-manager import, membership, and the canonical pick.
-// tests/zdd/test_zdd.cpp covers the core algebra example by example; this
-// suite sweeps it with random families and locks the newer API down.
+// Randomized ZDD property tests against the explicit set-of-sets oracle:
+// cross-manager import, membership, and the canonical pick.
+// tests/zdd/test_zdd.cpp covers the core algebra example by example; the
+// manager-hardening surface (arena node limit, client memo slots, GC and
+// counters) lives in the shared kernel suite
+// (tests/kernel/test_kernel_props.cpp), typed over both managers.
 
 #include <gtest/gtest.h>
 
@@ -217,82 +217,6 @@ TEST(ZddProps, ImportRejectsOutOfRangeVars) {
   Zdd f = wide.singleton({6});
   ZddManager narrow(3);
   EXPECT_THROW(narrow.import_zdd(f), std::invalid_argument);
-}
-
-// ---- arena node limit (PR-4 BddManager hardening, mirrored) ---------------
-
-TEST(ZddProps, NodeLimitThrowsLengthError) {
-  ZddManager mgr(16);
-  mgr.set_node_limit(mgr.arena_size() + 8);
-  std::mt19937 rng(3);
-  auto overflow = [&] {
-    Zdd f = mgr.empty();
-    for (int i = 0; i < 4096; ++i) {
-      std::vector<int> s;
-      for (int v = 0; v < 16; ++v) {
-        if (rng() & 1) s.push_back(v);
-      }
-      f |= mgr.singleton(s);
-    }
-  };
-  EXPECT_THROW(overflow(), std::length_error);
-}
-
-TEST(ZddProps, ManagerUsableAfterNodeLimitHit) {
-  ZddManager mgr(16);
-  mgr.set_node_limit(mgr.arena_size() + 8);
-  std::mt19937 rng(5);
-  try {
-    Zdd f = mgr.empty();
-    for (int i = 0; i < 4096; ++i) {
-      std::vector<int> s;
-      for (int v = 0; v < 16; ++v) {
-        if (rng() & 1) s.push_back(v);
-      }
-      f |= mgr.singleton(s);
-    }
-    FAIL() << "expected std::length_error";
-  } catch (const std::length_error&) {
-  }
-  // Raising the limit makes the same manager fully usable again — the
-  // guard must fail the operation, not poison the arena. SIZE_MAX clamps
-  // back to the hard arena bound.
-  mgr.set_node_limit(static_cast<std::size_t>(-1));
-  Family fam{{0, 5}, {2}, {}};
-  Zdd g = build(mgr, fam);
-  EXPECT_EQ(read_back(mgr, g), fam);
-}
-
-// ---- client memo slots ----------------------------------------------------
-
-TEST(ZddProps, MemoSlotsAreIsolatedAndReleasable) {
-  ZddManager mgr(6);
-  Zdd key = mgr.singleton({1, 4});
-  Zdd val1 = mgr.singleton({0});
-  Zdd val2 = mgr.singleton({2, 3});
-
-  std::uint64_t a = mgr.memo_reserve(2);
-  std::uint64_t b = mgr.memo_reserve(1);
-  ASSERT_NE(a, b);
-
-  Zdd out;
-  EXPECT_FALSE(mgr.memo_get(a, key, out));
-  mgr.memo_put(a, key, val1);
-  mgr.memo_put(b, key, val2);
-  ASSERT_TRUE(mgr.memo_get(a, key, out));
-  EXPECT_EQ(out, val1);
-  ASSERT_TRUE(mgr.memo_get(b, key, out));
-  EXPECT_EQ(out, val2);  // same key, different slot: no cross-talk
-
-  // Releasing a slot range drops exactly its entries.
-  mgr.memo_release(a, 2);
-  EXPECT_FALSE(mgr.memo_get(a, key, out));
-  ASSERT_TRUE(mgr.memo_get(b, key, out));
-  EXPECT_EQ(out, val2);
-
-  mgr.memo_clear();
-  EXPECT_FALSE(mgr.memo_get(b, key, out));
-  EXPECT_EQ(mgr.memo_entries(), 0u);
 }
 
 }  // namespace
