@@ -1,0 +1,188 @@
+// Parallel-saturation benchmarks: serial vs --par-sat N on the farm family.
+//
+// The farm-K-N builtin is the multi-component workload parallel saturation
+// exists for: K fully independent ring cells, so the support-interference
+// graph has exactly K components and the initial marking is a product over
+// them. Each (net, jobs) cell times a full saturation traversal on a fresh
+// context; jobs=1 is the serial engine (the parallel path never engages),
+// jobs>1 saturates components on worker-private managers and recombines.
+//
+// Before any timing, every parallel configuration is checked BIT-IDENTICAL
+// to serial — the parallel reached set is imported into the serial manager
+// and compared by canonical handle, not just by count (the bench aborts on
+// mismatch; `identical_to_serial` records the gate in BENCH_parsat.json):
+//   ./bench_parsat --benchmark_filter=ParSat \
+//       --benchmark_out=BENCH_parsat.json --benchmark_out_format=json
+//
+// Speedup only shows on a multi-core host (the multicore CI lane); on one
+// CPU the parallel rows measure the scheduling overhead, which is the other
+// number worth tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_context.hpp"
+
+namespace {
+
+using namespace pnenc;
+
+struct FarmRow {
+  const char* name;
+  int rings;
+  int n;
+};
+
+// The ZDD image pipeline is per-place (subset1/assign1 chains), so its
+// sweet spot sits at shorter cycles than the BDD rows.
+constexpr FarmRow kBddRows[] = {{"farm-4-64", 4, 64}, {"farm-8-64", 8, 64}};
+constexpr FarmRow kZddRows[] = {{"farm-4-32", 4, 32}, {"farm-8-32", 8, 32}};
+
+symbolic::PartitionOptions parsat_opts(int jobs) {
+  symbolic::PartitionOptions popts;
+  popts.par_jobs = static_cast<std::size_t>(jobs);
+  return popts;
+}
+
+double run_bdd(const petri::Net& net, const encoding::MarkingEncoding& enc,
+               int jobs, bdd::Bdd* reached_out, bdd::BddManager** mgr_out,
+               std::unique_ptr<symbolic::SymbolicContext>* keep) {
+  symbolic::SymbolicOptions opts;
+  opts.with_next_vars = true;  // the saturation path is partition-based
+  auto ctx = std::make_unique<symbolic::SymbolicContext>(net, enc, opts);
+  ctx->set_partition_options(parsat_opts(jobs));
+  symbolic::TraversalResult r =
+      ctx->reachability(symbolic::ImageMethod::kSaturation);
+  if (reached_out) *reached_out = ctx->reached_set();
+  if (mgr_out) *mgr_out = &ctx->manager();
+  if (keep) *keep = std::move(ctx);
+  return r.num_markings;
+}
+
+double run_zdd(const petri::Net& net, int jobs, zdd::Zdd* reached_out,
+               zdd::ZddManager** mgr_out,
+               std::unique_ptr<symbolic::ZddContext>* keep) {
+  auto ctx = std::make_unique<symbolic::ZddContext>(net);
+  ctx->set_partition_options(parsat_opts(jobs));
+  symbolic::ZddTraversalResult r =
+      ctx->reachability(symbolic::ImageMethod::kSaturation);
+  if (reached_out) *reached_out = ctx->reached_set();
+  if (mgr_out) *mgr_out = &ctx->manager();
+  if (keep) *keep = std::move(ctx);
+  return r.num_markings;
+}
+
+void verify_bdd(const petri::Net& net, const encoding::MarkingEncoding& enc,
+                const char* name) {
+  std::unique_ptr<symbolic::SymbolicContext> serial;
+  bdd::Bdd sreached;
+  bdd::BddManager* smgr = nullptr;
+  double scount = run_bdd(net, enc, 1, &sreached, &smgr, &serial);
+  for (int jobs : {2, 4}) {
+    std::unique_ptr<symbolic::SymbolicContext> par;
+    bdd::Bdd preached;
+    double pcount = run_bdd(net, enc, jobs, &preached, nullptr, &par);
+    bdd::Bdd imported = smgr->import_bdd(preached);
+    if (pcount != scount || !(imported == sreached)) {
+      std::fprintf(stderr,
+                   "BENCH BUG: %s jobs=%d not bit-identical to serial "
+                   "(count %.17g vs %.17g)\n",
+                   name, jobs, pcount, scount);
+      std::abort();
+    }
+  }
+}
+
+void verify_zdd(const petri::Net& net, const char* name) {
+  std::unique_ptr<symbolic::ZddContext> serial;
+  zdd::Zdd sreached;
+  zdd::ZddManager* smgr = nullptr;
+  double scount = run_zdd(net, 1, &sreached, &smgr, &serial);
+  for (int jobs : {2, 4}) {
+    std::unique_ptr<symbolic::ZddContext> par;
+    zdd::Zdd preached;
+    double pcount = run_zdd(net, jobs, &preached, nullptr, &par);
+    zdd::Zdd imported = smgr->import_zdd(preached);
+    if (pcount != scount || !(imported == sreached)) {
+      std::fprintf(stderr,
+                   "BENCH BUG: %s jobs=%d not bit-identical to serial "
+                   "(count %.17g vs %.17g)\n",
+                   name, jobs, pcount, scount);
+      std::abort();
+    }
+  }
+}
+
+/// range(0): row index into kBddRows; range(1): par_jobs.
+void BM_ParSatBdd(benchmark::State& state) {
+  const FarmRow& row = kBddRows[state.range(0)];
+  const int jobs = static_cast<int>(state.range(1));
+  petri::Net net = petri::gen::ring_farm(row.rings, row.n);
+  encoding::MarkingEncoding enc = encoding::build_encoding(net, "improved");
+
+  static bool verified[2] = {false, false};
+  if (!verified[state.range(0)]) {
+    verify_bdd(net, enc, row.name);
+    verified[state.range(0)] = true;
+  }
+
+  double markings = 0.0;
+  for (auto _ : state) {
+    markings = run_bdd(net, enc, jobs, nullptr, nullptr, nullptr);
+    benchmark::DoNotOptimize(markings);
+  }
+  state.SetLabel(std::string(row.name) +
+                 (jobs == 1 ? "/serial" : "/par-sat-j" + std::to_string(jobs)));
+  state.counters["markings"] = markings;
+  state.counters["components"] = static_cast<double>(row.rings);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["identical_to_serial"] = 1;
+}
+
+void BM_ParSatZdd(benchmark::State& state) {
+  const FarmRow& row = kZddRows[state.range(0)];
+  const int jobs = static_cast<int>(state.range(1));
+  petri::Net net = petri::gen::ring_farm(row.rings, row.n);
+
+  static bool verified[2] = {false, false};
+  if (!verified[state.range(0)]) {
+    verify_zdd(net, row.name);
+    verified[state.range(0)] = true;
+  }
+
+  double markings = 0.0;
+  for (auto _ : state) {
+    markings = run_zdd(net, jobs, nullptr, nullptr, nullptr);
+    benchmark::DoNotOptimize(markings);
+  }
+  state.SetLabel(std::string(row.name) + "/zdd" +
+                 (jobs == 1 ? "/serial" : "/par-sat-j" + std::to_string(jobs)));
+  state.counters["markings"] = markings;
+  state.counters["components"] = static_cast<double>(row.rings);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["identical_to_serial"] = 1;
+}
+
+BENCHMARK(BM_ParSatBdd)
+    ->Args({0, 1})->Args({0, 2})->Args({0, 4})
+    ->Args({1, 1})->Args({1, 2})->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParSatZdd)
+    ->Args({0, 1})->Args({0, 2})->Args({0, 4})
+    ->Args({1, 1})->Args({1, 2})->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

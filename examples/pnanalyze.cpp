@@ -6,13 +6,15 @@
 //             [--method direct|tr|mono|clustered|chained|chained-direct|
 //                       saturation]
 //             [--schedule naive|early] [--autotune] [--stats]
-//             [--queries FILE] [--jobs N] [--trace]
+//             [--queries FILE] [--jobs N] [--par-sat N] [--trace]
 //             [--deadlocks] [--smcs] [--zdd] [--health]
 //   pnanalyze --serve [--snapshot-dir DIR] [--cache-size N]
 //             [--scheme S] [--jobs N]
 //   pnanalyze --corpus DIR [--corpus-out FILE]
 //
-// builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N.
+// builtin nets: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, reg-N,
+// farm-K[-N] (K independent ring cells of N places — the multi-component
+// family for --par-sat).
 // Net files are dispatched by extension: `.pnml` is read by the MCC-style
 // P/T PNML reader (src/petri/pnml.hpp), anything else by the plain-text
 // parser.
@@ -33,7 +35,11 @@
 // (format: src/query/query.hpp, full guide: docs/QUERIES.md) against one
 // shared reached set; --jobs N answers them on N manager-per-shard workers
 // with work stealing — the batched output, traces included, is
-// bit-identical to --jobs 1. --trace asks every query for a
+// bit-identical to --jobs 1. --par-sat N saturates independent
+// support-interference components on N worker-private managers (both
+// backends); it engages only when the seed factors over the components
+// (multi-component nets like farm-K) and is always bit-identical to
+// serial saturation — see docs/ARCHITECTURE.md. --trace asks every query for a
 // witness/counterexample trace (the same as prefixing each line with the
 // `trace` modifier) printed in the machine-readable format of
 // docs/QUERIES.md; without --queries it prints a shortest deadlock trace
@@ -89,14 +95,14 @@ int usage() {
                "[--scheme sparse|dense|improved] "
                "[--method direct|tr|mono|clustered|chained|chained-direct|saturation] "
                "[--schedule naive|early] [--autotune] [--stats] "
-               "[--queries FILE] [--jobs N] [--trace] "
+               "[--queries FILE] [--jobs N] [--par-sat N] [--trace] "
                "[--deadlocks] [--smcs] [--zdd] [--health]\n"
                "       pnanalyze --serve [--snapshot-dir DIR] "
                "[--cache-size N] [--scheme S] [--jobs N]\n"
                "       pnanalyze --corpus DIR [--corpus-out FILE]\n"
                "builtins: fig1, phil-N, muller-N, slot-N, dme-N, dmecir-N, "
-               "reg-N; net files: plain text, or PNML via the .pnml "
-               "extension\n");
+               "reg-N, farm-K[-N]; net files: plain text, or PNML via the "
+               ".pnml extension\n");
   return 2;
 }
 
@@ -140,7 +146,8 @@ void run_query_batch(const petri::Net& net, typename Backend::Context& ctx,
 int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
             symbolic::ScheduleKind schedule, bool want_autotune,
             bool want_stats, const std::string& queries_file, int jobs,
-            bool want_trace, bool want_deadlocks, bool want_health) {
+            int par_sat, bool want_trace, bool want_deadlocks,
+            bool want_health) {
   util::Timer timer;
   std::printf("backend 'zdd': %zu variables (one per place)\n",
               net.num_places());
@@ -159,6 +166,7 @@ int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
         popts.var_cap);
   }
   popts.schedule = schedule;
+  popts.par_jobs = static_cast<std::size_t>(par_sat);
   ctx.set_partition_options(popts);
   auto r = ctx.reachability(method);
   bool chained = method == symbolic::ImageMethod::kChainedTr ||
@@ -199,12 +207,14 @@ int run_zdd(const petri::Net& net, symbolic::ImageMethod method,
       std::fputs(table.render("partition shape").c_str(), stdout);
       if (saturation) {
         const symbolic::SaturationStats& ss = part.saturation_stats();
-        util::TablePrinter sat(
-            {"sat levels", "applications", "memo lookups", "memo hits"});
+        util::TablePrinter sat({"sat levels", "applications", "memo lookups",
+                                "memo hits", "components", "par jobs"});
         sat.add_row({std::to_string(ss.levels),
                      std::to_string(ss.applications),
                      std::to_string(ss.memo_lookups),
-                     std::to_string(ss.memo_hits)});
+                     std::to_string(ss.memo_hits),
+                     std::to_string(part.num_sat_components()),
+                     std::to_string(part.options().par_jobs)});
         std::fputs(sat.render("saturation").c_str(), stdout);
       }
     } else {
@@ -291,6 +301,7 @@ int main(int argc, char** argv) {
   std::string corpus_dir, corpus_out;
   int cache_size = 4;
   int jobs = 1;
+  int par_sat = 1;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] != '-') {
       if (!spec.empty()) return usage();  // at most one net spec
@@ -326,6 +337,13 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
       try {
         jobs = parse_int_strict(argv[++i], "--jobs value", 1, 1024);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--par-sat") && i + 1 < argc) {
+      try {
+        par_sat = parse_int_strict(argv[++i], "--par-sat value", 1, 1024);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return usage();
@@ -461,7 +479,7 @@ int main(int argc, char** argv) {
         return usage();
       }
       int rc = run_zdd(net, method, schedule, want_autotune, want_stats,
-                       queries_file, jobs, want_trace, want_deadlocks,
+                       queries_file, jobs, par_sat, want_trace, want_deadlocks,
                        want_health);
       if (want_zdd) {
         auto z = symbolic::zdd_reachability(net);
@@ -496,6 +514,7 @@ int main(int argc, char** argv) {
       }
     }
     popts.schedule = schedule;
+    popts.par_jobs = static_cast<std::size_t>(par_sat);
     ctx.set_partition_options(popts);
     auto r = ctx.reachability(method);
     bool chained = method == symbolic::ImageMethod::kChainedTr ||
@@ -548,11 +567,13 @@ int main(int argc, char** argv) {
         if (saturation) {
           const symbolic::SaturationStats& ss = part.saturation_stats();
           util::TablePrinter sat({"sat levels", "applications", "memo lookups",
-                                  "memo hits"});
+                                  "memo hits", "components", "par jobs"});
           sat.add_row({std::to_string(ss.levels),
                        std::to_string(ss.applications),
                        std::to_string(ss.memo_lookups),
-                       std::to_string(ss.memo_hits)});
+                       std::to_string(ss.memo_hits),
+                       std::to_string(part.num_sat_components()),
+                       std::to_string(part.options().par_jobs)});
           std::fputs(sat.render("saturation").c_str(), stdout);
         }
       } else {

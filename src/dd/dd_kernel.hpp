@@ -202,11 +202,48 @@ class DdKernel {
   void set_auto_reorder(std::size_t first_threshold) {
     reorder_threshold_ = first_threshold;
   }
+  /// Current auto-reorder trigger (0 = disabled). Worker managers spawned
+  /// for parallel saturation inherit this so their growth policy matches
+  /// the parent manager's.
+  [[nodiscard]] std::size_t auto_reorder_threshold() const {
+    return reorder_threshold_;
+  }
+
+  // ---- maintenance fence -------------------------------------------------
+  //
+  // While other threads hold raw-node views into this arena (the concurrent
+  // import_* reads used by query sharding and parallel saturation), GC and
+  // sifting must not move or free nodes. The fence makes maybe_reorder() a
+  // no-op for its duration; deferred maintenance simply happens at the next
+  // unfenced tick, since the thresholds are unchanged. Fencing is counted so
+  // nested phases compose. The fence is set and cleared by the coordinating
+  // thread only — it is not itself a synchronization primitive.
+
+  void fence_maintenance() { ++maintenance_fence_; }
+  void unfence_maintenance() {
+    assert(maintenance_fence_ > 0);
+    --maintenance_fence_;
+  }
+  [[nodiscard]] bool maintenance_fenced() const {
+    return maintenance_fence_ > 0;
+  }
+  /// RAII helper: fences `m` for the current scope.
+  class MaintenanceFence {
+   public:
+    explicit MaintenanceFence(DdKernel& k) : k_(k) { k_.fence_maintenance(); }
+    ~MaintenanceFence() { k_.unfence_maintenance(); }
+    MaintenanceFence(const MaintenanceFence&) = delete;
+    MaintenanceFence& operator=(const MaintenanceFence&) = delete;
+
+   private:
+    DdKernel& k_;
+  };
 
   /// Hook for long-running clients (the traversal loop): triggers GC and/or
   /// sifting according to the configured thresholds.
   void maybe_reorder() {
     assert(op_depth_ == 0);
+    if (maintenance_fenced()) return;  // deferred to the next unfenced tick
     if (live_nodes_ > gc_threshold_) {
       gc();
       gc_threshold_ = std::max(gc_threshold_, live_nodes_ * 2);
@@ -724,6 +761,7 @@ class DdKernel {
   std::uint64_t memo_next_slot_ = 0;
 
   int op_depth_ = 0;  // asserts GC/reorder never runs mid-operation
+  int maintenance_fence_ = 0;  // >0: maybe_reorder() defers GC/sifting
   std::size_t gc_threshold_ = 1u << 20;
   std::size_t reorder_threshold_ = 0;  // 0 = auto reorder disabled
   std::uint64_t gc_runs_ = 0;

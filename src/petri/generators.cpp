@@ -339,6 +339,34 @@ Net register_net(int k, char variant) {
   return net;
 }
 
+Net ring_farm(int rings, int n) {
+  if (rings < 1) throw std::invalid_argument("ring_farm: need rings >= 1");
+  if (n < 3) throw std::invalid_argument("ring_farm: need n >= 3");
+  Net net;
+  for (int k = 0; k < rings; ++k) {
+    const std::string pre = "r" + std::to_string(k) + "_";
+    std::vector<int> c(n);
+    for (int i = 0; i < n; ++i) {
+      c[i] = net.add_place(pre + idx("c", i), i == 0);
+    }
+    int b0 = net.add_place(pre + "b0", true);
+    int b1 = net.add_place(pre + "b1");
+    for (int i = 0; i < n; ++i) {
+      int step = net.add_transition(pre + idx("step", i));
+      net.add_input_arc(c[i], step);
+      net.add_output_arc(step, c[(i + 1) % n]);
+      if (i == 0) {  // wrap-around also fills the buffer
+        net.add_input_arc(b0, step);
+        net.add_output_arc(step, b1);
+      }
+    }
+    int drain = net.add_transition(pre + "drain");
+    net.add_input_arc(b1, drain);
+    net.add_output_arc(drain, b0);
+  }
+  return net;
+}
+
 Net random_sm_product(int machines, int places_each, double sync_fraction,
                       unsigned seed) {
   if (machines < 1 || places_each < 2) {

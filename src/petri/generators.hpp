@@ -45,6 +45,18 @@ Net dme_ring_circuit(int n);
 /// DESIGN.md §4).
 Net register_net(int k, char variant);
 
+/// Farm of `rings` fully independent cells (no arc ever crosses cells):
+/// cell k is an n-place token cycle c0..c_{n-1} coupled to a 2-place
+/// message buffer — the cycle's wrap-around transition consumes the free
+/// buffer and fills it, and a drain transition empties it again. Each cell
+/// has exactly 2n reachable markings (cycle position × buffer state), so
+/// the whole farm has (2n)^rings; safe by construction (one token per
+/// cycle, one per buffer). This is the multi-component fixture for
+/// parallel saturation: the support-interference graph has exactly `rings`
+/// components on both backends, while every other generator family here is
+/// connected (a single component). Requires rings ≥ 1, n ≥ 3.
+Net ring_farm(int rings, int n);
+
 /// Random product of synchronized state machines: `machines` circular SMs
 /// of `places_each` places; a fraction of transitions are fused pairwise
 /// across adjacent machines (rendezvous synchronization). Safe and

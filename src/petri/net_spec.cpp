@@ -33,6 +33,28 @@ Net load_net_spec(const std::string& spec) {
     std::string name = spec.substr(8);
     auto dash = name.find('-');
     std::string family = name.substr(0, dash);
+    if (family == "farm") {
+      // farm-K or farm-K-N: K independent ring cells of N cycle places
+      // (default 4) — the only two-integer builtin, parsed before the
+      // generic single-size path below.
+      if (dash == std::string::npos) {
+        throw std::runtime_error("builtin farm needs a size: farm-K[-N]");
+      }
+      std::string sizes = name.substr(dash + 1);
+      auto dash2 = sizes.find('-');
+      try {
+        int rings = util::parse_int_strict(sizes.substr(0, dash2),
+                                           "farm ring count", 1, 1024);
+        int n = dash2 == std::string::npos
+                    ? 4
+                    : util::parse_int_strict(sizes.substr(dash2 + 1),
+                                             "farm ring size", 3, 1000000);
+        return gen::ring_farm(rings, n);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(std::string(e.what()) + " in builtin net '" +
+                                 name + "'");
+      }
+    }
     int n = 0;
     if (dash != std::string::npos) {
       try {

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 #include "query/query.hpp"
 #include "symbolic/ctl.hpp"
@@ -228,26 +229,33 @@ std::vector<QueryResult> BasicQueryEngine<Backend>::run(
   // touched from a worker (its manager is read-only during the whole
   // phase: import_bdd / import_zdd walk raw const node structure), and
   // each result slot is written by exactly one worker, so the phase is
-  // race-free.
+  // race-free. The fence pins that read-only guarantee down: while workers
+  // import from the planner arena, maybe_reorder() on the planning manager
+  // is a no-op, so no main-thread caller can shuffle nodes under a
+  // concurrent structural copy.
   WorkStealingQueue queue(jobs, queries.size());
   std::vector<std::exception_ptr> errors(jobs);
   std::vector<std::thread> workers;
   workers.reserve(jobs);
-  for (std::size_t w = 0; w < jobs; ++w) {
-    workers.emplace_back([&, w]() {
-      try {
-        std::unique_ptr<Context> sctx = Backend::make_shard(ctx_);
-        symbolic::BasicCtlChecker<Backend> ck(*sctx);
-        std::size_t i;
-        while (queue.pop(w, i)) {
-          results[i] = answer_with_context<Backend>(*sctx, ck, queries[i]);
+  {
+    using PlannerManager = std::decay_t<decltype(ctx_.manager())>;
+    typename PlannerManager::MaintenanceFence fence(ctx_.manager());
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, w]() {
+        try {
+          std::unique_ptr<Context> sctx = Backend::make_shard(ctx_);
+          symbolic::BasicCtlChecker<Backend> ck(*sctx);
+          std::size_t i;
+          while (queue.pop(w, i)) {
+            results[i] = answer_with_context<Backend>(*sctx, ck, queries[i]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
         }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
+      });
+    }
+    for (std::thread& t : workers) t.join();
   }
-  for (std::thread& t : workers) t.join();
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }

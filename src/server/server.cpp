@@ -33,7 +33,10 @@ std::string fmt_count(double v) {
 
 /// The partition-options component of a session key: two sessions may share
 /// a net hash and scheme but sweep differently shaped partitions, and their
-/// reached sets / engines must not be conflated.
+/// reached sets / engines must not be conflated. `par_jobs` is deliberately
+/// excluded — parallel saturation is bit-identical to serial (same fixpoint,
+/// same canonical nodes), so sessions differing only in worker count can and
+/// should share one cached reached set.
 std::string options_key(const symbolic::PartitionOptions& p) {
   return std::to_string(p.node_cap) + "n" + std::to_string(p.var_cap) + "v" +
          (p.schedule == symbolic::ScheduleKind::kEarly ? "early" : "naive");

@@ -1,8 +1,15 @@
 #include "symbolic/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "symbolic/symbolic.hpp"
 
@@ -58,17 +65,52 @@ RelationPartition::RelationPartition(SymbolicContext& ctx,
         "RelationPartition requires SymbolicOptions.with_next_vars");
   }
   const int nt = static_cast<int>(ctx.net().num_transitions());
+  const int nv = ctx.enc().num_vars();
+
+  // Transition-level interference components: the full present support of a
+  // transition is its changed variables plus everything its enabling
+  // function reads. Clusters must stay within one component — a boundary
+  // cluster straddling two independent subnets would fuse them in the
+  // cluster-level interference graph and parallel saturation would find
+  // nothing to schedule. For a connected net there is exactly one component
+  // and everything below reduces to the seed heuristic verbatim.
+  std::vector<std::vector<int>> tsupp(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    std::vector<int>& s = tsupp[static_cast<std::size_t>(t)];
+    s = ctx.changed_vars(t);
+    for (int bv : ctx.manager().support(ctx.enabling(t))) {
+      if (bv % 2 == 0) s.push_back(bv / 2);  // pvar(i) == 2i
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  std::size_t ncomp = 0;
+  std::vector<int> tcomp =
+      support_components(tsupp, static_cast<std::size_t>(nv), ncomp);
 
   // Order transitions by the first encoding variable they change, so
   // transitions touching the same state-machine component end up adjacent
-  // and cluster together (their relations share support).
+  // and cluster together (their relations share support). Components are
+  // kept contiguous, ranked by their first-changed minimum so a single
+  // component sorts exactly as before.
   std::vector<int> order(nt);
   std::iota(order.begin(), order.end(), 0);
   auto first_changed = [&](int t) {
     const auto& ch = ctx.changed_vars(t);
     return ch.empty() ? -1 : *std::min_element(ch.begin(), ch.end());
   };
+  std::vector<std::pair<int, int>> comp_rank(
+      ncomp, {std::numeric_limits<int>::max(), std::numeric_limits<int>::max()});
+  for (int t = 0; t < nt; ++t) {
+    std::pair<int, int> key{first_changed(t), t};
+    auto& r = comp_rank[static_cast<std::size_t>(tcomp[t])];
+    if (key < r) r = key;
+  }
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (tcomp[a] != tcomp[b]) {
+      return comp_rank[static_cast<std::size_t>(tcomp[a])] <
+             comp_rank[static_cast<std::size_t>(tcomp[b])];
+    }
     return first_changed(a) < first_changed(b);
   });
 
@@ -80,17 +122,20 @@ RelationPartition::RelationPartition(SymbolicContext& ctx,
   std::vector<char> var_union(static_cast<std::size_t>(ctx.enc().num_vars()),
                               0);
   std::size_t union_size = 0;
+  int cur_comp = -1;
   for (int t : order) {
     std::size_t added = 0;
     for (int v : ctx.changed_vars(t)) {
       if (!var_union[v]) ++added;
     }
-    if (!current.empty() && union_size + added > opts_.var_cap) {
+    if (!current.empty() &&
+        (union_size + added > opts_.var_cap || tcomp[t] != cur_comp)) {
       emit_clusters(current);
       current.clear();
       std::fill(var_union.begin(), var_union.end(), 0);
       union_size = 0;
     }
+    cur_comp = tcomp[t];
     current.push_back(t);
     for (int v : ctx.changed_vars(t)) {
       if (!var_union[v]) {
@@ -254,9 +299,38 @@ void RelationPartition::build_sat_levels() {
 
   sat_levels_ = build_sat_level_groups(top_of, depth_of);
   sat_memo_base_ = mgr.memo_reserve(sat_levels_.size());
+
+  // Support-interference components over the built clusters: the parallel
+  // saturation schedule. Clusters never straddle transition components (see
+  // the constructor), so this is a refinement of the transition-level graph;
+  // every level group's clusters share the group's top variable and land in
+  // one component, which component_level_lists asserts.
+  comp_of_cluster_ = support_components(
+      psupports(), static_cast<std::size_t>(ctx_.enc().num_vars()),
+      num_components_);
+  comp_levels_ =
+      component_level_lists(sat_levels_, comp_of_cluster_, num_components_);
+  comp_support_.assign(num_components_, {});
+  for (std::size_t c = 0; c < k; ++c) {
+    auto& s = comp_support_[static_cast<std::size_t>(comp_of_cluster_[c])];
+    s.insert(s.end(), clusters_[c].psupport.begin(),
+             clusters_[c].psupport.end());
+  }
+  for (auto& s : comp_support_) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
 }
 
 Bdd RelationPartition::saturate(const Bdd& from) {
+  if (opts_.par_jobs > 1 && num_components_ > 1 && !sat_levels_.empty()) {
+    bool done = false;
+    Bdd out = saturate_parallel(from, done);
+    if (done) return out;
+    // The seed did not factor over the components (or held a next-state
+    // literal): fall through to the serial engine. The least fixpoint is
+    // unique, so the two paths always agree.
+  }
   // The fixpoint control flow is the generic engine in schedule_core.hpp;
   // this driver binds it to the BDD clusters and the manager's client memo.
   struct Driver {
@@ -277,6 +351,202 @@ Bdd RelationPartition::saturate(const Bdd& from) {
     void tick() { p.ctx_.manager().maybe_reorder(); }
   } driver{*this};
   return saturate_levels(driver, sat_levels_, from, sat_stats_);
+}
+
+Bdd RelationPartition::saturate_parallel(const Bdd& from, bool& done) {
+  done = false;
+  BddManager& mgr = ctx_.manager();
+  const int env = ctx_.enc().num_vars();
+
+  // Memo probe first, mirroring the serial engine's top-level lookup: a
+  // repeated run from the same seed stays one lookup / one hit regardless
+  // of the execution mode.
+  sat_stats_ = SaturationStats{};
+  sat_stats_.levels = sat_levels_.size();
+  ++sat_stats_.memo_lookups;
+  Bdd memo_out;
+  if (mgr.memo_get(sat_memo_base_ + sat_levels_.size() - 1, from, memo_out)) {
+    ++sat_stats_.memo_hits;
+    done = true;
+    return memo_out;
+  }
+
+  // The seed must be a present-state set for the projections below.
+  for (int bv : mgr.support(from)) {
+    if (bv % 2 != 0) return from;  // next-state literal: serial fallback
+  }
+
+  // Factorization gate. Components touch disjoint variables, so when the
+  // seed S is a *product* over the component partition (plus the variables
+  // no cluster supports), the fixpoint factors:
+  //   reach(S) = ⋀_i reach_i(proj_i(S)) ∧ proj_rest(S).
+  // S is a product iff |S| = ∏|proj_i| · |proj_rest| — checked with exact
+  // model counts. Doubles are integer-exact below 2^53; with |S| < 2^52,
+  // either every partial product stays < 2^52 (all exact, comparison exact)
+  // or the true product exceeds 2^53 and even a rounded value cannot equal
+  // |S| — so the test never passes for a non-product seed.
+  std::vector<int> all_pvars;
+  all_pvars.reserve(static_cast<std::size_t>(env));
+  for (int v = 0; v < env; ++v) all_pvars.push_back(ctx_.pvar(v));
+  const double total = mgr.satcount(from, all_pvars);
+  if (total >= 4503599627370496.0) return from;  // 2^52 exactness guard
+
+  std::vector<char> covered(static_cast<std::size_t>(env), 0);
+  for (const auto& s : comp_support_) {
+    for (int v : s) covered[static_cast<std::size_t>(v)] = 1;
+  }
+  std::vector<int> rest;
+  for (int v = 0; v < env; ++v) {
+    if (!covered[static_cast<std::size_t>(v)]) rest.push_back(v);
+  }
+
+  auto project_onto = [&](const std::vector<int>& keep) {
+    std::vector<char> keep_mask(static_cast<std::size_t>(env), 0);
+    for (int v : keep) keep_mask[static_cast<std::size_t>(v)] = 1;
+    std::vector<int> drop;
+    for (int v = 0; v < env; ++v) {
+      if (!keep_mask[static_cast<std::size_t>(v)]) drop.push_back(ctx_.pvar(v));
+    }
+    return mgr.exists(from, mgr.cube(drop));
+  };
+  auto count_over = [&](const Bdd& f, const std::vector<int>& vars) {
+    std::vector<int> pv;
+    pv.reserve(vars.size());
+    for (int v : vars) pv.push_back(ctx_.pvar(v));
+    return mgr.satcount(f, pv);
+  };
+
+  std::vector<Bdd> proj(num_components_);
+  double prod = 1.0;
+  for (std::size_t i = 0; i < num_components_; ++i) {
+    proj[i] = project_onto(comp_support_[i]);
+    prod *= count_over(proj[i], comp_support_[i]);
+  }
+  Bdd proj_rest = project_onto(rest);
+  prod *= count_over(proj_rest, rest);
+  if (prod != total) return from;  // not a product: serial fallback
+
+  // Worker phase: one private manager per component, seeded with the main
+  // manager's variable order (importing into a default order rebuilds the
+  // set in exactly the order the traversal escaped — the §6.1 pathology)
+  // and its growth policy. Workers read the main arena concurrently through
+  // import_bdd's const raw accessors only; the maintenance fence keeps GC
+  // and sifting from moving nodes under them, and the main thread blocks on
+  // the join, so the source arena stays quiescent for the whole window.
+  struct LocalCluster {
+    Bdd relation;
+    Bdd pcube;
+    std::vector<int> q_to_p;
+  };
+  struct CompResult {
+    std::unique_ptr<BddManager> mgr;  // declared before fix: destroyed after
+    Bdd fix;
+    SaturationStats stats;
+  };
+  std::vector<CompResult> results(num_components_);
+
+  std::vector<int> level2var(static_cast<std::size_t>(mgr.num_vars()));
+  for (int l = 0; l < mgr.num_vars(); ++l) level2var[l] = mgr.var_at_level(l);
+  const std::size_t node_limit = mgr.node_limit();
+  const std::size_t reorder_at = mgr.auto_reorder_threshold();
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  const std::size_t jobs = std::min(opts_.par_jobs, num_components_);
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= num_components_) return;
+      try {
+        auto wm = std::make_unique<BddManager>(mgr.num_vars());
+        wm->set_var_order(level2var);
+        wm->set_node_limit(node_limit);
+        if (reorder_at != 0) wm->set_auto_reorder(reorder_at);
+
+        // This component's clusters, renumbered locally; the level list
+        // keeps the deepest-first order of the global grouping.
+        std::vector<LocalCluster> local;
+        std::vector<SatLevelGroup> levels;
+        for (std::size_t lvl : comp_levels_[i]) {
+          SatLevelGroup g;
+          g.top_var = sat_levels_[lvl].top_var;
+          for (std::size_t c : sat_levels_[lvl].clusters) {
+            const Cluster& src = clusters_[c];
+            LocalCluster lc;
+            lc.relation = wm->import_bdd(src.relation);
+            lc.q_to_p = src.q_to_p;
+            std::vector<int> pvars;
+            pvars.reserve(src.vars.size());
+            for (int v : src.vars) pvars.push_back(ctx_.pvar(v));
+            lc.pcube = wm->cube(pvars);
+            g.clusters.push_back(local.size());
+            local.push_back(std::move(lc));
+          }
+          levels.push_back(std::move(g));
+        }
+
+        Bdd seed = wm->import_bdd(proj[i]);
+        const std::uint64_t base = wm->memo_reserve(levels.size());
+        struct WorkerDriver {
+          BddManager& m;
+          std::vector<LocalCluster>& cl;
+          std::uint64_t base;
+          std::size_t n;
+          Bdd image_cluster(std::size_t c, const Bdd& s) {
+            return m.permute(m.and_exists(s, cl[c].relation, cl[c].pcube),
+                             cl[c].q_to_p);
+          }
+          Bdd unite(const Bdd& a, const Bdd& b) { return a | b; }
+          bool memo_get(std::size_t lvl, const Bdd& key, Bdd& out) {
+            return m.memo_get(base + lvl, key, out);
+          }
+          void memo_put(std::size_t lvl, const Bdd& key, const Bdd& r) {
+            m.memo_put(base + lvl, key, r);
+          }
+          void memo_reset() { m.memo_release(base, n); }
+          void tick() { m.maybe_reorder(); }
+        } driver{*wm, local, base, levels.size()};
+        results[i].fix =
+            saturate_levels(driver, levels, seed, results[i].stats);
+        results[i].mgr = std::move(wm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;  // stop claiming components; peers finish theirs
+      }
+    }
+  };
+
+  {
+    BddManager::MaintenanceFence fence(mgr);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Conjoin the imported fixpoints (disjoint supports, fixed component
+  // order — hash consing then makes the result node deterministic) and
+  // mirror the serial engine's memo writes exactly.
+  Bdd out = proj_rest;
+  for (std::size_t i = 0; i < num_components_; ++i) {
+    sat_stats_.applications += results[i].stats.applications;
+    sat_stats_.memo_lookups += results[i].stats.memo_lookups;
+    sat_stats_.memo_hits += results[i].stats.memo_hits;
+    out &= mgr.import_bdd(results[i].fix);
+  }
+  results.clear();  // release the worker arenas
+
+  mgr.memo_release(sat_memo_base_, sat_levels_.size());
+  mgr.memo_put(sat_memo_base_ + sat_levels_.size() - 1, from, out);
+  for (std::size_t lvl = 0; lvl < sat_levels_.size(); ++lvl) {
+    mgr.memo_put(sat_memo_base_ + lvl, out, out);
+  }
+  done = true;
+  return out;
 }
 
 // ---------------------------------------------------------------------------

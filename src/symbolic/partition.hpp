@@ -171,6 +171,25 @@ class RelationPartition {
     return sat_levels_[lvl].top_var;
   }
 
+  // ---- parallel saturation ------------------------------------------------
+
+  /// Components of the support-interference graph over clusters, computed at
+  /// partition build time: two clusters interfere iff their present supports
+  /// share an encoding variable (all support-free clusters pool into one
+  /// component). Level groups never straddle components, so each component
+  /// is an independently saturable sub-fixpoint over its own variables.
+  [[nodiscard]] std::size_t num_sat_components() const {
+    return num_components_;
+  }
+  /// Dense component id of cluster `c` in [0, num_sat_components()).
+  [[nodiscard]] int sat_component_of(std::size_t c) const {
+    return comp_of_cluster_[c];
+  }
+  /// Worker count for parallel saturation (see PartitionOptions::par_jobs);
+  /// takes effect on the next saturate() call — the interference graph is
+  /// already built, so no relation is touched.
+  void set_par_jobs(std::size_t jobs) { opts_.par_jobs = jobs ? jobs : 1; }
+
   /// One chained sweep (Roig-style): for each cluster in schedule order,
   /// acc ← acc ∨ Img_c(acc), feeding each cluster's result into the next
   /// within the same sweep. Returns true iff acc grew.
@@ -205,6 +224,13 @@ class RelationPartition {
   /// Groups clusters into sat_levels_ (bottom-up) and reserves memo slots.
   void build_sat_levels();
   [[nodiscard]] std::vector<std::vector<int>> psupports() const;
+  /// Parallel saturation over interference components: saturates each
+  /// component's projection of `from` on a worker-private manager and
+  /// conjoins the imported fixpoints. Engages only when the seed factors
+  /// over the component partition (verified by exact model counts); sets
+  /// `done = false` otherwise and the caller runs the serial engine — the
+  /// least fixpoint is unique, so either path yields the same set.
+  [[nodiscard]] bdd::Bdd saturate_parallel(const bdd::Bdd& from, bool& done);
 
   SymbolicContext& ctx_;
   PartitionOptions opts_;
@@ -216,6 +242,10 @@ class RelationPartition {
   std::vector<SatLevelGroup> sat_levels_;  // level groups, deepest first
   std::uint64_t sat_memo_base_ = 0;   // manager memo slot for level 0
   SaturationStats sat_stats_;
+  std::vector<int> comp_of_cluster_;       // interference component per cluster
+  std::size_t num_components_ = 0;
+  std::vector<std::vector<std::size_t>> comp_levels_;  // level idxs per comp
+  std::vector<std::vector<int>> comp_support_;  // enc-var support per comp
 };
 
 }  // namespace pnenc::symbolic

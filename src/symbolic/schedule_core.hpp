@@ -10,6 +10,7 @@
 // abstraction").
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
@@ -80,6 +81,12 @@ struct PartitionOptions {
   std::size_t node_cap = 512;
   std::size_t var_cap = 12;
   ScheduleKind schedule = ScheduleKind::kEarly;
+  /// Worker count for parallel saturation (`--par-sat N`). 1 = serial. The
+  /// parallel path only engages when the support-interference graph has at
+  /// least two components AND the seed factors over them (see
+  /// RelationPartition::saturate); otherwise saturation silently runs the
+  /// serial engine, so results are bit-identical either way.
+  std::size_t par_jobs = 1;
 };
 
 /// Aggregate measures of a cluster schedule, used by `pnanalyze --stats` and
@@ -233,6 +240,83 @@ inline void validate_schedule_order(const std::vector<std::size_t>& order,
     }
     seen[c] = 1;
   }
+}
+
+/// Support-interference components: union-find over index sets, linking any
+/// two sets that share an element. `supports[i]` is item i's (sorted or
+/// unsorted) support over a universe of `nv` variables. Items with *empty*
+/// support are all merged into one component — they interfere with nothing,
+/// so any placement is sound, and a single shared component keeps level
+/// groups (which pool all support-free clusters) component-pure. Returns a
+/// dense component id per item, numbered by first appearance (0, 1, ...),
+/// plus the component count via `num_components`.
+inline std::vector<int> support_components(
+    const std::vector<std::vector<int>>& supports, std::size_t nv,
+    std::size_t& num_components) {
+  const std::size_t k = supports.size();
+  std::vector<int> parent(k);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  };
+  const auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+  std::vector<int> var_owner(nv, -1);
+  int empty_rep = -1;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (supports[i].empty()) {
+      if (empty_rep < 0) {
+        empty_rep = static_cast<int>(i);
+      } else {
+        unite(static_cast<int>(i), empty_rep);
+      }
+      continue;
+    }
+    for (int v : supports[i]) {
+      if (var_owner[v] < 0) {
+        var_owner[v] = static_cast<int>(i);
+      } else {
+        unite(static_cast<int>(i), var_owner[v]);
+      }
+    }
+  }
+
+  std::vector<int> comp_of(k, -1);
+  std::vector<int> dense(k, -1);
+  num_components = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    int root = find(static_cast<int>(i));
+    if (dense[root] < 0) dense[root] = static_cast<int>(num_components++);
+    comp_of[i] = dense[root];
+  }
+  return comp_of;
+}
+
+/// Buckets saturation level groups by the component of their clusters:
+/// result[comp] lists the indices into `levels`, in level (deepest-first)
+/// order. Every cluster of a level group shares the group's top variable in
+/// its support (or has empty support, and all such clusters share one
+/// component by construction), so a group can never straddle components —
+/// asserted here. This is the parallel saturation schedule: components are
+/// independent sub-fixpoints over disjoint variable sets.
+inline std::vector<std::vector<std::size_t>> component_level_lists(
+    const std::vector<SatLevelGroup>& levels, const std::vector<int>& comp_of,
+    std::size_t num_components) {
+  std::vector<std::vector<std::size_t>> lists(num_components);
+  for (std::size_t lvl = 0; lvl < levels.size(); ++lvl) {
+    assert(!levels[lvl].clusters.empty());
+    int comp = comp_of[levels[lvl].clusters.front()];
+    for (std::size_t c : levels[lvl].clusters) {
+      assert(comp_of[c] == comp && "level group straddles components");
+      (void)c;
+    }
+    lists[static_cast<std::size_t>(comp)].push_back(lvl);
+  }
+  return lists;
 }
 
 /// Groups clusters into saturation levels, deepest-first: `top_of[c]` names

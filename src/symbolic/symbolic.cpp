@@ -230,6 +230,9 @@ RelationPartition& SymbolicContext::partition(const PartitionOptions& opts) {
     // gets the order the requested kind describes.
     partition_->set_schedule(opts.schedule);
   }
+  // par_jobs never forces a rebuild (the interference graph is part of every
+  // build), but it must not be silently dropped on the kept-partition path.
+  partition_->set_par_jobs(opts.par_jobs);
   return *partition_;
 }
 

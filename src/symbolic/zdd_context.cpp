@@ -1,8 +1,15 @@
 #include "symbolic/zdd_context.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "util/timer.hpp"
 
@@ -60,7 +67,32 @@ ZddRelationPartition::ZddRelationPartition(ZddContext& ctx,
   auto first_changed = [&](int t) {
     return changed[t].empty() ? -1 : changed[t].front();
   };
+
+  // Transition-level interference components over •t ∪ t• — clusters must
+  // not straddle components or parallel saturation finds nothing to
+  // schedule (see the RelationPartition constructor; a connected net has
+  // one component and the ordering below reduces to the seed heuristic).
+  std::vector<std::vector<int>> tsupp(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    std::vector<int>& s = tsupp[static_cast<std::size_t>(t)];
+    merge_sorted_unique(s, net.preset(t));
+    merge_sorted_unique(s, net.postset(t));
+  }
+  std::size_t ncomp = 0;
+  std::vector<int> tcomp =
+      support_components(tsupp, net.num_places(), ncomp);
+  std::vector<std::pair<int, int>> comp_rank(
+      ncomp, {std::numeric_limits<int>::max(), std::numeric_limits<int>::max()});
+  for (int t = 0; t < nt; ++t) {
+    std::pair<int, int> key{first_changed(t), t};
+    auto& r = comp_rank[static_cast<std::size_t>(tcomp[t])];
+    if (key < r) r = key;
+  }
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (tcomp[a] != tcomp[b]) {
+      return comp_rank[static_cast<std::size_t>(tcomp[a])] <
+             comp_rank[static_cast<std::size_t>(tcomp[b])];
+    }
     return first_changed(a) < first_changed(b);
   });
 
@@ -77,17 +109,20 @@ ZddRelationPartition::ZddRelationPartition(ZddContext& ctx,
     }
     clusters_.push_back(std::move(c));
   };
+  int cur_comp = -1;
   for (int t : order) {
     std::size_t added = 0;
     for (int v : changed[t]) {
       if (!var_union[v]) ++added;
     }
-    if (!current.empty() && union_size + added > opts_.var_cap) {
+    if (!current.empty() &&
+        (union_size + added > opts_.var_cap || tcomp[t] != cur_comp)) {
       emit();
       current.clear();
       std::fill(var_union.begin(), var_union.end(), 0);
       union_size = 0;
     }
+    cur_comp = tcomp[t];
     current.push_back(t);
     for (int v : changed[t]) {
       if (!var_union[v]) {
@@ -174,9 +209,29 @@ void ZddRelationPartition::build_sat_levels() {
 
   sat_levels_ = build_sat_level_groups(top_of, depth_of);
   sat_memo_base_ = mgr.memo_reserve(sat_levels_.size());
+
+  // Support-interference components over the built clusters — the parallel
+  // saturation schedule, mirroring RelationPartition::build_sat_levels.
+  comp_of_cluster_ =
+      support_components(psupports(), ctx_.net().num_places(), num_components_);
+  comp_levels_ =
+      component_level_lists(sat_levels_, comp_of_cluster_, num_components_);
+  comp_support_.assign(num_components_, {});
+  for (std::size_t c = 0; c < k; ++c) {
+    merge_sorted_unique(
+        comp_support_[static_cast<std::size_t>(comp_of_cluster_[c])],
+        clusters_[c].psupport);
+  }
 }
 
 Zdd ZddRelationPartition::saturate(const Zdd& from) {
+  if (opts_.par_jobs > 1 && num_components_ > 1 && !sat_levels_.empty()) {
+    bool done = false;
+    Zdd out = saturate_parallel(from, done);
+    if (done) return out;
+    // Seed did not factor over the components: serial fallback (the least
+    // fixpoint is unique, so both paths agree).
+  }
   // Same generic fixpoint engine as RelationPartition::saturate, bound to
   // ZDD cluster images and the ZddManager client memo. tick() gives the
   // shared kernel its growth hook, exactly as on the BDD side: GC and (when
@@ -199,6 +254,184 @@ Zdd ZddRelationPartition::saturate(const Zdd& from) {
     void tick() { p.ctx_.manager().maybe_reorder(); }
   } driver{*this};
   return saturate_levels(driver, sat_levels_, from, sat_stats_);
+}
+
+Zdd ZddRelationPartition::saturate_parallel(const Zdd& from, bool& done) {
+  done = false;
+  ZddManager& mgr = ctx_.manager();
+  const petri::Net& net = ctx_.net();
+  const int np = static_cast<int>(net.num_places());
+
+  // Top-level memo probe first, mirroring the serial engine: a repeated run
+  // from the same seed is one lookup / one hit in either execution mode.
+  sat_stats_ = SaturationStats{};
+  sat_stats_.levels = sat_levels_.size();
+  ++sat_stats_.memo_lookups;
+  Zdd memo_out;
+  if (mgr.memo_get(sat_memo_base_ + sat_levels_.size() - 1, from, memo_out)) {
+    ++sat_stats_.memo_hits;
+    done = true;
+    return memo_out;
+  }
+
+  // Factorization gate (see RelationPartition::saturate_parallel): with the
+  // seed family a join-product over the component place partition, the
+  // fixpoint factors into per-component fixpoints recombined with
+  // ZddManager::join. The product test is the exact count identity
+  // |S| = ∏|proj_i| · |proj_rest|, with the same 2^52 double-exactness
+  // guard as the BDD path.
+  const double total = from.count();
+  if (total >= 4503599627370496.0) return from;  // 2^52 exactness guard
+
+  std::vector<char> covered(static_cast<std::size_t>(np), 0);
+  for (const auto& s : comp_support_) {
+    for (int p : s) covered[static_cast<std::size_t>(p)] = 1;
+  }
+  std::vector<int> rest;
+  for (int p = 0; p < np; ++p) {
+    if (!covered[static_cast<std::size_t>(p)]) rest.push_back(p);
+  }
+
+  // Projection onto a place set: eliminate each foreign place by merging
+  // its present/absent cofactors (the family marginal).
+  auto project_onto = [&](const std::vector<int>& keep) {
+    std::vector<char> keep_mask(static_cast<std::size_t>(np), 0);
+    for (int p : keep) keep_mask[static_cast<std::size_t>(p)] = 1;
+    Zdd g = from;
+    for (int p = 0; p < np; ++p) {
+      if (!keep_mask[static_cast<std::size_t>(p)]) {
+        g = mgr.subset0(g, p) | mgr.subset1(g, p);
+      }
+    }
+    return g;
+  };
+
+  std::vector<Zdd> proj(num_components_);
+  double prod = 1.0;
+  for (std::size_t i = 0; i < num_components_; ++i) {
+    proj[i] = project_onto(comp_support_[i]);
+    prod *= proj[i].count();
+  }
+  Zdd proj_rest = project_onto(rest);
+  prod *= proj_rest.count();
+  if (prod != total) return from;  // not a product: serial fallback
+
+  // Worker phase: a private ZddManager per component, inheriting the main
+  // manager's variable order and growth policy. Workers read the main arena
+  // only through import_zdd's const raw accessors and the net's const
+  // preset/postset vectors; the maintenance fence keeps GC/sifting from
+  // moving source nodes while they are in flight (the main thread blocks on
+  // the join, so the source arena is otherwise quiescent).
+  struct CompResult {
+    std::unique_ptr<ZddManager> mgr;  // declared before fix: destroyed after
+    Zdd fix;
+    SaturationStats stats;
+  };
+  std::vector<CompResult> results(num_components_);
+
+  std::vector<int> level2var(static_cast<std::size_t>(mgr.num_vars()));
+  for (int l = 0; l < mgr.num_vars(); ++l) level2var[l] = mgr.var_at_level(l);
+  const std::size_t node_limit = mgr.node_limit();
+  const std::size_t reorder_at = mgr.auto_reorder_threshold();
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  const std::size_t jobs = std::min(opts_.par_jobs, num_components_);
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= num_components_) return;
+      try {
+        auto wm = std::make_unique<ZddManager>(np);
+        wm->set_var_order(level2var);
+        wm->set_node_limit(node_limit);
+        if (reorder_at != 0) wm->set_auto_reorder(reorder_at);
+
+        // Local level groups over this component's clusters. The image
+        // pipeline reads the net structure directly — no context needed.
+        std::vector<const Cluster*> local;
+        std::vector<SatLevelGroup> levels;
+        for (std::size_t lvl : comp_levels_[i]) {
+          SatLevelGroup g;
+          g.top_var = sat_levels_[lvl].top_var;
+          for (std::size_t c : sat_levels_[lvl].clusters) {
+            g.clusters.push_back(local.size());
+            local.push_back(&clusters_[c]);
+          }
+          levels.push_back(std::move(g));
+        }
+
+        Zdd seed = wm->import_zdd(proj[i]);
+        const std::uint64_t base = wm->memo_reserve(levels.size());
+        struct WorkerDriver {
+          ZddManager& m;
+          const petri::Net& net;
+          std::vector<const Cluster*>& cl;
+          std::uint64_t base;
+          std::size_t n;
+          Zdd image_cluster(std::size_t c, const Zdd& s) {
+            Zdd out = m.empty();
+            for (int t : cl[c]->members) {
+              Zdd fired = s;
+              for (int p : net.preset(t)) fired = m.subset1(fired, p);
+              if (fired.is_empty()) continue;
+              for (int p : net.postset(t)) fired = m.assign1(fired, p);
+              out |= fired;
+            }
+            return out;
+          }
+          Zdd unite(const Zdd& a, const Zdd& b) { return a | b; }
+          bool memo_get(std::size_t lvl, const Zdd& key, Zdd& out) {
+            return m.memo_get(base + lvl, key, out);
+          }
+          void memo_put(std::size_t lvl, const Zdd& key, const Zdd& r) {
+            m.memo_put(base + lvl, key, r);
+          }
+          void memo_reset() { m.memo_release(base, n); }
+          void tick() { m.maybe_reorder(); }
+        } driver{*wm, net, local, base, levels.size()};
+        results[i].fix =
+            saturate_levels(driver, levels, seed, results[i].stats);
+        results[i].mgr = std::move(wm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;  // stop claiming components; peers finish theirs
+      }
+    }
+  };
+
+  {
+    ZddManager::MaintenanceFence fence(mgr);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Recombine: per-component families range over disjoint place universes,
+  // so the family product (ZddManager::join) in fixed component order is
+  // the cross product — deterministic by hash consing. Then mirror the
+  // serial engine's memo writes exactly.
+  Zdd out = proj_rest;
+  for (std::size_t i = 0; i < num_components_; ++i) {
+    sat_stats_.applications += results[i].stats.applications;
+    sat_stats_.memo_lookups += results[i].stats.memo_lookups;
+    sat_stats_.memo_hits += results[i].stats.memo_hits;
+    out = mgr.join(out, mgr.import_zdd(results[i].fix));
+  }
+  results.clear();  // release the worker arenas
+
+  mgr.memo_release(sat_memo_base_, sat_levels_.size());
+  mgr.memo_put(sat_memo_base_ + sat_levels_.size() - 1, from, out);
+  for (std::size_t lvl = 0; lvl < sat_levels_.size(); ++lvl) {
+    mgr.memo_put(sat_memo_base_ + lvl, out, out);
+  }
+  done = true;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -375,6 +608,9 @@ ZddRelationPartition& ZddContext::partition(const PartitionOptions& opts) {
              partition_->has_custom_order()) {
     partition_->set_schedule(opts.schedule);
   }
+  // par_jobs never forces a rebuild, but must not be dropped on the
+  // kept-partition path (same policy as SymbolicContext::partition).
+  partition_->set_par_jobs(opts.par_jobs);
   return *partition_;
 }
 

@@ -111,6 +111,21 @@ class ZddRelationPartition {
     return sat_levels_[lvl].top_var;
   }
 
+  // ---- parallel saturation (mirror of RelationPartition) ------------------
+
+  /// Components of the support-interference graph over clusters (shared
+  /// •t ∪ t• places interfere; support-free clusters pool into one
+  /// component). Same schedule semantics as the BDD partition.
+  [[nodiscard]] std::size_t num_sat_components() const {
+    return num_components_;
+  }
+  /// Dense component id of cluster `c` in [0, num_sat_components()).
+  [[nodiscard]] int sat_component_of(std::size_t c) const {
+    return comp_of_cluster_[c];
+  }
+  /// Worker count for parallel saturation; effective on the next saturate().
+  void set_par_jobs(std::size_t jobs) { opts_.par_jobs = jobs ? jobs : 1; }
+
   /// One chained sweep: acc ← acc ∪ Img_c(acc) per cluster in schedule
   /// order, each cluster seeing its predecessors' additions. True iff grew.
   bool chained_step(zdd::Zdd& acc);
@@ -129,6 +144,11 @@ class ZddRelationPartition {
   [[nodiscard]] std::vector<std::vector<int>> psupports() const;
   void rebuild_retirement();
   void build_sat_levels();
+  /// Parallel saturation over interference components on worker-private
+  /// managers (the ZDD mirror of RelationPartition::saturate_parallel);
+  /// `done = false` when the seed family does not factor over the
+  /// components, in which case the caller runs the serial engine.
+  [[nodiscard]] zdd::Zdd saturate_parallel(const zdd::Zdd& from, bool& done);
 
   ZddContext& ctx_;
   PartitionOptions opts_;
@@ -140,6 +160,10 @@ class ZddRelationPartition {
   std::vector<SatLevelGroup> sat_levels_;
   std::uint64_t sat_memo_base_ = 0;
   SaturationStats sat_stats_;
+  std::vector<int> comp_of_cluster_;       // interference component per cluster
+  std::size_t num_components_ = 0;
+  std::vector<std::vector<std::size_t>> comp_levels_;  // level idxs per comp
+  std::vector<std::vector<int>> comp_support_;  // place support per comp
 };
 
 /// Binds a Petri net to a ZddManager with one variable per place (var id ==

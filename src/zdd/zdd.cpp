@@ -204,6 +204,46 @@ Zdd ZddManager::zdd_diff(const Zdd& f, const Zdd& g) {
   return Zdd(this, diff_rec(f.id(), g.id()));
 }
 
+std::uint32_t ZddManager::join_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kEmpty || g == kEmpty) return kEmpty;
+  if (f == kBase) return g;
+  if (g == kBase) return f;
+  // Join is symmetric: canonicalize the cache key.
+  const std::uint32_t a = std::min(f, g), b = std::max(f, g);
+  std::uint32_t r;
+  if (cache_get(kOpJoin, a, b, 0, r)) return r;
+  const int lf = top_level(f), lg = top_level(g);
+  if (lf < lg) {
+    // f's top element is above everything in g: it distributes over both
+    // cofactors of f while g is untouched.
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    r = mk(fv, join_rec(f0, g), join_rec(f1, g));
+  } else if (lg < lf) {
+    const std::uint32_t gv = nodes_[g].var, g0 = nodes_[g].low,
+                        g1 = nodes_[g].high;
+    r = mk(gv, join_rec(f, g0), join_rec(f, g1));
+  } else {
+    // Shared top element v: a pair's union contains v iff either side
+    // contributed it, so the high branch collects all three mixed products.
+    const std::uint32_t fv = nodes_[f].var, f0 = nodes_[f].low,
+                        f1 = nodes_[f].high;
+    const std::uint32_t g0 = nodes_[g].low, g1 = nodes_[g].high;
+    const std::uint32_t r0 = join_rec(f0, g0);
+    const std::uint32_t r1 = union_rec(
+        union_rec(join_rec(f1, g1), join_rec(f1, g0)), join_rec(f0, g1));
+    r = mk(fv, r0, r1);
+  }
+  cache_put(kOpJoin, a, b, 0, r);
+  return r;
+}
+
+Zdd ZddManager::join(const Zdd& f, const Zdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  OpGuard guard(op_depth_);
+  return Zdd(this, join_rec(f.id(), g.id()));
+}
+
 // ---------------------------------------------------------------------------
 // Single-variable operators: subset0 / subset1 / change and friends
 // ---------------------------------------------------------------------------

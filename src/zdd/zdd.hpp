@@ -111,6 +111,14 @@ class ZddManager : public dd::DdKernel<ZddManager> {
   Zdd zdd_intersect(const Zdd& f, const Zdd& g);
   Zdd zdd_diff(const Zdd& f, const Zdd& g);
 
+  /// Minato's family product: {a ∪ b : a ∈ f, b ∈ g}. When f and g range
+  /// over disjoint element universes this is the cross product, which is
+  /// what parallel saturation uses to recombine per-component reachability
+  /// families (ZddRelationPartition::saturate); in general overlapping
+  /// elements simply merge, so |join| ≤ |f|·|g|. join(f, base) = f and
+  /// join(f, empty) = empty, mirroring the product's identity/annihilator.
+  Zdd join(const Zdd& f, const Zdd& g);
+
   /// {S \ {v} : S ∈ f, v ∈ S}
   Zdd subset1(const Zdd& f, int v);
   /// {S ∈ f : v ∉ S}
@@ -217,11 +225,13 @@ class ZddManager : public dd::DdKernel<ZddManager> {
     kOpSubset0,
     kOpSubset1,
     kOpChange,
+    kOpJoin,
   };
 
   // recursive workers (raw ids; no GC may run while these are active)
   std::uint32_t union_rec(std::uint32_t f, std::uint32_t g);
   std::uint32_t intersect_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t join_rec(std::uint32_t f, std::uint32_t g);
   std::uint32_t diff_rec(std::uint32_t f, std::uint32_t g);
   std::uint32_t subset_rec(std::uint32_t f, std::uint32_t v, bool keep_one);
   std::uint32_t change_rec(std::uint32_t f, std::uint32_t v);

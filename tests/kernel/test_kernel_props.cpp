@@ -10,10 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <exception>
+#include <memory>
 #include <random>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -377,6 +381,149 @@ TYPED_TEST(KernelProps, MakeNodeRejectionTaxonomy) {
   // A valid parent above the child builds fine.
   typename E::Handle ok = mgr.make_node(1, n2, hi);
   EXPECT_EQ(mgr.node_var(ok.id()), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance fence & the worker-manager pattern of parallel saturation
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(KernelProps, MaintenanceFenceDefersGcAndReorder) {
+  using E = Engine<TypeParam>;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(23);
+
+  // A 1-node threshold guarantees maybe_reorder() wants to sift, and the
+  // getter must echo what set_auto_reorder installed (workers inherit the
+  // growth policy through it).
+  mgr.set_auto_reorder(1);
+  EXPECT_EQ(mgr.auto_reorder_threshold(), 1u);
+  std::set<std::vector<char>> sets;
+  typename E::Handle f = build_family<E>(mgr, rng, 16, &sets);
+
+  const std::uint64_t gcs = mgr.gc_runs();
+  const std::uint64_t reorders = mgr.reorder_runs();
+  {
+    typename TypeParam::MaintenanceFence outer(mgr);
+    EXPECT_TRUE(mgr.maintenance_fenced());
+    mgr.maybe_reorder();  // deferred: nodes must not move under the fence
+    {
+      typename TypeParam::MaintenanceFence inner(mgr);  // fences nest
+      mgr.maybe_reorder();
+    }
+    EXPECT_TRUE(mgr.maintenance_fenced());  // outer still holds
+    mgr.maybe_reorder();
+    EXPECT_EQ(mgr.gc_runs(), gcs);
+    EXPECT_EQ(mgr.reorder_runs(), reorders);
+  }
+  // Unfenced tick: the deferred maintenance now happens (thresholds were
+  // left untouched by the fenced calls).
+  EXPECT_FALSE(mgr.maintenance_fenced());
+  mgr.maybe_reorder();
+  EXPECT_EQ(mgr.reorder_runs(), reorders + 1);
+  // The deferred sift moved nodes but not meaning.
+  for (const auto& s : sets) EXPECT_TRUE(E::contains(mgr, f, s));
+}
+
+TYPED_TEST(KernelProps, WorkerMemosAreIsolatedAndMergeAtJoin) {
+  using E = Engine<TypeParam>;
+  constexpr int kWorkers = 4;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(29);
+
+  // The coordinating manager holds a seed family; workers import from it
+  // concurrently while it is fenced (the read-only window parallel
+  // saturation relies on), cache per-worker results in their own private
+  // memo slots, and the coordinator merges the returned handles at the
+  // join — the kernel-level skeleton of RelationPartition::saturate_parallel.
+  std::set<std::vector<char>> seed_sets;
+  typename E::Handle seed = build_family<E>(mgr, rng, 8, &seed_sets);
+
+  std::vector<std::unique_ptr<TypeParam>> wms(kWorkers);
+  std::vector<typename E::Handle> fixes(kWorkers);
+  std::vector<std::set<std::vector<char>>> extras(kWorkers);
+  std::vector<unsigned> worker_seed(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) worker_seed[w] = 1000u + 17u * w;
+
+  {
+    typename TypeParam::MaintenanceFence fence(mgr);
+    std::vector<std::thread> pool;
+    pool.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.emplace_back([&, w]() {
+        auto wm = std::make_unique<TypeParam>(kVars);
+        // Private memo slots: invisible to every other worker's manager.
+        std::uint64_t slot = wm->memo_reserve(1);
+        typename E::Handle local = E::import_into(*wm, seed);
+        std::mt19937 wrng(worker_seed[w]);
+        typename E::Handle grown =
+            E::merge(*wm, local, build_family<E>(*wm, wrng, 4, &extras[w]));
+        wm->memo_put(slot, local, grown);
+        typename E::Handle out = E::zero(*wm);
+        ASSERT_TRUE(wm->memo_get(slot, local, out));
+        EXPECT_EQ(out, grown);
+        fixes[w] = out;
+        wms[w] = std::move(wm);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge at the join: import every worker's result back and union.
+  typename E::Handle merged = seed;
+  std::set<std::vector<char>> want = seed_sets;
+  for (int w = 0; w < kWorkers; ++w) {
+    merged = E::merge(mgr, merged, E::import_into(mgr, fixes[w]));
+    want.insert(extras[w].begin(), extras[w].end());
+  }
+  EXPECT_EQ(signature<E>(mgr, merged), want);
+}
+
+TYPED_TEST(KernelProps, WorkerThrowUnderThreadsLeavesEveryManagerUsable) {
+  using E = Engine<TypeParam>;
+  constexpr int kWorkers = 3;
+  TypeParam mgr(kVars);
+  std::mt19937 rng(31);
+  std::set<std::vector<char>> seed_sets;
+  typename E::Handle seed = build_family<E>(mgr, rng, 8, &seed_sets);
+
+  // Every worker's arena is frozen hard enough that growth throws; errors
+  // must surface through the join as std::length_error (the pattern the
+  // saturation worker pool uses: first error wins, rethrown on the main
+  // thread), and afterwards both the workers' managers and the fenced main
+  // manager must still answer correctly.
+  std::vector<std::unique_ptr<TypeParam>> wms(kWorkers);
+  std::vector<std::exception_ptr> errors(kWorkers);
+  {
+    typename TypeParam::MaintenanceFence fence(mgr);
+    std::vector<std::thread> pool;
+    pool.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.emplace_back([&, w]() {
+        try {
+          auto wm = std::make_unique<TypeParam>(kVars);
+          typename E::Handle local = E::import_into(*wm, seed);
+          wm->set_node_limit(wm->arena_size());
+          std::mt19937 wrng(500u + w);
+          typename E::Handle acc = local;
+          for (int i = 0; i < 4096; ++i) {
+            acc = E::merge(*wm, acc, E::one_set(*wm, random_set<E>(wrng)));
+          }
+          wms[w] = std::move(wm);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    ASSERT_NE(errors[w], nullptr) << "worker " << w << " did not overflow";
+    EXPECT_THROW(std::rethrow_exception(errors[w]), std::length_error);
+  }
+  // The fenced main manager never noticed: same signature, full service.
+  EXPECT_EQ(signature<E>(mgr, seed), seed_sets);
+  typename E::Handle more = build_family<E>(mgr, rng, 4, nullptr);
+  EXPECT_EQ(E::merge(mgr, seed, more), E::merge(mgr, more, seed));
 }
 
 }  // namespace

@@ -141,7 +141,13 @@ void check_accepted(const Net& net, bool text_format) {
 int main(int argc, char** argv) {
   unsigned seed = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
                            : 20260808u;
-  int iterations = argc > 2 ? std::atoi(argv[2]) : 3000;
+  // Iteration budget: argv wins, then PNENC_FUZZ_ITERS (the nightly CI lane
+  // raises it without touching ctest registration), then the PR default.
+  int iterations = 3000;
+  if (const char* env = std::getenv("PNENC_FUZZ_ITERS")) {
+    iterations = std::atoi(env);
+  }
+  if (argc > 2) iterations = std::atoi(argv[2]);
 
   using namespace pnenc;
   const std::string text_good = petri::write_net(petri::gen::philosophers(2));

@@ -1,0 +1,345 @@
+// Parallel-saturation differential suite (ctest label `parsat`): the
+// --par-sat N path must be BIT-IDENTICAL to serial saturation — same
+// canonical reached set when imported into one manager, not merely the same
+// count — across every fixture net, every encoding scheme, random variable
+// orders, and jobs ∈ {1, 2, 4, 8}; repeated runs must be deterministic and
+// honor the serial memo contract (a re-run is one lookup, one hit).
+//
+// Two fixture groups:
+//   * the four standard nets (fig1 / phil-4 / slot-4 / dme-4) are all
+//     CONNECTED — one interference component — so the parallel path must
+//     detect that and fall through to the serial engine unchanged;
+//   * the farm-K-N family (K independent ring cells) is the genuinely
+//     multi-component workload: K components, a factoring seed, and the
+//     fan-out/merge machinery actually engages. Farm expected counts are
+//     (2N)^K by construction and are re-anchored against the explicit-state
+//     oracle here, not trusted.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/explicit_reach.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_context.hpp"
+#include "tests/testing/net_fixtures.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::MarkingEncoding;
+using petri::Net;
+using symbolic::ImageMethod;
+using symbolic::PartitionOptions;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+using symbolic::ZddContext;
+
+constexpr int kJobsSweep[] = {1, 2, 4, 8};
+
+/// Local farm fixtures: (rings, n) with (2n)^rings reachable markings.
+/// Kept small enough for the explicit oracle to re-anchor every count.
+struct FarmFixture {
+  int rings;
+  int n;
+};
+constexpr FarmFixture kFarms[] = {{2, 3}, {3, 4}, {4, 4}};
+constexpr int kNumFarms = 3;
+
+std::string farm_name(const FarmFixture& f) {
+  return "farm_" + std::to_string(f.rings) + "_" + std::to_string(f.n);
+}
+
+double farm_expected(const FarmFixture& f) {
+  return std::pow(2.0 * f.n, f.rings);
+}
+
+/// Saturation-capable context options (the partition needs next-state
+/// variables).
+SymbolicOptions sat_opts() {
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  return opts;
+}
+
+/// Installs the shared random order (if any) and the worker count on a
+/// freshly constructed context — both the serial and the parallel context
+/// in a comparison receive the SAME order so handle comparison is
+/// meaningful. Contexts are configured in place (never moved): the
+/// partition holds a back-reference to its context.
+void configure_ctx(SymbolicContext& ctx, const std::vector<int>* order,
+                   int par_jobs) {
+  if (order) ctx.manager().set_var_order(*order);
+  PartitionOptions popts;
+  popts.par_jobs = static_cast<std::size_t>(par_jobs);
+  ctx.set_partition_options(popts);
+}
+
+/// Random level→var permutation for `nv` variables; windowed beyond 40 vars
+/// for the same reason as test_traversal_equiv (a global shuffle on wide
+/// sparse contexts makes the relations themselves exponential).
+std::vector<int> random_order(int nv, std::mt19937& rng) {
+  std::vector<int> order(static_cast<std::size_t>(nv));
+  std::iota(order.begin(), order.end(), 0);
+  if (nv <= 40) {
+    std::shuffle(order.begin(), order.end(), rng);
+  } else {
+    for (int lo = 0; lo < nv; lo += 8) {
+      std::shuffle(order.begin() + lo, order.begin() + std::min(lo + 8, nv),
+                   rng);
+    }
+  }
+  return order;
+}
+
+// ---- BDD: fixtures × schemes × random orders × jobs -----------------------
+
+class ParsatBddEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(ParsatBddEquivalence, ParallelBitIdenticalToSerial) {
+  const int net_id = std::get<0>(GetParam());
+  const std::string scheme = std::get<1>(GetParam());
+  Net net = pnenc::testing::net_by_id(net_id);
+  const double expected =
+      static_cast<double>(pnenc::testing::expected_markings(net_id));
+
+  std::mt19937 rng(97531u + 64u * static_cast<unsigned>(net_id) +
+                   static_cast<unsigned>(scheme.size()));
+  MarkingEncoding enc = build_encoding(net, scheme);
+
+  for (int trial = 0; trial < 2; ++trial) {
+    std::vector<int> order;
+    if (trial > 0) {
+      SymbolicContext probe(net, enc, sat_opts());
+      order = random_order(probe.manager().num_vars(), rng);
+    }
+    const std::vector<int>* ord = trial > 0 ? &order : nullptr;
+
+    SymbolicContext serial(net, enc, sat_opts());
+    configure_ctx(serial, ord, 1);
+    auto sres = serial.reachability(ImageMethod::kSaturation);
+    bdd::Bdd sset = serial.reached_set();
+    EXPECT_DOUBLE_EQ(sres.num_markings, expected);
+
+    for (int jobs : kJobsSweep) {
+      SymbolicContext par(net, enc, sat_opts());
+      configure_ctx(par, ord, jobs);
+      auto pres = par.reachability(ImageMethod::kSaturation);
+      EXPECT_DOUBLE_EQ(pres.num_markings, expected)
+          << pnenc::testing::net_name(net_id) << "/" << scheme << " jobs "
+          << jobs << " trial " << trial;
+      // Canonicity makes import + handle compare an exact function check.
+      EXPECT_EQ(serial.manager().import_bdd(par.reached_set()), sset)
+          << pnenc::testing::net_name(net_id) << "/" << scheme << " jobs "
+          << jobs << " trial " << trial;
+      // All four standard fixtures are connected nets: exactly one
+      // interference component, so the parallel path must have declined.
+      EXPECT_EQ(par.partition().num_sat_components(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndSchemes, ParsatBddEquivalence,
+    ::testing::Combine(::testing::Range(0, pnenc::testing::kNumNets),
+                       ::testing::ValuesIn(pnenc::testing::kSchemes)));
+
+// ---- BDD: farm family — the multi-component path actually engages ---------
+
+class ParsatFarmBdd : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsatFarmBdd, FarmParallelMatchesSerialAndOracle) {
+  const FarmFixture& farm = kFarms[GetParam()];
+  Net net = petri::gen::ring_farm(farm.rings, farm.n);
+
+  // Re-anchor (2N)^K against ground truth before trusting it.
+  auto oracle = petri::explicit_reachability(net);
+  ASSERT_TRUE(oracle.complete);
+  ASSERT_DOUBLE_EQ(static_cast<double>(oracle.num_markings),
+                   farm_expected(farm));
+  const double expected = farm_expected(farm);
+
+  std::mt19937 rng(8642u + static_cast<unsigned>(farm.rings));
+  for (const std::string scheme : {"sparse", "improved"}) {
+    MarkingEncoding enc = build_encoding(net, scheme);
+    for (int trial = 0; trial < 2; ++trial) {
+      std::vector<int> order;
+      if (trial > 0) {
+        SymbolicContext probe(net, enc, sat_opts());
+        order = random_order(probe.manager().num_vars(), rng);
+      }
+      const std::vector<int>* ord = trial > 0 ? &order : nullptr;
+
+      SymbolicContext serial(net, enc, sat_opts());
+      configure_ctx(serial, ord, 1);
+      auto sres = serial.reachability(ImageMethod::kSaturation);
+      bdd::Bdd sset = serial.reached_set();
+      EXPECT_DOUBLE_EQ(sres.num_markings, expected);
+
+      for (int jobs : kJobsSweep) {
+        SymbolicContext par(net, enc, sat_opts());
+        configure_ctx(par, ord, jobs);
+        auto pres = par.reachability(ImageMethod::kSaturation);
+        EXPECT_DOUBLE_EQ(pres.num_markings, expected)
+            << farm_name(farm) << "/" << scheme << " jobs " << jobs;
+        EXPECT_EQ(serial.manager().import_bdd(par.reached_set()), sset)
+            << farm_name(farm) << "/" << scheme << " jobs " << jobs
+            << " trial " << trial;
+        EXPECT_EQ(par.partition().num_sat_components(),
+                  static_cast<std::size_t>(farm.rings));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Farms, ParsatFarmBdd, ::testing::Range(0, kNumFarms));
+
+// ---- BDD: determinism and the memo contract -------------------------------
+
+TEST(ParsatDeterminism, RepeatedParallelRunsAreIdentical) {
+  Net net = petri::gen::ring_farm(3, 4);
+  MarkingEncoding enc = build_encoding(net, "improved");
+
+  // Two independent full runs under the same configuration must build the
+  // same canonical set — worker scheduling must not leak into the result.
+  SymbolicContext a(net, enc, sat_opts());
+  configure_ctx(a, nullptr, 4);
+  SymbolicContext b(net, enc, sat_opts());
+  configure_ctx(b, nullptr, 4);
+  a.reachability(ImageMethod::kSaturation);
+  b.reachability(ImageMethod::kSaturation);
+  EXPECT_EQ(a.manager().import_bdd(b.reached_set()), a.reached_set());
+}
+
+TEST(ParsatDeterminism, RepeatedSaturateIsOneMemoHit) {
+  Net net = petri::gen::ring_farm(3, 4);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc, sat_opts());
+  configure_ctx(ctx, nullptr, 4);
+
+  auto first = ctx.reachability(ImageMethod::kSaturation);
+  bdd::Bdd set1 = ctx.reached_set();
+  const auto& s1 = ctx.partition().saturation_stats();
+  EXPECT_GT(s1.applications, 0u);
+
+  // The parallel path writes the serial engine's exact memo entries at the
+  // join, so a repeat — parallel or serial — is one lookup, one hit, zero
+  // cluster applications, same handle.
+  auto second = ctx.reachability(ImageMethod::kSaturation);
+  const auto& s2 = ctx.partition().saturation_stats();
+  EXPECT_EQ(second.num_markings, first.num_markings);
+  EXPECT_EQ(ctx.reached_set(), set1);
+  EXPECT_EQ(s2.memo_lookups, 1u);
+  EXPECT_EQ(s2.memo_hits, 1u);
+  EXPECT_EQ(s2.applications, 0u);
+}
+
+// ---- ZDD mirror -----------------------------------------------------------
+
+class ParsatZddEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsatZddEquivalence, ParallelBitIdenticalToSerial) {
+  const int net_id = GetParam();
+  Net net = pnenc::testing::net_by_id(net_id);
+  const double expected =
+      static_cast<double>(pnenc::testing::expected_markings(net_id));
+
+  std::mt19937 rng(13579u + static_cast<unsigned>(net_id));
+  for (int trial = 0; trial < 2; ++trial) {
+    std::vector<int> order;
+    if (trial > 0) order = random_order(static_cast<int>(net.num_places()), rng);
+
+    ZddContext serial(net);
+    if (trial > 0) serial.manager().set_var_order(order);
+    PartitionOptions sopts;
+    serial.set_partition_options(sopts);
+    auto sres = serial.reachability(ImageMethod::kSaturation);
+    zdd::Zdd sset = serial.reached_set();
+    EXPECT_DOUBLE_EQ(sres.num_markings, expected);
+
+    for (int jobs : kJobsSweep) {
+      ZddContext par(net);
+      if (trial > 0) par.manager().set_var_order(order);
+      PartitionOptions popts;
+      popts.par_jobs = static_cast<std::size_t>(jobs);
+      par.set_partition_options(popts);
+      auto pres = par.reachability(ImageMethod::kSaturation);
+      EXPECT_DOUBLE_EQ(pres.num_markings, expected)
+          << pnenc::testing::net_name(net_id) << " zdd jobs " << jobs;
+      EXPECT_EQ(serial.manager().import_zdd(par.reached_set()), sset)
+          << pnenc::testing::net_name(net_id) << " zdd jobs " << jobs
+          << " trial " << trial;
+      EXPECT_EQ(par.partition().num_sat_components(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNets, ParsatZddEquivalence,
+                         ::testing::Range(0, pnenc::testing::kNumNets),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string n =
+                               pnenc::testing::net_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+class ParsatFarmZdd : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParsatFarmZdd, FarmParallelMatchesSerialAndOracle) {
+  const FarmFixture& farm = kFarms[GetParam()];
+  Net net = petri::gen::ring_farm(farm.rings, farm.n);
+
+  auto oracle = petri::explicit_reachability(net);
+  ASSERT_TRUE(oracle.complete);
+  const double expected = farm_expected(farm);
+  ASSERT_DOUBLE_EQ(static_cast<double>(oracle.num_markings), expected);
+
+  ZddContext serial(net);
+  auto sres = serial.reachability(ImageMethod::kSaturation);
+  zdd::Zdd sset = serial.reached_set();
+  EXPECT_DOUBLE_EQ(sres.num_markings, expected);
+
+  for (int jobs : kJobsSweep) {
+    ZddContext par(net);
+    PartitionOptions popts;
+    popts.par_jobs = static_cast<std::size_t>(jobs);
+    par.set_partition_options(popts);
+    auto pres = par.reachability(ImageMethod::kSaturation);
+    EXPECT_DOUBLE_EQ(pres.num_markings, expected)
+        << farm_name(farm) << " zdd jobs " << jobs;
+    EXPECT_EQ(serial.manager().import_zdd(par.reached_set()), sset)
+        << farm_name(farm) << " zdd jobs " << jobs;
+    EXPECT_EQ(par.partition().num_sat_components(),
+              static_cast<std::size_t>(farm.rings));
+  }
+
+  // ZDD repeat-run memo contract, same as the BDD side.
+  ZddContext again(net);
+  PartitionOptions popts;
+  popts.par_jobs = 4;
+  again.set_partition_options(popts);
+  again.reachability(ImageMethod::kSaturation);
+  again.reachability(ImageMethod::kSaturation);
+  const auto& s = again.partition().saturation_stats();
+  EXPECT_EQ(s.memo_lookups, 1u);
+  EXPECT_EQ(s.memo_hits, 1u);
+  EXPECT_EQ(s.applications, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Farms, ParsatFarmZdd, ::testing::Range(0, kNumFarms));
+
+}  // namespace
+}  // namespace pnenc

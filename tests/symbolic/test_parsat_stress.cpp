@@ -1,0 +1,207 @@
+// Parallel-saturation stress suite (ctest label `parsat`) — built to run
+// under ThreadSanitizer in the tsan-test CI lane. Serial gtest logic, but
+// every test drives the fan-out/merge machinery hard where races would
+// live if the memo, GC, or reorder contracts were wrong:
+//
+//   * many workers with busy client memos (every worker runs the full
+//     saturation engine against its private memo slots while the main
+//     arena is fenced for concurrent imports);
+//   * arena pressure — a node limit low enough that reclamation matters,
+//     and a limit so low the run throws, which must propagate cleanly off
+//     the worker pool and leave the context usable;
+//   * auto-reorder enabled on main and workers (the maintenance fence must
+//     keep the main arena still while workers import from it; workers may
+//     reorder their private arenas freely).
+//
+// Bit-identity against serial is asserted throughout — stress must not
+// change answers.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "petri/generators.hpp"
+#include "symbolic/symbolic.hpp"
+#include "symbolic/zdd_context.hpp"
+
+namespace pnenc {
+namespace {
+
+using encoding::build_encoding;
+using encoding::MarkingEncoding;
+using petri::Net;
+using symbolic::ImageMethod;
+using symbolic::PartitionOptions;
+using symbolic::SymbolicContext;
+using symbolic::SymbolicOptions;
+using symbolic::ZddContext;
+
+SymbolicOptions sat_opts(std::size_t reorder_threshold = 0) {
+  SymbolicOptions opts;
+  opts.with_next_vars = true;
+  opts.auto_reorder_threshold = reorder_threshold;
+  return opts;
+}
+
+void set_jobs(SymbolicContext& ctx, int jobs) {
+  PartitionOptions popts;
+  popts.par_jobs = static_cast<std::size_t>(jobs);
+  ctx.set_partition_options(popts);
+}
+
+void set_jobs(ZddContext& ctx, int jobs) {
+  PartitionOptions popts;
+  popts.par_jobs = static_cast<std::size_t>(jobs);
+  ctx.set_partition_options(popts);
+}
+
+// Eight components, eight workers, repeated: every repetition re-runs the
+// whole fan-out (fresh context), so TSan sees many fence/import/join
+// cycles with all worker memos active at once.
+TEST(ParsatStress, EightWorkersMemoContention) {
+  Net net = petri::gen::ring_farm(8, 4);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  const double expected = 16777216.0;  // 8^8
+
+  SymbolicContext serial(net, enc, sat_opts());
+  set_jobs(serial, 1);
+  serial.reachability(ImageMethod::kSaturation);
+  bdd::Bdd sset = serial.reached_set();
+
+  for (int round = 0; round < 3; ++round) {
+    SymbolicContext par(net, enc, sat_opts());
+    set_jobs(par, 8);
+    auto r = par.reachability(ImageMethod::kSaturation);
+    EXPECT_DOUBLE_EQ(r.num_markings, expected) << "round " << round;
+    EXPECT_EQ(serial.manager().import_bdd(par.reached_set()), sset)
+        << "round " << round;
+    // Warm repeat on the same context: the top-level memo entry written at
+    // the join must answer without re-dispatching workers.
+    auto again = par.reachability(ImageMethod::kSaturation);
+    EXPECT_DOUBLE_EQ(again.num_markings, expected);
+    EXPECT_EQ(par.partition().saturation_stats().memo_hits, 1u);
+  }
+}
+
+// Whole parallel saturations running concurrently in independent threads —
+// each with its own context AND its own internal worker pool. Any hidden
+// global mutable state in the kernel or the engine shows up here.
+TEST(ParsatStress, ConcurrentIndependentParallelSaturations) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<double> counts(kThreads, 0.0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &counts]() {
+      Net net = petri::gen::ring_farm(4, 3 + t);  // distinct shapes per thread
+      MarkingEncoding enc = build_encoding(net, "sparse");
+      SymbolicContext ctx(net, enc, sat_opts());
+      set_jobs(ctx, 4);
+      counts[static_cast<std::size_t>(t)] =
+          ctx.reachability(ImageMethod::kSaturation).num_markings;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const double cell = 2.0 * (3 + t);
+    EXPECT_DOUBLE_EQ(counts[static_cast<std::size_t>(t)],
+                     cell * cell * cell * cell)
+        << "thread " << t;
+  }
+}
+
+// Arena exhaustion mid-run: the run must fail with the kernel's
+// length_error (whether it trips on the main thread or inside a worker —
+// worker errors are rethrown after the join), and the context must stay
+// fully usable once the limit is raised.
+TEST(ParsatStress, NodeLimitThrowLeavesContextUsable) {
+  Net net = petri::gen::ring_farm(4, 8);
+  MarkingEncoding enc = build_encoding(net, "improved");
+  SymbolicContext ctx(net, enc, sat_opts());
+  set_jobs(ctx, 4);
+
+  // Build the partition first so the throw lands inside the saturation
+  // pipeline itself, then freeze the arena at its current size: the first
+  // fresh node anywhere in the run throws.
+  (void)ctx.partition();
+  ctx.manager().set_node_limit(ctx.manager().arena_size());
+  EXPECT_THROW(ctx.reachability(ImageMethod::kSaturation), std::length_error);
+
+  // Raising the limit restores full service on the same context; the
+  // answer matches an untouched serial context bit for bit.
+  ctx.manager().set_node_limit(~std::size_t{0});
+  auto r = ctx.reachability(ImageMethod::kSaturation);
+  EXPECT_DOUBLE_EQ(r.num_markings, 65536.0);  // 16^4
+
+  SymbolicContext serial(net, enc, sat_opts());
+  set_jobs(serial, 1);
+  serial.reachability(ImageMethod::kSaturation);
+  EXPECT_EQ(serial.manager().import_bdd(ctx.reached_set()),
+            serial.reached_set());
+}
+
+// GC + reorder pressure: a tight (but sufficient) node limit makes
+// reclamation matter, and a tiny auto-reorder threshold makes both the
+// main manager and every worker want to sift constantly. The maintenance
+// fence must hold the main arena still during the fan-out, and the result
+// must still be bit-identical to an unstressed serial run.
+TEST(ParsatStress, AutoReorderAndGcPressure) {
+  Net net = petri::gen::ring_farm(4, 12);
+  MarkingEncoding enc = build_encoding(net, "improved");
+
+  SymbolicContext serial(net, enc, sat_opts());
+  set_jobs(serial, 1);
+  serial.reachability(ImageMethod::kSaturation);
+  bdd::Bdd sset = serial.reached_set();
+
+  for (int round = 0; round < 2; ++round) {
+    SymbolicContext par(net, enc, sat_opts(/*reorder_threshold=*/64));
+    set_jobs(par, 4);
+    auto r = par.reachability(ImageMethod::kSaturation);
+    EXPECT_DOUBLE_EQ(r.num_markings, 331776.0);  // 24^4
+    EXPECT_EQ(serial.manager().import_bdd(par.reached_set()), sset)
+        << "round " << round;
+  }
+}
+
+// ZDD mirror of the contention + reorder stress: same fan-out machinery,
+// second manager instantiation.
+TEST(ParsatStress, ZddWorkersUnderReorderPressure) {
+  Net net = petri::gen::ring_farm(6, 4);
+
+  ZddContext serial(net);
+  set_jobs(serial, 1);
+  serial.reachability(ImageMethod::kSaturation);
+  zdd::Zdd sset = serial.reached_set();
+
+  for (int round = 0; round < 2; ++round) {
+    ZddContext par(net);
+    par.manager().set_auto_reorder(64);
+    set_jobs(par, 6);
+    auto r = par.reachability(ImageMethod::kSaturation);
+    EXPECT_DOUBLE_EQ(r.num_markings, 262144.0);  // 8^6
+    EXPECT_EQ(serial.manager().import_zdd(par.reached_set()), sset)
+        << "round " << round;
+  }
+}
+
+// ZDD arena-exhaustion propagation off the worker pool.
+TEST(ParsatStress, ZddNodeLimitThrowLeavesContextUsable) {
+  Net net = petri::gen::ring_farm(4, 8);
+  ZddContext ctx(net);
+  set_jobs(ctx, 4);
+  (void)ctx.partition();
+  ctx.manager().set_node_limit(ctx.manager().arena_size());
+  EXPECT_THROW(ctx.reachability(ImageMethod::kSaturation), std::length_error);
+
+  ctx.manager().set_node_limit(~std::size_t{0});
+  auto r = ctx.reachability(ImageMethod::kSaturation);
+  EXPECT_DOUBLE_EQ(r.num_markings, 65536.0);  // 16^4
+}
+
+}  // namespace
+}  // namespace pnenc
